@@ -1,0 +1,45 @@
+"""Shared benchmark-harness utilities.
+
+Every bench regenerates one of the paper's tables/figures, prints it, and
+saves the rendered output under ``results/``.  Scale and core count are
+controlled by environment variables so CI can run the harness quickly:
+
+* ``REPRO_BENCH_SCALE`` -- iteration-count multiplier (default 0.5).
+* ``REPRO_BENCH_CORES`` -- chip size for Figures 6/7 and Table 2
+  (default 32, the paper's configuration).
+
+Benches run single-shot (``pedantic(rounds=1)``): the interesting numbers
+are the *simulated* metrics (cycles, messages), which are deterministic;
+wall-clock time of the simulator itself is secondary and still recorded by
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def bench_cores() -> int:
+    return int(os.environ.get("REPRO_BENCH_CORES", "32"))
+
+
+def save_and_print(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    print(f"[saved to {path}]")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,77 @@
+"""Bench: ablation studies (beyond the paper's figures; see DESIGN.md)."""
+
+from bench_common import run_once, save_and_print
+from repro.experiments import (contention_ablation, csw_variant_ablation,
+                               dsw_arity_sweep, entry_overhead_sweep,
+                               hierarchical_latency, noc_model_ablation,
+                               period_sweep)
+
+
+def test_bench_period_sweep(benchmark):
+    result = run_once(benchmark, period_sweep, num_cores=16, iterations=15)
+    save_and_print("ablation_period_sweep", result.table())
+    ratios = [row[3] for row in result.rows]
+    # GL's advantage decays monotonically toward 1.0 as work grows.
+    assert all(a <= b + 0.02 for a, b in zip(ratios, ratios[1:])), ratios
+    assert ratios[0] < 0.2 and ratios[-1] > 0.9
+
+
+def test_bench_entry_overhead(benchmark):
+    result = run_once(benchmark, entry_overhead_sweep, num_cores=16,
+                      iterations=40)
+    save_and_print("ablation_entry_overhead", result.table())
+    per_barrier = [row[1] for row in result.rows]
+    # Cost = overhead + write + 4-cycle network, exactly.
+    for (overhead, cycles) in [(r[0], r[1]) for r in result.rows]:
+        assert cycles == overhead + 1 + 4
+
+
+def test_bench_hierarchical(benchmark):
+    result = run_once(benchmark, hierarchical_latency,
+                      core_counts=(16, 49, 64, 144), iterations=25)
+    save_and_print("ablation_hierarchical", result.table())
+    rows = {r[0]: r for r in result.rows}
+    # Flat networks stay at the 5-cycle (write+4) floor; hierarchical
+    # meshes pay more but stay within a small constant.
+    assert rows[16][3] == 5 and rows[49][3] == 5
+    assert 5 < rows[64][3] <= 20
+    assert 5 < rows[144][3] <= 24
+    assert rows[64][2] == "HierarchicalGLineBarrier"
+
+
+def test_bench_dsw_arity(benchmark):
+    result = run_once(benchmark, dsw_arity_sweep, num_cores=16,
+                      iterations=20)
+    save_and_print("ablation_dsw_arity", result.table())
+    assert len(result.rows) == 3
+
+
+def test_bench_contention(benchmark):
+    result = run_once(benchmark, contention_ablation, num_cores=16,
+                      iterations=20)
+    save_and_print("ablation_contention", result.table())
+    by_key = {(r[0], r[1]): r[2] for r in result.rows}
+    # Removing link contention can only speed software barriers up.
+    assert by_key[("CSW", "off")] <= by_key[("CSW", "on")]
+    assert by_key[("DSW", "off")] <= by_key[("DSW", "on")]
+
+
+def test_bench_noc_model(benchmark):
+    result = run_once(benchmark, noc_model_ablation, num_cores=16,
+                      iterations=20)
+    save_and_print("ablation_noc_model", result.table())
+    by_key = {(r[0], r[1]): r[2] for r in result.rows}
+    # The conclusion survives the model swap; GL itself is identical
+    # (it never touches the data network).
+    assert by_key[("hop", "GL")] == by_key[("vct", "GL")]
+    assert by_key[("hop", "GL")] < by_key[("hop", "DSW")]
+    assert by_key[("vct", "GL")] < by_key[("vct", "DSW")]
+
+
+def test_bench_csw_variant(benchmark):
+    result = run_once(benchmark, csw_variant_ablation, num_cores=16,
+                      iterations=20)
+    save_and_print("ablation_csw_variant", result.table())
+    by_name = {r[0]: r[1] for r in result.rows}
+    # fetch&add beats the lock-protected counter but is still centralized.
+    assert by_name["CSW-FA"] < by_name["CSW"]

@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 5 (avg time per barrier vs core count).
+
+Shape checks (the paper's log-scale figure): CSW > DSW > GL at every core
+count; CSW and DSW grow with cores; GL stays flat at ~13 cycles.
+"""
+
+import os
+
+from bench_common import run_once, save_and_print
+from repro.analysis import paper_data
+from repro.analysis.figures import fig5_chart
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5(benchmark):
+    iterations = int(os.environ.get("REPRO_FIG5_ITERS", "40"))
+    result = run_once(benchmark, run_fig5,
+                      core_counts=paper_data.FIG5_CORE_COUNTS,
+                      iterations=iterations)
+    save_and_print("fig5", result.table() + "\n\n"
+                   + fig5_chart(result.cycles_per_barrier))
+
+    from repro.analysis.validation import (all_passed, check_fig5,
+                                           render_checklist)
+    checks = check_fig5(result)
+    save_and_print("fig5_checks", render_checklist(checks))
+    assert all_passed(checks), render_checklist(checks)
+
+    assert result.is_ordered(), "CSW > DSW > GL must hold at every size"
+    gl = result.cycles_per_barrier["gl"]
+    csw = result.cycles_per_barrier["csw"]
+    dsw = result.cycles_per_barrier["dsw"]
+    # GL flat at the paper's 13 cycles.
+    assert all(abs(v - paper_data.FIG5_GL_CYCLES) <= 1
+               for v in gl.values()), gl
+    # Software barriers degrade with core count; CSW degrades faster.
+    assert csw[32] > csw[4] * 4
+    assert dsw[32] > dsw[4]
+    assert csw[32] / dsw[32] > csw[4] / dsw[4]
+    benchmark.extra_info["gl_cycles"] = gl

@@ -1,0 +1,58 @@
+"""Bench: regenerate Figures 6 and 7 (normalized execution time and
+network traffic, DSW vs GL, 32 cores).
+
+One paired run per benchmark feeds both figures.  Shape checks follow the
+paper's quoted numbers:
+
+* kernels improve a lot, applications a little (Fig 6);
+* Kernel 3's traffic nearly vanishes; UNSTR/OCEAN traffic barely moves
+  (Fig 7);
+* per-figure orderings match the paper's bars.
+"""
+
+from bench_common import (bench_cores, bench_scale, run_once,
+                          save_and_print)
+from repro.analysis.figures import fig6_chart, fig7_chart
+from repro.experiments import run_fig6_and_fig7
+
+
+def test_bench_fig6_and_fig7(benchmark):
+    fig6, fig7 = run_once(benchmark, run_fig6_and_fig7,
+                          num_cores=bench_cores(), scale=bench_scale())
+    save_and_print("fig6", fig6.table() + "\n\n" + fig6.stacked_table()
+                   + "\n\n" + fig6_chart(fig6.comparisons))
+    save_and_print("fig7", fig7.table() + "\n\n" + fig7.stacked_table()
+                   + "\n\n" + fig7_chart(fig7.comparisons))
+
+    from repro.analysis.validation import (all_passed, render_checklist,
+                                           validate_all)
+    checks = validate_all(fig6=fig6, fig7=fig7)
+    save_and_print("fig6_fig7_checks", render_checklist(checks))
+    assert all_passed(checks), render_checklist(checks)
+
+    t = {n: c.normalized_treated_total for n, c in fig6.comparisons.items()}
+    m = {n: c.normalized_treated_total for n, c in fig7.comparisons.items()}
+
+    # --- Figure 6 shape ------------------------------------------------ #
+    # Kernels: big wins (paper avg 68% reduction).
+    assert fig6.avg_k < 0.55
+    # Applications: modest wins (paper avg 21% reduction).
+    assert 0.6 < fig6.avg_a < 1.0
+    # Per-benchmark ordering matches the paper's bars:
+    assert t["KERN3"] < t["KERN2"] < t["KERN6"], t
+    assert t["EM3D"] < min(t["UNSTR"], t["OCEAN"]), t
+    # UNSTR and OCEAN barely improve (S2-dominated / huge period).
+    assert t["UNSTR"] > 0.85 and t["OCEAN"] > 0.85
+
+    # --- Figure 7 shape ------------------------------------------------ #
+    assert fig7.avg_k < 0.5
+    assert fig7.avg_a < 1.0
+    assert m["KERN3"] < 0.1          # paper: 99.82% reduction
+    assert m["KERN3"] < m["KERN2"] < m["KERN6"], m
+    assert m["EM3D"] < min(m["UNSTR"], m["OCEAN"]), m
+    assert m["UNSTR"] > 0.8 and m["OCEAN"] > 0.8
+
+    benchmark.extra_info["fig6_gl_over_dsw"] = {k: round(v, 3)
+                                                for k, v in t.items()}
+    benchmark.extra_info["fig7_gl_over_dsw"] = {k: round(v, 3)
+                                                for k, v in m.items()}

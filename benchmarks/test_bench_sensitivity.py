@@ -1,0 +1,27 @@
+"""Bench: platform-sensitivity sweeps (robustness of the conclusion)."""
+
+from bench_common import run_once, save_and_print
+from repro.experiments import (gl_is_platform_insensitive,
+                               l2_latency_sweep, memory_latency_sweep,
+                               router_latency_sweep)
+
+
+def _run(benchmark, fn, name):
+    result = run_once(benchmark, fn, num_cores=16, iterations=20)
+    save_and_print(name, result.table())
+    assert gl_is_platform_insensitive(result)
+    dsw = [row[1] for row in result.rows]
+    assert dsw == sorted(dsw) and dsw[-1] > dsw[0]
+    return result
+
+
+def test_bench_memory_latency(benchmark):
+    _run(benchmark, memory_latency_sweep, "sensitivity_memory")
+
+
+def test_bench_router_latency(benchmark):
+    _run(benchmark, router_latency_sweep, "sensitivity_router")
+
+
+def test_bench_l2_latency(benchmark):
+    _run(benchmark, l2_latency_sweep, "sensitivity_l2")

@@ -1,0 +1,48 @@
+"""Bench: software-barrier shoot-out and wire/area comparison.
+
+Extends the paper's baseline set with dissemination and tournament
+barriers (checking "one of the best software approaches" rather than
+assuming it), and quantifies the related-work area argument: G-lines make
+a dedicated barrier network cheap.
+"""
+
+from bench_common import run_once, save_and_print
+from repro.analysis.report import render_table
+from repro.experiments.software_barriers import run_shootout
+from repro.gline.area import comparison_rows
+
+
+def test_bench_software_shootout(benchmark):
+    result = run_once(benchmark, run_shootout,
+                      core_counts=(4, 8, 16, 32), iterations=20)
+    save_and_print("shootout", result.table())
+
+    for cores in (4, 8, 16, 32):
+        # GL beats the best software barrier everywhere, by a margin that
+        # grows with core count.
+        assert result.gl_margin(cores) > 5
+    assert result.gl_margin(32) > result.gl_margin(4)
+    # The classic result: dissemination <= combining tree <= centralized.
+    for cores in (8, 16, 32):
+        cpb = result.cycles_per_barrier
+        assert cpb["diss"][cores] <= cpb["dsw"][cores]
+        assert cpb["dsw"][cores] <= cpb["csw"][cores]
+    benchmark.extra_info["gl_margin_32"] = round(result.gl_margin(32), 1)
+
+
+def test_bench_area(benchmark):
+    def build_table():
+        rows = []
+        for mesh in ((4, 4), (4, 8), (7, 7)):
+            for budget in comparison_rows(*mesh):
+                rows.append([f"{mesh[0]}x{mesh[1]}", budget.organization,
+                             budget.wires, budget.length,
+                             budget.max_fanin])
+        return render_table(
+            ["Mesh", "Organization", "Wires", "Wire length (tile edges)",
+             "Max fan-in"], rows,
+            title="Barrier-interconnect area comparison")
+
+    table = run_once(benchmark, build_table)
+    save_and_print("area", table)
+    assert "G-line network" in table

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 1 (CMP baseline configuration)."""
+
+from bench_common import run_once, save_and_print
+from repro.experiments import matches_paper, run_table1
+
+
+def test_bench_table1(benchmark):
+    table = run_once(benchmark, run_table1)
+    save_and_print("table1", table)
+    assert matches_paper()
+    benchmark.extra_info["matches_paper"] = True

@@ -1,0 +1,34 @@
+"""Bench: regenerate Table 2 (#barriers and barrier period per benchmark).
+
+Shape checks: the measured period ordering must separate the fine-grain
+benchmarks (synthetic, kernels, EM3D) from the coarse applications
+(UNSTRUCTURED, OCEAN) -- the property the paper's whole evaluation story
+rests on.
+"""
+
+from bench_common import bench_cores, bench_scale, run_once, save_and_print
+from repro.experiments import run_table2
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, run_table2, num_cores=bench_cores(),
+                      scale=bench_scale())
+    save_and_print("table2", result.table())
+
+    from repro.analysis.validation import (all_passed, check_table2,
+                                           render_checklist)
+    checks = check_table2(result)
+    save_and_print("table2_checks", render_checklist(checks))
+    assert all_passed(checks), render_checklist(checks)
+
+    periods = {r.info.name: r.measured_period for r in result.rows}
+    # Applications are the coarsest-grain benchmarks, as in the paper.
+    for app in ("OCEAN", "UNSTR"):
+        for fine in ("Synthetic", "KERN2", "KERN3", "EM3D"):
+            assert periods[app] > periods[fine], \
+                f"{app} period should exceed {fine}"
+    # Barrier counts match each workload's declared structure.
+    for row in result.rows:
+        assert row.measured_barriers == row.info.num_barriers
+    benchmark.extra_info["periods"] = {k: round(v) for k, v
+                                       in periods.items()}

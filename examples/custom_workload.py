@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Writing your own workload, and using multiple barrier contexts.
+
+Demonstrates the operation-level programming model: a pipelined producer/
+consumer stencil where even and odd phases synchronize on *different*
+barrier contexts (the paper's space-multiplexing extension), plus a
+lock-protected reduction.
+
+Usage:  python examples/custom_workload.py
+"""
+
+from repro import CMP, CMPConfig
+from repro.common.params import GLineConfig
+from repro.cpu import isa
+from repro.mem.address import WORD_BYTES
+from repro.workloads.base import Workload, WorkloadInfo, chunk_bounds
+
+
+class PipelinedStencil(Workload):
+    """Two-phase stencil: compute on A->B (barrier 0), B->A (barrier 1)."""
+
+    name = "PipelinedStencil"
+
+    def __init__(self, n: int = 2048, steps: int = 10):
+        self.n = n
+        self.steps = steps
+
+    def programs(self, chip):
+        a = chip.allocator.alloc_array(self.n)
+        b = chip.allocator.alloc_array(self.n)
+        total = chip.allocator.alloc_line(home=0)
+        lock = chip.allocator.alloc_line(home=0)
+        ncores = chip.num_cores
+        self.total_addr = total  # so callers can read the reduced value
+
+        def program(cid):
+            lo, hi = chunk_bounds(self.n - 2, ncores, cid)
+            for step in range(self.steps):
+                src, dst = (a, b) if step % 2 == 0 else (b, a)
+                acc = 0
+                for i in range(lo + 1, hi + 1):
+                    left = yield isa.Load(src + WORD_BYTES * (i - 1))
+                    right = yield isa.Load(src + WORD_BYTES * (i + 1))
+                    yield isa.Compute(3)
+                    yield isa.Store(dst + WORD_BYTES * i,
+                                    (left + right) // 2)
+                    acc += 1
+                # Alternate between the two hardware barrier contexts.
+                yield isa.BarrierOp(step % 2)
+            # Final lock-protected reduction of per-core element counts.
+            yield isa.AcquireLock(lock)
+            value = yield isa.Load(total)
+            yield isa.Store(total, value + acc)
+            yield isa.ReleaseLock(lock)
+
+        return [program(c) for c in range(ncores)]
+
+    def info(self):
+        return WorkloadInfo(self.name, f"{self.n} points, "
+                            f"{self.steps} steps",
+                            self.steps, 0, 0)
+
+
+def main() -> None:
+    cfg = CMPConfig.for_cores(16).with_(
+        gline=GLineConfig(num_barriers=2))   # two barrier contexts
+    chip = CMP(cfg, barrier="gl")
+    wl = PipelinedStencil()
+    result = chip.run(wl)
+
+    print(result.summary())
+    print()
+    ctx0, ctx1 = chip.barrier_impl.networks
+    print(f"context 0 completed {ctx0.barriers_completed} barriers, "
+          f"context 1 completed {ctx1.barriers_completed}")
+    print(f"total G-lines provisioned: "
+          f"{ctx0.num_glines + ctx1.num_glines}")
+    print(f"stencil points processed per step (lock-protected reduction): "
+          f"{chip.funcmem.load(wl.total_addr)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""EM3D: traffic and network-energy comparison (Figure 7 + §5's power
+argument).
+
+EM3D is the paper's best application case (barrier period 3,673 cycles):
+GL cuts its execution time by ~54% and its network traffic by ~51%.  This
+example reproduces the traffic split by message category and adds the
+first-order network-energy estimate the paper's conclusion appeals to.
+
+Usage:  python examples/em3d_traffic.py
+"""
+
+from repro.analysis.energy import estimate, reduction
+from repro.analysis.report import pct, render_table
+from repro.analysis.traffic import Traffic, TrafficComparison
+from repro.experiments.runner import compare
+from repro.workloads import EM3DWorkload
+
+
+def main() -> None:
+    wl = EM3DWorkload(nodes=3840, steps=4)
+    print(f"running EM3D ({wl.info().input_size}) under DSW and GL...")
+    comp = compare(wl, num_cores=32)
+
+    tc = TrafficComparison(
+        "EM3D",
+        Traffic.from_result("DSW", comp.baseline),
+        Traffic.from_result("GL", comp.treated))
+    print()
+    print(render_table(
+        ["category", "DSW msgs", "GL msgs"],
+        [[cat.value, tc.baseline.messages.get(cat, 0),
+          tc.treated.messages.get(cat, 0)]
+         for cat in tc.baseline.messages],
+        title="EM3D network messages by category"))
+    print()
+    print(f"traffic: GL/DSW = {tc.normalized_treated_total:.2f} "
+          f"(reduction {pct(tc.traffic_reduction)}; paper: ~51%)")
+    print(f"time:    GL/DSW = {comp.time_ratio:.2f} "
+          f"(reduction {pct(1 - comp.time_ratio)}; paper: ~54%)")
+
+    e_dsw = estimate("DSW", comp.baseline)
+    e_gl = estimate("GL", comp.treated)
+    print()
+    print(render_table(
+        ["impl", "link energy", "router energy", "G-line energy", "total"],
+        [[e.label, e.link_energy, e.router_energy, e.gline_energy,
+          e.total] for e in (e_dsw, e_gl)],
+        title="First-order network energy (arbitrary units)"))
+    print(f"network-energy reduction: {pct(reduction(e_dsw, e_gl))} "
+          f"(the dedicated G-line network's toggles are negligible)")
+
+
+if __name__ == "__main__":
+    main()

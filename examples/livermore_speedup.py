@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Livermore kernels under software vs hardware barriers (Figure 6 style).
+
+Runs Kernels 2, 3 and 6 at 32 cores under DSW and GL, printing the
+normalized execution-time breakdown (Barrier / Write / Read / Lock / Busy)
+for each -- the left half of the paper's Figure 6.
+
+Usage:  python examples/livermore_speedup.py [scale]
+        scale < 1 shrinks iteration counts (default 0.25).
+"""
+
+import sys
+
+from repro.analysis.breakdown import Breakdown, BreakdownComparison
+from repro.analysis.report import pct, render_bar, render_table
+from repro.experiments.runner import compare
+from repro.workloads import (Kernel2Workload, Kernel3Workload,
+                             Kernel6Workload)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    kernels = {
+        "KERN2": Kernel2Workload(iterations=max(1, int(30 * scale))),
+        "KERN3": Kernel3Workload(iterations=max(1, int(150 * scale))),
+        "KERN6": Kernel6Workload(n=128, iterations=max(1, int(3 * scale))),
+    }
+    rows = []
+    for name, wl in kernels.items():
+        print(f"running {name} (DSW + GL)...", flush=True)
+        comp = compare(wl, num_cores=32)
+        bd = BreakdownComparison(
+            name,
+            Breakdown.from_result("DSW", comp.baseline),
+            Breakdown.from_result("GL", comp.treated))
+        rows.append([name, bd.normalized_treated_total,
+                     pct(bd.time_reduction),
+                     render_bar(bd.normalized_treated_total, width=30)])
+        print(render_table(
+            ["category", "DSW", "GL"],
+            [[cat, f"{b:.2f}", f"{t:.2f}"] for cat, b, t in bd.rows()],
+            title=f"  {name} breakdown (normalized to DSW total)"))
+        print()
+    print(render_table(
+        ["Kernel", "GL/DSW time", "Reduction", "GL bar"],
+        rows, title="Kernel execution time, GL normalized to DSW"))
+    print()
+    print("Paper (full scale): KERN2 -70%, KERN3 -88%, KERN6 -47%.")
+
+
+if __name__ == "__main__":
+    main()

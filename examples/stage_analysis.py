@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Why don't UNSTRUCTURED and OCEAN benefit from a 4-cycle barrier?
+
+The paper's answer (§4.3): their barrier latency is dominated by the S2
+stage -- waiting for stragglers, i.e. workload imbalance -- which no
+barrier mechanism can remove.  This example decomposes barrier time into
+S2 (wait) vs S1+S3 (mechanism) for a balanced kernel and an imbalanced
+application, under both DSW and GL, and then shows the imbalance knob
+directly by sweeping UNSTRUCTURED's partition skew.
+
+Usage:  python examples/stage_analysis.py
+"""
+
+from repro.analysis.report import pct, render_table
+from repro.experiments import run_stages
+from repro.experiments.runner import run_benchmark
+from repro.experiments.stages import decompose
+from repro.workloads import Kernel3Workload, UnstructuredWorkload
+
+
+def main() -> None:
+    print("running stage decomposition (KERN3 vs UNSTRUCTURED, 16 cores)")
+    result = run_stages(num_cores=16, workloads={
+        "KERN3": Kernel3Workload(iterations=40),
+        "UNSTR": UnstructuredWorkload(phases=6),
+    })
+    print()
+    print(result.table())
+    print()
+    print(f"KERN3 under DSW is mechanism-dominated "
+          f"(S2 share {pct(result.s2_share('KERN3', 'DSW'))}), so the "
+          f"hardware barrier helps enormously.")
+    print(f"UNSTR stays S2-dominated even under GL "
+          f"({pct(result.s2_share('UNSTR', 'GL'))}): imbalance is a "
+          f"workload property.")
+
+    print()
+    print("sweeping UNSTRUCTURED's partition skew (GL, 16 cores):")
+    from repro.common.stats import CycleCat
+    rows = []
+    for skew in (0.0, 0.2, 0.45, 0.7):
+        run = run_benchmark(UnstructuredWorkload(phases=4, skew=skew),
+                            "gl", num_cores=16)
+        s2, sync = decompose(run)
+        busy = [run.stats.core_cycle_breakdown(c)[CycleCat.BUSY]
+                for c in range(16)]
+        rows.append([skew, run.total_cycles, max(busy) - min(busy),
+                     pct(s2 / (s2 + sync) if s2 + sync else 0)])
+    print(render_table(
+        ["Skew", "Total cycles", "Busy spread (max-min)", "S2 share"],
+        rows))
+    print()
+    print("The busy-time spread widens with skew; the S2 share is already")
+    print("saturated even at skew 0 because the mesh's irregular access")
+    print("costs make arrivals ragged on their own -- which is exactly why")
+    print("a faster barrier cannot rescue this class of application.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro -- reproduction of "A G-line-based Network for Fast and Efficient
+Barrier Synchronization in Many-Core CMPs" (Abellán, Fernández, Acacio;
+ICPP 2010).
+
+Public API highlights:
+
+* :class:`repro.CMP` / :class:`repro.CMPConfig` -- build the simulated chip
+  (Table-1 defaults) with a chosen barrier implementation ("gl", "dsw",
+  "csw", "csw-fa").
+* :mod:`repro.workloads` -- the paper's benchmarks (synthetic, Livermore
+  kernels 2/3/6, OCEAN, UNSTRUCTURED, EM3D).
+* :mod:`repro.experiments` -- drivers regenerating every table and figure.
+* :mod:`repro.gline` -- the G-line barrier network itself (wires, S-CSMA,
+  Figure-4 controllers, hierarchical and multi-context extensions).
+"""
+
+from .chip import BARRIER_KINDS, CMP, RunResult
+from .common import (
+    CMPConfig,
+    CacheConfig,
+    CoreConfig,
+    CycleCat,
+    GLineConfig,
+    MsgCat,
+    NocConfig,
+    ReproError,
+    StatsRegistry,
+    mesh_dims,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BARRIER_KINDS", "CMP", "RunResult",
+    "CMPConfig", "CacheConfig", "CoreConfig", "CycleCat", "GLineConfig",
+    "MsgCat", "NocConfig", "ReproError", "StatsRegistry", "mesh_dims",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Result analysis: breakdowns, traffic, energy, reports, paper data."""
+
+from . import paper_data
+from .breakdown import (
+    Breakdown,
+    BreakdownComparison,
+    FIG6_ORDER,
+    average_normalized as average_normalized_time,
+)
+from .energy import EnergyEstimate, estimate, reduction
+from .figures import (fig5_chart, fig6_chart, fig7_chart, log_chart,
+                      stacked_bar, stacked_bar_chart)
+from .netreport import (hotspot_table, link_stats, tile_heatmap,
+                        total_flit_hops)
+from .report import pct, render_bar, render_table
+from .traffic import (
+    FIG7_ORDER,
+    Traffic,
+    TrafficComparison,
+    average_normalized as average_normalized_traffic,
+)
+
+__all__ = [
+    "paper_data",
+    "Breakdown", "BreakdownComparison", "FIG6_ORDER",
+    "average_normalized_time",
+    "EnergyEstimate", "estimate", "reduction",
+    "fig5_chart", "fig6_chart", "fig7_chart", "log_chart",
+    "stacked_bar", "stacked_bar_chart",
+    "hotspot_table", "link_stats", "tile_heatmap", "total_flit_hops",
+    "pct", "render_bar", "render_table",
+    "FIG7_ORDER", "Traffic", "TrafficComparison",
+    "average_normalized_traffic",
+]

@@ -1,0 +1,67 @@
+"""Execution-time breakdown analysis (Figure 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chip.results import RunResult
+from ..common.stats import CycleCat
+
+#: Category display order used by the paper's Figure 6 legend.
+FIG6_ORDER = (CycleCat.BARRIER, CycleCat.WRITE, CycleCat.READ,
+              CycleCat.LOCK, CycleCat.BUSY)
+
+
+@dataclass
+class Breakdown:
+    """Per-category attributed cycles of one run, with normalization."""
+
+    label: str
+    cycles: dict[CycleCat, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.cycles.values())
+
+    def normalized_to(self, baseline_total: int) -> dict[CycleCat, float]:
+        """Each category as a fraction of *baseline_total* (the paper
+        normalizes every bar to the DSW run's total)."""
+        denom = baseline_total or 1
+        return {cat: self.cycles.get(cat, 0) / denom for cat in FIG6_ORDER}
+
+    @classmethod
+    def from_result(cls, label: str, result: RunResult) -> "Breakdown":
+        return cls(label=label, cycles=result.cycle_breakdown())
+
+
+@dataclass
+class BreakdownComparison:
+    """DSW-vs-GL breakdown pair for one benchmark."""
+
+    benchmark: str
+    baseline: Breakdown   # DSW
+    treated: Breakdown    # GL
+
+    @property
+    def normalized_treated_total(self) -> float:
+        """GL total execution normalized to DSW (the Figure-6 bar height)."""
+        return self.treated.total / (self.baseline.total or 1)
+
+    @property
+    def time_reduction(self) -> float:
+        """1 - normalized total (the paper quotes these as percentages)."""
+        return 1.0 - self.normalized_treated_total
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(category, baseline fraction, treated fraction) rows."""
+        base = self.baseline.normalized_to(self.baseline.total)
+        treat = self.treated.normalized_to(self.baseline.total)
+        return [(cat.value, base[cat], treat[cat]) for cat in FIG6_ORDER]
+
+
+def average_normalized(comparisons: list[BreakdownComparison]) -> float:
+    """Arithmetic mean of normalized GL totals (the paper's AVG_K/AVG_A)."""
+    if not comparisons:
+        return 0.0
+    return sum(c.normalized_treated_total for c in comparisons) / \
+        len(comparisons)

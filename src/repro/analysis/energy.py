@@ -1,0 +1,69 @@
+"""First-order network-energy proxy.
+
+The paper argues (without quantifying -- it is left to future work) that
+removing all barrier traffic and coherence activity from the main data
+network "will also lead to significant improvements in power consumption",
+noting interconnect power approaches 40% of total chip power (Raw).
+
+This module provides the proxy the paper's argument implies: energy scales
+with link traversals (flit-hops) and router traversals on the data network,
+plus the (tiny) G-line toggle count on the dedicated network.  Relative
+per-event weights follow the common rule of thumb that a router traversal
+costs a few times a link traversal, and a bare-wire G-line toggle costs
+about one link traversal; absolute calibration is irrelevant because every
+result is reported as a GL/DSW ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chip.results import RunResult
+
+#: Relative energy weights (arbitrary units per event).
+LINK_ENERGY = 1.0
+ROUTER_ENERGY = 3.0
+GLINE_TOGGLE_ENERGY = 1.0
+
+
+@dataclass
+class EnergyEstimate:
+    label: str
+    link_energy: float
+    router_energy: float
+    gline_energy: float
+
+    @property
+    def data_network(self) -> float:
+        return self.link_energy + self.router_energy
+
+    @property
+    def total(self) -> float:
+        return self.data_network + self.gline_energy
+
+
+def estimate(label: str, result: RunResult,
+             router_traversals: int | None = None) -> EnergyEstimate:
+    """Estimate network energy from a run's statistics.
+
+    ``router_traversals`` may be supplied from the Network's routers; if
+    omitted it is approximated as flit-hops (each hop enters one router).
+    """
+    stats = result.stats
+    flit_hops = sum(stats.hop_flits.values())
+    routers = router_traversals if router_traversals is not None \
+        else flit_hops
+    return EnergyEstimate(
+        label=label,
+        link_energy=LINK_ENERGY * flit_hops,
+        router_energy=ROUTER_ENERGY * routers,
+        gline_energy=GLINE_TOGGLE_ENERGY * stats.gline_toggles,
+    )
+
+
+def reduction(baseline: EnergyEstimate, treated: EnergyEstimate) -> float:
+    """Fractional total-network-energy reduction of *treated* vs
+    *baseline* (positive = treated uses less)."""
+    if baseline.total == 0:
+        return 0.0
+    return 1.0 - treated.total / baseline.total

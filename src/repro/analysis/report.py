@@ -1,0 +1,57 @@
+"""ASCII table rendering for experiment reports.
+
+Everything the benchmark harness prints goes through these helpers so the
+regenerated "tables and figures" have one consistent, diff-friendly look.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_bar(fraction: float, width: int = 40, fill: str = "#") -> str:
+    """A one-line horizontal bar for 'figure' output (0.0 .. ~1.2)."""
+    n = max(0, round(fraction * width))
+    return fill * min(n, width + 8)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 0.01:
+            return f"{cell:.4f}"
+        if abs(cell) < 10:
+            return f"{cell:.2f}"
+        return f"{cell:,.0f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def pct(x: float) -> str:
+    """Format a fraction as a signed percent string."""
+    return f"{x * 100:.1f}%"

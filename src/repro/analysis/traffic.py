@@ -1,0 +1,67 @@
+"""Network-traffic analysis (Figure 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chip.results import RunResult
+from ..common.stats import MsgCat
+
+#: Category display order used by the paper's Figure 7 legend.
+FIG7_ORDER = (MsgCat.COHERENCE, MsgCat.REPLY, MsgCat.REQUEST)
+
+
+@dataclass
+class Traffic:
+    """Per-category message counts of one run."""
+
+    label: str
+    messages: dict[MsgCat, int]
+    flits: dict[MsgCat, int]
+    hop_flits: dict[MsgCat, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.messages.values())
+
+    def normalized_to(self, baseline_total: int) -> dict[MsgCat, float]:
+        denom = baseline_total or 1
+        return {cat: self.messages.get(cat, 0) / denom
+                for cat in FIG7_ORDER}
+
+    @classmethod
+    def from_result(cls, label: str, result: RunResult) -> "Traffic":
+        stats = result.stats
+        return cls(label=label,
+                   messages=dict(result.messages()),
+                   flits={c: stats.flits.get(c, 0) for c in MsgCat},
+                   hop_flits={c: stats.hop_flits.get(c, 0) for c in MsgCat})
+
+
+@dataclass
+class TrafficComparison:
+    """DSW-vs-GL traffic pair for one benchmark."""
+
+    benchmark: str
+    baseline: Traffic   # DSW
+    treated: Traffic    # GL
+
+    @property
+    def normalized_treated_total(self) -> float:
+        return self.treated.total / (self.baseline.total or 1)
+
+    @property
+    def traffic_reduction(self) -> float:
+        return 1.0 - self.normalized_treated_total
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        base = self.baseline.normalized_to(self.baseline.total)
+        treat = self.treated.normalized_to(self.baseline.total)
+        return [(cat.value, base[cat], treat[cat]) for cat in FIG7_ORDER]
+
+
+def average_normalized(comparisons: list[TrafficComparison]) -> float:
+    if not comparisons:
+        return 0.0
+    return sum(c.normalized_treated_total for c in comparisons) / \
+        len(comparisons)

@@ -1,0 +1,144 @@
+"""Automated reproduction-shape validation.
+
+Encodes every qualitative claim the reproduction must satisfy -- the
+orderings, crossovers and rough factors of the paper's evaluation -- as
+named checks over experiment results.  The benchmark harness asserts them;
+``scripts/generate_experiments.py`` prints the checklist.
+
+A check returns ``(name, passed, detail)``; `validate_all` aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..experiments.fig5 import Fig5Result
+from ..experiments.fig6 import Fig6Result
+from ..experiments.fig7 import Fig7Result
+from ..experiments.table2 import Table2Result
+
+
+@dataclass(frozen=True)
+class Check:
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+# ---------------------------------------------------------------------- #
+def check_fig5(result: Fig5Result) -> list[Check]:
+    checks = []
+    checks.append(Check(
+        "fig5.ordering", result.is_ordered(),
+        "CSW > DSW > GL at every core count"))
+    gl = result.cycles_per_barrier.get("gl", {})
+    flat = len({round(v) for v in gl.values()}) == 1 if gl else False
+    checks.append(Check(
+        "fig5.gl_flat", flat,
+        f"GL constant across core counts: {sorted(gl.values())}"))
+    checks.append(Check(
+        "fig5.gl_13_cycles",
+        all(abs(v - 13) <= 1 for v in gl.values()) if gl else False,
+        "GL ~13 cycles (4-cycle network + library overhead)"))
+    csw = result.cycles_per_barrier.get("csw", {})
+    if csw and len(csw) >= 2:
+        xs = sorted(csw)
+        growth = csw[xs[-1]] / csw[xs[0]]
+        checks.append(Check(
+            "fig5.csw_superlinear", growth > (xs[-1] / xs[0]),
+            f"CSW grows {growth:.1f}x from {xs[0]} to {xs[-1]} cores"))
+    return checks
+
+
+def check_fig6(result: Fig6Result) -> list[Check]:
+    t = {n: c.normalized_treated_total
+         for n, c in result.comparisons.items()}
+    checks = [
+        Check("fig6.kernels_improve_a_lot", result.avg_k < 0.55,
+              f"AVG_K = {result.avg_k:.2f} (paper 0.32)"),
+        Check("fig6.apps_improve_a_little", 0.6 < result.avg_a < 1.0,
+              f"AVG_A = {result.avg_a:.2f} (paper 0.79)"),
+        Check("fig6.kernel_ordering",
+              t["KERN3"] < t["KERN2"] < t["KERN6"],
+              f"K3 {t['KERN3']:.2f} < K2 {t['KERN2']:.2f} "
+              f"< K6 {t['KERN6']:.2f}"),
+        Check("fig6.em3d_best_app",
+              t["EM3D"] < min(t["UNSTR"], t["OCEAN"]),
+              f"EM3D {t['EM3D']:.2f} vs UNSTR {t['UNSTR']:.2f} / "
+              f"OCEAN {t['OCEAN']:.2f}"),
+        Check("fig6.imbalanced_apps_static",
+              t["UNSTR"] > 0.85 and t["OCEAN"] > 0.85,
+              "UNSTR/OCEAN improve only a few percent"),
+    ]
+    return checks
+
+
+def check_fig7(result: Fig7Result) -> list[Check]:
+    m = {n: c.normalized_treated_total
+         for n, c in result.comparisons.items()}
+    return [
+        Check("fig7.kern3_traffic_vanishes", m["KERN3"] < 0.1,
+              f"KERN3 GL/DSW = {m['KERN3']:.3f} (paper 0.0018)"),
+        Check("fig7.kernel_ordering",
+              m["KERN3"] < m["KERN2"] < m["KERN6"],
+              f"K3 {m['KERN3']:.2f} < K2 {m['KERN2']:.2f} "
+              f"< K6 {m['KERN6']:.2f}"),
+        Check("fig7.em3d_halves",
+              0.3 < m["EM3D"] < 0.75,
+              f"EM3D GL/DSW = {m['EM3D']:.2f} (paper 0.49)"),
+        Check("fig7.apps_static",
+              m["UNSTR"] > 0.8 and m["OCEAN"] > 0.8,
+              "UNSTR/OCEAN traffic barely moves"),
+        Check("fig7.kernel_avg", result.avg_k < 0.5,
+              f"AVG_K = {result.avg_k:.2f} (paper 0.26)"),
+    ]
+
+
+def check_table2(result: Table2Result) -> list[Check]:
+    order = result.period_ordering()
+    fine = {"Synthetic", "KERN2", "KERN3", "EM3D", "KERN6"}
+    coarse_last = set(order[-2:]) == {"UNSTR", "OCEAN"}
+    counts_ok = all(r.measured_barriers == r.info.num_barriers
+                    for r in result.rows)
+    return [
+        Check("table2.apps_coarsest", coarse_last,
+              f"period ordering: {' < '.join(order)}"),
+        Check("table2.synthetic_finest", order[0] == "Synthetic",
+              "the empty-loop benchmark has the shortest period"),
+        Check("table2.barrier_counts", counts_ok,
+              "measured barrier counts equal declared structure"),
+        Check("table2.fine_before_coarse",
+              all(o in fine for o in order[:-2]),
+              "kernels + EM3D all finer-grain than the applications"),
+    ]
+
+
+def validate_all(fig5: Fig5Result | None = None,
+                 fig6: Fig6Result | None = None,
+                 fig7: Fig7Result | None = None,
+                 table2: Table2Result | None = None) -> list[Check]:
+    checks: list[Check] = []
+    if fig5 is not None:
+        checks += check_fig5(fig5)
+    if fig6 is not None:
+        checks += check_fig6(fig6)
+    if fig7 is not None:
+        checks += check_fig7(fig7)
+    if table2 is not None:
+        checks += check_table2(table2)
+    return checks
+
+
+def render_checklist(checks: list[Check]) -> str:
+    lines = [str(c) for c in checks]
+    passed = sum(c.passed for c in checks)
+    lines.append(f"-- {passed}/{len(checks)} shape checks passed")
+    return "\n".join(lines)
+
+
+def all_passed(checks: list[Check]) -> bool:
+    return all(c.passed for c in checks)

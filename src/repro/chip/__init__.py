@@ -1,0 +1,7 @@
+"""Chip assembly and run harness."""
+
+from .cmp import BARRIER_KINDS, CMP
+from .results import RunResult
+from .tile import Tile
+
+__all__ = ["BARRIER_KINDS", "CMP", "RunResult", "Tile"]

@@ -1,0 +1,219 @@
+"""Chip assembly: builds the full CMP and runs workloads on it.
+
+Typical use::
+
+    from repro import CMP, CMPConfig
+    from repro.workloads import SyntheticBarrierWorkload
+
+    chip = CMP(CMPConfig.for_cores(32), barrier="gl")
+    result = chip.run(SyntheticBarrierWorkload(iterations=100))
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+from ..common.errors import ConfigError, DeadlockError, SimulationError
+from ..common.params import CMPConfig
+from ..common.stats import StatsRegistry
+from ..cpu.core import Core
+from ..gline.barrier import GLBarrier
+from ..gline.multibarrier import build_contexts
+from ..mem.address import AddressMap, Allocator
+from ..mem.directory import HomeController
+from ..mem.funcmem import FunctionalMemory
+from ..mem.l1 import L1Cache
+from ..mem.memory import MemoryController
+from ..noc.network import Network
+from ..sim.engine import Engine
+from ..sync.accounting import BarrierAccounting
+from ..sync.api import BarrierImpl
+from ..sync.csw import CentralizedBarrier
+from ..sync.dissemination import DisseminationBarrier
+from ..sync.dsw import CombiningTreeBarrier
+from ..sync.locks import TTSLock
+from ..sync.tournament import TournamentBarrier
+from .results import RunResult
+from .tile import Tile
+
+#: Names accepted by the ``barrier=`` argument.
+BARRIER_KINDS = ("gl", "dsw", "csw", "csw-fa", "diss", "tour")
+
+
+class CMP:
+    """A simulated tiled chip multiprocessor."""
+
+    def __init__(self, config: CMPConfig | None = None,
+                 barrier: str | BarrierImpl = "gl"):
+        self.config = config or CMPConfig()
+        self.engine = Engine()
+        self.stats = StatsRegistry(self.config.num_cores)
+        self.funcmem = FunctionalMemory()
+        self.amap = AddressMap(self.config.num_cores, self.config.line_bytes)
+        self.allocator = Allocator(self.amap)
+        if self.config.noc.model == "vct":
+            from ..noc.vct import VCTNetwork
+            self.network = VCTNetwork(self.engine, self.stats,
+                                      self.config.noc,
+                                      self.config.noc.vct_buffer_flits)
+        else:
+            self.network = Network(self.engine, self.stats,
+                                   self.config.noc)
+        self.lock_alg = TTSLock()
+        self.accounting = BarrierAccounting(self.stats,
+                                            self.config.num_cores)
+
+        self.tiles: list[Tile] = []
+        for t in range(self.config.num_cores):
+            memctrl = MemoryController(self.engine, self.stats, t,
+                                       self.config.memory_latency)
+            home = HomeController(self.engine, self.stats, t,
+                                  self.config.l2, self.config.noc,
+                                  self.network, memctrl, self.amap)
+            l1 = L1Cache(self.engine, self.stats, t, self.config.l1,
+                         self.config.noc, self.network, self.funcmem,
+                         self.amap)
+            core = Core(self.engine, self.stats, t, l1, self.config.core)
+            self.tiles.append(Tile(t, core, l1, home, memctrl))
+
+        # Cross-wire the protocol agents.
+        for tile in self.tiles:
+            tile.home.l1_resolver = lambda t: self.tiles[t].l1
+            tile.l1.home_resolver = lambda t: self.tiles[t].home
+
+        self.barrier_impl = self._make_barrier(barrier)
+        for tile in self.tiles:
+            tile.core.barrier_binding = self.barrier_impl
+            tile.core.lock_binding = self.lock_alg
+            tile.core.barrier_accounting = self.accounting
+
+    # ------------------------------------------------------------------ #
+    def _make_barrier(self, barrier: str | BarrierImpl) -> BarrierImpl:
+        if isinstance(barrier, BarrierImpl):
+            return barrier
+        kind = barrier.lower()
+        ncontexts = self.config.gline.num_barriers
+        if kind == "gl":
+            contexts = build_contexts(self.engine, self.stats,
+                                      self.config.noc.rows,
+                                      self.config.noc.cols,
+                                      self.config.gline)
+            return GLBarrier(contexts, self.config.gline)
+        if kind == "dsw":
+            return CombiningTreeBarrier(
+                self.allocator, list(range(self.config.num_cores)),
+                num_contexts=ncontexts)
+        if kind == "csw":
+            return CentralizedBarrier(self.allocator,
+                                      self.config.num_cores,
+                                      num_contexts=ncontexts,
+                                      variant="lock")
+        if kind == "csw-fa":
+            return CentralizedBarrier(self.allocator,
+                                      self.config.num_cores,
+                                      num_contexts=ncontexts,
+                                      variant="fetchadd")
+        if kind == "diss":
+            return DisseminationBarrier(self.allocator,
+                                        self.config.num_cores,
+                                        num_contexts=ncontexts)
+        if kind == "tour":
+            return TournamentBarrier(self.allocator,
+                                     self.config.num_cores,
+                                     num_contexts=ncontexts)
+        raise ConfigError(
+            f"unknown barrier kind {barrier!r}; expected one of "
+            f"{BARRIER_KINDS} or a BarrierImpl instance")
+
+    # ------------------------------------------------------------------ #
+    def reset_stats(self) -> None:
+        """Zero all measurement state while keeping architectural state
+        (cache contents, functional memory, barrier senses) intact.
+
+        Use after a warm-up run so cold-start misses don't pollute the
+        measured region -- the standard multiprocessor-simulation
+        methodology (the paper's results are likewise steady-state)."""
+        self.stats = StatsRegistry(self.config.num_cores)
+        self.accounting.stats = self.stats
+        self.network.stats = self.stats
+        for tile in self.tiles:
+            tile.core.stats = self.stats
+            tile.l1.stats = self.stats
+            tile.home.stats = self.stats
+            tile.memctrl.stats = self.stats
+        impl = self.barrier_impl
+        for net in getattr(impl, "networks", []):
+            if hasattr(net, "stats"):
+                net.stats = self.stats
+
+    def run_with_warmup(self, warmup_workload, workload, **kw) -> RunResult:
+        """Run *warmup_workload* (discarding its statistics), then measure
+        *workload* on the warmed chip."""
+        self.run(warmup_workload, **kw)
+        self.reset_stats()
+        # Cores are finished; clear their run state for the measured pass.
+        for tile in self.tiles:
+            core = tile.core
+            core.finished = False
+            core.finish_time = None
+            core._frames.clear()
+            core._phase_stack.clear()
+        return self.run(workload, **kw)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cores(self) -> list[Core]:
+        return [tile.core for tile in self.tiles]
+
+    @property
+    def num_cores(self) -> int:
+        return self.config.num_cores
+
+    # ------------------------------------------------------------------ #
+    def run(self, workload, *, max_cycles: int | None = None,
+            max_events: int | None = None) -> RunResult:
+        """Build *workload*'s per-core programs, execute them to completion
+        and return the :class:`RunResult`.
+
+        *workload* is anything with a ``build(chip) -> list[Generator]``
+        method (see :mod:`repro.workloads`), or a plain list of per-core
+        generators (one per core; ``None`` entries idle that core).
+        """
+        if hasattr(workload, "build"):
+            programs = workload.build(self)
+        else:
+            programs = list(workload)
+        if len(programs) != self.num_cores:
+            raise ConfigError(
+                f"workload built {len(programs)} programs for "
+                f"{self.num_cores} cores")
+        started = []
+        for core, program in zip(self.cores, programs):
+            if program is not None:
+                core.start(program)
+                started.append(core)
+        if not started:
+            raise ConfigError("workload started no programs")
+
+        self.engine.run(until=max_cycles, max_events=max_events)
+
+        blocked = tuple(c.cid for c in started if not c.finished)
+        if blocked:
+            if self.engine.pending() == 0:
+                raise DeadlockError(
+                    f"simulation deadlocked: cores {list(blocked)} blocked "
+                    f"with no pending events (barrier some core never "
+                    f"reaches, or mismatched barrier counts)",
+                    blocked_cores=blocked)
+            raise SimulationError(
+                f"simulation hit its budget (max_cycles={max_cycles}, "
+                f"max_events={max_events}) with cores {list(blocked)} "
+                f"still running at cycle {self.engine.now}")
+
+        total = max((c.finish_time or 0) for c in started)
+        return RunResult(total_cycles=total,
+                         barrier_name=self.barrier_impl.name,
+                         num_cores=self.num_cores,
+                         stats=self.stats,
+                         events_executed=self.engine.events_executed)

@@ -1,0 +1,72 @@
+"""Results bundle returned by a CMP run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.stats import CycleCat, MsgCat, StatsRegistry
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one simulation run."""
+
+    #: Cycle at which the last core finished.
+    total_cycles: int
+    #: Barrier implementation name ("GL", "DSW", "CSW", ...).
+    barrier_name: str
+    num_cores: int
+    stats: StatsRegistry
+    events_executed: int
+
+    # ------------------------------------------------------------------ #
+    def cycle_breakdown(self) -> dict[CycleCat, int]:
+        """Chip-wide attributed cycles per Figure-6 category."""
+        return self.stats.cycle_breakdown()
+
+    def cycle_fractions(self) -> dict[CycleCat, float]:
+        """Per-category fraction of total attributed cycles."""
+        breakdown = self.cycle_breakdown()
+        total = sum(breakdown.values()) or 1
+        return {cat: n / total for cat, n in breakdown.items()}
+
+    def messages(self) -> dict[MsgCat, int]:
+        """Network messages per Figure-7 category."""
+        return self.stats.message_breakdown()
+
+    def total_messages(self) -> int:
+        return self.stats.total_messages()
+
+    def num_barriers(self) -> int:
+        return self.stats.num_barriers()
+
+    def avg_barrier_latency(self) -> float:
+        """Mean cycles from last arrival to release (hardware barrier)."""
+        return self.stats.avg_barrier_latency()
+
+    def barrier_period(self) -> float:
+        """Average cycles between consecutive barrier executions --
+        Table 2's 'Barrier Period' (total cycles / #barriers)."""
+        n = self.num_barriers()
+        return self.total_cycles / n if n else float("inf")
+
+    def barrier_cycles(self) -> int:
+        """Total cycles attributed to the Barrier category."""
+        return self.cycle_breakdown()[CycleCat.BARRIER]
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        lines = [
+            f"barrier={self.barrier_name} cores={self.num_cores} "
+            f"cycles={self.total_cycles} events={self.events_executed}",
+            "cycle breakdown: " + "  ".join(
+                f"{cat.value}={frac:.1%}"
+                for cat, frac in self.cycle_fractions().items()),
+            "messages: " + "  ".join(
+                f"{cat.value}={n}" for cat, n in self.messages().items())
+            + f"  total={self.total_messages()}",
+            f"barriers: {self.num_barriers()}"
+            f" (period {self.barrier_period():.0f} cycles)",
+        ]
+        return "\n".join(lines)

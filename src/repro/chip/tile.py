@@ -1,0 +1,26 @@
+"""One tile of the CMP: core + private L1 + L2 bank/directory + memory port.
+
+The router lives in the network object; G-line controllers live in the
+barrier network.  The tile is the wiring unit the chip assembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.core import Core
+from ..mem.directory import HomeController
+from ..mem.l1 import L1Cache
+from ..mem.memory import MemoryController
+
+
+@dataclass
+class Tile:
+    tile_id: int
+    core: Core
+    l1: L1Cache
+    home: HomeController
+    memctrl: MemoryController
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tile {self.tile_id}>"

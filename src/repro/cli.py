@@ -1,0 +1,176 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig5 --iterations 60
+    python -m repro figs --cores 32 --scale 0.5
+    python -m repro run --workload kern3 --barrier gl --cores 16
+    python -m repro all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .experiments import (contention_ablation, csw_variant_ablation,
+                          dsw_arity_sweep, entry_overhead_sweep,
+                          hierarchical_latency, noc_model_ablation,
+                          period_sweep, run_fig5, run_fig6_and_fig7,
+                          run_shootout, run_stages, run_table1,
+                          run_table2)
+from .experiments.energy_exp import run_energy
+from .experiments.runner import run_benchmark
+from .workloads import (EM3DWorkload, Kernel2Workload, Kernel3Workload,
+                        Kernel6Workload, OceanWorkload,
+                        SyntheticBarrierWorkload, UnstructuredWorkload)
+
+WORKLOADS = {
+    "synthetic": lambda scale: SyntheticBarrierWorkload(
+        iterations=max(1, int(250 * scale))),
+    "kern2": lambda scale: Kernel2Workload(
+        iterations=max(1, int(30 * scale))),
+    "kern3": lambda scale: Kernel3Workload(
+        iterations=max(1, int(150 * scale))),
+    "kern6": lambda scale: Kernel6Workload(
+        n=256, iterations=max(1, int(2 * scale))),
+    "ocean": lambda scale: OceanWorkload(phases=max(1, int(8 * scale))),
+    "unstructured": lambda scale: UnstructuredWorkload(
+        phases=max(1, int(8 * scale))),
+    "em3d": lambda scale: EM3DWorkload(
+        nodes=1920, steps=max(1, int(8 * scale))),
+}
+
+ABLATIONS = {
+    "period": lambda cores: period_sweep(num_cores=cores, iterations=15),
+    "overhead": lambda cores: entry_overhead_sweep(num_cores=cores,
+                                                   iterations=40),
+    "hierarchical": lambda cores: hierarchical_latency(iterations=25),
+    "arity": lambda cores: dsw_arity_sweep(num_cores=cores, iterations=20),
+    "contention": lambda cores: contention_ablation(num_cores=cores,
+                                                    iterations=20),
+    "csw": lambda cores: csw_variant_ablation(num_cores=cores,
+                                              iterations=20),
+    "nocmodel": lambda cores: noc_model_ablation(num_cores=min(cores, 16),
+                                                 iterations=20),
+}
+
+
+def _emit(text: str, out: Path | None, name: str) -> None:
+    print(text)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(text + "\n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--cores", type=int, default=32,
+                        help="chip size for figures 6/7, table 2, energy")
+    common.add_argument("--scale", type=float, default=0.5,
+                        help="iteration-count multiplier (default 0.5)")
+    common.add_argument("--out", type=Path, default=None,
+                        help="directory to save rendered outputs")
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the G-line barrier paper's tables, "
+                    "figures and ablations.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", parents=[common],
+                   help="Table 1: CMP configuration")
+    sub.add_parser("table2", parents=[common],
+                   help="Table 2: barrier counts and periods")
+    p5 = sub.add_parser("fig5", parents=[common],
+                        help="Figure 5: barrier latency vs cores")
+    p5.add_argument("--iterations", type=int, default=60)
+    sub.add_parser("figs", parents=[common],
+                   help="Figures 6 and 7 (one paired run)")
+    sub.add_parser("energy", parents=[common],
+                   help="network-energy proxy per benchmark")
+    sub.add_parser("stages", parents=[common],
+                   help="S1/S2/S3 barrier-stage decomposition")
+    psh = sub.add_parser("shootout", parents=[common],
+                         help="software-barrier comparison incl. "
+                              "dissemination/tournament")
+    psh.add_argument("--iterations", type=int, default=30)
+    pab = sub.add_parser("ablations", parents=[common],
+                         help="design-choice ablations")
+    pab.add_argument("names", nargs="*", choices=list(ABLATIONS),
+                     help="subset to run (default: all)")
+    prun = sub.add_parser("run", parents=[common],
+                          help="run one benchmark, print summary")
+    prun.add_argument("--workload", choices=sorted(WORKLOADS),
+                      required=True)
+    prun.add_argument("--barrier", default="gl",
+                      choices=["gl", "dsw", "csw", "csw-fa"])
+    prun.add_argument("--verify", action="store_true",
+                      help="check the dataflow against the reference")
+    sub.add_parser("all", parents=[common], help="everything above")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command in ("table1", "all"):
+        _emit(run_table1(), args.out, "table1")
+    if command in ("table2", "all"):
+        _emit(run_table2(num_cores=args.cores, scale=args.scale).table(),
+              args.out, "table2")
+    if command in ("fig5", "all"):
+        iterations = getattr(args, "iterations", 60)
+        result = run_fig5(iterations=iterations)
+        _emit(result.table(), args.out, "fig5")
+        if not result.is_ordered():
+            print("WARNING: CSW > DSW > GL ordering violated",
+                  file=sys.stderr)
+            return 1
+    if command in ("figs", "all"):
+        fig6, fig7 = run_fig6_and_fig7(num_cores=args.cores,
+                                       scale=args.scale)
+        _emit(fig6.table() + "\n\n" + fig6.stacked_table(), args.out,
+              "fig6")
+        _emit(fig7.table() + "\n\n" + fig7.stacked_table(), args.out,
+              "fig7")
+    if command in ("energy", "all"):
+        result = run_energy(num_cores=args.cores, scale=args.scale)
+        text = result.table() + (
+            f"\naverage network-energy reduction: "
+            f"{result.average_reduction() * 100:.1f}%  "
+            f"(G-line share of GL energy: "
+            f"{result.gline_share() * 100:.2f}%)")
+        _emit(text, args.out, "energy")
+    if command in ("stages", "all"):
+        result = run_stages(num_cores=args.cores, scale=args.scale)
+        _emit(result.table(), args.out, "stages")
+    if command in ("shootout", "all"):
+        iterations = getattr(args, "iterations", 30)
+        result = run_shootout(iterations=iterations)
+        _emit(result.table(), args.out, "shootout")
+    if command in ("ablations", "all"):
+        names = getattr(args, "names", None) or list(ABLATIONS)
+        for name in names:
+            _emit(ABLATIONS[name](args.cores).table(), args.out,
+                  f"ablation_{name}")
+    if command == "run":
+        from .chip.cmp import CMP
+        from .experiments.runner import paper_config
+
+        workload = WORKLOADS[args.workload](args.scale)
+        chip = CMP(paper_config(args.cores), barrier=args.barrier)
+        result = chip.run(workload)
+        print(result.summary())
+        if args.verify:
+            workload.verify(chip)
+            print("dataflow verified against the reference")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Shared configuration, statistics and error types."""
+
+from .errors import (
+    CapacityError,
+    ConfigError,
+    DeadlockError,
+    GLineError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from .params import (
+    CacheConfig,
+    CMPConfig,
+    CoreConfig,
+    GLineConfig,
+    NocConfig,
+    mesh_dims,
+)
+from .stats import BarrierSample, CycleCat, MsgCat, StatsRegistry
+
+__all__ = [
+    "CapacityError",
+    "ConfigError",
+    "DeadlockError",
+    "GLineError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    "CacheConfig",
+    "CMPConfig",
+    "CoreConfig",
+    "GLineConfig",
+    "NocConfig",
+    "mesh_dims",
+    "BarrierSample",
+    "CycleCat",
+    "MsgCat",
+    "StatsRegistry",
+]

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator derives from :class:`ReproError` so that
+callers can catch simulator problems without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internal inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while cores were still blocked.
+
+    This is the simulator's deadlock detector: if no event is pending but at
+    least one thread program has not finished, no future event can ever wake
+    it up, which means the modelled system deadlocked (e.g. a barrier that
+    some core never reaches).
+    """
+
+    def __init__(self, message: str, blocked_cores: tuple[int, ...] = ()):
+        super().__init__(message)
+        #: Identifiers of the cores that were still blocked at detection time.
+        self.blocked_cores = blocked_cores
+
+
+class ProtocolError(SimulationError):
+    """The coherence protocol observed an impossible transition."""
+
+
+class GLineError(ReproError):
+    """A G-line network constraint was violated (e.g. >6 transmitters)."""
+
+
+class CapacityError(GLineError):
+    """The requested mesh cannot be served by a single G-line network.
+
+    The paper assumes every G-line supports up to six transmitters and one
+    receiver, limiting a single network to a 7x7 mesh; larger meshes must use
+    the hierarchical extension (``repro.gline.hierarchical``).
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload was constructed with unusable parameters."""

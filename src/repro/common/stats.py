@@ -1,0 +1,146 @@
+"""Statistics collection.
+
+A single :class:`StatsRegistry` is threaded through every component of the
+simulated chip.  It provides flat named counters (cheap ``+=`` on dict
+entries), per-core cycle attribution by category (the paper's Figure 6
+breakdown), network message accounting by category (Figure 7), and barrier
+latency samples (Figure 5 / the synthetic benchmark).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class CycleCat(str, Enum):
+    """Execution-time categories used by Figure 6 of the paper."""
+
+    BUSY = "busy"        # computational work
+    READ = "read"        # load latency outside synchronization
+    WRITE = "write"      # store/atomic latency outside synchronization
+    LOCK = "lock"        # lock acquire/release (all stages)
+    BARRIER = "barrier"  # barrier S1+S2+S3 (all operations inside a barrier)
+
+
+class MsgCat(str, Enum):
+    """Network-traffic categories used by Figure 7 of the paper."""
+
+    REQUEST = "request"      # load/store miss requests to the home tile
+    REPLY = "reply"          # data (or grant) replies carrying the line
+    COHERENCE = "coherence"  # invalidations, acks, forwards, write-backs
+
+
+@dataclass
+class BarrierSample:
+    """One completed barrier episode."""
+
+    barrier_id: int
+    #: Cycle at which the first core arrived.
+    first_arrival: int
+    #: Cycle at which the last core arrived.
+    last_arrival: int
+    #: Cycle at which the last core resumed execution.
+    release: int
+
+    @property
+    def latency_after_last_arrival(self) -> int:
+        """Cycles from last arrival to full release -- the paper's headline
+        "4 cycles once all cores have arrived" metric."""
+        return self.release - self.last_arrival
+
+    @property
+    def span(self) -> int:
+        """Cycles from first arrival to full release."""
+        return self.release - self.first_arrival
+
+
+class StatsRegistry:
+    """Central statistics sink for one simulation run."""
+
+    def __init__(self, num_cores: int):
+        self.num_cores = num_cores
+        #: Flat named counters, e.g. ``l1.hits``, ``dir.gets``.
+        self.counters: defaultdict[str, int] = defaultdict(int)
+        #: cycles[core][category] -> cycles attributed.
+        self.cycles: list[defaultdict[CycleCat, int]] = [
+            defaultdict(int) for _ in range(num_cores)]
+        #: messages[category] -> count.
+        self.messages: defaultdict[MsgCat, int] = defaultdict(int)
+        #: flits[category] -> flit count (serialization units).
+        self.flits: defaultdict[MsgCat, int] = defaultdict(int)
+        #: hop_flits[category] -> sum over messages of hops * flits
+        #: (an energy/bandwidth proxy).
+        self.hop_flits: defaultdict[MsgCat, int] = defaultdict(int)
+        #: Completed barrier episodes, in completion order.
+        self.barriers: list[BarrierSample] = []
+        #: G-line toggle count (energy proxy for the dedicated network).
+        self.gline_toggles: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording helpers
+    # ------------------------------------------------------------------ #
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def add_cycles(self, core: int, cat: CycleCat, cycles: int) -> None:
+        if cycles:
+            self.cycles[core][cat] += cycles
+
+    def add_message(self, cat: MsgCat, flits: int, hops: int) -> None:
+        self.messages[cat] += 1
+        self.flits[cat] += flits
+        self.hop_flits[cat] += flits * hops
+
+    def add_barrier(self, sample: BarrierSample) -> None:
+        self.barriers.append(sample)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def message_breakdown(self) -> dict[MsgCat, int]:
+        return {cat: self.messages.get(cat, 0) for cat in MsgCat}
+
+    def cycle_breakdown(self) -> dict[CycleCat, int]:
+        """Sum of per-core attributed cycles for each category."""
+        out: dict[CycleCat, int] = {cat: 0 for cat in CycleCat}
+        for per_core in self.cycles:
+            for cat, n in per_core.items():
+                out[cat] += n
+        return out
+
+    def core_cycle_breakdown(self, core: int) -> dict[CycleCat, int]:
+        return {cat: self.cycles[core].get(cat, 0) for cat in CycleCat}
+
+    def avg_barrier_latency(self) -> float:
+        """Mean cycles from last arrival to release over all barriers."""
+        if not self.barriers:
+            return 0.0
+        return sum(b.latency_after_last_arrival for b in self.barriers) / \
+            len(self.barriers)
+
+    def avg_barrier_span(self) -> float:
+        if not self.barriers:
+            return 0.0
+        return sum(b.span for b in self.barriers) / len(self.barriers)
+
+    def num_barriers(self) -> int:
+        return len(self.barriers)
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary suitable for printing or JSON dumping."""
+        return {
+            "counters": dict(self.counters),
+            "cycle_breakdown": {c.value: n for c, n
+                                in self.cycle_breakdown().items()},
+            "messages": {c.value: n for c, n
+                         in self.message_breakdown().items()},
+            "total_messages": self.total_messages(),
+            "num_barriers": self.num_barriers(),
+            "avg_barrier_latency": self.avg_barrier_latency(),
+            "gline_toggles": self.gline_toggles,
+        }

@@ -1,0 +1,22 @@
+"""Core model and operation ISA."""
+
+from .core import Core, HWBarrierArrive
+from .isa import (
+    AcquireLock,
+    AtomicRMW,
+    BarrierOp,
+    Compute,
+    FetchAdd,
+    Load,
+    ReleaseLock,
+    SpinUntil,
+    Store,
+    Swap,
+    TestAndSet,
+)
+
+__all__ = [
+    "Core", "HWBarrierArrive",
+    "AcquireLock", "AtomicRMW", "BarrierOp", "Compute", "FetchAdd", "Load",
+    "ReleaseLock", "SpinUntil", "Store", "Swap", "TestAndSet",
+]

@@ -1,0 +1,217 @@
+"""In-order core model.
+
+A core drives a stack of generator *frames*.  The bottom frame is the
+workload's thread program; barrier and lock operations push library
+sub-frames (the software barrier/lock algorithms, expressed as op
+generators themselves) tagged with an attribution phase, so every cycle of
+every operation lands in the right Figure-6 bucket:
+
+* operations inside a barrier frame  -> ``BARRIER`` (the paper's S1+S2+S3),
+* operations inside a lock frame     -> ``LOCK``,
+* otherwise by operation type: Compute -> ``BUSY``, Load/SpinUntil ->
+  ``READ``, Store/Atomic -> ``WRITE``.
+
+The core is blocking (one outstanding operation), matching the simple
+in-order model of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from ..common.errors import SimulationError
+from ..common.params import CoreConfig
+from ..common.stats import CycleCat, StatsRegistry
+from ..mem.l1 import L1Cache
+from ..sim.component import Component
+from ..sim.engine import Engine
+from . import isa
+
+
+class Core(Component):
+    """One in-order core executing a thread program."""
+
+    def __init__(self, engine: Engine, stats: StatsRegistry, cid: int,
+                 l1: L1Cache, config: CoreConfig):
+        super().__init__(engine, stats, f"core{cid}")
+        self.cid = cid
+        self.l1 = l1
+        self.config = config
+        #: (generator, phase or None) frames; innermost last.
+        self._frames: list[tuple[Generator, CycleCat | None]] = []
+        self._phase_stack: list[CycleCat] = []
+        self.finished = False
+        self.start_time = 0
+        self.finish_time: int | None = None
+        self.on_finish: Callable[["Core"], None] | None = None
+        #: Bound by the chip: maps BarrierOp to an implementation.
+        self.barrier_binding = None
+        #: Bound by the chip: lock algorithm factory.
+        self.lock_binding = None
+        #: Bound by the chip: episode accounting (may stay None in
+        #: unit-test rigs that drive a bare core).
+        self.barrier_accounting = None
+        #: Scratch space for synchronization libraries (e.g. sense flags).
+        self.local: dict = {}
+        self.ops_executed = 0
+
+    # ------------------------------------------------------------------ #
+    def start(self, program) -> None:
+        """Begin executing *program* (a generator, or any iterable of
+        operations) at the current cycle."""
+        if self._frames:
+            raise SimulationError(f"core {self.cid} already running")
+        self._frames.append((_as_generator(program), None))
+        self.start_time = self.now
+        self.schedule(0, self._advance, None)
+
+    @property
+    def running(self) -> bool:
+        return bool(self._frames) and not self.finished
+
+    def _push_frame(self, gen: Generator, phase: CycleCat | None) -> None:
+        self._frames.append((gen, phase))
+        if phase is not None:
+            self._phase_stack.append(phase)
+
+    def _current_cat(self, default: CycleCat) -> CycleCat:
+        return self._phase_stack[-1] if self._phase_stack else default
+
+    def _attr(self, t0: int, default: CycleCat) -> None:
+        self.stats.add_cycles(self.cid, self._current_cat(default),
+                              self.now - t0)
+
+    # ------------------------------------------------------------------ #
+    def _advance(self, value) -> None:
+        """Resume the innermost frame with *value* and execute its next op."""
+        while self._frames:
+            gen, phase = self._frames[-1]
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                self._frames.pop()
+                if phase is not None:
+                    self._phase_stack.pop()
+                value = stop.value
+                continue
+            self._execute(op)
+            return
+        self.finished = True
+        self.finish_time = self.now
+        if self.on_finish is not None:
+            self.on_finish(self)
+
+    # ------------------------------------------------------------------ #
+    def _execute(self, op) -> None:
+        self.ops_executed += 1
+        t0 = self.now
+        if isinstance(op, isa.Compute):
+            if op.cycles < 0:
+                raise SimulationError("negative compute duration")
+            self.stats.add_cycles(self.cid,
+                                  self._current_cat(CycleCat.BUSY),
+                                  op.cycles)
+            self.schedule(op.cycles, self._advance, None)
+        elif isinstance(op, isa.Load):
+            self.l1.load(op.addr, lambda v: (
+                self._attr(t0, CycleCat.READ), self._advance(v)))
+        elif isinstance(op, isa.Store):
+            self.l1.store(op.addr, op.value, lambda: (
+                self._attr(t0, CycleCat.WRITE), self._advance(None)))
+        elif isinstance(op, isa.AtomicRMW):
+            self.l1.atomic(op.addr, op.fn, lambda old: (
+                self._attr(t0, CycleCat.WRITE), self._advance(old)))
+        elif isinstance(op, isa.SpinUntil):
+            self._exec_spin(op, t0)
+        elif isinstance(op, isa.BarrierOp):
+            if self.barrier_binding is None:
+                raise SimulationError(
+                    f"core {self.cid}: no barrier implementation bound")
+            seq = self.barrier_binding.sequence(self, op.barrier_id)
+            if self.barrier_accounting is not None:
+                seq = self._accounted_barrier(seq, op.barrier_id)
+            self._push_frame(seq, CycleCat.BARRIER)
+            self.schedule(0, self._advance, None)
+        elif isinstance(op, isa.AcquireLock):
+            if self.lock_binding is None:
+                raise SimulationError(
+                    f"core {self.cid}: no lock implementation bound")
+            # A lock taken inside a barrier (or another phase) inherits the
+            # enclosing attribution -- e.g. CSW's internal lock is Barrier
+            # time (stage S1), not Lock time.
+            phase = None if self._phase_stack else CycleCat.LOCK
+            self._push_frame(self.lock_binding.acquire_seq(op.lock_addr),
+                             phase)
+            self.schedule(0, self._advance, None)
+        elif isinstance(op, isa.ReleaseLock):
+            if self.lock_binding is None:
+                raise SimulationError(
+                    f"core {self.cid}: no lock implementation bound")
+            phase = None if self._phase_stack else CycleCat.LOCK
+            self._push_frame(self.lock_binding.release_seq(op.lock_addr),
+                             phase)
+            self.schedule(0, self._advance, None)
+        elif isinstance(op, HWBarrierArrive):
+            # Yielded by the G-line barrier's library sequence: write
+            # bar_reg, then sleep until the controllers reset it.
+            op.barrier.arrive(self.cid, lambda: (
+                self._attr(t0, CycleCat.BARRIER), self._advance(None)))
+        else:
+            raise SimulationError(f"core {self.cid}: unknown op {op!r}")
+
+    # ------------------------------------------------------------------ #
+    def _accounted_barrier(self, seq, barrier_id: int):
+        """Wrap a barrier op-sequence with episode arrival/departure
+        records (drives Figure 5 / Table 2 measurements uniformly across
+        hardware and software implementations)."""
+        episode = self.barrier_accounting.arrive(self.cid, barrier_id,
+                                                 self.now)
+        result = yield from seq
+        self.barrier_accounting.depart(self.cid, barrier_id, episode,
+                                       self.now)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _exec_spin(self, op: isa.SpinUntil, t0: int) -> None:
+        def try_once() -> None:
+            self.l1.load(op.addr, on_value)
+
+        def on_value(v: int) -> None:
+            if op.pred(v):
+                self._attr(t0, CycleCat.READ)
+                self._advance(v)
+            else:
+                # Sleep until the cached copy is disturbed; the releasing
+                # store's invalidation wakes us (event-driven spin).
+                self.l1.watch(op.addr, try_once)
+
+        try_once()
+
+
+def _as_generator(program) -> Generator:
+    """Coerce any iterable of ops into a generator frame (a plain list of
+    operations is a convenient program form in tests and examples)."""
+    if hasattr(program, "send"):
+        return program
+
+    def _wrap():
+        result = None
+        for op in program:
+            result = yield op
+        return result
+
+    return _wrap()
+
+
+class HWBarrierArrive:
+    """Internal operation yielded by the G-line barrier library sequence.
+
+    Not part of the public ISA: workloads yield :class:`repro.cpu.isa.
+    BarrierOp` and the bound implementation expands to this when the
+    hardware barrier is selected.
+    """
+
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier):
+        self.barrier = barrier

@@ -1,0 +1,112 @@
+"""Operation vocabulary for thread programs.
+
+Thread programs are Python generators that *yield operations*; the core
+executes each operation against the timing model and resumes the generator
+with the result (loads receive the loaded value, atomics the old value).
+This replaces Sim-PowerCMP's PowerPC instruction streams with an
+operation-level model: each operation carries exactly the information the
+timing model needs (DESIGN.md §2).
+
+Example::
+
+    def program(a, b):
+        yield Compute(100)                  # 100 cycles of ALU work
+        x = yield Load(a)                   # may miss, pays real latency
+        yield Store(b, x + 1)
+        old = yield FetchAdd(counter, 1)    # coherent atomic
+        yield BarrierOp()                   # whatever barrier is bound
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Local computation taking *cycles* core cycles."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read the word at *addr*; the yield returns its value."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Store:
+    """Write *value* to the word at *addr*."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class AtomicRMW:
+    """Atomic read-modify-write; the yield returns the old value."""
+
+    addr: int
+    fn: Callable[[int], int]
+
+
+def FetchAdd(addr: int, delta: int = 1) -> AtomicRMW:
+    """fetch&add primitive (the yield returns the pre-increment value)."""
+    return AtomicRMW(addr, lambda old, _d=delta: old + _d)
+
+
+def Swap(addr: int, value: int) -> AtomicRMW:
+    """Atomic exchange (the yield returns the previous value)."""
+    return AtomicRMW(addr, lambda _old, _v=value: _v)
+
+
+def TestAndSet(addr: int) -> AtomicRMW:
+    """test&set: sets the word to 1, returns the old value."""
+    return AtomicRMW(addr, lambda _old: 1)
+
+
+@dataclass(frozen=True)
+class SpinUntil:
+    """Busy-wait until ``pred(value_at_addr)`` holds; returns that value.
+
+    Modelled as test&test&set-style local spinning: the core re-reads only
+    when its cached copy is invalidated (or evicted), so a quiescent spin
+    generates no traffic -- the same behaviour the paper relies on when it
+    notes DSW's S2 stage "involves negligible network traffic because ...
+    busy-waiting is performed locally".
+    """
+
+    addr: int
+    pred: Callable[[int], bool]
+
+
+@dataclass(frozen=True)
+class BarrierOp:
+    """Synchronize on the barrier implementation bound to the chip.
+
+    ``barrier_id`` selects a context when the multi-barrier extension is
+    active; the base design provides a single barrier (id 0).
+    """
+
+    barrier_id: int = 0
+
+
+@dataclass(frozen=True)
+class AcquireLock:
+    """Acquire the test&test&set lock at *lock_addr* (phase: Lock)."""
+
+    lock_addr: int
+
+
+@dataclass(frozen=True)
+class ReleaseLock:
+    """Release the lock at *lock_addr* (phase: Lock)."""
+
+    lock_addr: int
+
+
+Operation = (Compute, Load, Store, AtomicRMW, SpinUntil, BarrierOp,
+             AcquireLock, ReleaseLock)

@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .ablations import (
+    ComputeBarrierWorkload,
+    SweepResult,
+    contention_ablation,
+    csw_variant_ablation,
+    dsw_arity_sweep,
+    entry_overhead_sweep,
+    hierarchical_latency,
+    noc_model_ablation,
+    period_sweep,
+)
+from .energy_exp import EnergyResult, run_energy
+from .fig5 import DEFAULT_CORE_COUNTS, Fig5Result, run_fig5
+from .fig6 import Fig6Result, default_fig6_workloads, run_fig6
+from .fig7 import Fig7Result, run_fig6_and_fig7, run_fig7
+from .runner import Comparison, compare, paper_config, run_benchmark
+from .sensitivity import (gl_is_platform_insensitive, l2_latency_sweep,
+                          memory_latency_sweep, router_latency_sweep)
+from .software_barriers import ShootoutResult, run_shootout
+from .stages import StagesResult, decompose, run_stages
+from .table1 import matches_paper, run_table1
+from .table2 import Table2Result, default_table2_workloads, run_table2
+
+__all__ = [
+    "ComputeBarrierWorkload", "SweepResult", "contention_ablation",
+    "csw_variant_ablation", "dsw_arity_sweep", "entry_overhead_sweep",
+    "hierarchical_latency", "noc_model_ablation", "period_sweep",
+    "DEFAULT_CORE_COUNTS", "Fig5Result", "run_fig5",
+    "Fig6Result", "default_fig6_workloads", "run_fig6",
+    "Fig7Result", "run_fig6_and_fig7", "run_fig7",
+    "Comparison", "compare", "paper_config", "run_benchmark",
+    "matches_paper", "run_table1",
+    "Table2Result", "default_table2_workloads", "run_table2",
+    "EnergyResult", "run_energy",
+    "StagesResult", "decompose", "run_stages",
+    "gl_is_platform_insensitive", "l2_latency_sweep",
+    "memory_latency_sweep", "router_latency_sweep",
+    "ShootoutResult", "run_shootout",
+]

@@ -1,0 +1,64 @@
+"""Network-energy experiment (quantifying the paper's §5 power argument).
+
+The paper closes by arguing that removing barrier traffic and coherence
+activity from the data network "will also lead to significant improvements
+in power consumption" (interconnect power approaching 40% of chip power),
+deferring measurement to future work.  This experiment performs that
+measurement with the first-order proxy of :mod:`repro.analysis.energy`:
+flit-hops and router traversals on the data network plus G-line toggles on
+the dedicated network, reported per benchmark as a GL/DSW ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.energy import EnergyEstimate, estimate, reduction
+from ..analysis.report import pct, render_table
+from .fig6 import default_fig6_workloads
+from .runner import compare
+
+
+@dataclass
+class EnergyResult:
+    rows: list[tuple[str, EnergyEstimate, EnergyEstimate]] = field(
+        default_factory=list)
+
+    def table(self) -> str:
+        headers = ["Benchmark", "DSW net energy", "GL net energy",
+                   "GL G-line energy", "GL/DSW", "reduction"]
+        out = []
+        for name, e_dsw, e_gl in self.rows:
+            out.append([
+                name, e_dsw.total, e_gl.total, e_gl.gline_energy,
+                e_gl.total / (e_dsw.total or 1),
+                pct(reduction(e_dsw, e_gl)),
+            ])
+        return render_table(
+            headers, out,
+            title="Network energy proxy (link + router + G-line toggles)")
+
+    def average_reduction(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(reduction(d, g) for _n, d, g in self.rows) / \
+            len(self.rows)
+
+    def gline_share(self) -> float:
+        """G-line energy as a share of GL's total network energy (should
+        be tiny: 1-bit wires vs full-width mesh links)."""
+        total = sum(g.total for _n, _d, g in self.rows)
+        gline = sum(g.gline_energy for _n, _d, g in self.rows)
+        return gline / total if total else 0.0
+
+
+def run_energy(num_cores: int = 32, scale: float = 0.5,
+               workloads: dict | None = None) -> EnergyResult:
+    """Run all Figure-6 benchmarks and estimate network energy."""
+    result = EnergyResult()
+    for name, wl in (workloads or default_fig6_workloads(scale)).items():
+        comp = compare(wl, num_cores=num_cores)
+        result.rows.append((name,
+                            estimate("DSW", comp.baseline),
+                            estimate("GL", comp.treated)))
+    return result

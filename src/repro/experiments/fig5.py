@@ -1,0 +1,62 @@
+"""Figure 5: average time per barrier vs core count, CSW / DSW / GL.
+
+Methodology (paper §4.2, after Culler et al.): average time per barrier
+over a loop of four consecutive barriers with no work between them.  The
+plotted metric is total execution cycles divided by the number of barriers
+executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..workloads.synthetic import SyntheticBarrierWorkload
+from .runner import run_benchmark
+
+DEFAULT_CORE_COUNTS = (4, 8, 16, 32)
+DEFAULT_IMPLS = ("csw", "dsw", "gl")
+
+
+@dataclass
+class Fig5Result:
+    core_counts: tuple[int, ...]
+    impls: tuple[str, ...]
+    #: cycles_per_barrier[impl][cores]
+    cycles_per_barrier: dict[str, dict[int, float]] = field(
+        default_factory=dict)
+    iterations: int = 0
+
+    def table(self) -> str:
+        headers = ["Cores"] + [impl.upper() for impl in self.impls]
+        rows = []
+        for n in self.core_counts:
+            rows.append([n] + [self.cycles_per_barrier[i][n]
+                               for i in self.impls])
+        return render_table(
+            headers, rows,
+            title=f"Figure 5: avg cycles per barrier "
+                  f"({self.iterations} iterations x 4 barriers)")
+
+    def is_ordered(self) -> bool:
+        """CSW > DSW > GL at every core count (the figure's key shape)."""
+        for n in self.core_counts:
+            values = [self.cycles_per_barrier[i][n] for i in self.impls]
+            if values != sorted(values, reverse=True):
+                return False
+        return True
+
+
+def run_fig5(core_counts=DEFAULT_CORE_COUNTS, impls=DEFAULT_IMPLS,
+             iterations: int = 100) -> Fig5Result:
+    """Regenerate Figure 5's data series."""
+    result = Fig5Result(core_counts=tuple(core_counts),
+                        impls=tuple(impls), iterations=iterations)
+    for impl in impls:
+        series: dict[int, float] = {}
+        for n in core_counts:
+            wl = SyntheticBarrierWorkload(iterations=iterations)
+            run = run_benchmark(wl, impl, num_cores=n)
+            series[n] = run.total_cycles / run.num_barriers()
+        result.cycles_per_barrier[impl] = series
+    return result

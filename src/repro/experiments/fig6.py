@@ -1,0 +1,112 @@
+"""Figure 6: normalized execution-time breakdown, DSW vs GL, 32 cores.
+
+For each kernel (K2, K3, K6) and application (UNSTRUCTURED, OCEAN, EM3D)
+the paper shows stacked bars of execution time, normalized to the DSW run,
+broken into Barrier / Write / Read / Lock / Busy, plus AVG_K and AVG_A
+aggregate bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import paper_data
+from ..analysis.breakdown import (Breakdown, BreakdownComparison,
+                                  average_normalized)
+from ..analysis.report import pct, render_table
+from ..common.stats import CycleCat
+from ..workloads import (EM3DWorkload, Kernel2Workload, Kernel3Workload,
+                         Kernel6Workload, OceanWorkload,
+                         UnstructuredWorkload)
+from .runner import compare
+
+
+def default_fig6_workloads(scale: float = 1.0) -> dict:
+    """The six Figure-6 benchmarks at bench sizes (see DESIGN.md §6)."""
+    def s(x: int) -> int:
+        return max(1, round(x * scale))
+
+    return {
+        "KERN2": Kernel2Workload(iterations=s(30)),
+        "KERN3": Kernel3Workload(iterations=s(150)),
+        "KERN6": Kernel6Workload(n=256, iterations=s(2)),
+        "UNSTR": UnstructuredWorkload(phases=s(8)),
+        "OCEAN": OceanWorkload(phases=s(8)),
+        "EM3D": EM3DWorkload(nodes=1920, steps=s(8)),
+    }
+
+
+@dataclass
+class Fig6Result:
+    comparisons: dict[str, BreakdownComparison] = field(default_factory=dict)
+
+    @property
+    def kernel_comparisons(self) -> list[BreakdownComparison]:
+        return [c for n, c in self.comparisons.items()
+                if n in paper_data.KERNELS]
+
+    @property
+    def app_comparisons(self) -> list[BreakdownComparison]:
+        return [c for n, c in self.comparisons.items()
+                if n in paper_data.APPS]
+
+    @property
+    def avg_k(self) -> float:
+        return average_normalized(self.kernel_comparisons)
+
+    @property
+    def avg_a(self) -> float:
+        return average_normalized(self.app_comparisons)
+
+    def table(self) -> str:
+        headers = ["Benchmark", "GL/DSW time", "reduction",
+                   "paper GL/DSW", "DSW barrier%", "GL barrier%"]
+        rows = []
+        for name, comp in self.comparisons.items():
+            base_total = comp.baseline.total or 1
+            rows.append([
+                name,
+                comp.normalized_treated_total,
+                pct(comp.time_reduction),
+                paper_data.FIG6_GL_NORM_TIME.get(name, float("nan")),
+                pct(comp.baseline.cycles.get(CycleCat.BARRIER, 0)
+                    / base_total),
+                pct(comp.treated.cycles.get(CycleCat.BARRIER, 0)
+                    / base_total),
+            ])
+        rows.append(["AVG_K", self.avg_k, pct(1 - self.avg_k),
+                     paper_data.FIG6_AVG_K, "", ""])
+        rows.append(["AVG_A", self.avg_a, pct(1 - self.avg_a),
+                     paper_data.FIG6_AVG_A, "", ""])
+        return render_table(headers, rows,
+                            title="Figure 6: normalized execution time "
+                                  "(DSW = 1.0), 32 cores")
+
+    def stacked_table(self) -> str:
+        """Per-category stacked-bar data (the actual Figure-6 content)."""
+        headers = ["Benchmark", "Impl", "barrier", "write", "read",
+                   "lock", "busy", "total"]
+        rows = []
+        for name, comp in self.comparisons.items():
+            for label, bd in (("DSW", comp.baseline), ("GL", comp.treated)):
+                fracs = bd.normalized_to(comp.baseline.total)
+                row = [name, label]
+                row += [fracs[cat] for cat in fracs]
+                row.append(sum(fracs.values()))
+                rows.append(row)
+        return render_table(headers, rows,
+                            title="Figure 6 stacked categories "
+                                  "(normalized to DSW total)")
+
+
+def run_fig6(num_cores: int = 32, scale: float = 1.0,
+             workloads: dict | None = None) -> Fig6Result:
+    """Regenerate Figure 6."""
+    result = Fig6Result()
+    for name, wl in (workloads or default_fig6_workloads(scale)).items():
+        comp = compare(wl, num_cores=num_cores)
+        result.comparisons[name] = BreakdownComparison(
+            benchmark=name,
+            baseline=Breakdown.from_result("DSW", comp.baseline),
+            treated=Breakdown.from_result("GL", comp.treated))
+    return result

@@ -1,0 +1,107 @@
+"""Figure 7: normalized network messages, DSW vs GL, 32 cores.
+
+Stacked bars of main-data-network messages (Coherence / Reply / Request)
+normalized to the DSW run of each benchmark, plus AVG_K / AVG_A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import paper_data
+from ..analysis.report import pct, render_table
+from ..analysis.traffic import Traffic, TrafficComparison, average_normalized
+from .fig6 import default_fig6_workloads
+from .runner import compare
+
+
+@dataclass
+class Fig7Result:
+    comparisons: dict[str, TrafficComparison] = field(default_factory=dict)
+
+    @property
+    def kernel_comparisons(self) -> list[TrafficComparison]:
+        return [c for n, c in self.comparisons.items()
+                if n in paper_data.KERNELS]
+
+    @property
+    def app_comparisons(self) -> list[TrafficComparison]:
+        return [c for n, c in self.comparisons.items()
+                if n in paper_data.APPS]
+
+    @property
+    def avg_k(self) -> float:
+        return average_normalized(self.kernel_comparisons)
+
+    @property
+    def avg_a(self) -> float:
+        return average_normalized(self.app_comparisons)
+
+    def table(self) -> str:
+        headers = ["Benchmark", "DSW msgs", "GL msgs", "GL/DSW",
+                   "reduction", "paper GL/DSW"]
+        rows = []
+        for name, comp in self.comparisons.items():
+            rows.append([
+                name,
+                comp.baseline.total,
+                comp.treated.total,
+                comp.normalized_treated_total,
+                pct(comp.traffic_reduction),
+                paper_data.FIG7_GL_NORM_TRAFFIC.get(name, float("nan")),
+            ])
+        rows.append(["AVG_K", "", "", self.avg_k, pct(1 - self.avg_k),
+                     paper_data.FIG7_AVG_K])
+        rows.append(["AVG_A", "", "", self.avg_a, pct(1 - self.avg_a),
+                     paper_data.FIG7_AVG_A])
+        return render_table(headers, rows,
+                            title="Figure 7: normalized network messages "
+                                  "(DSW = 1.0), 32 cores")
+
+    def stacked_table(self) -> str:
+        headers = ["Benchmark", "Impl", "coherence", "reply", "request",
+                   "total"]
+        rows = []
+        for name, comp in self.comparisons.items():
+            for label, tr in (("DSW", comp.baseline), ("GL", comp.treated)):
+                fracs = tr.normalized_to(comp.baseline.total)
+                row = [name, label]
+                row += [fracs[cat] for cat in fracs]
+                row.append(sum(fracs.values()))
+                rows.append(row)
+        return render_table(headers, rows,
+                            title="Figure 7 stacked categories "
+                                  "(normalized to DSW total)")
+
+
+def run_fig7(num_cores: int = 32, scale: float = 1.0,
+             workloads: dict | None = None) -> Fig7Result:
+    """Regenerate Figure 7."""
+    result = Fig7Result()
+    for name, wl in (workloads or default_fig6_workloads(scale)).items():
+        comp = compare(wl, num_cores=num_cores)
+        result.comparisons[name] = TrafficComparison(
+            benchmark=name,
+            baseline=Traffic.from_result("DSW", comp.baseline),
+            treated=Traffic.from_result("GL", comp.treated))
+    return result
+
+
+def run_fig6_and_fig7(num_cores: int = 32, scale: float = 1.0):
+    """Run each benchmark pair once and derive both figures (cheaper than
+    calling run_fig6 and run_fig7 separately)."""
+    from ..analysis.breakdown import Breakdown, BreakdownComparison
+    from .fig6 import Fig6Result
+
+    fig6, fig7 = Fig6Result(), Fig7Result()
+    for name, wl in default_fig6_workloads(scale).items():
+        comp = compare(wl, num_cores=num_cores)
+        fig6.comparisons[name] = BreakdownComparison(
+            benchmark=name,
+            baseline=Breakdown.from_result("DSW", comp.baseline),
+            treated=Breakdown.from_result("GL", comp.treated))
+        fig7.comparisons[name] = TrafficComparison(
+            benchmark=name,
+            baseline=Traffic.from_result("DSW", comp.baseline),
+            treated=Traffic.from_result("GL", comp.treated))
+    return fig6, fig7

@@ -1,0 +1,67 @@
+"""Shared experiment plumbing: build a chip, run a workload, compare."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..chip.cmp import CMP
+from ..chip.results import RunResult
+from ..common.params import CMPConfig
+from ..workloads.base import Workload
+
+
+def paper_config(num_cores: int) -> CMPConfig:
+    """Table-1 configuration as the paper *evaluated* it.
+
+    The paper states a 6-transmitter S-CSMA bound (hence 7x7 max), yet its
+    32-core evaluation mesh is 4x8 -- whose rows carry 7 slave
+    transmitters -- and reports the flat single-level 13-cycle GL barrier
+    there.  To reproduce the evaluation we follow the evaluation, not the
+    stated bound: raise ``max_transmitters`` just enough for the chosen
+    mesh to fit a single-level network.  The library default elsewhere
+    remains the paper's stated 6 (and larger meshes use the hierarchical
+    extension).  See DESIGN.md.
+    """
+    cfg = CMPConfig.for_cores(num_cores)
+    need = max(cfg.noc.rows, cfg.noc.cols) - 1
+    if need > cfg.gline.max_transmitters:
+        cfg = cfg.with_(gline=replace(cfg.gline, max_transmitters=need))
+    return cfg
+
+
+def run_benchmark(workload: Workload, barrier: str, num_cores: int = 32,
+                  config: CMPConfig | None = None,
+                  max_events: int | None = None) -> RunResult:
+    """Run *workload* on a fresh chip with the given barrier kind."""
+    cfg = config or paper_config(num_cores)
+    chip = CMP(cfg, barrier=barrier)
+    return chip.run(workload, max_events=max_events)
+
+
+@dataclass
+class Comparison:
+    """Paired runs of one workload under two barrier implementations."""
+
+    workload: Workload
+    baseline: RunResult
+    treated: RunResult
+
+    @property
+    def time_ratio(self) -> float:
+        return self.treated.total_cycles / (self.baseline.total_cycles or 1)
+
+    @property
+    def traffic_ratio(self) -> float:
+        return self.treated.total_messages() / \
+            (self.baseline.total_messages() or 1)
+
+
+def compare(workload: Workload, num_cores: int = 32,
+            baseline: str = "dsw", treated: str = "gl",
+            config: CMPConfig | None = None) -> Comparison:
+    """Run *workload* under *baseline* and *treated* barriers."""
+    return Comparison(
+        workload=workload,
+        baseline=run_benchmark(workload, baseline, num_cores, config),
+        treated=run_benchmark(workload, treated, num_cores, config),
+    )

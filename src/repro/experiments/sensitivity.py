@@ -1,0 +1,83 @@
+"""Sensitivity studies: how robust is the paper's conclusion to the
+platform parameters of Table 1?
+
+The software barriers' cost is built from memory-system latencies, so it
+moves with them; the G-line barrier depends on none of them.  These sweeps
+quantify that asymmetry:
+
+* memory latency (400 cycles in Table 1),
+* per-hop router latency,
+* L2 hit latency.
+
+Each sweep reports cycles/barrier for DSW and GL on the synthetic
+benchmark; GL's column should be constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..common.params import CacheConfig, CMPConfig, NocConfig
+from ..workloads.synthetic import SyntheticBarrierWorkload
+from .ablations import SweepResult
+from .runner import paper_config, run_benchmark
+
+
+def _run_pair(cfg: CMPConfig, num_cores: int, iterations: int):
+    out = {}
+    for impl in ("dsw", "gl"):
+        run = run_benchmark(SyntheticBarrierWorkload(iterations=iterations),
+                            impl, num_cores, config=cfg)
+        out[impl] = run.total_cycles / run.num_barriers()
+    return out
+
+
+def memory_latency_sweep(latencies=(100, 200, 400, 800),
+                         num_cores: int = 16,
+                         iterations: int = 25) -> SweepResult:
+    out = SweepResult(
+        title="Sensitivity: barrier cost vs memory latency",
+        headers=["Memory latency", "DSW cyc/bar", "GL cyc/bar"])
+    for latency in latencies:
+        cfg = paper_config(num_cores).with_(memory_latency=latency)
+        pair = _run_pair(cfg, num_cores, iterations)
+        out.rows.append([latency, pair["dsw"], pair["gl"]])
+    return out
+
+
+def router_latency_sweep(latencies=(1, 3, 6, 12), num_cores: int = 16,
+                         iterations: int = 25) -> SweepResult:
+    out = SweepResult(
+        title="Sensitivity: barrier cost vs per-hop router latency",
+        headers=["Router latency", "DSW cyc/bar", "GL cyc/bar"])
+    for latency in latencies:
+        base = paper_config(num_cores)
+        noc = replace(base.noc, router_latency=latency)
+        cfg = base.with_(noc=noc)
+        pair = _run_pair(cfg, num_cores, iterations)
+        out.rows.append([latency, pair["dsw"], pair["gl"]])
+    return out
+
+
+def l2_latency_sweep(latencies=(2, 6, 12, 24), num_cores: int = 16,
+                     iterations: int = 25) -> SweepResult:
+    out = SweepResult(
+        title="Sensitivity: barrier cost vs L2 hit latency",
+        headers=["L2 latency", "DSW cyc/bar", "GL cyc/bar"])
+    for latency in latencies:
+        base = paper_config(num_cores)
+        l2 = CacheConfig(size_bytes=base.l2.size_bytes,
+                         assoc=base.l2.assoc,
+                         line_bytes=base.l2.line_bytes,
+                         latency=latency,
+                         extra_latency=base.l2.extra_latency)
+        cfg = base.with_(l2=l2)
+        pair = _run_pair(cfg, num_cores, iterations)
+        out.rows.append([latency, pair["dsw"], pair["gl"]])
+    return out
+
+
+def gl_is_platform_insensitive(sweep: SweepResult) -> bool:
+    """True if the GL column of a sweep is constant."""
+    gl_values = [row[2] for row in sweep.rows]
+    return len(set(gl_values)) == 1

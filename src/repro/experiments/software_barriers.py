@@ -1,0 +1,59 @@
+"""Software-barrier shoot-out (extending Figure 5's baseline set).
+
+The paper compares GL against CSW and DSW, calling the combining tree "one
+of the best software approaches".  This experiment adds the other two
+classic contenders -- the dissemination barrier and the tournament barrier
+-- so the claim is checked rather than assumed, and GL's margin is
+measured against the *best* of the four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..workloads.synthetic import SyntheticBarrierWorkload
+from .runner import run_benchmark
+
+DEFAULT_IMPLS = ("csw", "dsw", "diss", "tour", "gl")
+
+
+@dataclass
+class ShootoutResult:
+    core_counts: tuple[int, ...]
+    impls: tuple[str, ...]
+    cycles_per_barrier: dict[str, dict[int, float]] = field(
+        default_factory=dict)
+
+    def table(self) -> str:
+        headers = ["Cores"] + [i.upper() for i in self.impls]
+        rows = [[n] + [self.cycles_per_barrier[i][n] for i in self.impls]
+                for n in self.core_counts]
+        return render_table(headers, rows,
+                            title="Software-barrier shoot-out: avg cycles "
+                                  "per barrier")
+
+    def best_software(self, cores: int) -> tuple[str, float]:
+        """(name, cycles) of the fastest non-GL implementation."""
+        candidates = [(i, self.cycles_per_barrier[i][cores])
+                      for i in self.impls if i != "gl"]
+        return min(candidates, key=lambda kv: kv[1])
+
+    def gl_margin(self, cores: int) -> float:
+        """Best-software cycles divided by GL cycles."""
+        _name, best = self.best_software(cores)
+        return best / self.cycles_per_barrier["gl"][cores]
+
+
+def run_shootout(core_counts=(4, 8, 16, 32), impls=DEFAULT_IMPLS,
+                 iterations: int = 40) -> ShootoutResult:
+    result = ShootoutResult(core_counts=tuple(core_counts),
+                            impls=tuple(impls))
+    for impl in impls:
+        series = {}
+        for cores in core_counts:
+            run = run_benchmark(SyntheticBarrierWorkload(
+                iterations=iterations), impl, num_cores=cores)
+            series[cores] = run.total_cycles / run.num_barriers()
+        result.cycles_per_barrier[impl] = series
+    return result

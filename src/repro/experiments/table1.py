@@ -1,0 +1,27 @@
+"""Table 1: CMP baseline configuration."""
+
+from __future__ import annotations
+
+from ..analysis.report import render_table
+from ..common.params import CMPConfig
+
+#: The paper's Table 1, for verification.
+PAPER_TABLE1 = {
+    "Number of cores": "32",
+    "Cache line size": "64 Bytes",
+    "Memory access time": "400 cycles",
+}
+
+
+def run_table1(config: CMPConfig | None = None) -> str:
+    """Render the simulated chip's configuration, Table-1 style."""
+    cfg = config or CMPConfig()
+    return render_table(["Parameter", "Value"], cfg.table1(),
+                        title="Table 1: CMP baseline configuration")
+
+
+def matches_paper(config: CMPConfig | None = None) -> bool:
+    """True if the headline Table-1 values match the paper's."""
+    cfg = config or CMPConfig()
+    table = dict(cfg.table1())
+    return all(table.get(k) == v for k, v in PAPER_TABLE1.items())

@@ -1,0 +1,101 @@
+"""Wire/area accounting for barrier-network alternatives.
+
+The paper's related work (Sartori & Kumar) argues dedicated barrier
+interconnects are fastest but can carry "prohibitive area overheads"; the
+paper's own pitch is that G-lines make the dedicated-network approach
+cheap: ``2*(rows+1)`` chip-spanning wires per barrier context.
+
+This module compares first-order wire budgets (total wire *length* in
+units of one tile edge, the dominant area term for global interconnect)
+for the organizations discussed in the paper:
+
+* **G-line network** (the paper): 2 wires per row spanning ``cols`` tiles
+  + 2 column wires spanning ``rows`` tiles.
+* **Dedicated reduction tree** (Sartori/Kumar-style): a binary tree of
+  point-to-point links over the mesh, two wires per link (up + down).
+* **Global OR/AND bus** (Cyclops-style wired-OR): 2 chip-spanning
+  serpentine wires, but requiring every core to drive them (fan-in beyond
+  any realistic S-CSMA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WireBudget:
+    organization: str
+    #: Number of distinct wires.
+    wires: int
+    #: Total wire length, in tile-edge units.
+    length: float
+    #: Largest number of transmitters any single wire must support.
+    max_fanin: int
+
+
+def gline_budget(rows: int, cols: int, contexts: int = 1) -> WireBudget:
+    _check(rows, cols)
+    horizontal = 2 * rows if cols > 1 else 0
+    vertical = 2 if rows > 1 else 0
+    wires = (horizontal + vertical) * contexts
+    length = (horizontal * (cols - 1) + vertical * (rows - 1)) * contexts
+    return WireBudget("G-line network", wires, float(length),
+                      max(cols - 1, rows - 1, 1))
+
+
+def tree_budget(rows: int, cols: int, contexts: int = 1) -> WireBudget:
+    """Binary reduction tree with point-to-point links routed on the mesh.
+
+    Link length is approximated by the Manhattan distance between the
+    centroids of the subtrees it connects (standard H-tree-ish estimate).
+    """
+    _check(rows, cols)
+    n = rows * cols
+    positions = [(t // cols, t % cols) for t in range(n)]
+    total_length = 0.0
+    links = 0
+    level = [[p] for p in positions]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            if i + 1 < len(level):
+                a, b = level[i], level[i + 1]
+                ca = _centroid(a)
+                cb = _centroid(b)
+                total_length += abs(ca[0] - cb[0]) + abs(ca[1] - cb[1])
+                links += 1
+                nxt.append(a + b)
+            else:
+                nxt.append(level[i])
+        level = nxt
+    # Up + down wires per link.
+    return WireBudget("dedicated reduction tree", 2 * links * contexts,
+                      2 * total_length * contexts, 1)
+
+
+def bus_budget(rows: int, cols: int, contexts: int = 1) -> WireBudget:
+    """Chip-spanning serpentine wired-OR bus (arrival + release)."""
+    _check(rows, cols)
+    serpentine = rows * cols - 1
+    return WireBudget("global wired-OR bus", 2 * contexts,
+                      2.0 * serpentine * contexts, rows * cols)
+
+
+def comparison_rows(rows: int, cols: int,
+                    contexts: int = 1) -> list[WireBudget]:
+    return [gline_budget(rows, cols, contexts),
+            tree_budget(rows, cols, contexts),
+            bus_budget(rows, cols, contexts)]
+
+
+def _centroid(points) -> tuple[float, float]:
+    return (sum(p[0] for p in points) / len(points),
+            sum(p[1] for p in points) / len(points))
+
+
+def _check(rows: int, cols: int) -> None:
+    if rows < 1 or cols < 1:
+        raise ConfigError("mesh dims must be >= 1")

@@ -1,0 +1,61 @@
+"""GL: the hardware barrier implementation backed by the G-line network.
+
+From the core's point of view (Figure 3 of the paper) a barrier is::
+
+    GL_Barrier() {
+        mov 1, bar_reg      # arrival (S1)
+      loop:
+        bnz bar_reg, loop   # wait until hardware clears bar_reg (S2+S3)
+    }
+
+The op sequence models the library-call entry overhead (the paper measures
+13 cycles end-to-end against the 4-cycle theoretical minimum and attributes
+the difference to its application library; ``GLineConfig.entry_overhead``
+reproduces that) followed by the bar_reg write; the "spin on bar_reg" is
+the core sleeping until the release stage clears the register -- a core
+spinning on its own register produces no external activity, so the timing
+is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..common.errors import ConfigError
+from ..common.params import GLineConfig
+from ..cpu import isa
+from ..cpu.core import HWBarrierArrive
+from ..sync.api import BarrierImpl
+
+
+class GLBarrier(BarrierImpl):
+    """Hardware G-line barrier bound to one or more network contexts."""
+
+    name = "GL"
+
+    def __init__(self, networks, config: GLineConfig | None = None):
+        """*networks*: one network per barrier context (space
+        multiplexing extension; the base design has a single context).
+        Each entry must expose ``arrive(core_id, resume)`` -- either a
+        :class:`~repro.gline.network.GLineBarrierNetwork` or a
+        :class:`~repro.gline.hierarchical.HierarchicalGLineBarrier`."""
+        if not networks:
+            raise ConfigError("GLBarrier needs at least one network context")
+        self.networks = list(networks)
+        self.config = config or GLineConfig()
+
+    def sequence(self, core, barrier_id: int) -> Generator:
+        if not (0 <= barrier_id < len(self.networks)):
+            raise ConfigError(
+                f"barrier context {barrier_id} not provisioned "
+                f"(have {len(self.networks)})")
+        if self.config.entry_overhead:
+            yield isa.Compute(self.config.entry_overhead)
+        yield HWBarrierArrive(self.networks[barrier_id])
+
+    def describe(self) -> str:
+        net = self.networks[0]
+        wires = getattr(net, "num_glines", "?")
+        return (f"G-line hardware barrier ({len(self.networks)} context(s), "
+                f"{wires} G-lines per context, "
+                f"entry overhead {self.config.entry_overhead} cycles)")

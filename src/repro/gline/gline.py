@@ -1,0 +1,79 @@
+"""G-line wire model with S-CSMA counting.
+
+A G-line is a global 1-bit wire spanning one dimension of the chip; a
+signal asserted on it is visible at the receiver within one clock cycle.
+The S-CSMA ("sense carrier multiple access") circuit at the receiver can
+tell *how many* transmitters asserted the line in the same cycle -- the
+property the paper borrows from Krishna et al.'s EVC work and that the
+Master controllers use to accumulate arrival counts in a single cycle even
+when several slaves signal simultaneously.
+
+Electrical constraint modelled: at most ``max_transmitters`` (six in the
+paper) transmitters may drive one line; attaching more raises
+:class:`~repro.common.errors.CapacityError` at build time, and a
+(theoretically impossible) cycle with more simultaneous assertions than
+attached transmitters raises :class:`~repro.common.errors.GLineError`.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import CapacityError, GLineError
+
+
+class GLine:
+    """One shared 1-bit wire with per-cycle S-CSMA counting."""
+
+    __slots__ = ("name", "max_transmitters", "_attached", "_asserting",
+                 "toggles")
+
+    def __init__(self, name: str, max_transmitters: int = 6):
+        self.name = name
+        self.max_transmitters = max_transmitters
+        self._attached: set[str] = set()
+        #: Transmitter ids asserting during the current cycle.
+        self._asserting: set[str] = set()
+        #: Total assert events (energy proxy).
+        self.toggles = 0
+
+    # ------------------------------------------------------------------ #
+    def attach(self, transmitter_id: str) -> None:
+        """Register a transmitter; enforces the electrical fan-in limit."""
+        if transmitter_id in self._attached:
+            raise CapacityError(
+                f"{transmitter_id} already attached to {self.name}")
+        if len(self._attached) >= self.max_transmitters:
+            raise CapacityError(
+                f"G-line {self.name} supports at most "
+                f"{self.max_transmitters} transmitters")
+        self._attached.add(transmitter_id)
+
+    def assert_signal(self, transmitter_id: str) -> None:
+        """Drive the line for the current cycle."""
+        if transmitter_id not in self._attached:
+            raise GLineError(
+                f"{transmitter_id} is not attached to {self.name}")
+        if transmitter_id not in self._asserting:
+            self._asserting.add(transmitter_id)
+            self.toggles += 1
+
+    # ------------------------------------------------------------------ #
+    def sample_count(self) -> int:
+        """S-CSMA read-out: number of simultaneous assertions this cycle."""
+        count = len(self._asserting)
+        if count > self.max_transmitters:  # pragma: no cover - guarded above
+            raise GLineError(
+                f"G-line {self.name}: {count} simultaneous transmitters "
+                f"exceed the S-CSMA limit of {self.max_transmitters}")
+        return count
+
+    def sampled_on(self) -> bool:
+        """Plain wired read-out: was the line driven this cycle?"""
+        return bool(self._asserting)
+
+    def end_cycle(self) -> None:
+        """Clear per-cycle assertion state (signals are 1-cycle pulses)."""
+        self._asserting.clear()
+
+    @property
+    def num_attached(self) -> int:
+        return len(self._attached)

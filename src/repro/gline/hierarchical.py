@@ -1,0 +1,159 @@
+"""Hierarchical G-line barrier networks (the paper's future-work extension).
+
+A single G-line network is limited to 7x7 cores by the S-CSMA fan-in (six
+transmitters per line).  The paper proposes overcoming this by "using
+groups of G-line-based networks linked together through additional
+G-lines".  This module implements that scheme:
+
+* the mesh is partitioned into rectangular *clusters*, each at most 7x7,
+  each with its own first-level G-line network;
+* a second-level network spans the cluster grid (one participant per
+  cluster -- its *leader*, the cluster's (0,0) core position);
+* a cluster that gathers all of its cores signals the second level over an
+  inter-level G-line (modelled as the leader's arrival, one line-latency
+  cycle); when the second level's release reaches a leader, it opens the
+  cluster's release gate and the cluster release proceeds locally.
+
+Latency: gather(cluster) + 1 + full(second level) + gather-release(cluster)
+-- e.g. ~10 cycles for a 14x14 mesh split into 2x2 clusters of 7x7, versus
+4 for a single-level network; still orders of magnitude below software
+barriers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.errors import CapacityError, ConfigError
+from ..common.params import GLineConfig
+from ..common.stats import BarrierSample, StatsRegistry
+from ..sim.component import Component
+from ..sim.engine import Engine
+from .network import GLineBarrierNetwork
+
+
+def partition(dim: int, max_dim: int) -> list[tuple[int, int]]:
+    """Split *dim* into contiguous chunks of at most *max_dim*.
+
+    Returns (start, length) pairs, as evenly sized as possible.
+    """
+    if dim < 1:
+        raise ConfigError("dimension must be >= 1")
+    nchunks = math.ceil(dim / max_dim)
+    base, extra = divmod(dim, nchunks)
+    out = []
+    start = 0
+    for i in range(nchunks):
+        length = base + (1 if i < extra else 0)
+        out.append((start, length))
+        start += length
+    return out
+
+
+class HierarchicalGLineBarrier(Component):
+    """Two-level G-line barrier for meshes larger than 7x7.
+
+    Exposes the same ``arrive(core_id, resume)`` interface as
+    :class:`~repro.gline.network.GLineBarrierNetwork`, so it plugs
+    directly into :class:`~repro.gline.barrier.GLBarrier`.
+    """
+
+    def __init__(self, engine: Engine, stats: StatsRegistry, rows: int,
+                 cols: int, config: GLineConfig | None = None,
+                 name: str = "hglnet"):
+        super().__init__(engine, stats, name)
+        self.config = config or GLineConfig()
+        self.rows = rows
+        self.cols = cols
+        max_dim = self.config.max_transmitters + 1
+        row_chunks = partition(rows, max_dim)
+        col_chunks = partition(cols, max_dim)
+        self.cluster_rows = len(row_chunks)
+        self.cluster_cols = len(col_chunks)
+        if self.cluster_rows > max_dim or self.cluster_cols > max_dim:
+            raise CapacityError(
+                f"{rows}x{cols} needs more than {max_dim}x{max_dim} "
+                f"clusters; a deeper hierarchy is not implemented")
+
+        #: Private stats sink for the sub-networks so cluster-level barrier
+        #: samples don't pollute the chip-level Figure-5 measurements.
+        self._sub_stats = StatsRegistry(rows * cols)
+        self.clusters: list[GLineBarrierNetwork] = []
+        self._cluster_of_core: dict[int, int] = {}
+        for ri, (r0, rlen) in enumerate(row_chunks):
+            for ci, (c0, clen) in enumerate(col_chunks):
+                ids = [(r0 + r) * cols + (c0 + c)
+                       for r in range(rlen) for c in range(clen)]
+                k = len(self.clusters)
+                net = GLineBarrierNetwork(
+                    engine, self._sub_stats, rlen, clen, self.config,
+                    name=f"{name}.c{ri}_{ci}", core_ids=ids)
+                net.install_gate(lambda k=k: self._cluster_gathered(k))
+                net.on_all_released = lambda k=k: self._cluster_released(k)
+                self.clusters.append(net)
+                for cid in ids:
+                    self._cluster_of_core[cid] = k
+
+        # Second level: one participant per cluster.
+        self.top = GLineBarrierNetwork(
+            engine, self._sub_stats, self.cluster_rows, self.cluster_cols,
+            self.config, name=f"{name}.top")
+
+        self.barriers_completed = 0
+        self.samples: list[BarrierSample] = []
+        self._first_arrival: int | None = None
+        self._last_arrival: int | None = None
+        self._released_clusters = 0
+        self._release_time: int | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_glines(self) -> int:
+        """Total wires: all cluster networks + the inter-cluster level."""
+        return (sum(net.num_glines for net in self.clusters)
+                + self.top.num_glines)
+
+    @property
+    def num_cores(self) -> int:
+        return self.rows * self.cols
+
+    # ------------------------------------------------------------------ #
+    def arrive(self, core_id: int, resume) -> None:
+        if self._first_arrival is None:
+            # +write latency: mirrors GLineBarrierNetwork's episode stamps,
+            # which record the bar_reg-visible time.
+            self._first_arrival = self.now + self.config.barreg_write_cycles
+        self._last_arrival = self.now + self.config.barreg_write_cycles
+        cluster = self.clusters[self._cluster_of_core[core_id]]
+        cluster.arrive(core_id, resume)
+
+    # ------------------------------------------------------------------ #
+    def _cluster_gathered(self, k: int) -> None:
+        # Inter-level G-line: the cluster leader signals the second level
+        # (modelled as an arrival whose bar_reg write is the line hop).
+        leader = self.top.core_ids[k]
+        self.top.arrive(leader, lambda k=k: self._top_released(k))
+
+    def _top_released(self, k: int) -> None:
+        self.clusters[k].open_gate()
+
+    def _cluster_released(self, k: int) -> None:
+        self._released_clusters += 1
+        self._release_time = self.now
+        if self._released_clusters == len(self.clusters):
+            self._released_clusters = 0
+            self.barriers_completed += 1
+            self.stats.bump("gline.barriers")
+            self.samples.append(BarrierSample(
+                barrier_id=self.barriers_completed,
+                first_arrival=self._first_arrival,
+                last_arrival=self._last_arrival,
+                release=self._release_time))
+            self._first_arrival = None
+            self._last_arrival = None
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        return (f"hierarchical G-line barrier: "
+                f"{self.cluster_rows}x{self.cluster_cols} clusters over a "
+                f"{self.rows}x{self.cols} mesh, {self.num_glines} wires")

@@ -1,0 +1,309 @@
+"""The G-line barrier network: wiring, clocking and the arrival interface.
+
+Wiring for an R x C mesh (Figure 1): every row gets a TX G-line (slaves ->
+master) and a release G-line (master -> slaves); the first column gets a
+vertical TX/release pair.  Total wires: ``2*rows + 2`` (the paper's
+``2 * (sqrt(N) + 1)`` for square meshes), degenerating gracefully for
+single-row or single-column meshes.
+
+The network is clocked **only while a barrier is in flight** (the paper
+switches controllers on at bar_reg writes and off after the release, to
+save power); each tick runs every controller's assert phase, then every
+sample phase, modelling the 1-cycle G-line propagation.
+
+Ideal latency: with all cores arrived, the release reaches every core 4
+cycles later (gather-row, gather-column, release-column, release-row) --
+asserted by the test-suite for the paper's 2x2 walkthrough and verified for
+arbitrary meshes and arrival orders by property tests.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import CapacityError
+from ..common.params import GLineConfig
+from ..common.stats import BarrierSample, StatsRegistry
+from ..sim.component import Component
+from ..sim.engine import Engine
+from .controllers import BarRegFile, MasterH, MasterV, SlaveH, SlaveV
+from .gline import GLine
+
+#: Event priority for network ticks: same-cycle bar_reg writes (normal
+#: priority 0) become visible to the tick that samples that cycle.
+TICK_PRIORITY = 10
+
+
+class ReleaseGate:
+    """Decouples gather-complete from release-start (hierarchical mode).
+
+    When installed on a network, reaching the all-arrived state reports
+    upward via *on_gathered* instead of starting the release; the upper
+    level later opens the gate to let the release proceed.
+    """
+
+    def __init__(self, on_gathered):
+        self.is_open = False
+        self._on_gathered = on_gathered
+
+    def on_gathered(self) -> None:
+        self._on_gathered()
+
+
+class GLineBarrierNetwork(Component):
+    """One barrier context over a dedicated G-line network."""
+
+    def __init__(self, engine: Engine, stats: StatsRegistry, rows: int,
+                 cols: int, config: GLineConfig | None = None,
+                 name: str = "glnet",
+                 core_ids: list[int] | None = None):
+        super().__init__(engine, stats, name)
+        self.config = config or GLineConfig()
+        max_dim = self.config.max_transmitters + 1
+        if rows > max_dim or cols > max_dim:
+            raise CapacityError(
+                f"a single G-line network supports at most "
+                f"{max_dim}x{max_dim} cores (S-CSMA limit of "
+                f"{self.config.max_transmitters} transmitters per line); "
+                f"use repro.gline.hierarchical for {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        #: Chip-level core ids in row-major mesh order (defaults to 0..N-1;
+        #: the hierarchical extension passes cluster-local id maps).
+        self.core_ids = core_ids or list(range(rows * cols))
+        if len(self.core_ids) != rows * cols:
+            raise CapacityError("core_ids must cover the full mesh")
+        self.num_cores = rows * cols
+        self._local_of = {cid: i for i, cid in enumerate(self.core_ids)}
+
+        self.bar_regs = BarRegFile(self.num_cores)
+        self._build()
+
+        self.active = False
+        self.active_cycles = 0
+        self.barriers_completed = 0
+        #: Hardware-level latency samples (last bar_reg write -> release),
+        #: kept locally; chip-level episode samples (which include the
+        #: library entry overhead) live in the shared StatsRegistry via
+        #: repro.sync.accounting.BarrierAccounting.
+        self.samples: list[BarrierSample] = []
+        #: Episode tracking for BarrierSample records.
+        self._first_arrival: int | None = None
+        self._last_arrival: int | None = None
+        self._arrived = 0
+        #: Optional external completion hook (hierarchical extension).
+        self.on_all_released = None
+        #: Optional release gate (hierarchical extension).
+        self._gate: ReleaseGate | None = None
+        self._gate_reported = False
+
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        mt = self.config.max_transmitters
+        self.lines: list[GLine] = []
+        self.row_tx: list[GLine | None] = []
+        self.row_rel: list[GLine | None] = []
+        for r in range(self.rows):
+            if self.cols > 1:
+                tx = GLine(f"{self.name}.SglineH{r}", mt)
+                rel = GLine(f"{self.name}.MglineH{r}", mt)
+                self.lines += [tx, rel]
+            else:
+                tx = rel = None
+            self.row_tx.append(tx)
+            self.row_rel.append(rel)
+        if self.rows > 1:
+            self.col_tx = GLine(f"{self.name}.SglineV", mt)
+            self.col_rel = GLine(f"{self.name}.MglineV", mt)
+            self.lines += [self.col_tx, self.col_rel]
+        else:
+            self.col_tx = self.col_rel = None
+
+        self.masters_h: list[MasterH] = []
+        self.slaves_h: list[SlaveH] = []
+        self.slaves_v: list[SlaveV] = []
+        for r in range(self.rows):
+            mh = MasterH(core_id=r * self.cols, row=r, rx=self.row_tx[r],
+                         tx=self.row_rel[r], num_slaves=self.cols - 1)
+            self.masters_h.append(mh)
+            for c in range(1, self.cols):
+                self.slaves_h.append(SlaveH(core_id=r * self.cols + c,
+                                            tx=self.row_tx[r],
+                                            rx=self.row_rel[r]))
+        if self.rows > 1:
+            for r in range(1, self.rows):
+                sv = SlaveV(core_id=r * self.cols, row=r, tx=self.col_tx,
+                            rx=self.col_rel, master_h=self.masters_h[r])
+                self.slaves_v.append(sv)
+                self.masters_h[r].on_release = sv.reset
+            self.master_v = MasterV(core_id=0, rx=self.col_tx,
+                                    tx=self.col_rel,
+                                    master_h0=self.masters_h[0],
+                                    num_slaves=self.rows - 1)
+            self.masters_h[0].on_release = self._reset_master_v
+        else:
+            self.master_v = None
+
+    def _reset_master_v(self) -> None:
+        self.master_v.scnt = 0
+        self.master_v.mcnt = 0
+        self.master_v.done = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_glines(self) -> int:
+        """Physical wire count -- 2*(rows+1) on a full 2D mesh."""
+        return len(self.lines)
+
+    # ------------------------------------------------------------------ #
+    # Arrival interface (called by the core / barrier library)
+    # ------------------------------------------------------------------ #
+    def arrive(self, core_id: int, resume) -> None:
+        """Core *core_id* executes ``mov 1, bar_reg``; *resume* runs when the
+        hardware clears bar_reg (the release stage)."""
+        self.schedule(self.config.barreg_write_cycles, self._set_barreg,
+                      core_id, resume)
+
+    def _set_barreg(self, core_id: int, resume) -> None:
+        local = self._local_of[core_id]
+        if self.bar_regs.is_set(local):
+            raise CapacityError(
+                f"core {core_id} re-arrived at barrier {self.name} before "
+                f"release (only one outstanding barrier per context)")
+        self.bar_regs.write(local, resume)
+        if self._first_arrival is None:
+            self._first_arrival = self.now
+        self._last_arrival = self.now
+        self._arrived += 1
+        if not self.active:
+            self.active = True
+            # Tick for the cycle in which bar_reg became visible.
+            self.schedule(0, self._tick, priority=TICK_PRIORITY)
+
+    # ------------------------------------------------------------------ #
+    # Clocking
+    # ------------------------------------------------------------------ #
+    def _tick(self) -> None:
+        self.active_cycles += 1
+        released: list = []
+
+        # Assert phase: drive G-lines from start-of-cycle state.  MasterV
+        # runs last so the release trigger it hands to the co-located row-0
+        # MasterH is consumed in the *next* cycle, matching the one-cycle
+        # hand-off of the SlaveV path (release-column then release-row,
+        # Figure 2 cycles 2 and 3).
+        for mh in self.masters_h:
+            mh.assert_phase(self.bar_regs, released)
+        for sh in self.slaves_h:
+            sh.assert_phase(self.bar_regs)
+        for sv in self.slaves_v:
+            sv.assert_phase()
+        if self.master_v is not None:
+            self.master_v.assert_phase()
+
+        # Sample phase: observe lines at end of cycle, update registers.
+        # MasterV samples first so the co-located MasterH flag it reads is
+        # the one latched at the *end of the previous cycle* -- the
+        # intra-core register hand-off costs a cycle boundary, exactly as
+        # in the paper's Figure 2 (Mv sets Mcnt in cycle 1 from the flag
+        # MasterH set in cycle 0).
+        if self.master_v is not None:
+            self.master_v.sample_phase()
+        for mh in self.masters_h:
+            mh.sample_phase(self.bar_regs)
+        for sv in self.slaves_v:
+            sv.sample_phase()
+        for sh in self.slaves_h:
+            sh.sample_phase(self.bar_regs, released)
+        if self.rows == 1 and self.masters_h[0].flag:
+            # Degenerate single-row mesh: the horizontal master releases
+            # directly (no vertical stage) -- unless gated by an upper
+            # hierarchy level.
+            if self._gate is None or self._gate.is_open:
+                self.masters_h[0].release_trigger = True
+            elif not self._gate_reported:
+                self._gate_reported = True
+                self._gate.on_gathered()
+
+        for line in self.lines:
+            self.stats.gline_toggles += len(line._asserting)
+            line.end_cycle()
+
+        if released:
+            self._complete_release(released)
+
+        if self._will_act():
+            self.schedule(self.config.line_latency, self._tick,
+                          priority=TICK_PRIORITY)
+        else:
+            # Dormant: state is held (Scnt etc. persist) but nothing can
+            # change until another bar_reg write reactivates the clock.
+            # This both models the paper's controller power-gating and
+            # keeps long straggler waits event-free.
+            self.active = False
+
+    def _complete_release(self, released: list) -> None:
+        # Cores resume at the end of the release cycle.
+        release_time = self.now + 1
+        for resume in released:
+            if resume is not None:
+                self.engine.schedule_at(release_time, resume)
+        self._arrived -= len(released)
+        if self._arrived == 0:
+            self.barriers_completed += 1
+            self.stats.bump("gline.barriers")
+            self.samples.append(BarrierSample(
+                barrier_id=self.barriers_completed,
+                first_arrival=self._first_arrival,
+                last_arrival=self._last_arrival,
+                release=release_time))
+            self._first_arrival = None
+            self._last_arrival = None
+            if self._gate is not None:
+                self._gate.is_open = False
+                self._gate_reported = False
+            if self.on_all_released is not None:
+                self.on_all_released()
+
+    def _will_act(self) -> bool:
+        """True if any controller will drive a line or change registers next
+        cycle without a further bar_reg write."""
+        if any(mh.will_act(self.bar_regs) for mh in self.masters_h):
+            return True
+        if any(sh.will_act(self.bar_regs) for sh in self.slaves_h):
+            return True
+        if any(sv.will_act() for sv in self.slaves_v):
+            return True
+        if self.master_v is not None and self.master_v.will_act():
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Hierarchical-mode gating
+    # ------------------------------------------------------------------ #
+    def install_gate(self, on_gathered) -> ReleaseGate:
+        """Defer this network's release stage behind an external gate.
+
+        *on_gathered* fires once per episode when all local cores have
+        arrived; call :meth:`open_gate` to start the release."""
+        self._gate = ReleaseGate(on_gathered)
+        if self.master_v is not None:
+            self.master_v.gate = self._gate
+        return self._gate
+
+    def open_gate(self) -> None:
+        """Upper level grants the release; resume clocking if dormant."""
+        if self._gate is None:
+            return
+        self._gate.is_open = True
+        if self.rows == 1 and self.masters_h[0].flag:
+            self.masters_h[0].release_trigger = True
+        if not self.active and self._will_act():
+            self.active = True
+            self.schedule(0, self._tick, priority=TICK_PRIORITY)
+
+    def fully_idle(self) -> bool:
+        """All controllers in their initial state and no bar_reg set."""
+        return (not any(self.bar_regs.values)
+                and all(mh.idle for mh in self.masters_h)
+                and all(sh.idle for sh in self.slaves_h)
+                and all(sv.idle for sv in self.slaves_v)
+                and (self.master_v is None or self.master_v.idle))

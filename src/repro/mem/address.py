@@ -1,0 +1,90 @@
+"""Address arithmetic, home mapping and a simple data-segment allocator.
+
+Addresses are plain byte addresses.  Words are 8 bytes; cache lines are
+``line_bytes`` (64 by default).  A line's *home tile* -- the tile whose L2
+bank and directory slice own it -- is determined by line-interleaving across
+tiles, which is what tiled CMPs with shared distributed L2 (including the
+paper's Sim-PowerCMP model) commonly do.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+
+WORD_BYTES = 8
+
+
+class AddressMap:
+    """Line/word/home arithmetic for a chip with *num_tiles* tiles."""
+
+    def __init__(self, num_tiles: int, line_bytes: int = 64):
+        if num_tiles < 1:
+            raise ConfigError("num_tiles must be >= 1")
+        if line_bytes < WORD_BYTES or line_bytes % WORD_BYTES:
+            raise ConfigError("line size must be a multiple of 8 bytes")
+        self.num_tiles = num_tiles
+        self.line_bytes = line_bytes
+
+    def line_of(self, addr: int) -> int:
+        """Line base address containing byte *addr*."""
+        return addr - (addr % self.line_bytes)
+
+    def line_index(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def word_of(self, addr: int) -> int:
+        """Word base address containing byte *addr*."""
+        return addr - (addr % WORD_BYTES)
+
+    def home_of(self, addr: int) -> int:
+        """Home tile of the line containing *addr* (line-interleaved)."""
+        return self.line_index(addr) % self.num_tiles
+
+
+class Allocator:
+    """Bump allocator for workload/synchronization data.
+
+    Supports line-aligned allocation and *homed* allocation (placing a line
+    so that its home directory is a chosen tile), which software barriers use
+    to distribute their tree nodes, and workloads use to model
+    first-touch-style placement of per-core partitions.
+    """
+
+    def __init__(self, amap: AddressMap, base: int = 0x1000_0000):
+        self.amap = amap
+        self._next = amap.line_of(base)
+
+    def alloc(self, nbytes: int, *, line_aligned: bool = True,
+              home: int | None = None) -> int:
+        """Allocate *nbytes* and return the base address."""
+        if nbytes <= 0:
+            raise ConfigError("allocation size must be positive")
+        if line_aligned or home is not None:
+            self._align_to_line()
+        if home is not None:
+            if not (0 <= home < self.amap.num_tiles):
+                raise ConfigError(f"home tile {home} out of range")
+            # Advance to the next line whose interleaved home is `home`.
+            idx = self.amap.line_index(self._next)
+            delta = (home - idx) % self.amap.num_tiles
+            self._next += delta * self.amap.line_bytes
+        addr = self._next
+        self._next += nbytes
+        return addr
+
+    def alloc_words(self, nwords: int, **kw) -> int:
+        return self.alloc(nwords * WORD_BYTES, **kw)
+
+    def alloc_line(self, home: int | None = None) -> int:
+        """Allocate one full, exclusive cache line (padding idiom used for
+        synchronization variables to avoid false sharing)."""
+        return self.alloc(self.amap.line_bytes, line_aligned=True, home=home)
+
+    def alloc_array(self, nwords: int, *, home: int | None = None) -> int:
+        """Allocate a word array starting on a line boundary."""
+        return self.alloc(nwords * WORD_BYTES, line_aligned=True, home=home)
+
+    def _align_to_line(self) -> None:
+        rem = self._next % self.amap.line_bytes
+        if rem:
+            self._next += self.amap.line_bytes - rem

@@ -1,0 +1,138 @@
+"""Set-associative cache array with MESI line states and LRU replacement.
+
+This is the *tag/state* array only: data values live in the functional
+memory image, so the array tracks presence, coherence state and recency.
+Used for both private L1s and the shared L2 banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..common.errors import SimulationError
+from ..common.params import CacheConfig
+
+
+class MESI(str, Enum):
+    """Coherence states of a cached line."""
+
+    I = "I"   # invalid / not present
+    S = "S"   # shared, clean
+    E = "E"   # exclusive, clean
+    M = "M"   # modified (dirty, exclusive)
+
+    @property
+    def exclusive(self) -> bool:
+        return self in (MESI.E, MESI.M)
+
+    @property
+    def valid(self) -> bool:
+        return self is not MESI.I
+
+
+@dataclass
+class CacheLineEntry:
+    line_addr: int
+    state: MESI
+    lru: int = 0
+
+
+@dataclass(frozen=True)
+class Victim:
+    """An evicted line returned by :meth:`CacheArray.insert`."""
+
+    line_addr: int
+    state: MESI
+
+    @property
+    def dirty(self) -> bool:
+        return self.state is MESI.M
+
+
+class CacheArray:
+    """Tag/state array: ``num_sets`` sets of ``assoc`` ways, true LRU."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.line_bytes = config.line_bytes
+        self._sets: list[dict[int, CacheLineEntry]] = [
+            {} for _ in range(self.num_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def _set_of(self, line_addr: int) -> dict[int, CacheLineEntry]:
+        return self._sets[(line_addr // self.line_bytes) % self.num_sets]
+
+    def lookup(self, line_addr: int, *, touch: bool = True
+               ) -> CacheLineEntry | None:
+        """Return the entry for *line_addr* if valid, else None."""
+        entry = self._set_of(line_addr).get(line_addr)
+        if entry is None or entry.state is MESI.I:
+            return None
+        if touch:
+            self._tick += 1
+            entry.lru = self._tick
+        return entry
+
+    def probe(self, line_addr: int) -> MESI:
+        """State of *line_addr* without touching LRU (I if absent)."""
+        entry = self._set_of(line_addr).get(line_addr)
+        return MESI.I if entry is None else entry.state
+
+    # ------------------------------------------------------------------ #
+    def insert(self, line_addr: int, state: MESI) -> Victim | None:
+        """Install *line_addr* in *state*; return the victim if one was
+        evicted.  Installing over an existing entry just updates it."""
+        if state is MESI.I:
+            raise SimulationError("cannot insert a line in state I")
+        cset = self._set_of(line_addr)
+        self._tick += 1
+        existing = cset.get(line_addr)
+        if existing is not None:
+            existing.state = state
+            existing.lru = self._tick
+            return None
+        victim = None
+        if len(cset) >= self.assoc:
+            vaddr = min(cset, key=lambda a: cset[a].lru)
+            ventry = cset.pop(vaddr)
+            victim = Victim(vaddr, ventry.state)
+            self.evictions += 1
+        cset[line_addr] = CacheLineEntry(line_addr, state, self._tick)
+        return victim
+
+    def set_state(self, line_addr: int, state: MESI) -> None:
+        """Change the state of a resident line (or drop it for I)."""
+        cset = self._set_of(line_addr)
+        if state is MESI.I:
+            cset.pop(line_addr, None)
+            return
+        entry = cset.get(line_addr)
+        if entry is None:
+            raise SimulationError(
+                f"set_state({state}) on absent line {line_addr:#x}")
+        entry.state = state
+
+    def invalidate(self, line_addr: int) -> MESI:
+        """Drop *line_addr*; returns its prior state (I if absent)."""
+        entry = self._set_of(line_addr).pop(line_addr, None)
+        return MESI.I if entry is None else entry.state
+
+    # ------------------------------------------------------------------ #
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> list[int]:
+        return sorted(a for s in self._sets for a in s)
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1

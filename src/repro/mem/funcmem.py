@@ -1,0 +1,54 @@
+"""Functional memory image (timing-first simulation split).
+
+All architectural *values* live here, updated at operation commit time; the
+timing model (caches, directory, NoC) decides *when* operations commit and
+how much traffic they generate, but can never corrupt values.  This is the
+standard "timing-first" organization used by multiprocessor simulators, and
+it guarantees the synchronization algorithms under study are value-correct
+by construction (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from .address import WORD_BYTES, AddressMap
+
+
+class FunctionalMemory:
+    """Sparse word-granular memory; uninitialized words read as zero."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    def load(self, addr: int) -> int:
+        """Read the word containing byte *addr*."""
+        return self._words.get(addr - addr % WORD_BYTES, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        """Write the word containing byte *addr*."""
+        self._words[addr - addr % WORD_BYTES] = value
+
+    def rmw(self, addr: int, fn) -> tuple[int, int]:
+        """Atomically apply ``fn(old) -> new``; returns ``(old, new)``.
+
+        Atomicity is trivial because the simulation engine is
+        single-threaded; the coherence protocol provides the ordering.
+        """
+        key = addr - addr % WORD_BYTES
+        old = self._words.get(key, 0)
+        new = fn(old)
+        self._words[key] = new
+        return old, new
+
+    def load_array(self, base: int, nwords: int) -> list[int]:
+        return [self.load(base + i * WORD_BYTES) for i in range(nwords)]
+
+    def store_array(self, base: int, values) -> None:
+        for i, v in enumerate(values):
+            self.store(base + i * WORD_BYTES, v)
+
+    def words_in_line(self, amap: AddressMap, line_addr: int) -> list[int]:
+        """Values of all words in one cache line (debug/inspection)."""
+        n = amap.line_bytes // WORD_BYTES
+        return self.load_array(amap.line_of(line_addr), n)

@@ -1,0 +1,256 @@
+"""Private L1 cache controller.
+
+Serves the core's loads, stores and atomics; talks to the home directory
+over the NoC; supports *line watches* -- callbacks fired whenever the line
+is invalidated, downgraded away, or evicted -- which the core uses to
+implement event-driven busy-wait spinning (a spinning core costs zero
+simulator events and zero network traffic while its copy stays valid,
+exactly like real test&test&set spinning, and is woken by the invalidation
+the releasing store causes).
+
+Write-backs keep the evicted line's data in a write-back buffer until the
+home acknowledges (``PutAck``); a forward that crosses with the write-back
+is answered from that buffer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+from ..common.errors import ProtocolError
+from ..common.params import CacheConfig, NocConfig
+from ..common.stats import StatsRegistry
+from ..noc.network import Network
+from ..noc.packet import Message
+from ..sim.component import Component
+from ..sim.engine import Engine
+from .address import AddressMap
+from .cache import CacheArray, MESI, Victim
+from .funcmem import FunctionalMemory
+from .mshr import MshrTable, Waiter
+from .protocol import category_of, size_of
+
+
+class L1Cache(Component):
+    """Private L1 data cache for one core."""
+
+    def __init__(self, engine: Engine, stats: StatsRegistry, tile: int,
+                 l1cfg: CacheConfig, noc_cfg: NocConfig, network: Network,
+                 funcmem: FunctionalMemory, amap: AddressMap):
+        super().__init__(engine, stats, f"l1_{tile}")
+        self.tile = tile
+        self.cfg = l1cfg
+        self.noc_cfg = noc_cfg
+        self.network = network
+        self.funcmem = funcmem
+        self.amap = amap
+        self.array = CacheArray(l1cfg)
+        self.mshr = MshrTable()
+        #: line -> list of pending write-back records.
+        self._wb_buffer: defaultdict[int, list[dict]] = defaultdict(list)
+        #: line -> callbacks fired on invalidate/evict.
+        self._watchers: defaultdict[int, list[Callable[[], None]]] = \
+            defaultdict(list)
+        #: Filled by the chip assembly: tile -> HomeController.
+        self.home_resolver = None
+
+    # ------------------------------------------------------------------ #
+    # Core-facing API.  Callbacks run when the access commits.
+    # ------------------------------------------------------------------ #
+    def load(self, addr: int, callback: Callable[[int], None]) -> None:
+        """Read the word at *addr*; ``callback(value)`` on completion."""
+        self.schedule(self.cfg.total_latency, self._do_load, addr, callback)
+
+    def store(self, addr: int, value: int,
+              callback: Callable[[], None]) -> None:
+        """Write *value* to *addr*; ``callback()`` on commit."""
+        self.schedule(self.cfg.total_latency, self._do_store, addr, value,
+                      callback)
+
+    def atomic(self, addr: int, fn: Callable[[int], int],
+               callback: Callable[[int], None]) -> None:
+        """Atomic read-modify-write; ``callback(old_value)`` on commit."""
+        self.schedule(self.cfg.total_latency, self._do_atomic, addr, fn,
+                      callback)
+
+    def watch(self, addr: int, callback: Callable[[], None]) -> None:
+        """Fire *callback* once, the next time the line holding *addr* is
+        invalidated, downgraded from exclusive, or evicted."""
+        self._watchers[self.amap.line_of(addr)].append(callback)
+
+    # ------------------------------------------------------------------ #
+    def _do_load(self, addr: int, callback) -> None:
+        line = self.amap.line_of(addr)
+        entry = self.array.lookup(line)
+        if entry is not None:
+            self.array.record_hit()
+            self.stats.bump("l1.load_hits")
+            callback(self.funcmem.load(addr))
+        else:
+            self.array.record_miss()
+            self.stats.bump("l1.load_misses")
+            self._miss(line, "S",
+                       lambda: self._do_load_retry(addr, callback))
+
+    def _do_load_retry(self, addr: int, callback) -> None:
+        # After a fill, the line is normally resident; a capacity conflict
+        # in between simply re-runs the access path.
+        self._do_load(addr, callback)
+
+    def _do_store(self, addr: int, value: int, callback) -> None:
+        line = self.amap.line_of(addr)
+        entry = self.array.lookup(line)
+        if entry is not None and entry.state.exclusive:
+            entry.state = MESI.M
+            self.array.record_hit()
+            self.stats.bump("l1.store_hits")
+            self.funcmem.store(addr, value)
+            self._fire_watchers(line)
+            callback()
+        else:
+            self.array.record_miss()
+            self.stats.bump("l1.store_misses"
+                            if entry is None else "l1.store_upgrades")
+            self._miss(line, "M",
+                       lambda: self._do_store(addr, value, callback))
+
+    def _do_atomic(self, addr: int, fn, callback) -> None:
+        line = self.amap.line_of(addr)
+        entry = self.array.lookup(line)
+        if entry is not None and entry.state.exclusive:
+            entry.state = MESI.M
+            self.stats.bump("l1.atomic_hits")
+            old, _new = self.funcmem.rmw(addr, fn)
+            self._fire_watchers(line)
+            callback(old)
+        else:
+            self.stats.bump("l1.atomic_misses")
+            self._miss(line, "M",
+                       lambda: self._do_atomic(addr, fn, callback))
+
+    # ------------------------------------------------------------------ #
+    def _miss(self, line: int, need: str, retry: Callable[[], None]) -> None:
+        pending = self.mshr.get(line)
+        if pending is not None:
+            self.mshr.merge(line, Waiter(need, retry))
+            return
+        entry = self.mshr.allocate(line, need, self.now)
+        entry.waiters.append(Waiter(need, retry))
+        self._send_home(line, "GetS" if need == "S" else "GetM")
+
+    def _send_home(self, line: int, kind: str,
+                   payload_extra: dict | None = None) -> None:
+        home_tile = self.amap.home_of(line)
+        target = self.home_resolver(home_tile)
+        payload = {"line": line}
+        if payload_extra:
+            payload.update(payload_extra)
+        msg = Message(src=self.tile, dst=home_tile, kind=kind,
+                      category=category_of(kind),
+                      size_bytes=size_of(kind, self.noc_cfg),
+                      payload=payload,
+                      on_delivery=target.receive)
+        self.network.send(msg)
+
+    # ------------------------------------------------------------------ #
+    # Inbound from the home
+    # ------------------------------------------------------------------ #
+    def receive(self, msg: Message) -> None:
+        line = msg.payload["line"]
+        kind = msg.kind
+        if kind in ("DataS", "DataE", "GrantM"):
+            self._on_fill(line, kind)
+        elif kind == "Inv":
+            self._on_inv(line)
+        elif kind == "FwdGetS":
+            self._on_fwd_gets(line)
+        elif kind == "FwdInv":
+            self._on_fwd_inv(line)
+        elif kind == "PutAck":
+            self._on_put_ack(line)
+        else:
+            raise ProtocolError(f"L1 {self.tile} got unexpected {kind}")
+
+    def _on_fill(self, line: int, kind: str) -> None:
+        entry = self.mshr.complete(line)
+        if entry.requested == "M" or kind == "GrantM":
+            state = MESI.M
+        elif kind == "DataE":
+            state = MESI.E
+        else:
+            state = MESI.S
+        victim = self.array.insert(line, state)
+        if victim is not None:
+            self._evict(victim)
+        # All waiters (including the original requester) retry their access;
+        # the common case hits immediately in the just-installed line.
+        for waiter in entry.waiters:
+            self.schedule(0, waiter.callback)
+
+    def _on_inv(self, line: int) -> None:
+        # A silent S-eviction may have already dropped the line; ack anyway.
+        self.array.invalidate(line)
+        self.stats.bump("l1.invalidations")
+        self.schedule(self.cfg.latency, self._send_home, line, "InvAck")
+        self._fire_watchers(line)
+
+    def _on_fwd_gets(self, line: int) -> None:
+        entry = self.array.lookup(line, touch=False)
+        if entry is not None:
+            entry.state = MESI.S
+        else:
+            self._mark_wb_supplied(line, "FwdGetS")
+        self.schedule(self.cfg.latency, self._send_home, line, "WbData")
+
+    def _on_fwd_inv(self, line: int) -> None:
+        prior = self.array.invalidate(line)
+        if prior is MESI.I:
+            self._mark_wb_supplied(line, "FwdInv")
+        self.stats.bump("l1.invalidations")
+        self.schedule(self.cfg.latency, self._send_home, line, "WbData")
+        self._fire_watchers(line)
+
+    def _on_put_ack(self, line: int) -> None:
+        records = self._wb_buffer.get(line)
+        if not records:
+            raise ProtocolError(
+                f"L1 {self.tile}: PutAck with empty WB buffer "
+                f"for {line:#x}")
+        records.pop(0)
+        if not records:
+            del self._wb_buffer[line]
+
+    def _mark_wb_supplied(self, line: int, cause: str) -> None:
+        records = self._wb_buffer.get(line)
+        if not records:
+            raise ProtocolError(
+                f"L1 {self.tile}: {cause} for absent line {line:#x} "
+                f"with no write-back in flight")
+        records[0]["supplied"] = True
+
+    # ------------------------------------------------------------------ #
+    def _evict(self, victim: Victim) -> None:
+        self.stats.bump("l1.evictions")
+        # Wake watchers so a spinner never sleeps on a line the directory
+        # no longer associates with us (lost-wakeup prevention).
+        self._fire_watchers(victim.line_addr)
+        if victim.state.exclusive:
+            # E and M evictions both write back (E write-backs carry clean
+            # data; this keeps the directory exact for exclusive lines).
+            self._wb_buffer[victim.line_addr].append({"supplied": False})
+            self._send_home(victim.line_addr, "PutM")
+            self.stats.bump("l1.writebacks")
+        # S evictions are silent.
+
+    def _fire_watchers(self, line: int) -> None:
+        watchers = self._watchers.pop(line, None)
+        if watchers:
+            for cb in watchers:
+                self.schedule(0, cb)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (tests)
+    # ------------------------------------------------------------------ #
+    def state_of(self, addr: int) -> MESI:
+        return self.array.probe(self.amap.line_of(addr))

@@ -1,0 +1,10 @@
+"""2D-mesh network-on-chip model."""
+
+from .link import Link
+from .network import Network
+from .packet import Message
+from .router import Router
+from .topology import Mesh2D
+from .vct import VCTNetwork
+
+__all__ = ["Link", "Network", "Message", "Router", "Mesh2D", "VCTNetwork"]

@@ -1,0 +1,96 @@
+"""The main data network: a 2D mesh with XY routing and hop-level timing.
+
+Every message pays, per hop, the router pipeline latency plus link
+serialization (``flits`` cycles on the link, subject to the link being free)
+plus wire propagation.  Same-tile transfers (an L1 talking to its own L2
+bank) bypass the network entirely and are not counted as network traffic,
+matching how the paper attributes messages.
+"""
+
+from __future__ import annotations
+
+from ..common.params import NocConfig
+from ..common.stats import StatsRegistry
+from ..sim.component import Component
+from ..sim.engine import Engine
+from .link import Link
+from .packet import Message
+from .router import Router
+from .topology import Mesh2D
+
+
+class Network(Component):
+    """Packet-level 2D-mesh interconnect."""
+
+    def __init__(self, engine: Engine, stats: StatsRegistry,
+                 config: NocConfig):
+        super().__init__(engine, stats, "noc")
+        self.config = config
+        self.mesh = Mesh2D(config.rows, config.cols)
+        self.routers = [Router(t) for t in range(self.mesh.num_tiles)]
+        self.links: dict[tuple[int, int], Link] = {}
+        for t in range(self.mesh.num_tiles):
+            for n in self.mesh.neighbors(t):
+                self.links[(t, n)] = Link(t, n)
+
+    # ------------------------------------------------------------------ #
+    def send(self, msg: Message) -> None:
+        """Inject *msg*; its ``on_delivery`` runs at the destination."""
+        msg.send_time = self.now
+        if msg.src == msg.dst:
+            # Local tile transfer: router local-port turnaround only; not a
+            # network message for Figure-7 accounting.
+            self.stats.bump("noc.local_deliveries")
+            self.schedule(self.config.router_latency, self._deliver, msg)
+            return
+
+        path = self.mesh.route(msg.src, msg.dst)
+        msg.hops = len(path) - 1
+        flits = self.config.flits(msg.size_bytes)
+        self.stats.add_message(msg.category, flits, msg.hops)
+        self.routers[msg.src].injected += 1
+        self.routers[msg.dst].ejected += 1
+        for mid in path[1:-1]:
+            self.routers[mid].forwarded += 1
+        # Injection: pay the source router pipeline, then start hopping.
+        self.schedule(self.config.router_latency, self._hop, msg, path, 0,
+                      flits)
+
+    # ------------------------------------------------------------------ #
+    def _hop(self, msg: Message, path: list[int], index: int,
+             flits: int) -> None:
+        """Traverse the link from path[index] to path[index+1]."""
+        here, nxt = path[index], path[index + 1]
+        link = self.links[(here, nxt)]
+        serialized_end = link.occupy(self.now, flits,
+                                     self.config.model_contention)
+        arrival = serialized_end + self.config.link_latency
+        if index + 2 == len(path):
+            # Last hop: eject through the destination router.
+            self.engine.schedule_at(arrival + self.config.router_latency,
+                                    self._deliver, msg)
+        else:
+            self.engine.schedule_at(arrival + self.config.router_latency,
+                                    self._hop, msg, path, index + 1, flits)
+
+    def _deliver(self, msg: Message) -> None:
+        msg.arrive_time = self.now
+        if msg.on_delivery is not None:
+            msg.on_delivery(msg)
+
+    # ------------------------------------------------------------------ #
+    def zero_load_latency(self, src: int, dst: int, size_bytes: int) -> int:
+        """Latency of a message on an idle network (used by tests)."""
+        if src == dst:
+            return self.config.router_latency
+        hops = self.mesh.hops(src, dst)
+        flits = self.config.flits(size_bytes)
+        per_hop = flits + self.config.link_latency + self.config.router_latency
+        return self.config.router_latency + hops * per_hop
+
+    def link_utilization(self) -> dict[tuple[int, int], float]:
+        """Busy fraction per link over the elapsed simulation time."""
+        if self.now == 0:
+            return {key: 0.0 for key in self.links}
+        return {key: link.busy_cycles / self.now
+                for key, link in self.links.items()}

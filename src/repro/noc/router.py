@@ -1,0 +1,28 @@
+"""Per-tile router bookkeeping.
+
+The timing pipeline lives in :class:`repro.noc.network.Network`; the router
+object carries per-tile accounting (messages forwarded, injected, ejected)
+used by utilization reports and the energy proxy.
+"""
+
+from __future__ import annotations
+
+
+class Router:
+    """Statistics shell for the router at one tile."""
+
+    __slots__ = ("tile", "injected", "ejected", "forwarded")
+
+    def __init__(self, tile: int):
+        self.tile = tile
+        #: Messages entering the network at this tile.
+        self.injected = 0
+        #: Messages leaving the network at this tile.
+        self.ejected = 0
+        #: Messages passing through (neither source nor destination).
+        self.forwarded = 0
+
+    @property
+    def traversals(self) -> int:
+        """Total router-pipeline traversals (energy proxy numerator)."""
+        return self.injected + self.ejected + self.forwarded

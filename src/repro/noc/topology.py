@@ -1,0 +1,75 @@
+"""2D-mesh topology and dimension-ordered (XY) routing."""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+
+
+class Mesh2D:
+    """Coordinate bookkeeping for an ``rows x cols`` mesh.
+
+    Tiles are numbered row-major: tile id ``t`` sits at
+    ``(row, col) = (t // cols, t % cols)``.  Routing is deterministic XY
+    (first move along the row to the destination column, then along the
+    column), which is deadlock-free on a mesh.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ConfigError(f"invalid mesh {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def num_tiles(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, tile: int) -> tuple[int, int]:
+        """(row, col) of *tile*."""
+        self._check(tile)
+        return divmod(tile, self.cols)
+
+    def tile_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigError(f"coords ({row},{col}) outside "
+                              f"{self.rows}x{self.cols} mesh")
+        return row * self.cols + col
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two tiles."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """XY path from *src* to *dst*, inclusive of both endpoints."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        path = [self.tile_at(r1, c1)]
+        col = c1
+        while col != c2:
+            col += 1 if c2 > col else -1
+            path.append(self.tile_at(r1, col))
+        row = r1
+        while row != r2:
+            row += 1 if r2 > row else -1
+            path.append(self.tile_at(row, col))
+        return path
+
+    def neighbors(self, tile: int) -> list[int]:
+        """Adjacent tiles (N/S/E/W order not guaranteed)."""
+        r, c = self.coords(tile)
+        out = []
+        if r > 0:
+            out.append(self.tile_at(r - 1, c))
+        if r < self.rows - 1:
+            out.append(self.tile_at(r + 1, c))
+        if c > 0:
+            out.append(self.tile_at(r, c - 1))
+        if c < self.cols - 1:
+            out.append(self.tile_at(r, c + 1))
+        return out
+
+    def _check(self, tile: int) -> None:
+        if not (0 <= tile < self.num_tiles):
+            raise ConfigError(f"tile {tile} outside 0..{self.num_tiles - 1}")

@@ -1,0 +1,8 @@
+"""Discrete-event simulation kernel."""
+
+from .component import Component
+from .engine import Engine
+from .trace import NULL_TRACER, ListTracer, TraceEvent, Tracer
+
+__all__ = ["Component", "Engine", "NULL_TRACER", "ListTracer",
+           "TraceEvent", "Tracer"]

@@ -1,0 +1,30 @@
+"""Base class for simulated hardware components."""
+
+from __future__ import annotations
+
+from .engine import Engine
+from ..common.stats import StatsRegistry
+
+
+class Component:
+    """A named component bound to the shared engine and stats registry.
+
+    Components communicate only by scheduling events on the shared engine;
+    they never call each other synchronously across timing boundaries, which
+    keeps every latency explicit.
+    """
+
+    def __init__(self, engine: Engine, stats: StatsRegistry, name: str):
+        self.engine = engine
+        self.stats = stats
+        self.name = name
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    def schedule(self, delay: int, callback, *args, priority: int = 0) -> None:
+        self.engine.schedule(delay, callback, *args, priority=priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,20 @@
+"""Software synchronization primitives (barriers and locks)."""
+
+from .accounting import BarrierAccounting
+from .api import BarrierImpl
+from .csw import CentralizedBarrier
+from .dissemination import DisseminationBarrier, rounds_for
+from .dsw import CombiningTreeBarrier, TreeNode, build_tree
+from .locks import (MCSLock, PerCoreLockBinding, TicketLock, TTSLock,
+                    bind_mcs)
+from .tournament import TournamentBarrier
+
+__all__ = [
+    "BarrierAccounting",
+    "BarrierImpl",
+    "CentralizedBarrier",
+    "DisseminationBarrier", "rounds_for",
+    "CombiningTreeBarrier", "TreeNode", "build_tree",
+    "MCSLock", "PerCoreLockBinding", "TicketLock", "TTSLock", "bind_mcs",
+    "TournamentBarrier",
+]

@@ -1,0 +1,29 @@
+"""Barrier implementation interface.
+
+A barrier implementation turns the workload-level :class:`repro.cpu.isa.
+BarrierOp` into an operation sequence (a generator of ISA ops) that the
+core executes in the ``BARRIER`` attribution phase.  Software barriers
+(CSW, DSW) emit loads/stores/atomics/spins against coherent shared memory;
+the hardware barrier (GL) emits the library-call overhead plus the
+bar_reg write that engages the G-line network.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+
+class BarrierImpl:
+    """Abstract barrier bound to a chip."""
+
+    #: Short identifier used in reports ("CSW", "DSW", "GL", ...).
+    name: str = "abstract"
+
+    def sequence(self, core, barrier_id: int) -> Generator:
+        """Return the op-generator executing one barrier episode for
+        *core*.  Must be re-invoked for every episode."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description for experiment reports."""
+        return self.name

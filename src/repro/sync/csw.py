@@ -1,0 +1,80 @@
+"""CSW: centralized sense-reversing software barrier.
+
+The paper's first software baseline: "a centralized sense-reversal barrier
+based on locks, where each core increments a centralized shared counter as
+it reaches the barrier, and spins until that counter indicates that all
+cores are present."
+
+Two variants are provided:
+
+* :class:`CentralizedBarrier` (default, ``lock``) -- the counter update is
+  protected by a test&test&set lock, as in the paper's description.  Every
+  arrival serializes through the lock *and* the counter line, producing the
+  O(N) invalidation storms that make CSW collapse in Figure 5.
+* variant ``fetchadd`` -- the lock is replaced by a single fetch&add; still
+  centralized (hot counter line) but cheaper per arrival.  Used by
+  ablations to separate lock cost from centralization cost.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..common.errors import ConfigError
+from ..cpu import isa
+from ..mem.address import Allocator
+from .api import BarrierImpl
+from .locks import TTSLock
+
+
+class CentralizedBarrier(BarrierImpl):
+    """Centralized sense-reversing barrier (CSW)."""
+
+    def __init__(self, allocator: Allocator, num_cores: int,
+                 num_contexts: int = 1, variant: str = "lock"):
+        if variant not in ("lock", "fetchadd"):
+            raise ConfigError(f"unknown CSW variant {variant!r}")
+        self.name = "CSW" if variant == "lock" else "CSW-fa"
+        self.num_cores = num_cores
+        self.variant = variant
+        self._lock_alg = TTSLock()
+        # One line-padded counter / flag / lock per barrier context, all
+        # homed at tile 0 (centralized -- that is the point of CSW).
+        self.contexts = []
+        for _ in range(num_contexts):
+            self.contexts.append({
+                "counter": allocator.alloc_line(home=0),
+                "flag": allocator.alloc_line(home=0),
+                "lock": allocator.alloc_line(home=0),
+            })
+
+    # ------------------------------------------------------------------ #
+    def sequence(self, core, barrier_id: int) -> Generator:
+        ctx = self.contexts[barrier_id]
+        key = ("csw_sense", barrier_id)
+        sense = 1 - core.local.get(key, 0)
+        core.local[key] = sense
+
+        if self.variant == "lock":
+            # S1: lock-protected increment of the central counter.  The
+            # lock algorithm runs inline so its cycles stay attributed to
+            # the Barrier category (it is part of stage S1).
+            yield from self._lock_alg.acquire_seq(ctx["lock"])
+            count = (yield isa.Load(ctx["counter"])) + 1
+            yield isa.Store(ctx["counter"], count)
+            yield from self._lock_alg.release_seq(ctx["lock"])
+        else:
+            count = (yield isa.FetchAdd(ctx["counter"], 1)) + 1
+
+        if count == self.num_cores:
+            # Last arriver: reset the counter and flip the release flag
+            # (S3); the flag store invalidates every spinner.
+            yield isa.Store(ctx["counter"], 0)
+            yield isa.Store(ctx["flag"], sense)
+        else:
+            # S2: local spin on the (cached) release flag.
+            yield isa.SpinUntil(ctx["flag"], lambda v, s=sense: v == s)
+
+    def describe(self) -> str:
+        return (f"centralized sense-reversing barrier "
+                f"({self.variant} variant, {self.num_cores} cores)")

@@ -1,0 +1,73 @@
+"""Dissemination barrier (Hensgen/Finkel/Manber).
+
+A classic O(log N)-round software barrier with *no* combining point: in
+round r every core signals the core ``2^r`` positions ahead (mod N) and
+waits for the signal from ``2^r`` behind.  After ``ceil(log2 N)`` rounds
+everyone has transitively heard from everyone.  Compared to a combining
+tree there is no champion and no release wave -- each core finishes as
+soon as its own last round completes.
+
+Signalling uses per-(receiver, round) flag words carrying a monotonically
+increasing episode number, which makes reuse across episodes race-free
+without sense reversal (a writer can never lap a reader by more than the
+episode the reader is waiting for).
+
+Included as an additional baseline beyond the paper's CSW/DSW: the paper
+claims DSW is "one of the best software approaches"; the dissemination
+barrier is the usual contender, so the harness can check that conclusion
+rather than assume it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..common.errors import ConfigError
+from ..cpu import isa
+from ..mem.address import Allocator
+from .api import BarrierImpl
+
+
+def rounds_for(n: int) -> int:
+    rounds = 0
+    while (1 << rounds) < n:
+        rounds += 1
+    return rounds
+
+
+class DisseminationBarrier(BarrierImpl):
+    """Dissemination barrier over coherent shared memory."""
+
+    name = "DISS"
+
+    def __init__(self, allocator: Allocator, num_cores: int,
+                 num_contexts: int = 1):
+        if num_cores < 1:
+            raise ConfigError("need at least one core")
+        self.num_cores = num_cores
+        self.rounds = rounds_for(num_cores)
+        num_tiles = allocator.amap.num_tiles
+        self.contexts = []
+        for _ in range(num_contexts):
+            # flags[receiver][round]: line-padded, homed at the receiver's
+            # tile so the spin-wait miss is a local refetch.
+            flags = [[allocator.alloc_line(home=c % num_tiles)
+                      for _ in range(max(self.rounds, 1))]
+                     for c in range(num_cores)]
+            self.contexts.append(flags)
+
+    def sequence(self, core, barrier_id: int) -> Generator:
+        flags = self.contexts[barrier_id]
+        key = ("diss_episode", barrier_id)
+        episode = core.local.get(key, 0) + 1
+        core.local[key] = episode
+        cid, n = core.cid, self.num_cores
+        for r in range(self.rounds):
+            target = (cid + (1 << r)) % n
+            yield isa.Store(flags[target][r], episode)
+            yield isa.SpinUntil(flags[cid][r],
+                                lambda v, e=episode: v >= e)
+
+    def describe(self) -> str:
+        return (f"dissemination barrier, {self.num_cores} cores, "
+                f"{self.rounds} rounds")

@@ -1,0 +1,152 @@
+"""DSW: binary combining-tree software barrier.
+
+The paper's strongest software baseline: "a binary combining-tree or
+distributed barrier, where there are several shared counters distributed in
+a binary tree fashion.  All cores are divided into groups assigned to each
+leaf of the tree.  Each core increments its leaf and spins.  Once the last
+one arrives in the group, it continues up the tree to update the parent and
+so on towards the root.  The release phase is similar but in the opposite
+direction (towards the leaves)."
+
+Implementation: a classic combining tree with sense-reversed per-node
+release flags.
+
+* Arrival: each core fetch&adds its leaf's counter; the *last* arriver at a
+  node resets the counter and climbs to the parent; everyone else spins on
+  the release flag of the node where they stopped.
+* Release: the core that was last at the root (the champion) writes the
+  release flags of every node it owned, top-down; woken cores do the same
+  for the nodes *they* owned, producing a logarithmic release wave.
+
+Tree nodes are line-padded and homed at the tile of the first core in the
+node's group, distributing both the counters and the release traffic across
+the chip -- which is exactly why DSW beats CSW in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from ..common.errors import ConfigError
+from ..cpu import isa
+from ..mem.address import Allocator
+from .api import BarrierImpl
+
+
+@dataclass
+class TreeNode:
+    level: int
+    index: int
+    count_addr: int
+    release_addr: int
+    fanin: int
+    parent: "TreeNode | None" = None
+    #: Chip core id whose tile homes this node's lines (for reports).
+    home_core: int = 0
+    children: list = field(default_factory=list)
+
+
+def build_tree(allocator: Allocator, core_ids: list[int], arity: int
+               ) -> tuple[list[TreeNode], dict[int, TreeNode]]:
+    """Build an *arity*-way combining tree over *core_ids*.
+
+    Returns ``(all_nodes, leaf_of_core)``.
+    """
+    if arity < 2:
+        raise ConfigError("tree arity must be >= 2")
+    num_tiles = allocator.amap.num_tiles
+    nodes: list[TreeNode] = []
+    leaf_of: dict[int, TreeNode] = {}
+
+    # Leaves: consecutive groups of `arity` cores.
+    level_nodes: list[TreeNode] = []
+    for i in range(0, len(core_ids), arity):
+        group = core_ids[i:i + arity]
+        home = group[0] % num_tiles
+        node = TreeNode(level=0, index=len(level_nodes),
+                        count_addr=allocator.alloc_line(home=home),
+                        release_addr=allocator.alloc_line(home=home),
+                        fanin=len(group), home_core=group[0])
+        for cid in group:
+            leaf_of[cid] = node
+        level_nodes.append(node)
+        nodes.append(node)
+
+    # Internal levels until a single root remains.
+    level = 0
+    while len(level_nodes) > 1:
+        level += 1
+        next_level: list[TreeNode] = []
+        for i in range(0, len(level_nodes), arity):
+            group = level_nodes[i:i + arity]
+            home = group[0].home_core % num_tiles
+            node = TreeNode(level=level, index=len(next_level),
+                            count_addr=allocator.alloc_line(home=home),
+                            release_addr=allocator.alloc_line(home=home),
+                            fanin=len(group), home_core=group[0].home_core)
+            for child in group:
+                child.parent = node
+                node.children.append(child)
+            next_level.append(node)
+            nodes.append(node)
+        level_nodes = next_level
+    return nodes, leaf_of
+
+
+class CombiningTreeBarrier(BarrierImpl):
+    """Binary (or k-ary) combining-tree barrier (DSW)."""
+
+    name = "DSW"
+
+    def __init__(self, allocator: Allocator, core_ids: list[int],
+                 num_contexts: int = 1, arity: int = 2):
+        if not core_ids:
+            raise ConfigError("combining tree needs at least one core")
+        self.core_ids = list(core_ids)
+        self.arity = arity
+        self.contexts = []
+        for _ in range(num_contexts):
+            nodes, leaf_of = build_tree(allocator, self.core_ids, arity)
+            self.contexts.append({"nodes": nodes, "leaf_of": leaf_of})
+
+    @property
+    def depth(self) -> int:
+        return max(n.level for n in self.contexts[0]["nodes"]) + 1
+
+    # ------------------------------------------------------------------ #
+    def sequence(self, core, barrier_id: int) -> Generator:
+        ctx = self.contexts[barrier_id]
+        key = ("dsw_sense", barrier_id)
+        sense = 1 - core.local.get(key, 0)
+        core.local[key] = sense
+
+        # --- Arrival / combining phase (S1) --------------------------- #
+        node: TreeNode | None = ctx["leaf_of"][core.cid]
+        owned: list[TreeNode] = []   # nodes where this core arrived last
+        stop_node: TreeNode | None = None
+        while node is not None:
+            old = yield isa.FetchAdd(node.count_addr, 1)
+            if old + 1 < node.fanin:
+                stop_node = node
+                break
+            # Last at this node: reset its counter for the next episode
+            # (safe -- nobody re-arrives before the release completes) and
+            # climb.
+            yield isa.Store(node.count_addr, 0)
+            owned.append(node)
+            node = node.parent
+
+        if stop_node is not None:
+            # --- Busy-wait (S2): spin on the stop node's release flag -- #
+            yield isa.SpinUntil(stop_node.release_addr,
+                                lambda v, s=sense: v == s)
+
+        # --- Release wave (S3): wake the nodes we own, top-down -------- #
+        for owned_node in reversed(owned):
+            if owned_node.fanin > 1:
+                yield isa.Store(owned_node.release_addr, sense)
+
+    def describe(self) -> str:
+        return (f"binary combining-tree barrier over "
+                f"{len(self.core_ids)} cores, depth {self.depth}")

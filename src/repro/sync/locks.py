@@ -1,0 +1,142 @@
+"""Software locks over coherent shared memory.
+
+The default is a test&test&set lock: spin locally on a cached copy until
+the lock looks free, then attempt the atomic ``test&set``.  This is the
+classic busy-wait primitive the paper's CSW barrier builds on, and its
+contention behaviour (an invalidation storm per release) is what makes the
+centralized barrier collapse at higher core counts.
+
+A ticket lock is provided as a fairness alternative used by some ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..cpu import isa
+from ..mem.address import WORD_BYTES, Allocator
+
+
+class TTSLock:
+    """test&test&set lock algorithm (stateless; operates on a lock word)."""
+
+    name = "tts"
+
+    def acquire_seq(self, lock_addr: int) -> Generator:
+        while True:
+            value = yield isa.Load(lock_addr)
+            if value == 0:
+                old = yield isa.TestAndSet(lock_addr)
+                if old == 0:
+                    return
+            # Locked: spin locally until the holder's release invalidates
+            # our copy, then retry the atomic.
+            yield isa.SpinUntil(lock_addr, lambda v: v == 0)
+
+    def release_seq(self, lock_addr: int) -> Generator:
+        yield isa.Store(lock_addr, 0)
+
+
+class TicketLock:
+    """Ticket lock: FIFO service order, one atomic per acquisition.
+
+    Layout: two words -- ``next_ticket`` at ``lock_addr`` and
+    ``now_serving`` at ``lock_addr + 8``.  Allocate with
+    :meth:`alloc` so both words share a line (single-line handoff).
+    """
+
+    name = "ticket"
+
+    @staticmethod
+    def alloc(allocator: Allocator, home: int | None = None) -> int:
+        return allocator.alloc_line(home=home)
+
+    def acquire_seq(self, lock_addr: int) -> Generator:
+        ticket = yield isa.FetchAdd(lock_addr, 1)
+        serving_addr = lock_addr + WORD_BYTES
+        value = yield isa.Load(serving_addr)
+        if value != ticket:
+            yield isa.SpinUntil(serving_addr,
+                                lambda v, t=ticket: v == t)
+
+    def release_seq(self, lock_addr: int) -> Generator:
+        serving_addr = lock_addr + WORD_BYTES
+        value = yield isa.Load(serving_addr)
+        yield isa.Store(serving_addr, value + 1)
+
+
+class MCSLock:
+    """MCS queue lock (Mellor-Crummey & Scott): each waiter spins on its
+    *own* line-padded queue node, so a release invalidates exactly one
+    spinner -- the contention-free behaviour the paper's related work
+    ("Synchronization without Contention") introduced.
+
+    Model notes: queue nodes are pre-allocated per core via
+    :meth:`make_nodes`; the lock word holds ``1 + core_id`` of the tail
+    owner (0 = free).  The hand-off encodes MCS's swap/next-pointer
+    protocol with the same message pattern (one atomic swap to enqueue,
+    one store to hand off) without modelling pointer chasing inside the
+    critical path.
+    """
+
+    name = "mcs"
+
+    def __init__(self, allocator: Allocator, num_cores: int):
+        #: Per-core queue node: word 0 = "locked" flag, word 1 = successor
+        #: core id + 1 (0 = none).
+        self.nodes = [allocator.alloc_line(home=c % allocator.amap.num_tiles)
+                      for c in range(num_cores)]
+
+    def _flag(self, core_id: int) -> int:
+        return self.nodes[core_id]
+
+    def _next(self, core_id: int) -> int:
+        return self.nodes[core_id] + WORD_BYTES
+
+    def acquire_seq_for(self, core_id: int, lock_addr: int) -> Generator:
+        # Reset my node, then swap myself in as the tail.
+        yield isa.Store(self._flag(core_id), 1)      # locked until handed
+        yield isa.Store(self._next(core_id), 0)
+        prev = yield isa.Swap(lock_addr, core_id + 1)
+        if prev == 0:
+            return                                   # lock was free
+        # Link behind the previous tail and spin on MY node only.
+        yield isa.Store(self._next(prev - 1), core_id + 1)
+        yield isa.SpinUntil(self._flag(core_id), lambda v: v == 0)
+
+    def release_seq_for(self, core_id: int, lock_addr: int) -> Generator:
+        successor = yield isa.Load(self._next(core_id))
+        if successor == 0:
+            # Maybe no one queued: try to clear the tail.
+            prev = yield isa.AtomicRMW(
+                lock_addr,
+                lambda v, me=core_id + 1: 0 if v == me else v)
+            if prev == core_id + 1:
+                return                               # truly uncontended
+            # Someone is enqueueing; wait for the link then hand off.
+            successor = yield isa.SpinUntil(self._next(core_id),
+                                            lambda v: v != 0)
+        yield isa.Store(self._flag(successor - 1), 0)
+
+
+class PerCoreLockBinding:
+    """Adapter binding an :class:`MCSLock` (which needs the caller's core
+    id) to the chip's core-agnostic lock interface."""
+
+    def __init__(self, mcs: MCSLock, core_id: int):
+        self.mcs = mcs
+        self.core_id = core_id
+
+    def acquire_seq(self, lock_addr: int) -> Generator:
+        return self.mcs.acquire_seq_for(self.core_id, lock_addr)
+
+    def release_seq(self, lock_addr: int) -> Generator:
+        return self.mcs.release_seq_for(self.core_id, lock_addr)
+
+
+def bind_mcs(chip) -> MCSLock:
+    """Install an MCS lock algorithm on every core of *chip*."""
+    mcs = MCSLock(chip.allocator, chip.num_cores)
+    for tile in chip.tiles:
+        tile.core.lock_binding = PerCoreLockBinding(mcs, tile.core.cid)
+    return mcs

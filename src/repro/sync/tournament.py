@@ -1,0 +1,87 @@
+"""Tournament barrier (Hensgen/Finkel/Manber; Lubachevsky variant).
+
+Arrival is a single-elimination tournament with statically determined
+winners: in round r, core ``i`` with bit r set (and lower bits clear)
+"loses" to core ``i - 2^r`` -- it signals the winner's per-round arrival
+flag and then spins on its own release flag.  Core 0 wins every round and
+becomes the champion; the release wave retraces the bracket top-down, each
+winner waking the losers of the rounds it won.
+
+Like the dissemination barrier, flags carry monotonically increasing
+episode numbers, avoiding sense-reversal races across episodes.  Spin
+flags are line-padded and homed at the spinner's tile, so each wake-up
+costs exactly one invalidation + refetch -- the "local spinning" property
+that makes tournament/tree barriers scale.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..common.errors import ConfigError
+from ..cpu import isa
+from ..mem.address import Allocator
+from .api import BarrierImpl
+from .dissemination import rounds_for
+
+
+class TournamentBarrier(BarrierImpl):
+    """Tournament barrier over coherent shared memory."""
+
+    name = "TOUR"
+
+    def __init__(self, allocator: Allocator, num_cores: int,
+                 num_contexts: int = 1):
+        if num_cores < 1:
+            raise ConfigError("need at least one core")
+        self.num_cores = num_cores
+        self.rounds = rounds_for(num_cores)
+        num_tiles = allocator.amap.num_tiles
+        self.contexts = []
+        for _ in range(num_contexts):
+            arrive = [[allocator.alloc_line(home=c % num_tiles)
+                       for _ in range(max(self.rounds, 1))]
+                      for c in range(num_cores)]
+            release = [allocator.alloc_line(home=c % num_tiles)
+                       for c in range(num_cores)]
+            self.contexts.append({"arrive": arrive, "release": release})
+
+    def sequence(self, core, barrier_id: int) -> Generator:
+        ctx = self.contexts[barrier_id]
+        key = ("tour_episode", barrier_id)
+        episode = core.local.get(key, 0) + 1
+        core.local[key] = episode
+        cid, n = core.cid, self.num_cores
+
+        # --- Arrival bracket ------------------------------------------- #
+        rounds_won = 0
+        lost = False
+        for r in range(self.rounds):
+            if cid & ((1 << (r + 1)) - 1):
+                # I have a set bit at position r (lower bits clear by
+                # construction of the loop): lose to the round-r winner.
+                winner = cid - (1 << r)
+                yield isa.Store(ctx["arrive"][winner][r], episode)
+                lost = True
+                break
+            challenger = cid + (1 << r)
+            if challenger < n:
+                # Wait for the round-r loser to report in.
+                yield isa.SpinUntil(ctx["arrive"][cid][r],
+                                    lambda v, e=episode: v >= e)
+            rounds_won += 1
+
+        # --- Wait for the champion's release wave ---------------------- #
+        if lost:
+            yield isa.SpinUntil(ctx["release"][cid],
+                                lambda v, e=episode: v >= e)
+
+        # --- Release the losers of the rounds I won, top-down ---------- #
+        for r in reversed(range(rounds_won)):
+            loser = cid + (1 << r)
+            if loser < n:
+                yield isa.Store(ctx["release"][loser], episode)
+
+    def describe(self) -> str:
+        return (f"tournament barrier, {self.num_cores} cores, "
+                f"{self.rounds} rounds")

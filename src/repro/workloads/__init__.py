@@ -1,0 +1,49 @@
+"""The paper's benchmarks, re-implemented at the operation level."""
+
+from .base import (
+    Workload,
+    WorkloadInfo,
+    chunk_bounds,
+    skewed_bounds,
+    vector_sweep,
+)
+from .em3d import EM3DWorkload
+from .fullscale import fullscale_benchmarks
+from .livermore import Kernel2Workload, Kernel3Workload, Kernel6Workload
+from .ocean import OceanWorkload
+from .stress import StressWorkload
+from .synthetic import SyntheticBarrierWorkload
+from .unstructured import UnstructuredWorkload
+
+__all__ = [
+    "Workload", "WorkloadInfo", "chunk_bounds", "skewed_bounds",
+    "vector_sweep",
+    "EM3DWorkload",
+    "fullscale_benchmarks",
+    "Kernel2Workload", "Kernel3Workload", "Kernel6Workload",
+    "OceanWorkload",
+    "StressWorkload",
+    "SyntheticBarrierWorkload",
+    "UnstructuredWorkload",
+]
+
+
+def default_benchmarks(scale: float = 1.0) -> list[Workload]:
+    """The six Table-2 benchmarks at bench-default (scaled) sizes.
+
+    ``scale`` multiplies iteration/phase counts (values below 1 shrink the
+    run); per-interval structure -- hence barrier period and traffic ratios
+    -- is unchanged.
+    """
+    def s(x: int) -> int:
+        return max(1, round(x * scale))
+
+    return [
+        SyntheticBarrierWorkload(iterations=s(250)),
+        Kernel2Workload(iterations=s(40)),
+        Kernel3Workload(iterations=s(200)),
+        Kernel6Workload(iterations=s(4)),
+        OceanWorkload(phases=s(12)),
+        UnstructuredWorkload(phases=s(10)),
+        EM3DWorkload(steps=s(8)),
+    ]

@@ -1,0 +1,130 @@
+"""Workload abstractions.
+
+A workload builds one operation-generator per core against a concrete chip
+(it allocates its shared data through the chip's allocator, so homes and
+line padding are explicit).  Workloads are re-implementations of the
+paper's benchmarks at the operation level: they reproduce the *structure*
+that drives the paper's results -- how much computation and which memory
+accesses happen between consecutive barriers (the "barrier period" of
+Table 2), how data is shared between cores, and where locks are used.
+
+Every workload takes a ``scale`` knob that divides iteration counts while
+preserving per-iteration structure; Table 2's full-scale parameters are
+recorded in each workload's :class:`WorkloadInfo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..common.errors import WorkloadError
+from ..cpu import isa
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Descriptive metadata mirroring a Table-2 row."""
+
+    name: str
+    input_size: str
+    #: Barriers executed at the configured (possibly scaled) size.
+    num_barriers: int
+    #: Paper's full-scale barrier count (Table 2), for the report.
+    paper_barriers: int
+    #: Paper's measured barrier period in cycles (Table 2).
+    paper_period: int
+
+
+class Workload:
+    """Base class: subclasses implement :meth:`programs`."""
+
+    name = "abstract"
+
+    def build(self, chip) -> list[Generator | None]:
+        """Allocate data on *chip* and return one program per core."""
+        progs = self.programs(chip)
+        if len(progs) != chip.num_cores:
+            raise WorkloadError(
+                f"{self.name}: built {len(progs)} programs for "
+                f"{chip.num_cores} cores")
+        return progs
+
+    def programs(self, chip) -> list[Generator | None]:
+        raise NotImplementedError
+
+    def info(self) -> WorkloadInfo:
+        raise NotImplementedError
+
+    def verify(self, chip) -> None:
+        """Check the run's functional results against a reference.
+
+        Workloads that seed real data (the kernels, OCEAN, EM3D) recompute
+        the expected values with plain Python/NumPy and compare against the
+        chip's functional memory after the run -- an end-to-end check that
+        barrier/lock ordering and the coherent memory system delivered a
+        correct dataflow.  Raises AssertionError on mismatch.  The default
+        is a no-op for workloads without a deterministic reference.
+        """
+
+
+#: Modulus keeping seeded integer dataflows bounded (values stay exact in
+#: both the simulated run and the NumPy/Python reference).
+VALUE_MOD = 997
+
+
+# ---------------------------------------------------------------------- #
+# Partitioning helpers
+# ---------------------------------------------------------------------- #
+def chunk_bounds(n: int, parts: int, index: int) -> tuple[int, int]:
+    """Even block partition of ``range(n)``: bounds of chunk *index*."""
+    if parts < 1 or not (0 <= index < parts):
+        raise WorkloadError(f"bad partition request {index}/{parts}")
+    base, extra = divmod(n, parts)
+    lo = index * base + min(index, extra)
+    hi = lo + base + (1 if index < extra else 0)
+    return lo, hi
+
+
+def skewed_bounds(n: int, parts: int, index: int,
+                  skew: float) -> tuple[int, int]:
+    """Deliberately imbalanced block partition.
+
+    ``skew`` in [0, 1): part 0 gets up to ``(1+skew)`` times the average
+    share, decreasing linearly to ``(1-skew)`` for the last part.  Used by
+    UNSTRUCTURED to reproduce the workload imbalance the paper identifies
+    as the reason its barrier latency is S2-dominated.
+    """
+    if not (0 <= skew < 1):
+        raise WorkloadError(f"skew must be in [0,1), got {skew}")
+    if parts == 1:
+        return 0, n
+    weights = [1.0 + skew * (1 - 2 * i / (parts - 1)) for i in range(parts)]
+    total = sum(weights)
+    # Integer sizes preserving the total (largest-remainder rounding).
+    raw = [n * w / total for w in weights]
+    sizes = [int(x) for x in raw]
+    remainder = n - sum(sizes)
+    fracs = sorted(range(parts), key=lambda i: raw[i] - sizes[i],
+                   reverse=True)
+    for i in fracs[:remainder]:
+        sizes[i] += 1
+    lo = sum(sizes[:index])
+    return lo, lo + sizes[index]
+
+
+# ---------------------------------------------------------------------- #
+# Common op-sequence fragments
+# ---------------------------------------------------------------------- #
+def vector_sweep(base_addrs: list[int], lo: int, hi: int,
+                 stores: list[int] | None = None,
+                 flops_per_elem: int = 2) -> Generator:
+    """Load each of *base_addrs* at indices [lo, hi), do *flops_per_elem*
+    cycles of work per element, optionally store to *stores* arrays."""
+    for k in range(lo, hi):
+        for base in base_addrs:
+            yield isa.Load(base + 8 * k)
+        if flops_per_elem:
+            yield isa.Compute(flops_per_elem)
+        for base in (stores or ()):
+            yield isa.Store(base + 8 * k, k)

@@ -1,0 +1,72 @@
+"""Full-scale (Table 2 exact) benchmark configurations.
+
+These are the paper's actual input sizes.  They are *expensive* under a
+Python timing simulator (Kernel 6 alone executes 1,022,000 barriers); the
+shipped benches default to scaled configurations instead (DESIGN.md §6).
+Use these for overnight validation runs::
+
+    from repro.workloads.fullscale import fullscale_benchmarks
+    for wl in fullscale_benchmarks():
+        ...
+
+Estimated event counts at 32 cores are given per benchmark so users can
+budget runtime (the event engine executes a few hundred thousand events
+per second on commodity hardware).
+"""
+
+from __future__ import annotations
+
+from .em3d import EM3DWorkload
+from .livermore import Kernel2Workload, Kernel3Workload, Kernel6Workload
+from .ocean import OceanWorkload
+from .synthetic import SyntheticBarrierWorkload
+from .unstructured import UnstructuredWorkload
+
+
+def fullscale_synthetic() -> SyntheticBarrierWorkload:
+    """100,000 iterations x 4 barriers = 400,000 barriers."""
+    return SyntheticBarrierWorkload(iterations=100_000)
+
+
+def fullscale_kernel2() -> Kernel2Workload:
+    """1,024 elements, 1,000 iterations -> 10,000 barriers."""
+    return Kernel2Workload(n=1024, iterations=1000)
+
+
+def fullscale_kernel3() -> Kernel3Workload:
+    """1,024 elements, 1,000 iterations -> 1,000 barriers."""
+    return Kernel3Workload(n=1024, iterations=1000)
+
+
+def fullscale_kernel6() -> Kernel6Workload:
+    """1,024 elements, 1,000 iterations -> 1,022,000 barriers."""
+    return Kernel6Workload(n=1024, iterations=1000)
+
+
+def fullscale_ocean() -> OceanWorkload:
+    """258x258 ocean; 364 barrier-separated phases."""
+    return OceanWorkload(grid=258, phases=364)
+
+
+def fullscale_unstructured() -> UnstructuredWorkload:
+    """Mesh.2K-scale irregular mesh, one time step, 80 phases."""
+    return UnstructuredWorkload(nodes=2048, edge_factor=8, phases=80)
+
+
+def fullscale_em3d() -> EM3DWorkload:
+    """38,400 nodes, degree 2, 15% remote, 25 steps (~198 barriers)."""
+    return EM3DWorkload(nodes=38_400, degree=2, remote_frac=0.15,
+                        steps=25, barriers_per_step=8)
+
+
+def fullscale_benchmarks():
+    """All seven Table-2 benchmarks at the paper's exact sizes."""
+    return [
+        fullscale_synthetic(),
+        fullscale_kernel2(),
+        fullscale_kernel3(),
+        fullscale_kernel6(),
+        fullscale_ocean(),
+        fullscale_unstructured(),
+        fullscale_em3d(),
+    ]

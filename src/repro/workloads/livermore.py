@@ -1,0 +1,283 @@
+"""Livermore Loops kernels 2, 3 and 6, parallelized with barriers.
+
+The paper follows Sampson et al. in picking these three kernels: fine-grain
+parallelism that is hard to exploit without cheap synchronization.
+
+* **Kernel 2** -- excerpt from an incomplete Cholesky conjugate gradient
+  (ICCG).  A reduction pyramid: each level halves the working set and
+  every level ends in a barrier (log2(n) barriers per outer iteration;
+  1,024 elements -> 10 levels, matching the paper's 10,000 barriers for
+  1,000 iterations).  Level l's outputs are level l+1's inputs, producing
+  cross-core sharing at chunk boundaries.
+* **Kernel 3** -- inner product.  Each core accumulates a local partial
+  over its (cached-after-first-iteration) slice and publishes it to a
+  line-padded partial slot; one barrier per iteration.  Nearly all traffic
+  this kernel generates comes from the barrier itself -- the property
+  behind the paper's 99.82% traffic reduction.
+* **Kernel 6** -- general linear recurrence.  Every output w[i] needs all
+  previous w[k], so each step parallelizes the partial sums and a rotating
+  reducer core combines them: one barrier per recurrence step (n-2 steps
+  per iteration; 1,024 elements -> 1,022 barriers per iteration, matching
+  the paper's 1,022,000 for 1,000 iterations).  The rotating writes to w[]
+  invalidate every reader, generating the heavy coherence traffic that
+  makes Kernel 6 the least-improved kernel in the paper.
+
+All three seed real data and support :meth:`~repro.workloads.base.
+Workload.verify`: after a run, the values the simulated chip produced are
+checked against a plain-Python reference -- an end-to-end test that
+coherence and synchronization delivered a correct dataflow.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from ..common.errors import WorkloadError
+from ..cpu import isa
+from ..mem.address import WORD_BYTES
+from .base import VALUE_MOD, Workload, WorkloadInfo, chunk_bounds
+
+
+def _check_pow2(n: int) -> None:
+    if n < 4 or n & (n - 1):
+        raise WorkloadError(f"element count must be a power of two >= 4, "
+                            f"got {n}")
+
+
+class Kernel2Workload(Workload):
+    """ICCG reduction pyramid (Livermore Kernel 2)."""
+
+    name = "KERN2"
+
+    def __init__(self, n: int = 1024, iterations: int = 40,
+                 flops_per_elem: int = 4, seed: int = 2):
+        _check_pow2(n)
+        if iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        self.n = n
+        self.iterations = iterations
+        self.flops = flops_per_elem
+        self.seed = seed
+        # Level sizes: n/2, n/4, ..., 1.
+        self.levels: list[int] = []
+        size = n // 2
+        while size >= 1:
+            self.levels.append(size)
+            size //= 2
+
+    def programs(self, chip) -> list[Generator]:
+        rng = random.Random(self.seed)
+        # x holds the pyramid (n inputs followed by each level's outputs);
+        # v holds the coefficients.
+        total_words = self.n + sum(self.levels) + 2
+        x = chip.allocator.alloc_array(total_words)
+        v = chip.allocator.alloc_array(self.n + 2)
+        self._x0 = [rng.randrange(VALUE_MOD) for _ in range(self.n)]
+        self._v0 = [rng.randrange(VALUE_MOD) for _ in range(self.n)]
+        chip.funcmem.store_array(x, self._x0)
+        chip.funcmem.store_array(v, self._v0)
+        self._x_addr = x
+        ncores = chip.num_cores
+
+        def program(cid: int) -> Generator:
+            for _ in range(self.iterations):
+                read_off = 0
+                read_size = self.n
+                for size in self.levels:
+                    write_off = read_off + read_size
+                    lo, hi = chunk_bounds(size, ncores, cid)
+                    for k in range(lo, hi):
+                        i = read_off + 2 * k
+                        a = yield isa.Load(x + WORD_BYTES * i)
+                        b = yield isa.Load(x + WORD_BYTES * (i + 1))
+                        c = yield isa.Load(v + WORD_BYTES * k)
+                        yield isa.Compute(self.flops)
+                        out = (a - c * b) % VALUE_MOD
+                        yield isa.Store(x + WORD_BYTES * (write_off + k),
+                                        out)
+                    yield isa.BarrierOp()
+                    read_off = write_off
+                    read_size = size
+
+        return [program(c) for c in range(chip.num_cores)]
+
+    def reference_pyramid(self) -> list[int]:
+        """Expected contents of the whole pyramid array."""
+        pyramid = list(self._x0)
+        read_off = 0
+        read_size = self.n
+        for size in self.levels:
+            out = [(pyramid[read_off + 2 * k]
+                    - self._v0[k] * pyramid[read_off + 2 * k + 1])
+                   % VALUE_MOD for k in range(size)]
+            pyramid.extend(out)
+            read_off += read_size
+            read_size = size
+        return pyramid
+
+    def verify(self, chip) -> None:
+        expected = self.reference_pyramid()
+        got = chip.funcmem.load_array(self._x_addr, len(expected))
+        assert got == expected, "Kernel 2 pyramid mismatch"
+
+    def info(self) -> WorkloadInfo:
+        return WorkloadInfo(
+            name=self.name,
+            input_size=f"{self.n} elements, {self.iterations} iterations",
+            num_barriers=self.iterations * len(self.levels),
+            paper_barriers=10_000,
+            paper_period=3_103,
+        )
+
+
+class Kernel3Workload(Workload):
+    """Inner product (Livermore Kernel 3)."""
+
+    name = "KERN3"
+
+    def __init__(self, n: int = 1024, iterations: int = 200,
+                 flops_per_elem: int = 2, seed: int = 3):
+        _check_pow2(n)
+        if iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        self.n = n
+        self.iterations = iterations
+        self.flops = flops_per_elem
+        self.seed = seed
+
+    def programs(self, chip) -> list[Generator]:
+        rng = random.Random(self.seed)
+        z = chip.allocator.alloc_array(self.n)
+        x = chip.allocator.alloc_array(self.n)
+        self._z0 = [rng.randrange(100) for _ in range(self.n)]
+        self._x0 = [rng.randrange(100) for _ in range(self.n)]
+        chip.funcmem.store_array(z, self._z0)
+        chip.funcmem.store_array(x, self._x0)
+        ncores = chip.num_cores
+        partials = [chip.allocator.alloc_line(home=c % ncores)
+                    for c in range(ncores)]
+        self._result_addr = chip.allocator.alloc_line(home=0)
+
+        def program(cid: int) -> Generator:
+            lo, hi = chunk_bounds(self.n, ncores, cid)
+            acc = 0
+            for _ in range(self.iterations):
+                acc = 0
+                for k in range(lo, hi):
+                    zv = yield isa.Load(z + WORD_BYTES * k)
+                    xv = yield isa.Load(x + WORD_BYTES * k)
+                    yield isa.Compute(self.flops)
+                    acc += zv * xv
+                # Publish the partial to this core's own padded line (stays
+                # modified in the local L1: no traffic after the first
+                # iteration).
+                yield isa.Store(partials[cid], acc)
+                yield isa.BarrierOp()
+            if cid == 0:
+                # Final reduction, once.
+                total = 0
+                for c in range(ncores):
+                    total += yield isa.Load(partials[c])
+                yield isa.Compute(ncores)
+                yield isa.Store(self._result_addr, total)
+
+        return [program(c) for c in range(chip.num_cores)]
+
+    def verify(self, chip) -> None:
+        expected = sum(zi * xi for zi, xi in zip(self._z0, self._x0))
+        got = chip.funcmem.load(self._result_addr)
+        assert got == expected, \
+            f"Kernel 3 dot product mismatch: {got} != {expected}"
+
+    def info(self) -> WorkloadInfo:
+        return WorkloadInfo(
+            name=self.name,
+            input_size=f"{self.n} elements, {self.iterations} iterations",
+            num_barriers=self.iterations,
+            paper_barriers=1_000,
+            paper_period=2_862,
+        )
+
+
+class Kernel6Workload(Workload):
+    """General linear recurrence (Livermore Kernel 6)."""
+
+    name = "KERN6"
+
+    def __init__(self, n: int = 128, iterations: int = 4,
+                 flops_per_elem: int = 2, seed: int = 6):
+        _check_pow2(n)
+        if iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        self.n = n
+        self.iterations = iterations
+        self.flops = flops_per_elem
+        self.seed = seed
+
+    def programs(self, chip) -> list[Generator]:
+        rng = random.Random(self.seed)
+        w = chip.allocator.alloc_array(self.n)
+        b = chip.allocator.alloc_array(self.n)
+        self._w0 = [rng.randrange(VALUE_MOD), rng.randrange(VALUE_MOD)]
+        self._b0 = [rng.randrange(VALUE_MOD) for _ in range(self.n)]
+        chip.funcmem.store_array(w, self._w0)
+        chip.funcmem.store_array(b, self._b0)
+        self._w_addr = w
+        ncores = chip.num_cores
+        # Double-buffered partial slots (by step parity): the reducer of
+        # step i reads its buffer *after* barrier i, concurrently with the
+        # other cores producing step i+1's partials -- which therefore go
+        # to the other buffer.
+        partials = [[chip.allocator.alloc_line(home=c % ncores)
+                     for c in range(ncores)] for _parity in range(2)]
+
+        def program(cid: int) -> Generator:
+            for _ in range(self.iterations):
+                for i in range(2, self.n):
+                    # Partial sums over w[0 .. i-2]; the reducer handles the
+                    # freshly-written w[i-1] term itself, so no core reads a
+                    # value written after the previous barrier.
+                    lo, hi = chunk_bounds(i - 1, ncores, cid)
+                    acc = 0
+                    for k in range(lo, hi):
+                        wv = yield isa.Load(w + WORD_BYTES * k)
+                        yield isa.Compute(self.flops)
+                        acc += wv
+                    yield isa.Store(partials[i % 2][cid], acc)
+                    yield isa.BarrierOp()
+                    if cid == i % ncores:
+                        # Rotating reducer: combine partials and produce
+                        # w[i] (invalidating every reader of that line).
+                        total = 0
+                        for c in range(ncores):
+                            total += yield isa.Load(partials[i % 2][c])
+                        total += yield isa.Load(w + WORD_BYTES * (i - 1))
+                        total += yield isa.Load(b + WORD_BYTES * i)
+                        yield isa.Compute(self.flops)
+                        yield isa.Store(w + WORD_BYTES * i,
+                                        total % VALUE_MOD)
+
+        return [program(c) for c in range(chip.num_cores)]
+
+    def reference_w(self) -> list[int]:
+        """Expected final w[] after all iterations."""
+        w = list(self._w0) + [0] * (self.n - 2)
+        for _ in range(self.iterations):
+            for i in range(2, self.n):
+                w[i] = (sum(w[:i]) + self._b0[i]) % VALUE_MOD
+        return w
+
+    def verify(self, chip) -> None:
+        expected = self.reference_w()
+        got = chip.funcmem.load_array(self._w_addr, self.n)
+        assert got == expected, "Kernel 6 recurrence mismatch"
+
+    def info(self) -> WorkloadInfo:
+        return WorkloadInfo(
+            name=self.name,
+            input_size=f"{self.n} elements, {self.iterations} iterations",
+            num_barriers=self.iterations * (self.n - 2),
+            paper_barriers=1_022_000,
+            paper_period=4_908,
+        )

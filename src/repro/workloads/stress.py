@@ -1,0 +1,147 @@
+"""Randomized stress workload.
+
+Generates a seeded random mix of every operation type -- compute bursts,
+private and shared loads/stores, atomics, lock-protected critical
+sections, and barriers -- across all cores.  Used by the stress test-suite
+to shake out protocol and synchronization corner cases that structured
+benchmarks never reach, while remaining fully deterministic per seed.
+
+The workload self-checks two invariants after the run (:meth:`verify`):
+
+* every lock-protected counter equals the number of critical sections
+  executed against it (no lost updates -> mutual exclusion held);
+* every atomic counter equals the number of fetch&adds issued.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from ..common.errors import WorkloadError
+from ..cpu import isa
+from ..mem.address import WORD_BYTES
+from .base import Workload, WorkloadInfo
+
+
+class StressWorkload(Workload):
+    """Deterministic random op-mix with self-checking counters."""
+
+    name = "Stress"
+
+    def __init__(self, ops_per_core: int = 120, barriers: int = 4,
+                 shared_lines: int = 6, locks: int = 2, seed: int = 7):
+        if ops_per_core < 1 or barriers < 0:
+            raise WorkloadError("ops_per_core >= 1, barriers >= 0")
+        if shared_lines < 1 or locks < 1:
+            raise WorkloadError("need at least one shared line and lock")
+        self.ops_per_core = ops_per_core
+        self.barriers = barriers
+        self.shared_lines = shared_lines
+        self.locks = locks
+        self.seed = seed
+        self._cs_counts: dict[int, int] = {}
+        self._atomic_counts: dict[int, int] = {}
+
+    def programs(self, chip) -> list[Generator]:
+        rng = random.Random(self.seed)
+        ncores = chip.num_cores
+        shared = [chip.allocator.alloc_line()
+                  for _ in range(self.shared_lines)]
+        self._lock_addrs = [chip.allocator.alloc_line()
+                            for _ in range(self.locks)]
+        self._lock_counters = [chip.allocator.alloc_line()
+                               for _ in range(self.locks)]
+        self._atomic_addrs = [chip.allocator.alloc_line()
+                              for _ in range(self.shared_lines)]
+        private = [chip.allocator.alloc_array(32) for _ in range(ncores)]
+        self._cs_counts = {i: 0 for i in range(self.locks)}
+        self._atomic_counts = {i: 0 for i in range(self.shared_lines)}
+
+        # Pre-generate each core's op script (determinism: one rng, fixed
+        # traversal order).
+        scripts: list[list] = [[] for _ in range(ncores)]
+        barrier_points = set()
+        if self.barriers:
+            step = self.ops_per_core // (self.barriers + 1)
+            barrier_points = {step * (k + 1) for k in range(self.barriers)}
+        for cid in range(ncores):
+            for op_idx in range(self.ops_per_core):
+                if op_idx in barrier_points:
+                    scripts[cid].append(("barrier",))
+                    continue
+                roll = rng.random()
+                if roll < 0.25:
+                    scripts[cid].append(("compute",
+                                         rng.randrange(1, 60)))
+                elif roll < 0.45:
+                    scripts[cid].append(("load_private",
+                                         private[cid]
+                                         + WORD_BYTES
+                                         * rng.randrange(32)))
+                elif roll < 0.60:
+                    scripts[cid].append(("store_private",
+                                         private[cid]
+                                         + WORD_BYTES
+                                         * rng.randrange(32),
+                                         rng.randrange(1000)))
+                elif roll < 0.72:
+                    scripts[cid].append(("load_shared",
+                                         rng.choice(shared)))
+                elif roll < 0.80:
+                    scripts[cid].append(("store_shared",
+                                         rng.choice(shared),
+                                         rng.randrange(1000)))
+                elif roll < 0.90:
+                    which = rng.randrange(self.shared_lines)
+                    scripts[cid].append(("atomic", which))
+                    self._atomic_counts[which] += 1
+                else:
+                    which = rng.randrange(self.locks)
+                    scripts[cid].append(("critical", which,
+                                         rng.randrange(1, 20)))
+                    self._cs_counts[which] += 1
+
+        def program(cid: int) -> Generator:
+            for op in scripts[cid]:
+                kind = op[0]
+                if kind == "barrier":
+                    yield isa.BarrierOp()
+                elif kind == "compute":
+                    yield isa.Compute(op[1])
+                elif kind in ("load_private", "load_shared"):
+                    yield isa.Load(op[1])
+                elif kind in ("store_private", "store_shared"):
+                    yield isa.Store(op[1], op[2])
+                elif kind == "atomic":
+                    yield isa.FetchAdd(self._atomic_addrs[op[1]], 1)
+                else:  # critical section
+                    _which, hold = op[1], op[2]
+                    yield isa.AcquireLock(self._lock_addrs[_which])
+                    value = yield isa.Load(self._lock_counters[_which])
+                    yield isa.Compute(hold)
+                    yield isa.Store(self._lock_counters[_which], value + 1)
+                    yield isa.ReleaseLock(self._lock_addrs[_which])
+
+        return [program(c) for c in range(ncores)]
+
+    def verify(self, chip) -> None:
+        for which, expected in self._cs_counts.items():
+            got = chip.funcmem.load(self._lock_counters[which])
+            assert got == expected, \
+                f"lock {which}: {got} != {expected} critical sections"
+        for which, expected in self._atomic_counts.items():
+            got = chip.funcmem.load(self._atomic_addrs[which])
+            assert got == expected, \
+                f"atomic {which}: {got} != {expected} increments"
+        for addr in self._lock_addrs:
+            assert chip.funcmem.load(addr) == 0, "lock left held"
+
+    def info(self) -> WorkloadInfo:
+        return WorkloadInfo(
+            name=self.name,
+            input_size=f"{self.ops_per_core} ops/core, seed {self.seed}",
+            num_barriers=self.barriers,
+            paper_barriers=0,
+            paper_period=0,
+        )

@@ -1,0 +1,49 @@
+"""Breakdown/normalization math tests."""
+
+from repro.analysis.breakdown import (Breakdown, BreakdownComparison,
+                                      FIG6_ORDER, average_normalized)
+from repro.common.stats import CycleCat
+
+
+def bd(label, **cycles):
+    full = {cat: 0 for cat in CycleCat}
+    for key, value in cycles.items():
+        full[CycleCat(key)] = value
+    return Breakdown(label, full)
+
+
+def test_total_and_normalization():
+    b = bd("DSW", busy=60, barrier=40)
+    assert b.total == 100
+    norm = b.normalized_to(200)
+    assert norm[CycleCat.BUSY] == 0.3
+    assert norm[CycleCat.BARRIER] == 0.2
+
+
+def test_comparison_reduction():
+    comp = BreakdownComparison("K", bd("DSW", busy=50, barrier=50),
+                               bd("GL", busy=50, barrier=10))
+    assert comp.normalized_treated_total == 0.6
+    assert abs(comp.time_reduction - 0.4) < 1e-12
+
+
+def test_rows_follow_fig6_order():
+    comp = BreakdownComparison("K", bd("DSW", busy=10),
+                               bd("GL", busy=10))
+    labels = [r[0] for r in comp.rows()]
+    assert labels == [c.value for c in FIG6_ORDER]
+    assert labels[0] == "barrier"
+
+
+def test_average_normalized():
+    comps = [
+        BreakdownComparison("A", bd("DSW", busy=100), bd("GL", busy=50)),
+        BreakdownComparison("B", bd("DSW", busy=100), bd("GL", busy=70)),
+    ]
+    assert abs(average_normalized(comps) - 0.6) < 1e-12
+    assert average_normalized([]) == 0.0
+
+
+def test_zero_baseline_safe():
+    comp = BreakdownComparison("Z", bd("DSW"), bd("GL", busy=5))
+    assert comp.normalized_treated_total == 5.0  # degenerate but defined

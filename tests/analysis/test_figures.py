@@ -1,0 +1,49 @@
+"""ASCII figure rendering tests."""
+
+from repro.analysis.figures import (fig5_chart, log_chart, stacked_bar,
+                                    stacked_bar_chart)
+
+
+def test_log_chart_places_markers():
+    chart = log_chart({"csw": {4: 1000, 8: 10000},
+                       "gl": {4: 13, 8: 13}}, title="T")
+    assert "T" in chart
+    assert "C" in chart and "G" in chart
+    # GL's marker row is below CSW's (smaller value = lower on the chart).
+    lines = chart.splitlines()
+    c_rows = [i for i, l in enumerate(lines) if "C" in l and "|" in l]
+    g_rows = [i for i, l in enumerate(lines) if "G" in l and "|" in l
+              and "G=gl" not in l]
+    assert min(g_rows) > min(c_rows)
+
+
+def test_log_chart_axis_labels():
+    chart = log_chart({"a": {1: 10, 2: 1000}})
+    assert "1e1" in chart and "1e3" in chart
+
+
+def test_log_chart_empty():
+    assert log_chart({}, title="empty") == "empty"
+
+
+def test_stacked_bar_widths():
+    bar = stacked_bar([0.5, 0.25], width=40)
+    assert bar.count("#") == 20
+    assert bar.count("=") == 10
+
+
+def test_stacked_bar_chart_rows_and_legend():
+    out = stacked_bar_chart(
+        [("A/DSW", [0.6, 0.4]), ("A/GL", [0.1, 0.2])],
+        categories=["barrier", "busy"], title="X")
+    assert "A/DSW" in out and "A/GL" in out
+    assert "#=barrier" in out
+    assert "1.00" in out and "0.30" in out
+
+
+def test_fig5_chart_from_experiment_shape():
+    chart = fig5_chart({"csw": {4: 600, 32: 50000},
+                        "dsw": {4: 220, 32: 1200},
+                        "gl": {4: 13, 32: 13}})
+    assert "Figure 5" in chart
+    assert "C=CSW" in chart and "G=GL" in chart

@@ -1,0 +1,87 @@
+"""Traffic, energy and report-rendering tests."""
+
+from repro.analysis.energy import (EnergyEstimate, LINK_ENERGY,
+                                   ROUTER_ENERGY, estimate, reduction)
+from repro.analysis.report import pct, render_bar, render_table
+from repro.analysis.traffic import (FIG7_ORDER, Traffic, TrafficComparison,
+                                    average_normalized)
+from repro.common.stats import MsgCat, StatsRegistry
+from repro.chip.results import RunResult
+
+
+def tr(label, coherence=0, reply=0, request=0):
+    msgs = {MsgCat.COHERENCE: coherence, MsgCat.REPLY: reply,
+            MsgCat.REQUEST: request}
+    return Traffic(label, msgs, dict(msgs), dict(msgs))
+
+
+# ---------------------------------------------------------------------- #
+def test_traffic_totals_and_norm():
+    t = tr("DSW", coherence=30, reply=20, request=50)
+    assert t.total == 100
+    norm = t.normalized_to(200)
+    assert norm[MsgCat.REQUEST] == 0.25
+
+
+def test_traffic_comparison():
+    comp = TrafficComparison("K", tr("DSW", request=100),
+                             tr("GL", request=25))
+    assert comp.normalized_treated_total == 0.25
+    assert comp.traffic_reduction == 0.75
+    labels = [r[0] for r in comp.rows()]
+    assert labels == [c.value for c in FIG7_ORDER]
+
+
+def test_traffic_average():
+    comps = [TrafficComparison("A", tr("D", request=10), tr("G", request=5)),
+             TrafficComparison("B", tr("D", request=10), tr("G", request=1))]
+    assert abs(average_normalized(comps) - 0.3) < 1e-12
+
+
+# ---------------------------------------------------------------------- #
+def make_result_with_traffic():
+    stats = StatsRegistry(2)
+    stats.add_message(MsgCat.REQUEST, flits=1, hops=2)
+    stats.add_message(MsgCat.REPLY, flits=1, hops=2)
+    stats.gline_toggles = 10
+    return RunResult(total_cycles=100, barrier_name="GL", num_cores=2,
+                     stats=stats, events_executed=1)
+
+
+def test_energy_estimate_components():
+    res = make_result_with_traffic()
+    e = estimate("GL", res)
+    assert e.link_energy == 4 * LINK_ENERGY     # 2 msgs x 1 flit x 2 hops
+    assert e.router_energy == 4 * ROUTER_ENERGY
+    assert e.gline_energy == 10
+    assert e.total == e.data_network + 10
+
+
+def test_energy_reduction():
+    a = EnergyEstimate("DSW", 100, 300, 0)
+    b = EnergyEstimate("GL", 10, 30, 20)
+    assert abs(reduction(a, b) - (1 - 60 / 400)) < 1e-12
+    assert reduction(EnergyEstimate("z", 0, 0, 0), b) == 0.0
+
+
+# ---------------------------------------------------------------------- #
+def test_render_table_alignment():
+    out = render_table(["A", "Benchmark"], [[1, "x"], [22, "yy"]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "Benchmark" in lines[2]
+    assert len({len(l) for l in lines[2:]} ) <= 2  # aligned columns
+
+
+def test_render_table_number_formats():
+    out = render_table(["v"], [[1234567], [0.123], [0.0012]])
+    assert "1,234,567" in out
+    assert "0.12" in out
+    assert "0.0012" in out
+
+
+def test_render_bar_and_pct():
+    assert render_bar(0.5, width=10) == "#####"
+    assert render_bar(0.0) == ""
+    assert pct(0.683) == "68.3%"

@@ -1,0 +1,95 @@
+"""Shape-validation module tests (using synthetic result objects)."""
+
+from repro.analysis.breakdown import Breakdown, BreakdownComparison
+from repro.analysis.traffic import Traffic, TrafficComparison
+from repro.analysis.validation import (all_passed, check_fig5, check_fig6,
+                                       check_fig7, render_checklist,
+                                       validate_all)
+from repro.common.stats import CycleCat, MsgCat
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Result
+
+
+def fig5(gl=13.0, ordered=True):
+    r = Fig5Result(core_counts=(4, 16), impls=("csw", "dsw", "gl"),
+                   iterations=1)
+    r.cycles_per_barrier = {
+        "csw": {4: 600.0, 16: 10_000.0},
+        "dsw": {4: 200.0, 16: 700.0},
+        "gl": {4: gl, 16: gl},
+    }
+    if not ordered:
+        r.cycles_per_barrier["gl"] = {4: 900.0, 16: 900.0}
+    return r
+
+
+def bd(total):
+    cycles = {cat: 0 for cat in CycleCat}
+    cycles[CycleCat.BUSY] = total
+    return Breakdown("x", cycles)
+
+
+def fig6(values):
+    r = Fig6Result()
+    for name, ratio in values.items():
+        r.comparisons[name] = BreakdownComparison(
+            name, bd(1000), bd(int(1000 * ratio)))
+    return r
+
+
+def tr(total):
+    msgs = {MsgCat.REQUEST: total, MsgCat.REPLY: 0, MsgCat.COHERENCE: 0}
+    return Traffic("x", msgs, dict(msgs), dict(msgs))
+
+
+def fig7(values):
+    r = Fig7Result()
+    for name, ratio in values.items():
+        r.comparisons[name] = TrafficComparison(
+            name, tr(1000), tr(int(1000 * ratio)))
+    return r
+
+
+GOOD_FIG6 = {"KERN2": 0.33, "KERN3": 0.18, "KERN6": 0.70,
+             "UNSTR": 0.97, "OCEAN": 0.98, "EM3D": 0.42}
+GOOD_FIG7 = {"KERN2": 0.21, "KERN3": 0.02, "KERN6": 0.28,
+             "UNSTR": 0.93, "OCEAN": 0.97, "EM3D": 0.53}
+
+
+def test_good_results_pass_everything():
+    checks = validate_all(fig5(), fig6(GOOD_FIG6), fig7(GOOD_FIG7))
+    assert all_passed(checks), render_checklist(checks)
+    assert len(checks) >= 12
+
+
+def test_bad_fig5_ordering_fails():
+    checks = check_fig5(fig5(ordered=False))
+    assert not all_passed(checks)
+
+
+def test_wrong_gl_latency_fails():
+    checks = check_fig5(fig5(gl=40.0))
+    failing = [c for c in checks if not c.passed]
+    assert any("13" in c.name for c in failing)
+
+
+def test_fig6_wrong_kernel_ordering_fails():
+    values = dict(GOOD_FIG6)
+    values["KERN3"] = 0.9  # worse than KERN2: wrong shape
+    checks = check_fig6(fig6(values))
+    assert not all_passed(checks)
+
+
+def test_fig7_kern3_not_vanishing_fails():
+    values = dict(GOOD_FIG7)
+    values["KERN3"] = 0.5
+    checks = check_fig7(fig7(values))
+    assert not all_passed(checks)
+
+
+def test_render_checklist_counts():
+    checks = validate_all(fig5())
+    text = render_checklist(checks)
+    assert "shape checks passed" in text
+    assert text.count("PASS") == sum(c.passed for c in checks)

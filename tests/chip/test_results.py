@@ -1,0 +1,54 @@
+"""RunResult bundle tests."""
+
+from repro.chip.results import RunResult
+from repro.common.stats import (BarrierSample, CycleCat, MsgCat,
+                                StatsRegistry)
+
+
+def make_result():
+    stats = StatsRegistry(2)
+    stats.add_cycles(0, CycleCat.BUSY, 600)
+    stats.add_cycles(0, CycleCat.BARRIER, 400)
+    stats.add_cycles(1, CycleCat.READ, 1000)
+    stats.add_message(MsgCat.REQUEST, 1, 2)
+    stats.add_message(MsgCat.REPLY, 1, 2)
+    stats.add_barrier(BarrierSample(1, 0, 10, 14))
+    stats.add_barrier(BarrierSample(2, 100, 120, 126))
+    return RunResult(total_cycles=1000, barrier_name="GL", num_cores=2,
+                     stats=stats, events_executed=50)
+
+
+def test_cycle_breakdown_and_fractions():
+    res = make_result()
+    bd = res.cycle_breakdown()
+    assert bd[CycleCat.BUSY] == 600
+    fr = res.cycle_fractions()
+    assert abs(sum(fr.values()) - 1.0) < 1e-9
+    assert fr[CycleCat.READ] == 0.5
+
+
+def test_message_accessors():
+    res = make_result()
+    assert res.total_messages() == 2
+    assert res.messages()[MsgCat.REQUEST] == 1
+
+
+def test_barrier_metrics():
+    res = make_result()
+    assert res.num_barriers() == 2
+    assert res.avg_barrier_latency() == (4 + 6) / 2
+    assert res.barrier_period() == 500
+    assert res.barrier_cycles() == 400
+
+
+def test_barrier_period_without_barriers():
+    stats = StatsRegistry(1)
+    res = RunResult(100, "GL", 1, stats, 1)
+    assert res.barrier_period() == float("inf")
+
+
+def test_summary_contains_key_facts():
+    text = make_result().summary()
+    assert "barrier=GL" in text
+    assert "cores=2" in text
+    assert "barriers: 2" in text

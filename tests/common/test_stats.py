@@ -1,0 +1,73 @@
+"""StatsRegistry tests."""
+
+from repro.common.stats import (BarrierSample, CycleCat, MsgCat,
+                                StatsRegistry)
+
+
+def test_counters_accumulate():
+    s = StatsRegistry(2)
+    s.bump("x")
+    s.bump("x", 4)
+    assert s.counters["x"] == 5
+    assert s.counters["unset"] == 0
+
+
+def test_cycle_attribution_per_core_and_total():
+    s = StatsRegistry(3)
+    s.add_cycles(0, CycleCat.BUSY, 10)
+    s.add_cycles(1, CycleCat.BARRIER, 7)
+    s.add_cycles(0, CycleCat.BUSY, 5)
+    assert s.core_cycle_breakdown(0)[CycleCat.BUSY] == 15
+    assert s.core_cycle_breakdown(1)[CycleCat.BARRIER] == 7
+    total = s.cycle_breakdown()
+    assert total[CycleCat.BUSY] == 15
+    assert total[CycleCat.BARRIER] == 7
+    assert total[CycleCat.LOCK] == 0
+
+
+def test_zero_cycles_not_recorded():
+    s = StatsRegistry(1)
+    s.add_cycles(0, CycleCat.READ, 0)
+    assert CycleCat.READ not in s.cycles[0]
+
+
+def test_message_accounting():
+    s = StatsRegistry(1)
+    s.add_message(MsgCat.REQUEST, flits=1, hops=3)
+    s.add_message(MsgCat.REPLY, flits=2, hops=3)
+    s.add_message(MsgCat.REQUEST, flits=1, hops=1)
+    assert s.messages[MsgCat.REQUEST] == 2
+    assert s.total_messages() == 3
+    assert s.flits[MsgCat.REPLY] == 2
+    assert s.hop_flits[MsgCat.REPLY] == 6
+    assert s.hop_flits[MsgCat.REQUEST] == 4
+
+
+def test_barrier_samples_and_latency():
+    s = StatsRegistry(2)
+    s.add_barrier(BarrierSample(1, first_arrival=10, last_arrival=20,
+                                release=24))
+    s.add_barrier(BarrierSample(2, first_arrival=30, last_arrival=30,
+                                release=36))
+    assert s.num_barriers() == 2
+    assert s.avg_barrier_latency() == (4 + 6) / 2
+    assert s.avg_barrier_span() == (14 + 6) / 2
+    assert s.barriers[0].span == 14
+
+
+def test_empty_barrier_stats():
+    s = StatsRegistry(1)
+    assert s.avg_barrier_latency() == 0.0
+    assert s.avg_barrier_span() == 0.0
+
+
+def test_snapshot_is_plain_data():
+    s = StatsRegistry(1)
+    s.bump("a")
+    s.add_cycles(0, CycleCat.BUSY, 3)
+    s.add_message(MsgCat.COHERENCE, 1, 2)
+    snap = s.snapshot()
+    assert snap["counters"] == {"a": 1}
+    assert snap["cycle_breakdown"]["busy"] == 3
+    assert snap["messages"]["coherence"] == 1
+    assert snap["total_messages"] == 1

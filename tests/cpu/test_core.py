@@ -1,0 +1,203 @@
+"""Core execution-model tests."""
+
+import pytest
+
+from helpers import make_chip, run_uniform
+from repro.common.errors import SimulationError
+from repro.common.stats import CycleCat
+from repro.cpu import isa
+
+
+def run_single(chip, program):
+    """Run *program* on core 0 of *chip*; other cores idle."""
+    progs = [None] * chip.num_cores
+    progs[0] = program
+    return chip.run(progs)
+
+
+def test_compute_advances_time():
+    chip = make_chip(2)
+
+    def prog():
+        yield isa.Compute(100)
+        yield isa.Compute(23)
+
+    res = run_single(chip, prog())
+    assert res.total_cycles == 123
+    assert chip.stats.core_cycle_breakdown(0)[CycleCat.BUSY] == 123
+
+
+def test_load_value_delivered_to_program():
+    chip = make_chip(2)
+    chip.funcmem.store(0x40, 17)
+    seen = []
+
+    def prog():
+        value = yield isa.Load(0x40)
+        seen.append(value)
+
+    run_single(chip, prog())
+    assert seen == [17]
+
+
+def test_store_then_load_round_trip():
+    chip = make_chip(2)
+    seen = []
+
+    def prog():
+        yield isa.Store(0x40, 5)
+        seen.append((yield isa.Load(0x40)))
+
+    run_single(chip, prog())
+    assert seen == [5]
+
+
+def test_atomic_returns_old_value():
+    chip = make_chip(2)
+    chip.funcmem.store(0x40, 9)
+    seen = []
+
+    def prog():
+        seen.append((yield isa.FetchAdd(0x40, 1)))
+        seen.append((yield isa.Load(0x40)))
+
+    run_single(chip, prog())
+    assert seen == [9, 10]
+
+
+def test_read_write_attribution():
+    chip = make_chip(2)
+
+    def prog():
+        yield isa.Load(0x40)
+        yield isa.Store(0x80, 1)
+
+    run_single(chip, prog())
+    bd = chip.stats.core_cycle_breakdown(0)
+    assert bd[CycleCat.READ] > 0
+    assert bd[CycleCat.WRITE] > 0
+    assert bd[CycleCat.BARRIER] == 0
+
+
+def test_barrier_ops_attributed_to_barrier_phase():
+    chip = make_chip(2, barrier="dsw")
+    res = run_uniform(chip, lambda c: iter([isa.BarrierOp()]))
+    bd = chip.stats.cycle_breakdown()
+    # Everything the software barrier did (atomics, spins, stores) must be
+    # attributed to BARRIER, not READ/WRITE.
+    assert bd[CycleCat.BARRIER] > 0
+    assert bd[CycleCat.READ] == 0
+    assert bd[CycleCat.WRITE] == 0
+
+
+def test_lock_attribution_outside_barrier():
+    chip = make_chip(2)
+    lock = chip.allocator.alloc_line()
+
+    def prog(cid):
+        yield isa.AcquireLock(lock)
+        yield isa.Compute(10)
+        yield isa.ReleaseLock(lock)
+
+    run_uniform(chip, prog)
+    bd = chip.stats.cycle_breakdown()
+    assert bd[CycleCat.LOCK] > 0
+    assert bd[CycleCat.BUSY] == 20  # the critical sections
+
+
+def test_spin_until_wakes_on_remote_store():
+    chip = make_chip(2)
+    flag = chip.allocator.alloc_line()
+    events = []
+
+    def waiter():
+        value = yield isa.SpinUntil(flag, lambda v: v == 7)
+        events.append(("woke", value, chip.engine.now))
+
+    def setter():
+        yield isa.Compute(500)
+        yield isa.Store(flag, 7)
+
+    chip.run([waiter(), setter()])
+    assert events and events[0][1] == 7
+    assert events[0][2] >= 500
+
+
+def test_spin_satisfied_immediately_if_value_present():
+    chip = make_chip(2)
+    flag = chip.allocator.alloc_line()
+    chip.funcmem.store(flag, 1)
+
+    def prog():
+        yield isa.SpinUntil(flag, lambda v: v == 1)
+
+    res = run_single(chip, prog())
+    # One cold miss (L2 + memory fetch), but no waiting beyond it.
+    assert res.total_cycles < 600
+    assert res.events_executed < 40
+
+
+def test_spinner_generates_no_events_while_waiting():
+    """Event-driven spin: a long quiescent wait costs O(1) events."""
+    chip = make_chip(2)
+    flag = chip.allocator.alloc_line()
+
+    def waiter():
+        yield isa.SpinUntil(flag, lambda v: v == 1)
+
+    def setter():
+        yield isa.Compute(100_000)
+        yield isa.Store(flag, 1)
+
+    res = chip.run([waiter(), setter()])
+    assert res.total_cycles >= 100_000
+    assert res.events_executed < 200
+
+
+def test_unknown_op_rejected():
+    chip = make_chip(2)
+
+    def prog():
+        yield "not an op"
+
+    with pytest.raises(SimulationError, match="unknown op"):
+        run_single(chip, prog())
+
+
+def test_negative_compute_rejected():
+    chip = make_chip(2)
+    with pytest.raises(SimulationError):
+        run_single(chip, iter([isa.Compute(-5)]))
+
+
+def test_core_finish_records_time():
+    chip = make_chip(2)
+    run_single(chip, iter([isa.Compute(42)]))
+    core = chip.cores[0]
+    assert core.finished
+    assert core.finish_time == 42
+    assert core.ops_executed == 1
+
+
+def test_cannot_start_running_core():
+    chip = make_chip(2)
+    core = chip.cores[0]
+    core.start(iter([isa.Compute(1_000)]))
+    with pytest.raises(SimulationError):
+        core.start(iter([isa.Compute(1)]))
+
+
+def test_generator_return_value_propagates_through_frames():
+    chip = make_chip(2, barrier="dsw")
+    collected = []
+
+    def prog():
+        # Nested plain yield-from returns its value to the caller.
+        def inner():
+            yield isa.Compute(1)
+            return 42
+        value = yield from inner()
+        collected.append(value)
+
+    run_single(chip, prog())
+    assert collected == [42]

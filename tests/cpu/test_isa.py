@@ -1,0 +1,47 @@
+"""Operation ISA tests."""
+
+from repro.cpu import isa
+
+
+def test_fetch_add_semantics():
+    op = isa.FetchAdd(0x100, 5)
+    assert isinstance(op, isa.AtomicRMW)
+    assert op.addr == 0x100
+    assert op.fn(10) == 15
+
+
+def test_swap_semantics():
+    op = isa.Swap(0x100, 77)
+    assert op.fn(3) == 77
+    assert op.fn(0) == 77
+
+
+def test_test_and_set_semantics():
+    op = isa.TestAndSet(0x100)
+    assert op.fn(0) == 1
+    assert op.fn(1) == 1
+
+
+def test_ops_are_frozen():
+    import dataclasses
+    import pytest
+    op = isa.Compute(10)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        op.cycles = 20
+
+
+def test_barrier_defaults_to_context_zero():
+    assert isa.BarrierOp().barrier_id == 0
+    assert isa.BarrierOp(2).barrier_id == 2
+
+
+def test_spin_until_holds_predicate():
+    op = isa.SpinUntil(0x40, lambda v: v > 3)
+    assert not op.pred(3)
+    assert op.pred(4)
+
+
+def test_operation_tuple_covers_public_ops():
+    assert isa.Compute in isa.Operation
+    assert isa.SpinUntil in isa.Operation
+    assert isa.AcquireLock in isa.Operation

@@ -1,0 +1,57 @@
+"""CLI tests (invoking main() in-process)."""
+
+import pytest
+
+from repro.cli import ABLATIONS, WORKLOADS, build_parser, main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "32" in out
+
+
+def test_run_command_with_verify(capsys):
+    rc = main(["run", "--workload", "kern3", "--barrier", "gl",
+               "--cores", "4", "--scale", "0.05", "--verify"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "barrier=GL" in out
+    assert "verified" in out
+
+
+def test_run_command_dsw(capsys):
+    rc = main(["run", "--workload", "synthetic", "--barrier", "dsw",
+               "--cores", "4", "--scale", "0.02"])
+    assert rc == 0
+    assert "barrier=DSW" in capsys.readouterr().out
+
+
+def test_ablation_subset(capsys):
+    rc = main(["ablations", "overhead", "--cores", "4"])
+    assert rc == 0
+    assert "entry overhead" in capsys.readouterr().out
+
+
+def test_out_directory_saves_files(tmp_path, capsys):
+    rc = main(["table1", "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "table1.txt").exists()
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_workload_registry_complete():
+    assert set(WORKLOADS) == {"synthetic", "kern2", "kern3", "kern6",
+                              "ocean", "unstructured", "em3d"}
+    assert set(ABLATIONS) == {"period", "overhead", "hierarchical",
+                              "arity", "contention", "csw", "nocmodel"}
+
+
+def test_workload_factories_scale():
+    for factory in WORKLOADS.values():
+        wl = factory(0.01)
+        assert wl.info().num_barriers >= 1

@@ -1,0 +1,33 @@
+"""Energy-experiment tests."""
+
+from repro.experiments.energy_exp import run_energy
+from repro.workloads import Kernel3Workload, EM3DWorkload
+
+
+def small_workloads():
+    return {
+        "KERN3": Kernel3Workload(n=64, iterations=8),
+        "EM3D": EM3DWorkload(nodes=128, steps=2, barriers_per_step=4),
+    }
+
+
+def test_energy_reduction_positive_for_fine_grain():
+    result = run_energy(num_cores=4, workloads=small_workloads())
+    assert len(result.rows) == 2
+    assert result.average_reduction() > 0
+    for _name, e_dsw, e_gl in result.rows:
+        assert e_gl.total < e_dsw.total
+
+
+def test_gline_energy_share_is_small():
+    result = run_energy(num_cores=4, workloads=small_workloads())
+    # 1-bit wires vs 75-byte mesh links.  At this deliberately tiny test
+    # scale the data network carries little traffic, so allow up to 15%;
+    # at bench scale (32 cores) the share drops to ~1-2%.
+    assert result.gline_share() < 0.15
+
+
+def test_energy_table_renders():
+    result = run_energy(num_cores=4, workloads=small_workloads())
+    text = result.table()
+    assert "KERN3" in text and "GL/DSW" in text

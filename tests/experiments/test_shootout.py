@@ -1,0 +1,28 @@
+"""Software-barrier shoot-out experiment tests."""
+
+from repro.experiments.software_barriers import run_shootout
+
+
+def test_shootout_small():
+    result = run_shootout(core_counts=(4, 8), iterations=8)
+    assert set(result.cycles_per_barrier) == {"csw", "dsw", "diss",
+                                              "tour", "gl"}
+    # GL wins outright at both sizes.
+    for cores in (4, 8):
+        name, best = result.best_software(cores)
+        assert name != "gl"
+        assert result.cycles_per_barrier["gl"][cores] < best
+        assert result.gl_margin(cores) > 3
+    assert "shoot-out" in result.table()
+
+
+def test_dissemination_beats_combining_tree():
+    result = run_shootout(core_counts=(16,), impls=("dsw", "diss", "gl"),
+                          iterations=10)
+    cpb = result.cycles_per_barrier
+    assert cpb["diss"][16] < cpb["dsw"][16]
+
+
+def test_margin_grows_with_cores():
+    result = run_shootout(core_counts=(4, 16), iterations=10)
+    assert result.gl_margin(16) > result.gl_margin(4)

@@ -1,0 +1,56 @@
+"""Stage-decomposition and sensitivity-experiment tests."""
+
+import pytest
+
+from repro.experiments import (gl_is_platform_insensitive,
+                               l2_latency_sweep, memory_latency_sweep,
+                               router_latency_sweep, run_stages)
+from repro.experiments.stages import decompose
+from repro.experiments.runner import run_benchmark
+from repro.workloads import (Kernel3Workload, SyntheticBarrierWorkload,
+                             UnstructuredWorkload)
+
+
+def test_synthetic_is_mechanism_dominated_under_dsw():
+    run = run_benchmark(SyntheticBarrierWorkload(iterations=10), "dsw", 8)
+    s2, sync = decompose(run)
+    # Back-to-back barriers: almost no imbalance wait.
+    assert sync > s2
+
+
+def test_imbalanced_workload_is_s2_dominated_even_under_gl():
+    wl = UnstructuredWorkload(nodes=512, phases=3, skew=0.5)
+    for impl in ("dsw", "gl"):
+        run = run_benchmark(wl, impl, 8)
+        s2, sync = decompose(run)
+        assert s2 > sync, f"{impl}: expected S2-dominated"
+
+
+def test_gl_collapses_mechanism_cycles():
+    wl = Kernel3Workload(n=64, iterations=10)
+    dsw = run_benchmark(wl, "dsw", 8)
+    gl = run_benchmark(wl, "gl", 8)
+    assert decompose(gl)[1] < 0.2 * decompose(dsw)[1]
+
+
+def test_run_stages_table():
+    result = run_stages(num_cores=4, workloads={
+        "KERN3": Kernel3Workload(n=64, iterations=5)})
+    assert len(result.rows) == 2
+    assert 0 <= result.s2_share("KERN3", "GL") <= 1
+    assert "S2" in result.table()
+    with pytest.raises(KeyError):
+        result.s2_share("NOPE", "GL")
+
+
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("sweep_fn", [memory_latency_sweep,
+                                      router_latency_sweep,
+                                      l2_latency_sweep])
+def test_gl_is_insensitive_software_is_not(sweep_fn):
+    sweep = sweep_fn(num_cores=8, iterations=10)
+    assert gl_is_platform_insensitive(sweep)
+    dsw_values = [row[1] for row in sweep.rows]
+    # Software barrier cost strictly grows with the swept latency.
+    assert dsw_values == sorted(dsw_values)
+    assert dsw_values[-1] > dsw_values[0]

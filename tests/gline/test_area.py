@@ -1,0 +1,53 @@
+"""Wire/area budget model tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.gline.area import (bus_budget, comparison_rows, gline_budget,
+                              tree_budget)
+
+
+def test_gline_budget_matches_paper_formula():
+    b = gline_budget(4, 4)
+    assert b.wires == 10
+    # 8 horizontal wires spanning 3 tile edges + 2 vertical spanning 3.
+    assert b.length == 8 * 3 + 2 * 3
+    assert b.max_fanin == 3
+
+
+def test_gline_budget_scales_with_contexts():
+    assert gline_budget(4, 4, contexts=3).wires == 30
+
+
+def test_tree_budget_links():
+    b = tree_budget(2, 2)
+    # 4 leaves -> 3 internal links, up+down wires each.
+    assert b.wires == 6
+    assert b.length > 0
+    assert b.max_fanin == 1
+
+
+def test_bus_budget():
+    b = bus_budget(4, 4)
+    assert b.wires == 2
+    assert b.length == 2 * 15
+    assert b.max_fanin == 16  # the wired-OR scalability problem
+
+
+def test_gline_cheaper_than_tree_at_scale():
+    for rows, cols in ((4, 4), (4, 8), (7, 7)):
+        gl = gline_budget(rows, cols)
+        tree = tree_budget(rows, cols)
+        assert gl.length < tree.length, (rows, cols)
+
+
+def test_comparison_rows_complete():
+    rows = comparison_rows(4, 8)
+    assert [b.organization for b in rows] == [
+        "G-line network", "dedicated reduction tree",
+        "global wired-OR bus"]
+
+
+def test_invalid_mesh():
+    with pytest.raises(ConfigError):
+        gline_budget(0, 4)

@@ -1,0 +1,155 @@
+"""Unit tests for the four Figure-4 controller FSMs in isolation."""
+
+from repro.gline.controllers import (BarRegFile, MasterH, MasterV, SlaveH,
+                                     SlaveV)
+from repro.gline.gline import GLine
+
+
+def make_row(cols=3):
+    tx = GLine("tx", 6)
+    rel = GLine("rel", 6)
+    regs = BarRegFile(cols)
+    master = MasterH(core_id=0, row=0, rx=tx, tx=rel,
+                     num_slaves=cols - 1)
+    slaves = [SlaveH(core_id=c, tx=tx, rx=rel) for c in range(1, cols)]
+    return tx, rel, regs, master, slaves
+
+
+def test_barregfile_write_and_clear():
+    regs = BarRegFile(2)
+    hits = []
+    regs.write(0, lambda: hits.append(0))
+    assert regs.is_set(0) and not regs.is_set(1)
+    resume = regs.clear(0)
+    assert not regs.is_set(0)
+    resume()
+    assert hits == [0]
+
+
+def test_slave_h_pulses_once_on_arrival():
+    tx, rel, regs, master, slaves = make_row()
+    slave = slaves[0]
+    regs.write(slave.core_id, lambda: None)
+    slave.assert_phase(regs)
+    assert tx.sample_count() == 1
+    assert not slave.signaling  # Waiting state
+    tx.end_cycle()
+    slave.assert_phase(regs)    # must not re-pulse
+    assert tx.sample_count() == 0
+
+
+def test_slave_h_does_nothing_before_arrival():
+    tx, rel, regs, master, slaves = make_row()
+    slaves[0].assert_phase(regs)
+    assert tx.sample_count() == 0
+    assert slaves[0].idle
+
+
+def test_master_h_accumulates_scnt_across_cycles():
+    tx, rel, regs, master, slaves = make_row(cols=3)
+    # Slave 1 arrives in cycle 0, slave 2 in cycle 1.
+    regs.write(1, lambda: None)
+    slaves[0].assert_phase(regs)
+    master.sample_phase(regs)
+    tx.end_cycle()
+    assert master.scnt == 1 and not master.flag
+    regs.write(2, lambda: None)
+    slaves[1].assert_phase(regs)
+    master.sample_phase(regs)
+    tx.end_cycle()
+    assert master.scnt == 2
+    assert not master.flag      # own core hasn't arrived
+    regs.write(0, lambda: None)
+    master.sample_phase(regs)
+    assert master.mcnt == 1 and master.flag
+
+
+def test_master_h_scsma_counts_simultaneous():
+    tx, rel, regs, master, slaves = make_row(cols=3)
+    for slave in slaves:
+        regs.write(slave.core_id, lambda: None)
+        slave.assert_phase(regs)
+    regs.write(0, lambda: None)
+    master.sample_phase(regs)
+    assert master.scnt == 2     # both counted in one cycle
+    assert master.flag
+
+
+def test_master_h_release_resets_everything():
+    tx, rel, regs, master, slaves = make_row(cols=2)
+    regs.write(0, lambda: None)
+    regs.write(1, lambda: None)
+    slaves[0].assert_phase(regs)
+    master.sample_phase(regs)
+    assert master.flag
+    master.release_trigger = True
+    released = []
+    master.assert_phase(regs, released)
+    assert rel.sampled_on()
+    assert master.idle
+    assert not regs.is_set(0)
+    assert len(released) == 1
+    # The waiting slave sees the release line and clears its core.
+    slaves[0].sample_phase(regs, released)
+    assert slaves[0].signaling
+    assert not regs.is_set(1)
+    assert len(released) == 2
+
+
+def test_slave_v_waits_for_row_flag():
+    tx_v = GLine("txv", 6)
+    rel_v = GLine("relv", 6)
+    row_tx = GLine("tx", 6)
+    regs = BarRegFile(4)
+    mh = MasterH(core_id=2, row=1, rx=row_tx, tx=None, num_slaves=0)
+    sv = SlaveV(core_id=2, row=1, tx=tx_v, rx=rel_v, master_h=mh)
+    sv.assert_phase()
+    assert tx_v.sample_count() == 0
+    mh.flag = True
+    sv.assert_phase()
+    assert tx_v.sample_count() == 1
+    assert sv.sent
+    # Release: observing the vertical release arms the row master.
+    rel_v.attach("MvT0")
+    rel_v.assert_signal("MvT0")
+    sv.sample_phase()
+    assert mh.release_trigger
+    sv.reset()
+    assert sv.idle
+
+
+def test_master_v_requires_both_count_and_row0_flag():
+    tx_v = GLine("txv", 6)
+    rel_v = GLine("relv", 6)
+    row_tx = GLine("tx", 6)
+    regs = BarRegFile(4)
+    mh0 = MasterH(core_id=0, row=0, rx=row_tx, tx=None, num_slaves=0)
+    mv = MasterV(core_id=0, rx=tx_v, tx=rel_v, master_h0=mh0,
+                 num_slaves=1)
+    tx_v.attach("SvT2")
+    tx_v.assert_signal("SvT2")
+    mv.sample_phase()
+    assert mv.scnt == 1 and not mv.done   # row 0 not complete yet
+    tx_v.end_cycle()
+    mh0.flag = True
+    mv.sample_phase()
+    assert mv.done
+    # Release assert drives the vertical release and arms row 0.
+    mv.assert_phase()
+    assert rel_v.sampled_on()
+    assert mh0.release_trigger
+    assert mv.scnt == 0 and mv.mcnt == 0 and not mv.done
+
+
+def test_will_act_predicates():
+    tx, rel, regs, master, slaves = make_row(cols=2)
+    assert not master.will_act(regs)
+    assert not slaves[0].will_act(regs)
+    regs.write(1, lambda: None)
+    assert slaves[0].will_act(regs)     # will pulse next cycle
+    regs.write(0, lambda: None)
+    assert master.will_act(regs)        # mcnt sampling pending
+    master.mcnt = 1
+    assert not master.will_act(regs)    # steady, waiting on slaves
+    master.release_trigger = True
+    assert master.will_act(regs)

@@ -1,0 +1,69 @@
+"""G-line wire / S-CSMA tests."""
+
+import pytest
+
+from repro.common.errors import CapacityError, GLineError
+from repro.gline.gline import GLine
+
+
+def test_attach_limit_enforced():
+    line = GLine("g", max_transmitters=2)
+    line.attach("a")
+    line.attach("b")
+    with pytest.raises(CapacityError):
+        line.attach("c")
+
+
+def test_double_attach_rejected():
+    line = GLine("g")
+    line.attach("a")
+    with pytest.raises(CapacityError):
+        line.attach("a")
+
+
+def test_unattached_transmitter_rejected():
+    line = GLine("g")
+    with pytest.raises(GLineError):
+        line.assert_signal("ghost")
+
+
+def test_scsma_counts_simultaneous_transmitters():
+    line = GLine("g", max_transmitters=6)
+    for name in "abcde":
+        line.attach(name)
+    line.assert_signal("a")
+    line.assert_signal("c")
+    line.assert_signal("e")
+    assert line.sample_count() == 3
+    assert line.sampled_on()
+
+
+def test_signals_are_one_cycle_pulses():
+    line = GLine("g")
+    line.attach("a")
+    line.assert_signal("a")
+    assert line.sample_count() == 1
+    line.end_cycle()
+    assert line.sample_count() == 0
+    assert not line.sampled_on()
+
+
+def test_reassert_same_cycle_counts_once():
+    line = GLine("g")
+    line.attach("a")
+    line.assert_signal("a")
+    line.assert_signal("a")
+    assert line.sample_count() == 1
+    assert line.toggles == 1
+
+
+def test_toggle_counter():
+    line = GLine("g")
+    line.attach("a")
+    line.attach("b")
+    for _ in range(3):
+        line.assert_signal("a")
+        line.end_cycle()
+    line.assert_signal("b")
+    assert line.toggles == 4
+    assert line.num_attached == 2

@@ -1,0 +1,63 @@
+"""Property tests for the hierarchical G-line barrier."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import GLineConfig
+from repro.common.stats import StatsRegistry
+from repro.gline.hierarchical import HierarchicalGLineBarrier
+from repro.sim.engine import Engine
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_hierarchical_invariants(data):
+    rows = data.draw(st.sampled_from([8, 9, 10]))
+    cols = data.draw(st.sampled_from([8, 10, 14]))
+    n = rows * cols
+    times = data.draw(st.lists(st.integers(0, 400), min_size=n,
+                               max_size=n))
+    engine = Engine()
+    net = HierarchicalGLineBarrier(engine, StatsRegistry(n), rows, cols,
+                                   GLineConfig())
+    releases: dict[int, int] = {}
+    for cid, t in enumerate(times):
+        engine.schedule_at(t, lambda c=cid: net.arrive(
+            c, lambda c=c: releases.__setitem__(c, engine.now)))
+    engine.run()
+
+    # Everyone released exactly once, nobody before the last arrival.
+    assert sorted(releases) == list(range(n))
+    assert min(releases.values()) > max(times)
+    # Releases synchronized chip-wide.
+    assert len(set(releases.values())) == 1
+    assert net.barriers_completed == 1
+    # Bounded, small latency (two G-line levels + gating hand-offs).
+    assert net.samples[0].latency_after_last_arrival <= 24
+    assert engine.pending() == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(episodes=st.integers(2, 4), seed=st.integers(0, 100))
+def test_hierarchical_repeated_episodes_random_gaps(episodes, seed):
+    import random
+    rng = random.Random(seed)
+    engine = Engine()
+    net = HierarchicalGLineBarrier(engine, StatsRegistry(64), 8, 8,
+                                   GLineConfig())
+    n = 64
+    remaining = {"count": n, "round": 0}
+
+    def released():
+        remaining["count"] -= 1
+        if remaining["count"] == 0 and remaining["round"] < episodes - 1:
+            remaining["round"] += 1
+            remaining["count"] = n
+            for cid in range(n):
+                engine.schedule(rng.randrange(1, 50), net.arrive, cid,
+                                released)
+
+    for cid in range(n):
+        engine.schedule(rng.randrange(0, 50), net.arrive, cid, released)
+    engine.run()
+    assert net.barriers_completed == episodes

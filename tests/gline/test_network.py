@@ -1,0 +1,192 @@
+"""G-line barrier network tests: the Figure-2 walkthrough and beyond."""
+
+import pytest
+
+from repro.common.errors import CapacityError
+from repro.common.params import GLineConfig
+from repro.common.stats import StatsRegistry
+from repro.gline.network import GLineBarrierNetwork
+from repro.sim.engine import Engine
+
+
+def build(rows, cols, **cfg):
+    engine = Engine()
+    stats = StatsRegistry(rows * cols)
+    net = GLineBarrierNetwork(engine, stats, rows, cols,
+                              GLineConfig(**cfg))
+    return engine, net
+
+
+def arrive_all(engine, net, times=None):
+    """Arrive every core (optionally at per-core times); returns the list
+    of release timestamps in core order."""
+    releases = {}
+    n = net.num_cores
+    times = times or [0] * n
+    for cid, t in enumerate(times):
+        engine.schedule_at(
+            t, lambda c=cid: net.arrive(
+                c, lambda c=c: releases.__setitem__(c, engine.now)))
+    engine.run()
+    return [releases.get(c) for c in range(n)]
+
+
+# ---------------------------------------------------------------------- #
+# The paper's ideal-case latency
+# ---------------------------------------------------------------------- #
+def test_2x2_four_cycle_walkthrough():
+    """Figure 2: with all cores arrived, the barrier takes exactly 4
+    cycles (gather-row, gather-col, release-col, release-row)."""
+    engine, net = build(2, 2)
+    releases = arrive_all(engine, net)
+    # bar_reg writes complete at cycle 1; release 4 cycles later.
+    assert releases == [5, 5, 5, 5]
+    assert net.samples[0].latency_after_last_arrival == 4
+
+
+@pytest.mark.parametrize("rows,cols", [(2, 2), (2, 3), (3, 3), (4, 4),
+                                       (4, 8) if False else (3, 4),
+                                       (7, 7), (5, 2)])
+def test_four_cycles_for_any_2d_mesh(rows, cols):
+    engine, net = build(rows, cols)
+    arrive_all(engine, net)
+    assert net.samples[0].latency_after_last_arrival == 4
+
+
+def test_single_row_takes_two_cycles():
+    engine, net = build(1, 4)
+    arrive_all(engine, net)
+    assert net.samples[0].latency_after_last_arrival == 2
+
+
+def test_single_column_takes_four_cycles():
+    engine, net = build(4, 1)
+    arrive_all(engine, net)
+    assert net.samples[0].latency_after_last_arrival == 4
+
+
+def test_1x1_degenerate():
+    engine, net = build(1, 1)
+    releases = arrive_all(engine, net)
+    assert releases[0] is not None
+    assert net.barriers_completed == 1
+
+
+# ---------------------------------------------------------------------- #
+# Asynchronous arrivals
+# ---------------------------------------------------------------------- #
+def test_staggered_arrivals_release_after_last():
+    engine, net = build(2, 2)
+    times = [0, 100, 37, 256]
+    releases = arrive_all(engine, net, times)
+    assert len(set(releases)) == 1          # everyone released together
+    assert releases[0] == 256 + 1 + 4       # write + 4-cycle network
+    assert net.samples[0].latency_after_last_arrival == 4
+    assert net.samples[0].first_arrival == 1
+
+
+def test_no_release_before_all_arrive():
+    engine, net = build(2, 2)
+    released = []
+    for cid in range(3):
+        net.arrive(cid, lambda c=cid: released.append(c))
+    engine.run()  # core 3 never arrives
+    assert released == []
+    assert net.barriers_completed == 0
+    # The network must be dormant (no runaway ticking): queue drained.
+    assert engine.pending() == 0
+
+
+def test_straggler_completes_barrier():
+    engine, net = build(2, 2)
+    released = []
+    for cid in range(3):
+        net.arrive(cid, lambda c=cid: released.append(c))
+    engine.run()
+    net.arrive(3, lambda: released.append(3))
+    engine.run()
+    assert sorted(released) == [0, 1, 2, 3]
+
+
+def test_dormancy_costs_no_events_during_wait():
+    engine, net = build(7, 7)
+    for cid in range(48):  # all but one
+        net.arrive(cid, lambda: None)
+    engine.run()
+    events_before = engine.events_executed
+    # Nothing pending; a straggler 1M cycles later costs O(cores) events
+    # (its arrival, a handful of ticks, 49 resume callbacks) -- NOT 1M
+    # per-cycle ticks.
+    engine.schedule(1_000_000, net.arrive, 48, lambda: None)
+    engine.run()
+    assert engine.events_executed - events_before < 120
+
+
+# ---------------------------------------------------------------------- #
+# Repeated episodes
+# ---------------------------------------------------------------------- #
+def test_many_sequential_episodes_all_4_cycles():
+    engine, net = build(3, 3)
+    n = net.num_cores
+    episodes = 10
+    state = {"left": n, "round": 0}
+
+    def released():
+        state["left"] -= 1
+        if state["left"] == 0 and state["round"] < episodes - 1:
+            state["round"] += 1
+            state["left"] = n
+            for cid in range(n):
+                net.arrive(cid, released)
+
+    for cid in range(n):
+        net.arrive(cid, released)
+    engine.run()
+    assert net.barriers_completed == episodes
+    assert all(s.latency_after_last_arrival == 4 for s in net.samples)
+    assert net.fully_idle()
+
+
+# ---------------------------------------------------------------------- #
+# Construction constraints
+# ---------------------------------------------------------------------- #
+def test_mesh_beyond_7x7_rejected():
+    with pytest.raises(CapacityError):
+        build(8, 8)
+    with pytest.raises(CapacityError):
+        build(2, 8)
+
+
+def test_wire_count_matches_paper_formula():
+    _, net = build(4, 4)
+    assert net.num_glines == 10  # the paper's 16-core example
+    _, net = build(2, 2)
+    assert net.num_glines == 6
+
+
+def test_core_ids_remap():
+    engine = Engine()
+    stats = StatsRegistry(4)
+    ids = [10, 11, 20, 21]
+    net = GLineBarrierNetwork(engine, stats, 2, 2, GLineConfig(),
+                              core_ids=ids)
+    released = []
+    for cid in ids:
+        net.arrive(cid, lambda c=cid: released.append(c))
+    engine.run()
+    assert sorted(released) == ids
+
+
+def test_double_arrival_rejected():
+    engine, net = build(2, 2)
+    net.arrive(0, lambda: None)
+    engine.run()
+    net.arrive(0, lambda: None)
+    with pytest.raises(CapacityError):
+        engine.run()
+
+
+def test_gline_toggles_recorded():
+    engine, net = build(2, 2)
+    arrive_all(engine, net)
+    assert net.stats.gline_toggles > 0

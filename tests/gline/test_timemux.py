@@ -1,0 +1,98 @@
+"""Time-multiplexed barrier context tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import GLineConfig
+from repro.common.stats import StatsRegistry
+from repro.cpu import isa
+from repro.gline.barrier import GLBarrier
+from repro.gline.timemux import build_time_multiplexed, physical_wires
+from repro.sim.engine import Engine
+
+from helpers import make_chip, run_uniform
+from repro import CMP, CMPConfig
+
+
+def build(rows=2, cols=2, num_slots=2):
+    engine = Engine()
+    stats = StatsRegistry(rows * cols)
+    ctxs = build_time_multiplexed(engine, stats, rows, cols,
+                                  GLineConfig(), num_slots=num_slots)
+    return engine, ctxs
+
+
+def arrive_all(engine, ctx, n, times=None):
+    releases = {}
+    times = times or [0] * n
+    for cid, t in enumerate(times):
+        engine.schedule_at(t, lambda c=cid: ctx.arrive(
+            c, lambda c=c: releases.__setitem__(c, engine.now)))
+    engine.run()
+    return releases
+
+
+def test_latency_is_3p_plus_1():
+    # Three inter-stage hand-offs of one slot period each + the 1-cycle
+    # release consumption: 3*P + 1 (reduces to 4 when P == 1).
+    engine, ctxs = build(2, 2, num_slots=2)
+    arrive_all(engine, ctxs[0], 4)
+    assert ctxs[0].samples[0].latency_after_last_arrival == 7
+
+
+def test_three_slots():
+    engine, ctxs = build(2, 2, num_slots=3)
+    arrive_all(engine, ctxs[1], 4)
+    assert ctxs[1].samples[0].latency_after_last_arrival == 10
+
+
+def test_slot_alignment_of_arrivals():
+    """Context k's bar_reg writes become visible only in slot-k cycles."""
+    engine, ctxs = build(2, 2, num_slots=2)
+    releases = arrive_all(engine, ctxs[1], 4, times=[0, 1, 2, 3])
+    # All released together, after alignment + 8-cycle synchronization.
+    assert len(set(releases.values())) == 1
+
+
+def test_two_contexts_interleave_on_shared_wires():
+    engine, ctxs = build(2, 2, num_slots=2)
+    done = []
+    for cid in range(4):
+        ctxs[0].arrive(cid, lambda c=cid: done.append((0, c)))
+        ctxs[1].arrive(cid, lambda c=cid: done.append((1, c)))
+    engine.run()
+    assert len(done) == 8
+    assert ctxs[0].barriers_completed == 1
+    assert ctxs[1].barriers_completed == 1
+
+
+def test_physical_wire_budget_is_single_network():
+    _, ctxs = build(4, 4, num_slots=4)
+    assert physical_wires(ctxs) == 10  # one 16-core network, not four
+
+
+def test_invalid_slot_count():
+    engine = Engine()
+    with pytest.raises(ConfigError):
+        build_time_multiplexed(engine, StatsRegistry(4), 2, 2,
+                               num_slots=0)
+
+
+def test_on_chip_via_glbarrier():
+    cfg = CMPConfig.for_cores(4)
+    chip = CMP(cfg, barrier="gl")
+    ctxs = build_time_multiplexed(chip.engine, chip.stats, 2, 2,
+                                  cfg.gline, num_slots=2)
+    chip.barrier_impl = GLBarrier(ctxs, cfg.gline)
+    for tile in chip.tiles:
+        tile.core.barrier_binding = chip.barrier_impl
+
+    def prog(cid):
+        yield isa.BarrierOp(0)
+        yield isa.BarrierOp(1)
+        yield isa.BarrierOp(0)
+
+    run_uniform(chip, prog)
+    assert ctxs[0].barriers_completed == 2
+    assert ctxs[1].barriers_completed == 1
+    assert chip.stats.num_barriers() == 3

@@ -1,0 +1,148 @@
+"""Integration tests asserting the paper's headline claims hold in the
+reproduction (at reduced scale; the shape, not the absolute numbers).
+"""
+
+import pytest
+
+from helpers import make_chip, run_uniform
+from repro.common.stats import CycleCat, MsgCat
+from repro.cpu import isa
+from repro.workloads import (EM3DWorkload, Kernel2Workload,
+                             Kernel3Workload, OceanWorkload,
+                             SyntheticBarrierWorkload,
+                             UnstructuredWorkload)
+
+
+def run_pair(wl_factory, cores=16):
+    out = {}
+    for impl in ("dsw", "gl"):
+        chip = make_chip(cores, impl)
+        out[impl] = chip.run(wl_factory())
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# §1/§3: the hardware barrier itself
+# ---------------------------------------------------------------------- #
+def test_claim_4_cycles_ideal_case():
+    """'In the ideal case, our design takes only 4 cycles to perform a
+    barrier synchronization once all cores or threads have arrived.'"""
+    chip = make_chip(16, "gl", entry_overhead=0)
+    run_uniform(chip, lambda c: iter([isa.BarrierOp()]))
+    net = chip.barrier_impl.networks[0]
+    assert net.samples[0].latency_after_last_arrival == 4
+
+
+def test_claim_13_cycles_measured():
+    """'13 cycles instead of the theoretical 4 ... overhead introduced ...
+    through its application library.'"""
+    chip = make_chip(16, "gl")
+    res = run_uniform(chip, lambda c: iter(
+        [isa.BarrierOp() for _ in range(8)]))
+    assert res.total_cycles / res.num_barriers() == pytest.approx(13, abs=1)
+
+
+def test_claim_no_barrier_traffic_on_data_network():
+    """'We remove all barrier-related traffic and coherence activity from
+    the interconnection network.'"""
+    chip = make_chip(16, "gl")
+    res = chip.run(SyntheticBarrierWorkload(iterations=25))
+    assert res.total_messages() == 0
+
+
+def test_claim_gline_budget():
+    """'2 x (sqrt(NumCores) + 1)' G-lines -- 10 for the 16-core example."""
+    chip = make_chip(16, "gl")
+    assert chip.barrier_impl.networks[0].num_glines == 10
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5
+# ---------------------------------------------------------------------- #
+def test_claim_fig5_ordering_and_scaling():
+    """CSW >> DSW >> GL, growing with core count; GL flat."""
+    per_barrier = {}
+    for impl in ("csw", "dsw", "gl"):
+        per_barrier[impl] = {}
+        for cores in (4, 8, 16):
+            chip = make_chip(cores, impl)
+            res = chip.run(SyntheticBarrierWorkload(iterations=15))
+            per_barrier[impl][cores] = res.total_cycles / res.num_barriers()
+    for cores in (4, 8, 16):
+        assert per_barrier["csw"][cores] > per_barrier["dsw"][cores] \
+            > per_barrier["gl"][cores]
+    assert per_barrier["csw"][16] > 2 * per_barrier["csw"][4]
+    assert per_barrier["dsw"][16] > per_barrier["dsw"][4]
+    assert per_barrier["gl"][16] == per_barrier["gl"][4]  # flat
+
+
+# ---------------------------------------------------------------------- #
+# Figures 6 and 7 (shape at 16 cores, small scale)
+# ---------------------------------------------------------------------- #
+def test_claim_kernels_large_time_reduction():
+    res = run_pair(lambda: Kernel2Workload(iterations=8))
+    ratio = res["gl"].total_cycles / res["dsw"].total_cycles
+    assert ratio < 0.7  # paper: 0.30 at 32 cores full scale
+
+
+def test_claim_kernel3_traffic_mostly_barrier():
+    """'the vast reduction in network traffic for Kernel 3 ... almost all
+    the traffic generated in this benchmark is due to the barrier.'"""
+    res = run_pair(lambda: Kernel3Workload(iterations=40))
+    ratio = res["gl"].total_messages() / res["dsw"].total_messages()
+    assert ratio < 0.15
+
+
+def test_claim_apps_small_improvement():
+    """UNSTRUCTURED and OCEAN improve only a few percent (high barrier
+    period / S2-dominated)."""
+    for factory in (lambda: UnstructuredWorkload(nodes=256, phases=3),
+                    lambda: OceanWorkload(grid=26, phases=3)):
+        res = run_pair(factory)
+        ratio = res["gl"].total_cycles / res["dsw"].total_cycles
+        assert ratio > 0.85
+
+
+def test_claim_em3d_large_improvement():
+    """EM3D: low barrier period -> big win (54% time, 51% traffic)."""
+    res = run_pair(lambda: EM3DWorkload(nodes=960, steps=3))
+    time_ratio = res["gl"].total_cycles / res["dsw"].total_cycles
+    traffic_ratio = (res["gl"].total_messages()
+                     / res["dsw"].total_messages())
+    assert time_ratio < 0.75
+    assert traffic_ratio < 0.85
+
+
+def test_claim_gl_removes_barrier_category():
+    """Under GL the Barrier share of execution time collapses for
+    fine-grain workloads."""
+    res = run_pair(lambda: Kernel2Workload(iterations=8))
+    def barrier_frac(r):
+        bd = r.cycle_breakdown()
+        return bd[CycleCat.BARRIER] / (sum(bd.values()) or 1)
+    # GL's remaining barrier share is the genuine S2 imbalance wait (deep
+    # pyramid levels leave most cores idle); the synchronization mechanism
+    # itself collapses, halving the share relative to DSW.
+    assert barrier_frac(res["dsw"]) > 0.5
+    assert barrier_frac(res["gl"]) < 0.6 * barrier_frac(res["dsw"])
+
+
+def test_claim_dsw_s2_is_local():
+    """'In DSW, this [S2] stage involves negligible network traffic
+    because, once shared variables are loaded in cache, busy-waiting is
+    performed locally': with one deliberately slow core, waiting cores
+    generate no messages while they spin."""
+    chip = make_chip(4, "dsw")
+    msgs = []
+
+    def prog(cid):
+        yield isa.Compute(100 if cid else 100_000)
+        yield isa.BarrierOp()
+
+    # Sample message count early in the long wait and at the end.
+    chip.engine.schedule(30_000, lambda: msgs.append(
+        chip.stats.total_messages()))
+    chip.engine.schedule(90_000, lambda: msgs.append(
+        chip.stats.total_messages()))
+    chip.run([prog(c) for c in range(4)])
+    assert msgs[1] == msgs[0]  # quiescent spin: zero traffic

@@ -1,0 +1,50 @@
+"""Randomized stress tests: the full stack under chaotic op mixes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_chip
+from repro.workloads.stress import StressWorkload
+
+from tests_mem_props_shim import check_quiescent_consistency
+
+
+@pytest.mark.parametrize("impl", ["gl", "dsw", "csw"])
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+def test_stress_mix_is_correct(impl, seed):
+    chip = make_chip(4, impl)
+    wl = StressWorkload(ops_per_core=100, barriers=3, seed=seed)
+    chip.run(wl)
+    wl.verify(chip)
+    check_quiescent_consistency(chip)
+
+
+@pytest.mark.parametrize("cores", [2, 6, 8])
+def test_stress_across_core_counts(cores):
+    chip = make_chip(cores, "gl")
+    wl = StressWorkload(ops_per_core=80, barriers=2, seed=99)
+    chip.run(wl)
+    wl.verify(chip)
+    check_quiescent_consistency(chip)
+
+
+def test_stress_deterministic():
+    def once():
+        chip = make_chip(4, "dsw")
+        res = chip.run(StressWorkload(ops_per_core=60, barriers=2,
+                                      seed=5))
+        return res.total_cycles, res.total_messages(), res.events_executed
+
+    assert once() == once()
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), barriers=st.integers(0, 5))
+def test_stress_property(seed, barriers):
+    chip = make_chip(4, "gl")
+    wl = StressWorkload(ops_per_core=60, barriers=barriers, seed=seed)
+    chip.run(wl)
+    wl.verify(chip)
+    check_quiescent_consistency(chip)
+    assert chip.stats.num_barriers() == barriers

@@ -1,0 +1,81 @@
+"""Address mapping and allocator tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.mem.address import WORD_BYTES, AddressMap, Allocator
+
+
+def test_line_and_word_arithmetic():
+    amap = AddressMap(num_tiles=4, line_bytes=64)
+    assert amap.line_of(0) == 0
+    assert amap.line_of(63) == 0
+    assert amap.line_of(64) == 64
+    assert amap.line_of(130) == 128
+    assert amap.word_of(13) == 8
+    assert amap.line_index(128) == 2
+
+
+def test_home_interleaving():
+    amap = AddressMap(num_tiles=4)
+    homes = [amap.home_of(i * 64) for i in range(8)]
+    assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+    # All addresses within a line share a home.
+    assert amap.home_of(64) == amap.home_of(64 + 63)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        AddressMap(num_tiles=0)
+    with pytest.raises(ConfigError):
+        AddressMap(num_tiles=2, line_bytes=30)
+
+
+def test_allocator_line_alignment():
+    amap = AddressMap(num_tiles=4)
+    alloc = Allocator(amap)
+    a = alloc.alloc(10)
+    b = alloc.alloc(10)
+    assert a % 64 == 0
+    assert b % 64 == 0
+    assert b > a
+
+
+def test_allocator_unaligned_packing():
+    amap = AddressMap(num_tiles=4)
+    alloc = Allocator(amap)
+    a = alloc.alloc(8, line_aligned=False)
+    b = alloc.alloc(8, line_aligned=False)
+    assert b == a + 8
+
+
+def test_allocator_homed_allocation():
+    amap = AddressMap(num_tiles=4)
+    alloc = Allocator(amap)
+    for target in (2, 0, 3, 3, 1):
+        addr = alloc.alloc_line(home=target)
+        assert amap.home_of(addr) == target
+
+
+def test_allocator_homed_array_start():
+    amap = AddressMap(num_tiles=8)
+    alloc = Allocator(amap)
+    addr = alloc.alloc_array(100, home=5)
+    assert amap.home_of(addr) == 5
+    assert addr % 64 == 0
+
+
+def test_alloc_words():
+    amap = AddressMap(num_tiles=2)
+    alloc = Allocator(amap)
+    addr = alloc.alloc_words(4)
+    assert addr % 64 == 0
+    assert WORD_BYTES == 8
+
+
+def test_allocator_rejects_bad_requests():
+    alloc = Allocator(AddressMap(num_tiles=2))
+    with pytest.raises(ConfigError):
+        alloc.alloc(0)
+    with pytest.raises(ConfigError):
+        alloc.alloc_line(home=7)

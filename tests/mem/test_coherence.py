@@ -1,0 +1,209 @@
+"""Directory coherence protocol tests (scripted interleavings).
+
+These drive the real L1s / homes / NoC of a small chip directly, asserting
+both the data results (functional correctness) and the timing-model state
+(MESI states, directory contents, message categories).
+"""
+
+import pytest
+
+from helpers import MemHarness, make_chip
+from repro.common.stats import MsgCat
+from repro.mem.cache import MESI
+from repro.mem.directory import DirState
+
+
+@pytest.fixture
+def h():
+    return MemHarness(make_chip(num_cores=4))
+
+
+def addr_homed(chip, home, k=0):
+    """An address whose home directory is tile *home*."""
+    return (home + k * chip.num_cores) * 64
+
+
+# ---------------------------------------------------------------------- #
+# Basic flows
+# ---------------------------------------------------------------------- #
+def test_load_returns_stored_value_cross_core(h):
+    a = addr_homed(h.chip, 2)
+    h.store(0, a, 99)
+    assert h.load(1, a) == 99
+
+
+def test_first_load_installs_exclusive(h):
+    a = addr_homed(h.chip, 1)
+    h.load(0, a)
+    assert h.state(0, a) is MESI.E
+    state, sharers, owner = h.dir_state(a)
+    assert state is DirState.EM and owner == 0
+
+
+def test_second_load_demotes_to_shared(h):
+    a = addr_homed(h.chip, 1)
+    h.load(0, a)
+    h.load(3, a)
+    assert h.state(0, a) is MESI.S
+    assert h.state(3, a) is MESI.S
+    state, sharers, owner = h.dir_state(a)
+    assert state is DirState.S and sharers == frozenset({0, 3})
+
+
+def test_store_hits_in_exclusive_silently(h):
+    a = addr_homed(h.chip, 1)
+    h.load(0, a)
+    msgs_before = h.chip.stats.total_messages()
+    h.store(0, a, 5)
+    assert h.state(0, a) is MESI.M
+    assert h.chip.stats.total_messages() == msgs_before  # E->M is silent
+
+
+def test_store_invalidates_all_sharers(h):
+    a = addr_homed(h.chip, 1)
+    for t in (0, 1, 3):
+        h.load(t, a)
+    h.store(2, a, 7)
+    assert h.state(2, a) is MESI.M
+    for t in (0, 1, 3):
+        assert h.state(t, a) is MESI.I
+    state, _, owner = h.dir_state(a)
+    assert state is DirState.EM and owner == 2
+    assert h.load(0, a) == 7
+
+
+def test_store_upgrade_from_shared(h):
+    a = addr_homed(h.chip, 1)
+    h.load(0, a)
+    h.load(1, a)       # both S now
+    h.store(0, a, 3)   # upgrade: invalidate 1, grant M to 0
+    assert h.state(0, a) is MESI.M
+    assert h.state(1, a) is MESI.I
+
+
+def test_load_from_modified_owner_gets_fresh_value(h):
+    a = addr_homed(h.chip, 1)
+    h.store(0, a, 123)
+    assert h.state(0, a) is MESI.M
+    assert h.load(2, a) == 123
+    # Owner demoted to S via FwdGetS.
+    assert h.state(0, a) is MESI.S
+    state, sharers, _ = h.dir_state(a)
+    assert state is DirState.S and sharers == frozenset({0, 2})
+
+
+def test_store_steals_ownership(h):
+    a = addr_homed(h.chip, 1)
+    h.store(0, a, 1)
+    h.store(1, a, 2)
+    assert h.state(0, a) is MESI.I
+    assert h.state(1, a) is MESI.M
+    assert h.load(2, a) == 2
+
+
+def test_atomic_serializes_increments(h):
+    a = addr_homed(h.chip, 0)
+    for t in range(4):
+        old = h.atomic(t, a, lambda v: v + 1)
+        assert old == t
+    assert h.load(0, a) == 4
+
+
+# ---------------------------------------------------------------------- #
+# Message categories (Figure-7 accounting)
+# ---------------------------------------------------------------------- #
+def test_remote_miss_generates_request_and_reply(h):
+    a = addr_homed(h.chip, 2)  # remote home for tile 0
+    h.load(0, a)
+    assert h.chip.stats.messages[MsgCat.REQUEST] == 1
+    assert h.chip.stats.messages[MsgCat.REPLY] == 1
+    assert h.chip.stats.messages[MsgCat.COHERENCE] == 0
+
+
+def test_invalidation_storm_counts_coherence(h):
+    a = addr_homed(h.chip, 1)
+    for t in range(4):
+        h.load(t, a)
+    before = h.chip.stats.messages[MsgCat.COHERENCE]
+    h.store(0, a, 1)
+    # Inv + InvAck for each of the 3 other sharers; the sharer living on
+    # the home tile itself exchanges both locally (not network traffic),
+    # so 4 of the 6 messages cross the mesh.
+    assert h.chip.stats.messages[MsgCat.COHERENCE] - before == 4
+
+
+def test_local_home_access_is_free(h):
+    a = addr_homed(h.chip, 0)  # home is tile 0 itself
+    h.load(0, a)
+    assert h.chip.stats.total_messages() == 0
+
+
+# ---------------------------------------------------------------------- #
+# Evictions and write-backs
+# ---------------------------------------------------------------------- #
+def test_dirty_eviction_writes_back():
+    chip = make_chip(num_cores=2)
+    h = MemHarness(chip)
+    l1_sets = chip.config.l1.num_sets
+    assoc = chip.config.l1.assoc
+    # Fill one set beyond capacity with dirty lines.
+    base_addrs = [(1 + k * chip.num_cores * l1_sets) * 64
+                  for k in range(assoc + 1)]
+    for i, a in enumerate(base_addrs):
+        h.store(0, a, i)
+    assert chip.stats.counters["l1.writebacks"] == 1
+    # Victim (LRU = first stored) is gone but its value survives.
+    assert h.state(0, base_addrs[0]) is MESI.I
+    assert h.load(1, base_addrs[0]) == 0
+    # Directory must not think tile 0 still owns the victim.
+    state, _, owner = h.dir_state(base_addrs[0])
+    assert owner != 0
+
+
+def test_putack_clears_wb_buffer():
+    chip = make_chip(num_cores=2)
+    h = MemHarness(chip)
+    l1_sets = chip.config.l1.num_sets
+    assoc = chip.config.l1.assoc
+    addrs = [(1 + k * chip.num_cores * l1_sets) * 64
+             for k in range(assoc + 1)]
+    for i, a in enumerate(addrs):
+        h.store(0, a, i)
+    assert not chip.tiles[0].l1._wb_buffer  # drained after PutAck
+
+
+# ---------------------------------------------------------------------- #
+# Watches (spin support)
+# ---------------------------------------------------------------------- #
+def test_watch_fires_on_invalidation(h):
+    a = addr_homed(h.chip, 1)
+    h.load(0, a)
+    fired = []
+    h.chip.tiles[0].l1.watch(a, lambda: fired.append(h.chip.engine.now))
+    h.store(2, a, 9)
+    assert fired, "watcher did not fire on invalidation"
+
+
+def test_watch_fires_once(h):
+    a = addr_homed(h.chip, 1)
+    h.load(0, a)
+    fired = []
+    h.chip.tiles[0].l1.watch(a, lambda: fired.append(1))
+    h.store(2, a, 1)
+    h.load(0, a)
+    h.store(2, a, 2)  # second invalidation: watcher already consumed
+    assert len(fired) == 1
+
+
+def test_mshr_merging_on_concurrent_loads():
+    chip = make_chip(num_cores=4)
+    a = 2 * 64
+    results = []
+    # Two loads from the same tile to the same line, back to back, before
+    # the engine runs: the second must merge into the first's MSHR.
+    chip.tiles[0].l1.load(a, results.append)
+    chip.tiles[0].l1.load(a + 8, results.append)
+    chip.engine.run()
+    assert len(results) == 2
+    assert chip.tiles[0].l1.mshr.merges == 1
+    assert chip.stats.messages[MsgCat.REQUEST] == 1  # one GetS total

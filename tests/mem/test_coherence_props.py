@@ -1,0 +1,97 @@
+"""Property-based coherence tests.
+
+Random multi-core access sequences must leave the timing state (L1 arrays,
+directory) consistent at quiescence:
+
+* SWMR: a line with an exclusive (E/M) copy in some L1 has no other valid
+  copy anywhere.
+* Directory agreement: an EM directory entry's owner actually holds the
+  line exclusively; every valid L1 copy of an S entry is a registered
+  sharer (silent S evictions make the sharer list a superset).
+* Atomic increments never lose updates (the functional/timing split plus
+  protocol serialization).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_chip
+from repro.cpu import isa
+from tests_mem_props_shim import check_quiescent_consistency
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 3),                  # core
+        st.sampled_from(["load", "store", "atomic"]),
+        st.integers(0, 5),                  # which shared word
+        st.integers(0, 60),                 # pre-delay
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy)
+def test_random_access_sequences_stay_coherent(ops):
+    chip = make_chip(4)
+    words = [chip.allocator.alloc_line() for _ in range(6)]
+    per_core: dict[int, list] = {c: [] for c in range(4)}
+    for core, kind, word, delay in ops:
+        per_core[core].append((kind, words[word], delay))
+
+    def prog(cid):
+        for kind, addr, delay in per_core[cid]:
+            if delay:
+                yield isa.Compute(delay)
+            if kind == "load":
+                yield isa.Load(addr)
+            elif kind == "store":
+                yield isa.Store(addr, cid + 1)
+            else:
+                yield isa.FetchAdd(addr, 1)
+
+    chip.run([prog(c) for c in range(4)])
+    check_quiescent_consistency(chip)
+
+
+@settings(max_examples=20, deadline=None)
+@given(increments=st.lists(st.integers(1, 20), min_size=2, max_size=4),
+       stagger=st.lists(st.integers(0, 100), min_size=4, max_size=4))
+def test_atomic_increments_never_lost(increments, stagger):
+    chip = make_chip(4)
+    counter = chip.allocator.alloc_line()
+    counts = (increments * 4)[:4]
+
+    def prog(cid):
+        yield isa.Compute(stagger[cid])
+        for _ in range(counts[cid]):
+            yield isa.FetchAdd(counter, 1)
+
+    chip.run([prog(c) for c in range(4)])
+    assert chip.funcmem.load(counter) == sum(counts)
+    check_quiescent_consistency(chip)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_writers=st.integers(1, 4), readers_delay=st.integers(0, 500))
+def test_last_writer_wins_is_observed_by_all(n_writers, readers_delay):
+    """After all stores quiesce, every core loads the same final value."""
+    chip = make_chip(4)
+    flag = chip.allocator.alloc_line()
+    finals = {}
+
+    def writer(cid):
+        yield isa.Compute(cid * 40)
+        yield isa.Store(flag, cid + 100)
+
+    def reader(cid):
+        yield isa.Compute(5_000 + readers_delay)  # after all writers
+        finals[cid] = (yield isa.Load(flag))
+
+    progs = []
+    for c in range(4):
+        progs.append(writer(c) if c < n_writers else reader(c))
+    chip.run(progs)
+    assert len(set(finals.values())) <= 1  # all readers agree
+    check_quiescent_consistency(chip)

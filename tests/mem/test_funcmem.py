@@ -1,0 +1,52 @@
+"""Functional memory image tests."""
+
+from repro.mem.address import AddressMap
+from repro.mem.funcmem import FunctionalMemory
+
+
+def test_default_zero():
+    mem = FunctionalMemory()
+    assert mem.load(0x1000) == 0
+
+
+def test_store_load_round_trip():
+    mem = FunctionalMemory()
+    mem.store(0x1000, 42)
+    assert mem.load(0x1000) == 42
+
+
+def test_word_granularity_aliasing():
+    mem = FunctionalMemory()
+    mem.store(0x1000, 7)
+    # Any byte address within the word reads the same value.
+    assert mem.load(0x1003) == 7
+    mem.store(0x1007, 9)
+    assert mem.load(0x1000) == 9
+    # The next word is distinct.
+    assert mem.load(0x1008) == 0
+
+
+def test_rmw_returns_old_and_new():
+    mem = FunctionalMemory()
+    mem.store(0x20, 5)
+    old, new = mem.rmw(0x20, lambda v: v + 3)
+    assert (old, new) == (5, 8)
+    assert mem.load(0x20) == 8
+
+
+def test_array_helpers():
+    mem = FunctionalMemory()
+    mem.store_array(0x100, [1, 2, 3])
+    assert mem.load_array(0x100, 3) == [1, 2, 3]
+    assert mem.load_array(0x100, 4) == [1, 2, 3, 0]
+
+
+def test_words_in_line():
+    mem = FunctionalMemory()
+    amap = AddressMap(num_tiles=2, line_bytes=64)
+    mem.store(64, 11)
+    mem.store(64 + 56, 22)
+    words = mem.words_in_line(amap, 70)
+    assert len(words) == 8
+    assert words[0] == 11
+    assert words[7] == 22

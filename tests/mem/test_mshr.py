@@ -1,0 +1,32 @@
+"""MSHR table tests."""
+
+from repro.mem.mshr import MshrTable, Waiter
+
+
+def test_allocate_and_complete():
+    t = MshrTable()
+    entry = t.allocate(0x100, "S", issue_time=5)
+    entry.waiters.append(Waiter("S", lambda: None))
+    assert t.get(0x100) is entry
+    assert t.pending() == 1
+    done = t.complete(0x100)
+    assert done is entry
+    assert t.get(0x100) is None
+    assert t.pending() == 0
+
+
+def test_merge_counts():
+    t = MshrTable()
+    t.allocate(0x100, "S", 0)
+    t.merge(0x100, Waiter("M", lambda: None))
+    t.merge(0x100, Waiter("S", lambda: None))
+    assert len(t.get(0x100).waiters) == 2
+    assert t.merges == 2
+    assert t.allocations == 1
+
+
+def test_outstanding_lines_sorted():
+    t = MshrTable()
+    t.allocate(0x200, "S", 0)
+    t.allocate(0x100, "M", 0)
+    assert t.outstanding_lines() == [0x100, 0x200]

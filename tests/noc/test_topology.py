@@ -1,0 +1,61 @@
+"""2D-mesh topology and XY-routing tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.noc.topology import Mesh2D
+
+
+def test_coords_round_trip():
+    mesh = Mesh2D(4, 8)
+    for t in range(32):
+        r, c = mesh.coords(t)
+        assert mesh.tile_at(r, c) == t
+
+
+def test_hops_manhattan():
+    mesh = Mesh2D(4, 8)
+    assert mesh.hops(0, 0) == 0
+    assert mesh.hops(0, 7) == 7
+    assert mesh.hops(0, 31) == 3 + 7
+    assert mesh.hops(9, 18) == mesh.hops(18, 9)
+
+
+def test_route_is_xy():
+    mesh = Mesh2D(4, 4)
+    # From (0,1) to (2,3): X first (to col 3) then Y (to row 2).
+    path = mesh.route(1, 11)
+    assert path == [1, 2, 3, 7, 11]
+
+
+def test_route_endpoints_and_adjacency():
+    mesh = Mesh2D(3, 5)
+    for src in range(15):
+        for dst in range(15):
+            path = mesh.route(src, dst)
+            assert path[0] == src and path[-1] == dst
+            assert len(path) == mesh.hops(src, dst) + 1
+            for a, b in zip(path, path[1:]):
+                assert b in mesh.neighbors(a)
+
+
+def test_route_westward_and_northward():
+    mesh = Mesh2D(3, 3)
+    assert mesh.route(8, 0) == [8, 7, 6, 3, 0]
+
+
+def test_neighbors_at_corners_and_center():
+    mesh = Mesh2D(3, 3)
+    assert sorted(mesh.neighbors(0)) == [1, 3]
+    assert sorted(mesh.neighbors(4)) == [1, 3, 5, 7]
+    assert sorted(mesh.neighbors(8)) == [5, 7]
+
+
+def test_bad_tile_rejected():
+    mesh = Mesh2D(2, 2)
+    with pytest.raises(ConfigError):
+        mesh.coords(4)
+    with pytest.raises(ConfigError):
+        mesh.tile_at(2, 0)
+    with pytest.raises(ConfigError):
+        Mesh2D(0, 3)

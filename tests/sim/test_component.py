@@ -1,0 +1,26 @@
+"""Component base-class tests."""
+
+from repro.common.stats import StatsRegistry
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+
+
+def test_component_schedule_and_now():
+    engine = Engine()
+    stats = StatsRegistry(1)
+    comp = Component(engine, stats, "c0")
+    hits = []
+    comp.schedule(5, lambda: hits.append(comp.now))
+    engine.run()
+    assert hits == [5]
+    assert comp.now == 5
+
+
+def test_component_priority_passthrough():
+    engine = Engine()
+    comp = Component(engine, StatsRegistry(1), "c")
+    order = []
+    comp.schedule(1, lambda: order.append("late"), priority=5)
+    comp.schedule(1, lambda: order.append("early"), priority=0)
+    engine.run()
+    assert order == ["early", "late"]

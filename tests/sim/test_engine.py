@@ -1,0 +1,153 @@
+"""Event-engine kernel tests: ordering, determinism, budgets."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_runs_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(30, order.append, "c")
+    eng.schedule(10, order.append, "a")
+    eng.schedule(20, order.append, "b")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 30
+
+
+def test_same_time_fifo_by_schedule_order():
+    eng = Engine()
+    order = []
+    for tag in "abcde":
+        eng.schedule(5, order.append, tag)
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_priority_breaks_same_cycle_ties():
+    eng = Engine()
+    order = []
+    eng.schedule(5, order.append, "late", priority=10)
+    eng.schedule(5, order.append, "early", priority=0)
+    eng.run()
+    assert order == ["early", "late"]
+
+
+def test_nested_scheduling_from_callback():
+    eng = Engine()
+    seen = []
+
+    def first():
+        seen.append(("first", eng.now))
+        eng.schedule(7, second)
+
+    def second():
+        seen.append(("second", eng.now))
+
+    eng.schedule(3, first)
+    eng.run()
+    assert seen == [("first", 3), ("second", 10)]
+
+
+def test_zero_delay_runs_at_same_time():
+    eng = Engine()
+    times = []
+    eng.schedule(4, lambda: eng.schedule(0, lambda: times.append(eng.now)))
+    eng.run()
+    assert times == [4]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    eng = Engine()
+    eng.schedule(10, lambda: eng.schedule_at(5, lambda: None))
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_run_until_stops_before_future_events():
+    eng = Engine()
+    fired = []
+    eng.schedule(100, fired.append, True)
+    eng.run(until=50)
+    assert not fired
+    assert eng.now == 50
+    assert eng.pending() == 1
+    eng.run()
+    assert fired
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    eng = Engine()
+    eng.run(until=42)
+    assert eng.now == 42
+
+
+def test_max_events_budget():
+    eng = Engine()
+    count = []
+    for _ in range(10):
+        eng.schedule(1, count.append, 1)
+    eng.run(max_events=3)
+    assert len(count) == 3
+    eng.run()
+    assert len(count) == 10
+
+
+def test_step_single_event():
+    eng = Engine()
+    hits = []
+    eng.schedule(2, hits.append, "x")
+    eng.schedule(4, hits.append, "y")
+    assert eng.step()
+    assert hits == ["x"]
+    assert eng.step()
+    assert hits == ["x", "y"]
+    assert not eng.step()
+
+
+def test_events_executed_counter():
+    eng = Engine()
+    for _ in range(5):
+        eng.schedule(1, lambda: None)
+    eng.run()
+    assert eng.events_executed == 5
+
+
+def test_not_reentrant():
+    eng = Engine()
+    problems = []
+
+    def recurse():
+        try:
+            eng.run()
+        except SimulationError:
+            problems.append(True)
+
+    eng.schedule(1, recurse)
+    eng.run()
+    assert problems == [True]
+
+
+def test_deterministic_across_instances():
+    def build_and_run():
+        eng = Engine()
+        log = []
+        # Interleaved delays with callback-driven rescheduling.
+        def tick(tag, delay):
+            log.append((tag, eng.now))
+            if eng.now < 50:
+                eng.schedule(delay, tick, tag, delay)
+        eng.schedule(0, tick, "a", 3)
+        eng.schedule(0, tick, "b", 5)
+        eng.run()
+        return log
+
+    assert build_and_run() == build_and_run()

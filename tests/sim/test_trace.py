@@ -1,0 +1,32 @@
+"""Tracer tests."""
+
+from repro.sim.trace import NULL_TRACER, ListTracer
+
+
+def test_null_tracer_discards():
+    NULL_TRACER.emit(1, "x", "kind", detail=1)  # must not raise
+    assert not NULL_TRACER.enabled
+
+
+def test_list_tracer_records():
+    tr = ListTracer()
+    tr.emit(5, "core0", "load", addr=0x100)
+    tr.emit(6, "core1", "store", addr=0x200)
+    assert len(tr.events) == 2
+    assert tr.events[0].time == 5
+    assert tr.events[0].detail["addr"] == 0x100
+    assert [e.kind for e in tr.of_kind("store")] == ["store"]
+
+
+def test_list_tracer_kind_filter():
+    tr = ListTracer(kinds={"load"})
+    tr.emit(1, "a", "load")
+    tr.emit(2, "a", "store")
+    assert [e.kind for e in tr.events] == ["load"]
+
+
+def test_list_tracer_clear():
+    tr = ListTracer()
+    tr.emit(1, "a", "x")
+    tr.clear()
+    assert tr.events == []

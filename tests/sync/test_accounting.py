@@ -1,0 +1,52 @@
+"""Barrier-episode accounting tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
+from repro.sync.accounting import BarrierAccounting
+
+
+def test_episode_lifecycle():
+    stats = StatsRegistry(2)
+    acct = BarrierAccounting(stats, num_cores=2)
+    e0 = acct.arrive(0, 0, now=10)
+    e1 = acct.arrive(1, 0, now=25)
+    assert e0 == e1 == 0
+    acct.depart(0, 0, e0, now=30)
+    assert stats.num_barriers() == 0  # not complete yet
+    acct.depart(1, 0, e1, now=31)
+    assert stats.num_barriers() == 1
+    s = stats.barriers[0]
+    assert (s.first_arrival, s.last_arrival, s.release) == (10, 25, 31)
+    assert acct.open_episodes() == 0
+
+
+def test_per_core_episode_indexing():
+    stats = StatsRegistry(2)
+    acct = BarrierAccounting(stats, num_cores=2)
+    assert acct.arrive(0, 0, 1) == 0
+    acct.depart(0, 0, 0, 2)  # core 0 done with ep 0 (core 1 still out)
+    assert acct.arrive(0, 0, 3) == 1  # core 0 moves to ep 1
+    assert acct.arrive(1, 0, 4) == 0  # core 1 joins ep 0
+    acct.depart(1, 0, 0, 5)
+    assert stats.num_barriers() == 1
+
+
+def test_contexts_are_independent():
+    stats = StatsRegistry(2)
+    acct = BarrierAccounting(stats, num_cores=2)
+    assert acct.arrive(0, barrier_id=0, now=1) == 0
+    assert acct.arrive(0, barrier_id=1, now=2) == 0
+    assert acct.open_episodes() == 2
+
+
+def test_over_arrival_detected():
+    stats = StatsRegistry(2)
+    acct = BarrierAccounting(stats, num_cores=1)
+    acct.arrive(0, 0, 1)
+    acct.arrive(0, 0, 2)  # core 0's second episode: fine
+    # Forge an impossible third arrival into episode 0.
+    acct._core_count[(0, 0)] = 0
+    with pytest.raises(SimulationError):
+        acct.arrive(0, 0, 3)

@@ -1,0 +1,109 @@
+"""Barrier correctness tests shared across CSW / DSW / GL.
+
+The fundamental property: no core leaves barrier episode k before every
+core has entered it.  Verified by recording per-core entry/exit timestamps
+around each BarrierOp.
+"""
+
+import pytest
+
+from helpers import make_chip
+from repro.cpu import isa
+
+IMPLS = ("csw", "csw-fa", "dsw", "gl")
+
+
+def run_with_stamps(chip, episodes, delays=None):
+    """Run *episodes* barriers per core with optional per-core compute
+    delays before each; returns stamps[episode] = (entries, exits)."""
+    n = chip.num_cores
+    entries = [[None] * n for _ in range(episodes)]
+    exits = [[None] * n for _ in range(episodes)]
+
+    def prog(cid):
+        for k in range(episodes):
+            if delays:
+                yield isa.Compute(delays[k][cid])
+            entries[k][cid] = chip.engine.now
+            yield isa.BarrierOp()
+            exits[k][cid] = chip.engine.now
+
+    chip.run([prog(c) for c in range(n)])
+    return entries, exits
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_no_early_release(impl):
+    chip = make_chip(4, impl)
+    delays = [[0, 50, 250, 1000], [700, 0, 0, 0], [5, 5, 5, 5]]
+    entries, exits = run_with_stamps(chip, episodes=3, delays=delays)
+    for k in range(3):
+        assert min(exits[k]) >= max(entries[k]), \
+            f"{impl}: a core left episode {k} before all arrived"
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_episode_separation(impl):
+    """No core enters episode k+1 before every core left... in fact a core
+    may enter k+1 while a slow core is still *exiting* k, but never before
+    that slow core has *entered* k (two-episode overlap is impossible in a
+    correct barrier)."""
+    chip = make_chip(4, impl)
+    delays = [[0, 0, 0, 900], [0, 0, 0, 0], [300, 0, 0, 0]]
+    entries, exits = run_with_stamps(chip, episodes=3, delays=delays)
+    for k in range(2):
+        assert min(entries[k + 1]) >= max(entries[k])
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_accounting_counts_episodes(impl):
+    chip = make_chip(4, impl)
+    run_with_stamps(chip, episodes=5)
+    assert chip.stats.num_barriers() == 5
+    assert chip.accounting.open_episodes() == 0
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_single_core_chip_barrier_is_trivial(impl):
+    chip = make_chip(1, impl)
+    res = chip.run([iter([isa.BarrierOp(), isa.Compute(5),
+                          isa.BarrierOp()])])
+    assert chip.stats.num_barriers() == 2
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_many_episodes_stay_correct(impl):
+    """Sense reversal across many episodes (catches stale-sense bugs)."""
+    chip = make_chip(4, impl)
+    entries, exits = run_with_stamps(chip, episodes=12)
+    for k in range(12):
+        assert min(exits[k]) >= max(entries[k])
+
+
+@pytest.mark.parametrize("impl", ("csw", "dsw"))
+def test_software_barrier_traffic_nonzero(impl):
+    chip = make_chip(4, impl)
+    run_with_stamps(chip, episodes=2)
+    assert chip.stats.total_messages() > 0
+
+
+def test_gl_barrier_traffic_zero():
+    chip = make_chip(4, "gl")
+    run_with_stamps(chip, episodes=2)
+    assert chip.stats.total_messages() == 0
+
+
+def test_gl_latency_is_13_cycles_default():
+    """The paper's measured end-to-end GL latency (4 + library overhead)."""
+    chip = make_chip(4, "gl")
+    run_with_stamps(chip, episodes=4)
+    for sample in chip.stats.barriers:
+        assert sample.latency_after_last_arrival == 13
+
+
+def test_gl_latency_is_4_cycles_without_overhead():
+    chip = make_chip(4, "gl", entry_overhead=0)
+    run_with_stamps(chip, episodes=4)
+    # 1-cycle bar_reg write + 4-cycle network.
+    for sample in chip.stats.barriers:
+        assert sample.latency_after_last_arrival == 5

@@ -1,0 +1,104 @@
+"""Dissemination and tournament barrier tests."""
+
+import pytest
+
+from helpers import make_chip
+from repro.cpu import isa
+from repro.sync.dissemination import DisseminationBarrier, rounds_for
+from repro.sync.tournament import TournamentBarrier
+
+IMPLS = ("diss", "tour")
+
+
+def run_with_stamps(chip, episodes, delays=None):
+    n = chip.num_cores
+    entries = [[None] * n for _ in range(episodes)]
+    exits = [[None] * n for _ in range(episodes)]
+
+    def prog(cid):
+        for k in range(episodes):
+            if delays:
+                yield isa.Compute(delays[k][cid])
+            entries[k][cid] = chip.engine.now
+            yield isa.BarrierOp()
+            exits[k][cid] = chip.engine.now
+
+    chip.run([prog(c) for c in range(n)])
+    return entries, exits
+
+
+def test_rounds_for():
+    assert rounds_for(1) == 0
+    assert rounds_for(2) == 1
+    assert rounds_for(5) == 3
+    assert rounds_for(32) == 5
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+@pytest.mark.parametrize("cores", [2, 4, 5, 8])
+def test_no_early_release(impl, cores):
+    chip = make_chip(cores, impl)
+    delays = [[(c * 131) % 700 for c in range(cores)],
+              [0] * cores,
+              [900 if c == 0 else 0 for c in range(cores)]]
+    entries, exits = run_with_stamps(chip, episodes=3, delays=delays)
+    for k in range(3):
+        assert min(exits[k]) >= max(entries[k]), \
+            f"{impl}/{cores}: early release in episode {k}"
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_many_episodes_monotonic_flags(impl):
+    """Episode counters make flag reuse safe over many episodes."""
+    chip = make_chip(4, impl)
+    entries, exits = run_with_stamps(chip, episodes=15)
+    for k in range(15):
+        assert min(exits[k]) >= max(entries[k])
+    assert chip.stats.num_barriers() == 15
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_single_core(impl):
+    chip = make_chip(1, impl)
+    chip.run([iter([isa.BarrierOp(), isa.BarrierOp()])])
+    assert chip.stats.num_barriers() == 2
+
+
+def test_dissemination_has_no_champion_bottleneck():
+    """Every core performs the same number of stores (symmetric)."""
+    chip = make_chip(8, "diss")
+    run_with_stamps(chip, episodes=3)
+    # Symmetric algorithm: per-core barrier cycles are near-uniform.
+    from repro.common.stats import CycleCat
+    per_core = [chip.stats.core_cycle_breakdown(c)[CycleCat.BARRIER]
+                for c in range(8)]
+    assert max(per_core) < 2.5 * min(per_core)
+
+
+def test_tournament_bracket_structure():
+    alloc_chip = make_chip(8, "tour")
+    barrier = alloc_chip.barrier_impl
+    assert isinstance(barrier, TournamentBarrier)
+    assert barrier.rounds == 3
+    ctx = barrier.contexts[0]
+    assert len(ctx["arrive"]) == 8
+    assert len(ctx["release"]) == 8
+
+
+def test_describe_strings():
+    chip = make_chip(4, "diss")
+    assert "dissemination" in chip.barrier_impl.describe()
+    chip = make_chip(4, "tour")
+    assert "tournament" in chip.barrier_impl.describe()
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_hypothesis_like_random_schedule(impl):
+    import random
+    rng = random.Random(11)
+    chip = make_chip(6, impl)
+    delays = [[rng.randrange(0, 1500) for _ in range(6)]
+              for _ in range(4)]
+    entries, exits = run_with_stamps(chip, episodes=4, delays=delays)
+    for k in range(4):
+        assert min(exits[k]) >= max(entries[k])

@@ -1,0 +1,81 @@
+"""Combining-tree structure tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.mem.address import AddressMap, Allocator
+from repro.sync.dsw import CombiningTreeBarrier, build_tree
+
+
+def make_allocator(tiles=4):
+    return Allocator(AddressMap(num_tiles=tiles))
+
+
+def test_binary_tree_shape_8_cores():
+    alloc = make_allocator()
+    nodes, leaf_of = build_tree(alloc, list(range(8)), arity=2)
+    # 4 leaves + 2 internal + 1 root.
+    assert len(nodes) == 7
+    assert len({id(n) for n in leaf_of.values()}) == 4
+    root = [n for n in nodes if n.parent is None]
+    assert len(root) == 1
+    assert max(n.level for n in nodes) == 2
+
+
+def test_tree_levels_connect_to_root():
+    alloc = make_allocator()
+    nodes, leaf_of = build_tree(alloc, list(range(8)), arity=2)
+    root = next(n for n in nodes if n.parent is None)
+    for leaf in set(map(id, leaf_of.values())):
+        pass
+    for cid, leaf in leaf_of.items():
+        node = leaf
+        while node.parent is not None:
+            node = node.parent
+        assert node is root
+
+
+def test_odd_core_count_tree():
+    alloc = make_allocator()
+    nodes, leaf_of = build_tree(alloc, list(range(5)), arity=2)
+    assert set(leaf_of) == {0, 1, 2, 3, 4}
+    fanins = sorted(n.fanin for n in nodes if n.level == 0)
+    assert fanins == [1, 2, 2]  # 5 cores -> leaves of 2,2,1
+
+
+def test_nodes_are_line_padded_and_distinct():
+    alloc = make_allocator()
+    nodes, _ = build_tree(alloc, list(range(8)), arity=2)
+    addrs = [n.count_addr for n in nodes] + [n.release_addr for n in nodes]
+    assert len(set(addrs)) == len(addrs)
+    assert all(a % 64 == 0 for a in addrs)
+
+
+def test_nodes_homed_at_first_group_core():
+    amap = AddressMap(num_tiles=8)
+    alloc = Allocator(amap)
+    nodes, leaf_of = build_tree(alloc, list(range(8)), arity=2)
+    for node in nodes:
+        if node.level == 0:
+            assert amap.home_of(node.count_addr) == node.home_core
+
+
+def test_arity_4_is_shallower():
+    alloc = make_allocator()
+    nodes2, _ = build_tree(alloc, list(range(16)), arity=2)
+    nodes4, _ = build_tree(alloc, list(range(16)), arity=4)
+    assert max(n.level for n in nodes4) < max(n.level for n in nodes2)
+
+
+def test_depth_property():
+    alloc = make_allocator()
+    barrier = CombiningTreeBarrier(alloc, list(range(16)), arity=2)
+    assert barrier.depth == 4  # 8 leaves -> 4 -> 2 -> 1
+
+
+def test_invalid_construction():
+    alloc = make_allocator()
+    with pytest.raises(ConfigError):
+        build_tree(alloc, list(range(4)), arity=1)
+    with pytest.raises(ConfigError):
+        CombiningTreeBarrier(alloc, [])

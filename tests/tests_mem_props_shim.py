@@ -1,0 +1,31 @@
+"""Shared quiescent-consistency checker (used by stress + property tests)."""
+
+from repro.mem.cache import MESI
+from repro.mem.directory import DirState
+
+
+def check_quiescent_consistency(chip) -> None:
+    """SWMR + directory/L1 agreement over every line anyone touched."""
+    lines = set()
+    for tile in chip.tiles:
+        lines.update(tile.l1.array.resident_lines())
+        lines.update(tile.home.entries)
+    for line in lines:
+        states = {t: tile.l1.array.probe(line)
+                  for t, tile in enumerate(chip.tiles)}
+        valid = {t for t, s in states.items() if s is not MESI.I}
+        exclusive = {t for t, s in states.items() if s.exclusive}
+        if exclusive:
+            assert len(exclusive) == 1, f"two exclusive copies of {line:#x}"
+            assert valid == exclusive, \
+                f"exclusive + shared copies of {line:#x}"
+        home = chip.tiles[chip.amap.home_of(line)].home
+        state, sharers, owner = home.dir_state(line)
+        if state is DirState.EM:
+            assert valid in ({owner}, set()), \
+                f"dir EM owner {owner} but valid={valid} for {line:#x}"
+        elif state is DirState.S:
+            assert valid <= sharers, \
+                f"valid copies {valid} not all in sharers {sharers}"
+        else:
+            assert not valid, f"dir I but valid copies {valid}"

@@ -1,0 +1,58 @@
+"""Workload partitioning helper tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.base import chunk_bounds, skewed_bounds
+
+
+def test_chunk_bounds_cover_range_exactly():
+    for n in (0, 1, 7, 32, 100):
+        for parts in (1, 2, 3, 8):
+            covered = []
+            for i in range(parts):
+                lo, hi = chunk_bounds(n, parts, i)
+                covered.extend(range(lo, hi))
+            assert covered == list(range(n))
+
+
+def test_chunk_bounds_balanced():
+    sizes = [chunk_bounds(10, 3, i) for i in range(3)]
+    lengths = [hi - lo for lo, hi in sizes]
+    assert sorted(lengths) == [3, 3, 4]
+
+
+def test_chunk_bounds_validation():
+    with pytest.raises(WorkloadError):
+        chunk_bounds(10, 0, 0)
+    with pytest.raises(WorkloadError):
+        chunk_bounds(10, 2, 2)
+
+
+def test_skewed_bounds_cover_range_exactly():
+    for n in (0, 5, 64, 333):
+        for parts in (1, 2, 4, 8):
+            covered = []
+            for i in range(parts):
+                lo, hi = skewed_bounds(n, parts, i, skew=0.4)
+                covered.extend(range(lo, hi))
+            assert covered == list(range(n))
+
+
+def test_skewed_bounds_actually_skew():
+    first = skewed_bounds(1000, 4, 0, skew=0.5)
+    last = skewed_bounds(1000, 4, 3, skew=0.5)
+    assert (first[1] - first[0]) > (last[1] - last[0])
+
+
+def test_zero_skew_is_balanced():
+    sizes = [skewed_bounds(100, 4, i, skew=0.0) for i in range(4)]
+    lengths = {hi - lo for lo, hi in sizes}
+    assert lengths == {25}
+
+
+def test_skew_validation():
+    with pytest.raises(WorkloadError):
+        skewed_bounds(10, 2, 0, skew=1.0)
+    with pytest.raises(WorkloadError):
+        skewed_bounds(10, 2, 0, skew=-0.1)

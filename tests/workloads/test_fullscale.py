@@ -1,0 +1,29 @@
+"""Full-scale configuration tests (structure only -- not executed)."""
+
+from repro.workloads.fullscale import (fullscale_benchmarks,
+                                       fullscale_em3d, fullscale_kernel2,
+                                       fullscale_kernel6, fullscale_ocean,
+                                       fullscale_synthetic)
+
+
+def test_fullscale_barrier_counts_match_table2():
+    assert fullscale_synthetic().info().num_barriers == 400_000
+    assert fullscale_kernel2().info().num_barriers == 10_000
+    assert fullscale_kernel6().info().num_barriers == 1_022_000
+    assert fullscale_ocean().info().num_barriers == 364
+    em3d = fullscale_em3d().info()
+    assert em3d.num_barriers == 200  # paper reports 198 (~8 per step)
+
+
+def test_fullscale_input_sizes_match_paper():
+    assert "1024 elements, 1000 iterations" in \
+        fullscale_kernel2().info().input_size
+    assert "258x258" in fullscale_ocean().info().input_size
+    assert "38400 nodes, degree 2, 15% remote" in \
+        fullscale_em3d().info().input_size
+
+
+def test_fullscale_set_is_complete():
+    names = [wl.info().name for wl in fullscale_benchmarks()]
+    assert names == ["Synthetic", "KERN2", "KERN3", "KERN6", "OCEAN",
+                     "UNSTR", "EM3D"]

@@ -1,0 +1,119 @@
+"""Per-workload tests: construction, barrier counts, determinism."""
+
+import pytest
+
+from helpers import make_chip
+from repro.common.errors import WorkloadError
+from repro.workloads import (EM3DWorkload, Kernel2Workload,
+                             Kernel3Workload, Kernel6Workload,
+                             OceanWorkload, SyntheticBarrierWorkload,
+                             UnstructuredWorkload, default_benchmarks)
+
+SMALL = [
+    SyntheticBarrierWorkload(iterations=5),
+    Kernel2Workload(n=64, iterations=2),
+    Kernel3Workload(n=64, iterations=5),
+    Kernel6Workload(n=16, iterations=1),
+    OceanWorkload(grid=10, phases=2),
+    UnstructuredWorkload(nodes=64, phases=2),
+    EM3DWorkload(nodes=64, steps=1, barriers_per_step=4),
+]
+
+
+@pytest.mark.parametrize("wl", SMALL, ids=lambda w: w.name)
+def test_runs_and_barrier_count_matches_info(wl):
+    chip = make_chip(4, "gl")
+    res = chip.run(wl)
+    assert res.num_barriers() == wl.info().num_barriers
+    assert res.total_cycles > 0
+
+
+@pytest.mark.parametrize("wl", SMALL, ids=lambda w: w.name)
+def test_program_count_matches_cores(wl):
+    chip = make_chip(4, "gl")
+    progs = wl.build(chip)
+    assert len(progs) == 4
+
+
+@pytest.mark.parametrize("wl_factory", [
+    lambda: Kernel3Workload(n=64, iterations=3),
+    lambda: EM3DWorkload(nodes=64, steps=1, barriers_per_step=4),
+    lambda: UnstructuredWorkload(nodes=64, phases=2),
+], ids=["KERN3", "EM3D", "UNSTR"])
+def test_deterministic_across_runs(wl_factory):
+    def once():
+        chip = make_chip(4, "dsw")
+        res = chip.run(wl_factory())
+        return res.total_cycles, res.total_messages()
+
+    assert once() == once()
+
+
+def test_workloads_run_under_software_barriers():
+    chip = make_chip(4, "dsw")
+    res = chip.run(Kernel3Workload(n=64, iterations=3))
+    assert res.num_barriers() == 3
+    assert res.total_messages() > 0
+
+
+def test_kernel2_level_structure():
+    wl = Kernel2Workload(n=64, iterations=1)
+    assert wl.levels == [32, 16, 8, 4, 2, 1]
+    assert wl.info().num_barriers == 6
+
+
+def test_kernel6_barriers_per_iteration():
+    wl = Kernel6Workload(n=16, iterations=2)
+    assert wl.info().num_barriers == 2 * 14
+
+
+def test_em3d_remote_fraction_affects_traffic():
+    def traffic(remote):
+        chip = make_chip(4, "gl")
+        res = chip.run(EM3DWorkload(nodes=256, steps=2,
+                                    barriers_per_step=4,
+                                    remote_frac=remote))
+        return res.total_messages()
+
+    # More remote dependencies -> more cross-tile traffic.
+    assert traffic(0.9) > traffic(0.0)
+
+
+def test_unstructured_skew_creates_imbalance():
+    """Skewed partitions stretch the barrier wait (S2) versus balanced."""
+    def busy_spread(skew):
+        chip = make_chip(4, "gl")
+        chip.run(UnstructuredWorkload(nodes=256, phases=2, skew=skew))
+        from repro.common.stats import CycleCat
+        busy = [chip.stats.core_cycle_breakdown(c)[CycleCat.BUSY]
+                for c in range(4)]
+        return max(busy) - min(busy)
+
+    assert busy_spread(0.6) > busy_spread(0.0)
+
+
+def test_validation_errors():
+    with pytest.raises(WorkloadError):
+        SyntheticBarrierWorkload(iterations=0)
+    with pytest.raises(WorkloadError):
+        Kernel2Workload(n=100)  # not a power of two
+    with pytest.raises(WorkloadError):
+        OceanWorkload(grid=2)
+    with pytest.raises(WorkloadError):
+        EM3DWorkload(nodes=64, barriers_per_step=3)  # must be even
+    with pytest.raises(WorkloadError):
+        UnstructuredWorkload(nodes=4)
+
+
+def test_default_benchmarks_scaling():
+    full = default_benchmarks(1.0)
+    tiny = default_benchmarks(0.01)
+    assert len(full) == len(tiny) == 7
+    assert tiny[0].iterations < full[0].iterations
+    assert all(t.info().num_barriers >= 1 for t in tiny)
+
+
+def test_info_paper_reference_values():
+    assert Kernel2Workload().info().paper_period == 3_103
+    assert OceanWorkload().info().paper_barriers == 364
+    assert EM3DWorkload().info().paper_period == 3_673
