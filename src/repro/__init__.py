@@ -10,6 +10,8 @@ Public API highlights:
 * :mod:`repro.workloads` -- the paper's benchmarks (synthetic, Livermore
   kernels 2/3/6, OCEAN, UNSTRUCTURED, EM3D).
 * :mod:`repro.experiments` -- drivers regenerating every table and figure.
+* :mod:`repro.exec` -- parallel executor + content-addressed result cache
+  (see docs/parallel-execution.md).
 * :mod:`repro.gline` -- the G-line barrier network itself (wires, S-CSMA,
   Figure-4 controllers, hierarchical and multi-context extensions).
 """

@@ -55,6 +55,29 @@ class RunResult:
         return self.cycle_breakdown()[CycleCat.BARRIER]
 
     # ------------------------------------------------------------------ #
+    # Serialization (cache / worker-IPC format)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Lossless plain-dict form; ``to_dict`` is a fixed point of
+        ``from_dict(to_dict())`` (the result cache and the worker IPC of
+        :mod:`repro.exec` both ship exactly this)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "barrier_name": self.barrier_name,
+            "num_cores": self.num_cores,
+            "events_executed": self.events_executed,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(total_cycles=data["total_cycles"],
+                   barrier_name=data["barrier_name"],
+                   num_cores=data["num_cores"],
+                   stats=StatsRegistry.from_dict(data["stats"]),
+                   events_executed=data["events_executed"])
+
+    # ------------------------------------------------------------------ #
     def summary(self) -> str:
         """Multi-line human-readable run summary."""
         lines = [

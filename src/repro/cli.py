@@ -12,9 +12,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
+from .exec import ParallelRunner, ResultCache, default_cache_dir, \
+    use_executor
 from .experiments import (contention_ablation, csw_variant_ablation,
                           dsw_arity_sweep, entry_overhead_sweep,
                           hierarchical_latency, noc_model_ablation,
@@ -74,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="iteration-count multiplier (default 0.5)")
     common.add_argument("--out", type=Path, default=None,
                         help="directory to save rendered outputs")
+    common.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent runs "
+                             "(default: all CPUs)")
+    common.add_argument("--cache-dir", type=Path, default=None,
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    common.add_argument("--no-cache", action="store_true",
+                        help="recompute every run; do not read or write "
+                             "the result cache")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -116,6 +128,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    cache_dir = args.cache_dir or default_cache_dir()
+    if cache_dir.exists() and not cache_dir.is_dir():
+        print(f"error: --cache-dir {cache_dir} exists and is not a "
+              f"directory", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(cache_dir)
+    executor = ParallelRunner(jobs=jobs, cache=cache)
+    with use_executor(executor):
+        rc = _dispatch(args)
+    # The summary goes to stderr so stdout (the figure data) is
+    # byte-identical whether results were simulated or served from cache.
+    if cache is not None:
+        print(f"[repro.exec] {executor.summary()}", file=sys.stderr)
+    return rc
+
+
+def _dispatch(args) -> int:
     command = args.command
 
     if command in ("table1", "all"):

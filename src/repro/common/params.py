@@ -22,7 +22,7 @@ not hours into a simulation run.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from .errors import ConfigError
 
@@ -49,8 +49,29 @@ def mesh_dims(num_cores: int) -> tuple[int, int]:
     return best
 
 
+class _SerializableConfig:
+    """Flat-field dict serialization shared by the leaf config classes.
+
+    ``to_dict``/``from_dict`` are the cache-key and IPC format of
+    :mod:`repro.exec`: the round trip must be lossless and ``to_dict``
+    a fixed point, which holds because every field is a JSON primitive.
+    """
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ConfigError(
+                f"{cls.__name__}.from_dict: unknown fields {sorted(unknown)}")
+        return cls(**data)
+
+
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(_SerializableConfig):
     """Geometry and timing of one cache level."""
 
     size_bytes: int
@@ -82,7 +103,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class NocConfig:
+class NocConfig(_SerializableConfig):
     """2D-mesh network-on-chip parameters.
 
     The timing model is per-hop: a message pays ``router_latency`` +
@@ -134,7 +155,7 @@ class NocConfig:
 
 
 @dataclass(frozen=True)
-class GLineConfig:
+class GLineConfig(_SerializableConfig):
     """Parameters of the dedicated G-line barrier network.
 
     ``max_transmitters`` reflects the electrical constraint reported in the
@@ -183,7 +204,7 @@ class GLineConfig:
 
 
 @dataclass(frozen=True)
-class CoreConfig:
+class CoreConfig(_SerializableConfig):
     """In-order core model parameters."""
 
     #: Clock frequency, used only for reporting (all timing is in cycles).
@@ -237,6 +258,30 @@ class CMPConfig:
     def with_(self, **overrides) -> "CMPConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (cache-key / worker-IPC format)."""
+        return {
+            "num_cores": self.num_cores,
+            "core": self.core.to_dict(),
+            "line_bytes": self.line_bytes,
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "memory_latency": self.memory_latency,
+            "noc": self.noc.to_dict(),
+            "gline": self.gline.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CMPConfig":
+        return cls(num_cores=data["num_cores"],
+                   core=CoreConfig.from_dict(data["core"]),
+                   line_bytes=data["line_bytes"],
+                   l1=CacheConfig.from_dict(data["l1"]),
+                   l2=CacheConfig.from_dict(data["l2"]),
+                   memory_latency=data["memory_latency"],
+                   noc=NocConfig.from_dict(data["noc"]),
+                   gline=GLineConfig.from_dict(data["gline"]))
 
     def table1(self) -> list[tuple[str, str]]:
         """Render the configuration as (parameter, value) rows, Table-1 style."""

@@ -55,6 +55,21 @@ class BarrierSample:
         """Cycles from first arrival to full release."""
         return self.release - self.first_arrival
 
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-dict form (cache / worker-IPC format)."""
+        return {"barrier_id": self.barrier_id,
+                "first_arrival": self.first_arrival,
+                "last_arrival": self.last_arrival,
+                "release": self.release}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BarrierSample":
+        return cls(barrier_id=data["barrier_id"],
+                   first_arrival=data["first_arrival"],
+                   last_arrival=data["last_arrival"],
+                   release=data["release"])
+
 
 class StatsRegistry:
     """Central statistics sink for one simulation run."""
@@ -130,6 +145,43 @@ class StatsRegistry:
 
     def num_barriers(self) -> int:
         return len(self.barriers)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (cache / worker-IPC format)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Lossless plain-dict form: ``from_dict(to_dict())`` rebuilds an
+        equivalent registry, and ``to_dict`` is a fixed point of the round
+        trip (the property the result cache depends on).  Enum keys are
+        stored by their string values."""
+        return {
+            "num_cores": self.num_cores,
+            "counters": dict(self.counters),
+            "cycles": [{cat.value: n for cat, n in per_core.items()}
+                       for per_core in self.cycles],
+            "messages": {cat.value: n for cat, n in self.messages.items()},
+            "flits": {cat.value: n for cat, n in self.flits.items()},
+            "hop_flits": {cat.value: n
+                          for cat, n in self.hop_flits.items()},
+            "barriers": [b.to_dict() for b in self.barriers],
+            "gline_toggles": self.gline_toggles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatsRegistry":
+        reg = cls(data["num_cores"])
+        reg.counters.update(data["counters"])
+        for per_core, stored in zip(reg.cycles, data["cycles"]):
+            per_core.update({CycleCat(k): n for k, n in stored.items()})
+        reg.messages.update({MsgCat(k): n
+                             for k, n in data["messages"].items()})
+        reg.flits.update({MsgCat(k): n for k, n in data["flits"].items()})
+        reg.hop_flits.update({MsgCat(k): n
+                              for k, n in data["hop_flits"].items()})
+        reg.barriers = [BarrierSample.from_dict(b)
+                        for b in data["barriers"]]
+        reg.gline_toggles = data["gline_toggles"]
+        return reg
 
     def snapshot(self) -> dict:
         """A plain-dict summary suitable for printing or JSON dumping."""

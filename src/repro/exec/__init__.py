@@ -1,0 +1,31 @@
+"""Parallel experiment execution with a persistent result cache.
+
+The paper's evaluation is dozens of independent ``(config, workload,
+barrier)`` simulations; this subsystem fans them out over a process pool
+and memoizes every completed run on disk:
+
+* :class:`RunSpec` -- a picklable, content-hashable description of one run
+  (chip config + workload state + barrier + seed + code version).
+* :class:`ResultCache` -- content-addressed JSON store; the cache format
+  is exactly ``RunResult.to_dict()``, the same dict the worker IPC ships.
+* :class:`ParallelRunner` -- batch executor (``jobs`` workers) that serves
+  hits from the cache and writes back misses.
+* :func:`current_executor` / :func:`use_executor` -- the ambient executor
+  all of :mod:`repro.experiments` routes through; the CLI's ``--jobs``,
+  ``--cache-dir`` and ``--no-cache`` flags install one here.
+
+See ``docs/parallel-execution.md`` for the design and the cache-key
+definition.
+"""
+
+from .cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from .parallel import ParallelRunner, current_executor, use_executor
+from .spec import RunSpec, SpecError, workload_fingerprint
+from .version import code_fingerprint
+
+__all__ = [
+    "CACHE_DIR_ENV", "ResultCache", "default_cache_dir",
+    "ParallelRunner", "current_executor", "use_executor",
+    "RunSpec", "SpecError", "workload_fingerprint",
+    "code_fingerprint",
+]

@@ -1,0 +1,102 @@
+"""Content-addressed on-disk result cache.
+
+Each entry is one JSON file named by the :meth:`RunSpec.key` hash, stored
+under a two-character fan-out directory (``ab/abcdef....json``).  The
+payload carries the serialized :class:`~repro.chip.results.RunResult`
+(the same dict the worker IPC ships) plus the spec fingerprint that
+produced it, so an entry is self-describing and auditable with any JSON
+tool.
+
+Invalidation is purely key-based: the key covers the chip config, the
+workload state, the barrier kind, the seed, the event budget and the
+simulator's code fingerprint, so editing any simulator source orphans old
+entries rather than returning stale numbers.  Orphans are garbage, not
+hazards; ``clear()`` removes everything.
+
+Writes are atomic (temp file + ``os.replace``), so a cache shared by
+concurrent sweeps never serves a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Persistent ``key -> RunResult.to_dict()`` store."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached result dict for *key*, or ``None`` on a miss.
+
+        A corrupt entry (interrupted write from a pre-atomic-rename
+        version, disk fault) counts as a miss and is removed.
+        """
+        path = self._path(key)
+        try:
+            with path.open() as fh:
+                entry = json.load(fh)
+            return entry["result"]
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, OSError):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass        # e.g. the cache path is not a directory
+            return None
+
+    def put(self, key: str, fingerprint: dict, result: dict) -> None:
+        """Store *result* (a ``RunResult.to_dict()``) under *key*."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "fingerprint": fingerprint, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("??/*.json")) \
+            if self.directory.is_dir() else 0
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("??/*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,129 @@
+"""Parallel experiment executor with cache-aware dispatch.
+
+:class:`ParallelRunner` takes batches of independent :class:`RunSpec`\\ s
+and returns their :class:`~repro.chip.results.RunResult`\\ s, fanning cache
+misses out over a ``multiprocessing`` pool.  Three invariants keep it a
+drop-in replacement for the old sequential loops:
+
+* **Same numbers.**  Simulation is deterministic, so a result is identical
+  whether it came from this process, a worker, or the cache.  Every result
+  -- including in-process ones -- passes through the
+  ``RunResult.to_dict()``/``from_dict()`` round trip, so all three paths
+  return byte-for-byte the same object graph.
+* **Order-preserving.**  ``run(specs)`` returns results positionally,
+  regardless of which were hits and which ran where.
+* **No worker-side cache writes.**  Workers only compute; the parent
+  stores results, so the cache never needs cross-process locking.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from ..chip.results import RunResult
+from .cache import ResultCache
+from .spec import RunSpec
+
+
+def _execute_to_dict(spec: RunSpec) -> dict:
+    """Worker entry point: run one spec, ship the result as a plain dict
+    (the same format the cache stores)."""
+    return spec.execute().to_dict()
+
+
+class ParallelRunner:
+    """Executes batches of runs over a worker pool, consulting a cache."""
+
+    def __init__(self, jobs: int | None = None,
+                 cache: ResultCache | None = None,
+                 start_method: str | None = None):
+        #: Worker-pool width; ``None`` means one worker per CPU.
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        #: ``None`` disables caching entirely.
+        self.cache = cache
+        self.start_method = start_method
+        #: Batch-lifetime counters for the CLI's summary line.
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def run(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        """Execute *specs*, returning results in the same order.
+
+        Cache hits are served without simulating; misses run in-process
+        (one miss, or ``jobs == 1``) or across the worker pool, then are
+        written back to the cache.
+        """
+        results: list[RunResult | None] = [None] * len(specs)
+        pending: list[tuple[int, RunSpec, str | None]] = []
+        for i, spec in enumerate(specs):
+            key = spec.key() if self.cache is not None else None
+            if key is not None:
+                stored = self.cache.get(key)
+                if stored is not None:
+                    self.hits += 1
+                    results[i] = RunResult.from_dict(stored)
+                    continue
+            self.misses += 1
+            pending.append((i, spec, key))
+
+        if pending:
+            to_run = [spec for _, spec, _ in pending]
+            if self.jobs > 1 and len(pending) > 1:
+                ctx = multiprocessing.get_context(self.start_method)
+                with ctx.Pool(min(self.jobs, len(pending))) as pool:
+                    dicts = pool.map(_execute_to_dict, to_run)
+            else:
+                dicts = [_execute_to_dict(spec) for spec in to_run]
+            for (i, spec, key), result_dict in zip(pending, dicts):
+                if key is not None:
+                    self.cache.put(key, spec.fingerprint(), result_dict)
+                results[i] = RunResult.from_dict(result_dict)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return self.run([spec])[0]
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """One-line cache-hit/miss digest for the CLI."""
+        total = self.hits + self.misses
+        if self.cache is None:
+            return f"cache disabled; {total} runs executed"
+        rate = (self.hits / total * 100) if total else 0.0
+        return (f"{self.hits}/{total} cache hits ({rate:.0f}%), "
+                f"{self.misses} simulated  "
+                f"[dir={self.cache.directory}, jobs={self.jobs}]")
+
+
+# ---------------------------------------------------------------------- #
+# Ambient executor: library code routes through whatever is current, so
+# the CLI (or a test) can widen the pool / enable the cache for everything
+# below it without threading an argument through every driver.
+# ---------------------------------------------------------------------- #
+#: The default executor: sequential, uncached -- byte-identical behavior
+#: to the pre-executor code for library users who never opt in.
+_DEFAULT = ParallelRunner(jobs=1, cache=None)
+_current: ParallelRunner = _DEFAULT
+
+
+def current_executor() -> ParallelRunner:
+    """The executor experiment drivers route through."""
+    return _current
+
+
+@contextmanager
+def use_executor(executor: ParallelRunner) -> Iterator[ParallelRunner]:
+    """Install *executor* as the ambient executor within the block."""
+    global _current
+    previous = _current
+    _current = executor
+    try:
+        yield executor
+    finally:
+        _current = previous

@@ -1,0 +1,38 @@
+"""Code-version fingerprint for cache invalidation.
+
+A cached result is only valid for the exact simulator that produced it, so
+the cache key includes a digest of every ``repro`` source file.  Any edit
+to the package -- a timing-model tweak, a protocol fix -- changes the
+fingerprint and silently invalidates the whole cache, which is the safe
+default for a research artifact (stale numbers are worse than recomputed
+ones).
+
+The fingerprint is content-based (file bytes, not mtimes), so it is stable
+across checkouts, machines and processes running the same code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+#: Root of the ``repro`` package (the directory this file lives in, up one).
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``*.py`` file of the ``repro`` package.
+
+    Files are visited in sorted relative-path order and both the path and
+    the content are hashed, so renames count as changes too.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(_PACKAGE_ROOT.rglob("*.py")):
+        rel = path.relative_to(_PACKAGE_ROOT).as_posix()
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()

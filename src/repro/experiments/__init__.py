@@ -15,7 +15,8 @@ from .energy_exp import EnergyResult, run_energy
 from .fig5 import DEFAULT_CORE_COUNTS, Fig5Result, run_fig5
 from .fig6 import Fig6Result, default_fig6_workloads, run_fig6
 from .fig7 import Fig7Result, run_fig6_and_fig7, run_fig7
-from .runner import Comparison, compare, paper_config, run_benchmark
+from .runner import (Comparison, compare, compare_many, make_spec,
+                     paper_config, run_benchmark, run_many)
 from .sensitivity import (gl_is_platform_insensitive, l2_latency_sweep,
                           memory_latency_sweep, router_latency_sweep)
 from .software_barriers import ShootoutResult, run_shootout
@@ -30,7 +31,8 @@ __all__ = [
     "DEFAULT_CORE_COUNTS", "Fig5Result", "run_fig5",
     "Fig6Result", "default_fig6_workloads", "run_fig6",
     "Fig7Result", "run_fig6_and_fig7", "run_fig7",
-    "Comparison", "compare", "paper_config", "run_benchmark",
+    "Comparison", "compare", "compare_many", "make_spec",
+    "paper_config", "run_benchmark", "run_many",
     "matches_paper", "run_table1",
     "Table2Result", "default_table2_workloads", "run_table2",
     "EnergyResult", "run_energy",

@@ -27,7 +27,7 @@ from ..cpu import isa
 from ..sync.dsw import CombiningTreeBarrier
 from ..workloads.base import Workload, WorkloadInfo
 from ..workloads.synthetic import SyntheticBarrierWorkload
-from .runner import run_benchmark
+from .runner import make_spec, run_many
 
 
 class ComputeBarrierWorkload(Workload):
@@ -71,10 +71,12 @@ def period_sweep(work_grains=(0, 100, 1_000, 10_000, 100_000),
         title="Ablation: GL speedup vs barrier period",
         headers=["Work/barrier", "DSW cycles", "GL cycles", "GL/DSW",
                  "DSW period"])
-    for work in work_grains:
-        wl = ComputeBarrierWorkload(work, iterations)
-        dsw = run_benchmark(wl, "dsw", num_cores)
-        gl = run_benchmark(wl, "gl", num_cores)
+    specs = [make_spec(ComputeBarrierWorkload(work, iterations), impl,
+                       num_cores)
+             for work in work_grains for impl in ("dsw", "gl")]
+    runs = run_many(specs)
+    for i, work in enumerate(work_grains):
+        dsw, gl = runs[2 * i], runs[2 * i + 1]
         out.rows.append([work, dsw.total_cycles, gl.total_cycles,
                          gl.total_cycles / dsw.total_cycles,
                          dsw.barrier_period()])
@@ -88,11 +90,12 @@ def entry_overhead_sweep(overheads=(0, 4, 8, 16, 32),
     out = SweepResult(
         title="Ablation: GL cycles/barrier vs library entry overhead",
         headers=["Entry overhead", "Cycles/barrier"])
-    for overhead in overheads:
-        cfg = CMPConfig.for_cores(num_cores).with_(
-            gline=GLineConfig(entry_overhead=overhead))
-        run = run_benchmark(SyntheticBarrierWorkload(iterations=iterations),
-                            "gl", num_cores, config=cfg)
+    specs = [make_spec(SyntheticBarrierWorkload(iterations=iterations),
+                       "gl", num_cores,
+                       config=CMPConfig.for_cores(num_cores).with_(
+                           gline=GLineConfig(entry_overhead=overhead)))
+             for overhead in overheads]
+    for overhead, run in zip(overheads, run_many(specs)):
         out.rows.append([overhead,
                          run.total_cycles / run.num_barriers()])
     return out
@@ -109,13 +112,15 @@ def hierarchical_latency(core_counts=(16, 36, 49, 64, 144, 256),
               "(hierarchical beyond 7x7)",
         headers=["Cores", "Mesh", "Organization", "Cycles/barrier",
                  "G-lines"])
+    configs = {n: CMPConfig.for_cores(n).with_(
+        gline=GLineConfig(entry_overhead=0)) for n in core_counts}
+    specs = [make_spec(SyntheticBarrierWorkload(iterations=iterations),
+                       "gl", n, config=configs[n]) for n in core_counts]
+    runs = dict(zip(core_counts, run_many(specs)))
     for n in core_counts:
         rows, cols = mesh_dims(n)
-        cfg = CMPConfig.for_cores(n).with_(
-            gline=GLineConfig(entry_overhead=0))
-        run = run_benchmark(SyntheticBarrierWorkload(iterations=iterations),
-                            "gl", n, config=cfg)
-        chip_net = None
+        cfg = configs[n]
+        run = runs[n]
         # Re-derive organization/wire count from a fresh context.
         from ..gline.multibarrier import build_contexts
         from ..common.stats import StatsRegistry
@@ -155,17 +160,20 @@ def contention_ablation(num_cores: int = 32,
     out = SweepResult(
         title="Ablation: NoC link contention contribution",
         headers=["Impl", "Contention", "Cycles/barrier"])
-    for impl in ("csw", "dsw"):
-        for contention in (True, False):
-            cfg = CMPConfig.for_cores(num_cores)
-            cfg = cfg.with_(noc=cfg.noc.__class__(
-                rows=cfg.noc.rows, cols=cfg.noc.cols,
-                model_contention=contention))
-            run = run_benchmark(
-                SyntheticBarrierWorkload(iterations=iterations), impl,
-                num_cores, config=cfg)
-            out.rows.append([impl.upper(), "on" if contention else "off",
-                             run.total_cycles / run.num_barriers()])
+    points = [(impl, contention) for impl in ("csw", "dsw")
+              for contention in (True, False)]
+    specs = []
+    for impl, contention in points:
+        cfg = CMPConfig.for_cores(num_cores)
+        cfg = cfg.with_(noc=cfg.noc.__class__(
+            rows=cfg.noc.rows, cols=cfg.noc.cols,
+            model_contention=contention))
+        specs.append(make_spec(
+            SyntheticBarrierWorkload(iterations=iterations), impl,
+            num_cores, config=cfg))
+    for (impl, contention), run in zip(points, run_many(specs)):
+        out.rows.append([impl.upper(), "on" if contention else "off",
+                         run.total_cycles / run.num_barriers()])
     return out
 
 
@@ -179,15 +187,18 @@ def noc_model_ablation(num_cores: int = 16,
         title="Ablation: NoC timing model (hop-latency vs virtual "
               "cut-through)",
         headers=["Model", "Impl", "Cycles/barrier"])
-    for model in ("hop", "vct"):
-        for impl in ("dsw", "gl"):
-            cfg = CMPConfig.for_cores(num_cores)
-            cfg = cfg.with_(noc=replace(cfg.noc, model=model))
-            run = run_benchmark(
-                SyntheticBarrierWorkload(iterations=iterations), impl,
-                num_cores, config=cfg)
-            out.rows.append([model, impl.upper(),
-                             run.total_cycles / run.num_barriers()])
+    points = [(model, impl) for model in ("hop", "vct")
+              for impl in ("dsw", "gl")]
+    specs = []
+    for model, impl in points:
+        cfg = CMPConfig.for_cores(num_cores)
+        cfg = cfg.with_(noc=replace(cfg.noc, model=model))
+        specs.append(make_spec(
+            SyntheticBarrierWorkload(iterations=iterations), impl,
+            num_cores, config=cfg))
+    for (model, impl), run in zip(points, run_many(specs)):
+        out.rows.append([model, impl.upper(),
+                         run.total_cycles / run.num_barriers()])
     return out
 
 
@@ -198,9 +209,10 @@ def csw_variant_ablation(num_cores: int = 32,
     out = SweepResult(
         title="Ablation: CSW variant (lock vs fetch&add)",
         headers=["Variant", "Cycles/barrier", "Messages"])
-    for impl in ("csw", "csw-fa"):
-        run = run_benchmark(SyntheticBarrierWorkload(iterations=iterations),
-                            impl, num_cores)
+    impls = ("csw", "csw-fa")
+    specs = [make_spec(SyntheticBarrierWorkload(iterations=iterations),
+                       impl, num_cores) for impl in impls]
+    for impl, run in zip(impls, run_many(specs)):
         out.rows.append([impl.upper(),
                          run.total_cycles / run.num_barriers(),
                          run.total_messages()])

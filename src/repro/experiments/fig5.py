@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.report import render_table
 from ..workloads.synthetic import SyntheticBarrierWorkload
-from .runner import run_benchmark
+from .runner import make_spec, run_many
 
 DEFAULT_CORE_COUNTS = (4, 8, 16, 32)
 DEFAULT_IMPLS = ("csw", "dsw", "gl")
@@ -52,11 +52,13 @@ def run_fig5(core_counts=DEFAULT_CORE_COUNTS, impls=DEFAULT_IMPLS,
     """Regenerate Figure 5's data series."""
     result = Fig5Result(core_counts=tuple(core_counts),
                         impls=tuple(impls), iterations=iterations)
-    for impl in impls:
-        series: dict[int, float] = {}
-        for n in core_counts:
-            wl = SyntheticBarrierWorkload(iterations=iterations)
-            run = run_benchmark(wl, impl, num_cores=n)
-            series[n] = run.total_cycles / run.num_barriers()
-        result.cycles_per_barrier[impl] = series
+    # One flat batch of independent (impl, cores) runs -- a parallel
+    # executor overlaps the whole figure.
+    points = [(impl, n) for impl in impls for n in core_counts]
+    specs = [make_spec(SyntheticBarrierWorkload(iterations=iterations),
+                       impl, num_cores=n) for impl, n in points]
+    runs = run_many(specs)
+    for (impl, n), run in zip(points, runs):
+        result.cycles_per_barrier.setdefault(impl, {})[n] = \
+            run.total_cycles / run.num_barriers()
     return result

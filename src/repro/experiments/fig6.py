@@ -18,7 +18,7 @@ from ..common.stats import CycleCat
 from ..workloads import (EM3DWorkload, Kernel2Workload, Kernel3Workload,
                          Kernel6Workload, OceanWorkload,
                          UnstructuredWorkload)
-from .runner import compare
+from .runner import compare_many
 
 
 def default_fig6_workloads(scale: float = 1.0) -> dict:
@@ -103,8 +103,9 @@ def run_fig6(num_cores: int = 32, scale: float = 1.0,
              workloads: dict | None = None) -> Fig6Result:
     """Regenerate Figure 6."""
     result = Fig6Result()
-    for name, wl in (workloads or default_fig6_workloads(scale)).items():
-        comp = compare(wl, num_cores=num_cores)
+    comps = compare_many(workloads or default_fig6_workloads(scale),
+                         num_cores=num_cores)
+    for name, comp in comps.items():
         result.comparisons[name] = BreakdownComparison(
             benchmark=name,
             baseline=Breakdown.from_result("DSW", comp.baseline),

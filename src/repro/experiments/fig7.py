@@ -12,7 +12,7 @@ from ..analysis import paper_data
 from ..analysis.report import pct, render_table
 from ..analysis.traffic import Traffic, TrafficComparison, average_normalized
 from .fig6 import default_fig6_workloads
-from .runner import compare
+from .runner import compare_many
 
 
 @dataclass
@@ -78,8 +78,9 @@ def run_fig7(num_cores: int = 32, scale: float = 1.0,
              workloads: dict | None = None) -> Fig7Result:
     """Regenerate Figure 7."""
     result = Fig7Result()
-    for name, wl in (workloads or default_fig6_workloads(scale)).items():
-        comp = compare(wl, num_cores=num_cores)
+    comps = compare_many(workloads or default_fig6_workloads(scale),
+                         num_cores=num_cores)
+    for name, comp in comps.items():
         result.comparisons[name] = TrafficComparison(
             benchmark=name,
             baseline=Traffic.from_result("DSW", comp.baseline),
@@ -94,8 +95,9 @@ def run_fig6_and_fig7(num_cores: int = 32, scale: float = 1.0):
     from .fig6 import Fig6Result
 
     fig6, fig7 = Fig6Result(), Fig7Result()
-    for name, wl in default_fig6_workloads(scale).items():
-        comp = compare(wl, num_cores=num_cores)
+    comps = compare_many(default_fig6_workloads(scale),
+                         num_cores=num_cores)
+    for name, comp in comps.items():
         fig6.comparisons[name] = BreakdownComparison(
             benchmark=name,
             baseline=Breakdown.from_result("DSW", comp.baseline),

@@ -17,19 +17,23 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from ..common.params import CacheConfig, CMPConfig, NocConfig
+from ..common.params import CacheConfig, CMPConfig
 from ..workloads.synthetic import SyntheticBarrierWorkload
 from .ablations import SweepResult
-from .runner import paper_config, run_benchmark
+from .runner import make_spec, paper_config, run_many
 
 
-def _run_pair(cfg: CMPConfig, num_cores: int, iterations: int):
-    out = {}
-    for impl in ("dsw", "gl"):
-        run = run_benchmark(SyntheticBarrierWorkload(iterations=iterations),
-                            impl, num_cores, config=cfg)
-        out[impl] = run.total_cycles / run.num_barriers()
-    return out
+def _run_pairs(configs: list[CMPConfig], num_cores: int,
+               iterations: int) -> list[dict[str, float]]:
+    """cycles/barrier for DSW and GL under each config, as one batch."""
+    impls = ("dsw", "gl")
+    specs = [make_spec(SyntheticBarrierWorkload(iterations=iterations),
+                       impl, num_cores, config=cfg)
+             for cfg in configs for impl in impls]
+    runs = run_many(specs)
+    return [{impl: run.total_cycles / run.num_barriers()
+             for impl, run in zip(impls, runs[2 * i:2 * i + 2])}
+            for i in range(len(configs))]
 
 
 def memory_latency_sweep(latencies=(100, 200, 400, 800),
@@ -38,9 +42,10 @@ def memory_latency_sweep(latencies=(100, 200, 400, 800),
     out = SweepResult(
         title="Sensitivity: barrier cost vs memory latency",
         headers=["Memory latency", "DSW cyc/bar", "GL cyc/bar"])
-    for latency in latencies:
-        cfg = paper_config(num_cores).with_(memory_latency=latency)
-        pair = _run_pair(cfg, num_cores, iterations)
+    configs = [paper_config(num_cores).with_(memory_latency=latency)
+               for latency in latencies]
+    for latency, pair in zip(latencies,
+                             _run_pairs(configs, num_cores, iterations)):
         out.rows.append([latency, pair["dsw"], pair["gl"]])
     return out
 
@@ -50,11 +55,11 @@ def router_latency_sweep(latencies=(1, 3, 6, 12), num_cores: int = 16,
     out = SweepResult(
         title="Sensitivity: barrier cost vs per-hop router latency",
         headers=["Router latency", "DSW cyc/bar", "GL cyc/bar"])
-    for latency in latencies:
-        base = paper_config(num_cores)
-        noc = replace(base.noc, router_latency=latency)
-        cfg = base.with_(noc=noc)
-        pair = _run_pair(cfg, num_cores, iterations)
+    base = paper_config(num_cores)
+    configs = [base.with_(noc=replace(base.noc, router_latency=latency))
+               for latency in latencies]
+    for latency, pair in zip(latencies,
+                             _run_pairs(configs, num_cores, iterations)):
         out.rows.append([latency, pair["dsw"], pair["gl"]])
     return out
 
@@ -64,15 +69,13 @@ def l2_latency_sweep(latencies=(2, 6, 12, 24), num_cores: int = 16,
     out = SweepResult(
         title="Sensitivity: barrier cost vs L2 hit latency",
         headers=["L2 latency", "DSW cyc/bar", "GL cyc/bar"])
-    for latency in latencies:
-        base = paper_config(num_cores)
-        l2 = CacheConfig(size_bytes=base.l2.size_bytes,
-                         assoc=base.l2.assoc,
-                         line_bytes=base.l2.line_bytes,
-                         latency=latency,
-                         extra_latency=base.l2.extra_latency)
-        cfg = base.with_(l2=l2)
-        pair = _run_pair(cfg, num_cores, iterations)
+    base = paper_config(num_cores)
+    configs = [base.with_(l2=CacheConfig(
+        size_bytes=base.l2.size_bytes, assoc=base.l2.assoc,
+        line_bytes=base.l2.line_bytes, latency=latency,
+        extra_latency=base.l2.extra_latency)) for latency in latencies]
+    for latency, pair in zip(latencies,
+                             _run_pairs(configs, num_cores, iterations)):
         out.rows.append([latency, pair["dsw"], pair["gl"]])
     return out
 

@@ -1,0 +1,196 @@
+"""Unit tests for the result cache and the parallel runner."""
+
+import json
+
+import pytest
+
+from repro.common.params import CMPConfig
+from repro.cpu import isa
+from repro.exec import (ParallelRunner, ResultCache, RunSpec, SpecError,
+                        code_fingerprint, current_executor, use_executor,
+                        workload_fingerprint)
+from repro.experiments.runner import run_benchmark
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import SyntheticBarrierWorkload
+
+
+def _spec(iterations=2, barrier="gl", cores=4, **kw):
+    return RunSpec.make(SyntheticBarrierWorkload(iterations=iterations),
+                        barrier, num_cores=cores, **kw)
+
+
+# ---------------------------------------------------------------------- #
+# ResultCache
+# ---------------------------------------------------------------------- #
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    key = spec.key()
+    assert cache.get(key) is None
+    result = spec.execute().to_dict()
+    cache.put(key, spec.fingerprint(), result)
+    assert key in cache
+    assert cache.get(key) == result
+    assert len(cache) == 1
+
+
+def test_cache_entry_is_self_describing_json(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    cache.put(spec.key(), spec.fingerprint(), spec.execute().to_dict())
+    (entry_path,) = tmp_path.glob("??/*.json")
+    entry = json.loads(entry_path.read_text())
+    assert entry["key"] == spec.key()
+    assert entry["fingerprint"]["barrier"] == "gl"
+    assert entry["fingerprint"]["code"] == code_fingerprint()
+    assert entry["result"]["total_cycles"] > 0
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    cache.put(spec.key(), spec.fingerprint(), spec.execute().to_dict())
+    (entry_path,) = tmp_path.glob("??/*.json")
+    entry_path.write_text("{not json")
+    assert cache.get(spec.key()) is None
+    assert not entry_path.exists()          # removed, not retried forever
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for it in (1, 2, 3):
+        spec = _spec(iterations=it)
+        cache.put(spec.key(), spec.fingerprint(),
+                  spec.execute().to_dict())
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------- #
+# Cache keys
+# ---------------------------------------------------------------------- #
+def test_key_includes_code_fingerprint():
+    assert code_fingerprint() in json.dumps(_spec().fingerprint())
+    assert len(code_fingerprint()) == 64
+
+
+def test_key_differs_for_max_events():
+    assert _spec().key() != _spec(max_events=10).key()
+
+
+def test_workload_fingerprint_rejects_non_primitive_state():
+    class Opaque(Workload):
+        name = "Opaque"
+
+        def __init__(self):
+            self.blob = object()
+
+        def programs(self, chip):
+            return [iter(()) for _ in range(chip.num_cores)]
+
+    with pytest.raises(SpecError, match="blob"):
+        workload_fingerprint(Opaque())
+
+
+def test_workload_fingerprint_skips_private_scratch_state():
+    wl = SyntheticBarrierWorkload(iterations=2)
+    wl._scratch = object()          # e.g. post-build verification state
+    assert workload_fingerprint(wl) == workload_fingerprint(
+        SyntheticBarrierWorkload(iterations=2))
+
+
+# ---------------------------------------------------------------------- #
+# ParallelRunner
+# ---------------------------------------------------------------------- #
+def test_runner_preserves_order_and_counts(tmp_path):
+    runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    specs = [_spec(iterations=1), _spec(iterations=2),
+             _spec(iterations=1, barrier="dsw")]
+    first = runner.run(specs)
+    assert [r.barrier_name for r in first] == ["GL", "GL", "DSW"]
+    assert (runner.hits, runner.misses) == (0, 3)
+    second = runner.run(specs)
+    assert (runner.hits, runner.misses) == (3, 3)
+    assert [a.to_dict() for a in first] == [b.to_dict() for b in second]
+
+
+def test_runner_pool_matches_sequential(tmp_path):
+    specs = [_spec(iterations=i, barrier=b)
+             for i in (1, 2) for b in ("gl", "dsw")]
+    seq = ParallelRunner(jobs=1, cache=None).run(specs)
+    par = ParallelRunner(jobs=2, cache=None).run(specs)
+    assert [a.to_dict() for a in seq] == [b.to_dict() for b in par]
+
+
+def test_runner_without_cache_always_simulates():
+    runner = ParallelRunner(jobs=1, cache=None)
+    runner.run([_spec()])
+    runner.run([_spec()])
+    assert (runner.hits, runner.misses) == (0, 2)
+    assert "cache disabled" in runner.summary()
+
+
+def test_runner_summary_reports_rate(tmp_path):
+    runner = ParallelRunner(jobs=3, cache=ResultCache(tmp_path))
+    runner.run([_spec()])
+    runner.run([_spec()])
+    assert "1/2 cache hits (50%)" in runner.summary()
+    assert "jobs=3" in runner.summary()
+
+
+def test_runner_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        ParallelRunner(jobs=0)
+
+
+# ---------------------------------------------------------------------- #
+# Ambient executor + run_benchmark routing
+# ---------------------------------------------------------------------- #
+def test_use_executor_scopes_and_restores(tmp_path):
+    default = current_executor()
+    runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    with use_executor(runner) as installed:
+        assert installed is runner
+        assert current_executor() is runner
+        run_benchmark(SyntheticBarrierWorkload(iterations=1), "gl", 4)
+    assert current_executor() is default
+    assert runner.misses == 1
+
+
+def test_run_benchmark_served_from_cache_matches_direct(tmp_path):
+    direct = run_benchmark(SyntheticBarrierWorkload(iterations=2), "gl", 4)
+    runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    with use_executor(runner):
+        cold = run_benchmark(SyntheticBarrierWorkload(iterations=2),
+                             "gl", 4)
+        warm = run_benchmark(SyntheticBarrierWorkload(iterations=2),
+                             "gl", 4)
+    assert runner.hits == 1 and runner.misses == 1
+    assert cold.to_dict() == warm.to_dict() == direct.to_dict()
+
+
+def test_run_benchmark_falls_back_for_unspeccable_workloads(tmp_path):
+    """A plain list of generators cannot be fingerprinted; it must run
+    directly (and not touch the cache)."""
+    def program():
+        yield isa.BarrierOp()
+
+    runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    with use_executor(runner):
+        result = run_benchmark([program() for _ in range(4)], "gl", 4)
+    assert result.num_barriers() == 1
+    assert (runner.hits, runner.misses) == (0, 0)
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_explicit_config_is_respected_through_executor(tmp_path):
+    cfg = CMPConfig.for_cores(4).with_(memory_latency=123)
+    runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    with use_executor(runner):
+        run = run_benchmark(SyntheticBarrierWorkload(iterations=1), "gl",
+                            4, config=cfg)
+    assert run.num_cores == 4
+    (entry_path,) = tmp_path.glob("??/*.json")
+    entry = json.loads(entry_path.read_text())
+    assert entry["fingerprint"]["config"]["memory_latency"] == 123

@@ -1,0 +1,83 @@
+"""Determinism property tests: the contract that makes cache keys sound.
+
+A :class:`RunSpec`'s key identifies its result only if the simulation is a
+pure function of the spec -- same ``(config, workload, seed)`` must yield
+bit-identical ``RunResult.to_dict()`` whether run twice in this process
+or once in a subprocess (worker pools replay the same event orderings).
+Hypothesis drives chip size, barrier kind and workload shape.
+"""
+
+import multiprocessing
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec.parallel import _execute_to_dict
+from repro.exec.spec import RunSpec
+from repro.workloads.stress import StressWorkload
+from repro.workloads.synthetic import SyntheticBarrierWorkload
+
+#: Barrier kinds with distinct event/controller structures.
+BARRIERS = ("gl", "dsw", "csw", "csw-fa", "diss", "tour")
+
+workload_strategy = st.one_of(
+    st.builds(SyntheticBarrierWorkload,
+              iterations=st.integers(1, 3),
+              barriers_per_iter=st.integers(1, 3)),
+    st.builds(StressWorkload,
+              ops_per_core=st.integers(5, 25),
+              seed=st.integers(0, 10)),
+)
+
+spec_strategy = st.builds(
+    RunSpec.make,
+    workload=workload_strategy,
+    barrier=st.sampled_from(BARRIERS),
+    num_cores=st.sampled_from((1, 2, 4)),
+)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=spec_strategy)
+def test_same_spec_twice_in_process_is_bit_identical(spec):
+    assert spec.execute().to_dict() == spec.execute().to_dict()
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=spec_strategy)
+def test_subprocess_run_matches_in_process_run(spec):
+    """A worker process must reproduce the parent's result exactly --
+    including event tie-breaks, dict orderings and float aggregates --
+    or the cache would conflate different executions under one key."""
+    local = spec.execute().to_dict()
+    with multiprocessing.get_context().Pool(1) as pool:
+        remote = pool.apply(_execute_to_dict, (spec,))
+    assert remote == local
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=spec_strategy)
+def test_key_is_stable_and_sensitive(spec):
+    """Same spec -> same key; any knob change -> different key."""
+    assert spec.key() == RunSpec.make(
+        workload=spec.workload, barrier=spec.barrier,
+        config=spec.config).key()
+    other_barrier = "dsw" if spec.barrier != "dsw" else "gl"
+    assert RunSpec.make(spec.workload, other_barrier,
+                        config=spec.config).key() != spec.key()
+    assert RunSpec.make(spec.workload, spec.barrier, config=spec.config,
+                        seed=spec.seed + 1).key() != spec.key()
+    assert RunSpec.make(spec.workload, spec.barrier,
+                        config=spec.config.with_(memory_latency=999)
+                        ).key() != spec.key()
+
+
+def test_key_depends_on_workload_state():
+    a = RunSpec.make(SyntheticBarrierWorkload(iterations=2), "gl", 4)
+    b = RunSpec.make(SyntheticBarrierWorkload(iterations=3), "gl", 4)
+    c = RunSpec.make(SyntheticBarrierWorkload(iterations=2), "gl", 4)
+    assert a.key() != b.key()
+    assert a.key() == c.key()

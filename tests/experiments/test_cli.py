@@ -5,6 +5,13 @@ import pytest
 from repro.cli import ABLATIONS, WORKLOADS, build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path_factory, monkeypatch):
+    """Keep CLI invocations from touching the user's real result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.mktemp("cli-cache")))
+
+
 def test_table1_command(capsys):
     assert main(["table1"]) == 0
     out = capsys.readouterr().out
@@ -37,6 +44,29 @@ def test_out_directory_saves_files(tmp_path, capsys):
     rc = main(["table1", "--out", str(tmp_path)])
     assert rc == 0
     assert (tmp_path / "table1.txt").exists()
+
+
+def test_fig5_jobs_and_cache_round_trip(tmp_path, capsys):
+    """Cold parallel run populates the cache; the warm rerun is all hits
+    and byte-identical on stdout."""
+    args = ["fig5", "--iterations", "1", "--jobs", "2",
+            "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert "cache hits (0%)" in cold.err
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert "(100%), 0 simulated" in warm.err
+    assert warm.out == cold.out
+
+
+def test_no_cache_flag_disables_cache(tmp_path, capsys):
+    rc = main(["fig5", "--iterations", "1", "--no-cache",
+               "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "cache hits" not in err          # no summary when disabled
+    assert not any(tmp_path.iterdir())      # nothing written
 
 
 def test_parser_rejects_unknown_command():

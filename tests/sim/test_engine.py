@@ -136,6 +136,111 @@ def test_not_reentrant():
     assert problems == [True]
 
 
+def test_priority_and_seq_order_lexicographically():
+    """Same cycle: priority dominates, schedule order breaks priority ties."""
+    eng = Engine()
+    order = []
+    eng.schedule(5, order.append, "p1-first", priority=1)
+    eng.schedule(5, order.append, "p0-first", priority=0)
+    eng.schedule(5, order.append, "p1-second", priority=1)
+    eng.schedule(5, order.append, "p0-second", priority=0)
+    eng.run()
+    assert order == ["p0-first", "p0-second", "p1-first", "p1-second"]
+
+
+def test_negative_priority_runs_before_default():
+    eng = Engine()
+    order = []
+    eng.schedule(5, order.append, "default")
+    eng.schedule(5, order.append, "urgent", priority=-1)
+    eng.run()
+    assert order == ["urgent", "default"]
+
+
+def test_priority_never_overrides_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(4, order.append, "later", priority=-99)
+    eng.schedule(2, order.append, "sooner", priority=99)
+    eng.run()
+    assert order == ["sooner", "later"]
+
+
+def test_callback_scheduled_events_sort_into_current_cycle_by_priority():
+    """Zero-delay events from a callback interleave with already-queued
+    same-cycle events according to (priority, seq)."""
+    eng = Engine()
+    order = []
+
+    def spawn():
+        eng.schedule(0, order.append, "spawned-p1", priority=1)
+        eng.schedule(0, order.append, "spawned-p0", priority=0)
+
+    eng.schedule(5, spawn, priority=-1)
+    eng.schedule(5, order.append, "queued-p2", priority=2)
+    eng.run()
+    assert order == ["spawned-p0", "spawned-p1", "queued-p2"]
+
+
+def test_step_respects_priority_order():
+    eng = Engine()
+    order = []
+    eng.schedule(3, order.append, "second", priority=5)
+    eng.schedule(3, order.append, "first", priority=0)
+    assert eng.step()
+    assert order == ["first"]
+    assert eng.step()
+    assert order == ["first", "second"]
+
+
+def test_schedule_at_past_rejected_at_top_level():
+    eng = Engine()
+    eng.schedule(10, lambda: None)
+    eng.run()
+    assert eng.now == 10
+    with pytest.raises(SimulationError):
+        eng.schedule_at(5, lambda: None)
+
+
+def test_schedule_at_current_cycle_is_allowed():
+    eng = Engine()
+    eng.schedule(10, lambda: None)
+    eng.run()
+    fired = []
+    eng.schedule_at(10, fired.append, True)
+    eng.run()
+    assert fired and eng.now == 10
+
+
+def test_negative_delay_from_callback_propagates_and_engine_recovers():
+    eng = Engine()
+    eng.schedule(1, lambda: eng.schedule(-3, lambda: None))
+    with pytest.raises(SimulationError):
+        eng.run()
+    # The failed run must release the reentrancy latch and keep the
+    # engine usable.
+    fired = []
+    eng.schedule(1, fired.append, True)
+    eng.run()
+    assert fired
+
+
+def test_reentrant_call_leaves_outer_run_intact():
+    eng = Engine()
+    order = []
+
+    def recurse():
+        with pytest.raises(SimulationError):
+            eng.run()
+        order.append("recurse")
+
+    eng.schedule(1, recurse)
+    eng.schedule(2, order.append, "after")
+    eng.run()
+    assert order == ["recurse", "after"]
+    assert eng.now == 2
+
+
 def test_deterministic_across_instances():
     def build_and_run():
         eng = Engine()
