@@ -14,6 +14,8 @@ Public API highlights:
   (see docs/parallel-execution.md).
 * :mod:`repro.gline` -- the G-line barrier network itself (wires, S-CSMA,
   Figure-4 controllers, hierarchical and multi-context extensions).
+* :mod:`repro.faults` -- seeded fault injection, barrier watchdog and
+  GL -> software failover (see docs/fault-injection.md).
 """
 
 from .chip import BARRIER_KINDS, CMP, RunResult
@@ -29,12 +31,14 @@ from .common import (
     StatsRegistry,
     mesh_dims,
 )
+from .faults import FaultPlan
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BARRIER_KINDS", "CMP", "RunResult",
-    "CMPConfig", "CacheConfig", "CoreConfig", "CycleCat", "GLineConfig",
-    "MsgCat", "NocConfig", "ReproError", "StatsRegistry", "mesh_dims",
+    "CMPConfig", "CacheConfig", "CoreConfig", "CycleCat", "FaultPlan",
+    "GLineConfig", "MsgCat", "NocConfig", "ReproError", "StatsRegistry",
+    "mesh_dims",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from ..common.errors import ConfigError, DeadlockError, SimulationError
 from ..common.params import CMPConfig
 from ..common.stats import StatsRegistry
 from ..cpu.core import Core
+from ..faults import FaultInjector
 from ..gline.barrier import GLBarrier
 from ..gline.multibarrier import build_contexts
 from ..mem.address import AddressMap, Allocator
@@ -63,6 +64,13 @@ class CMP:
         self.lock_alg = TTSLock()
         self.accounting = BarrierAccounting(self.stats,
                                             self.config.num_cores)
+        #: One shared fault injector, or None when the plan is all-zero --
+        #: a disabled plan must add zero events and zero per-event checks
+        #: beyond the attribute tests, keeping fault-free runs identical.
+        self.injector = None
+        if self.config.faults.enabled:
+            self.injector = FaultInjector(self.config.faults, self.stats)
+            self.network.injector = self.injector
 
         self.tiles: list[Tile] = []
         for t in range(self.config.num_cores):
@@ -87,6 +95,11 @@ class CMP:
             tile.core.barrier_binding = self.barrier_impl
             tile.core.lock_binding = self.lock_alg
             tile.core.barrier_accounting = self.accounting
+            tile.core.injector = self.injector
+        if self.injector is not None:
+            for net in getattr(self.barrier_impl, "networks", []):
+                if hasattr(net, "set_injector"):
+                    net.set_injector(self.injector)
 
     # ------------------------------------------------------------------ #
     def _make_barrier(self, barrier: str | BarrierImpl) -> BarrierImpl:
@@ -99,7 +112,13 @@ class CMP:
                                       self.config.noc.rows,
                                       self.config.noc.cols,
                                       self.config.gline)
-            return GLBarrier(contexts, self.config.gline)
+            fallback = None
+            if self.config.gline.watchdog_budget > 0:
+                # Hardened mode: provision the software barrier the
+                # watchdog fails quarantined episodes over to.
+                fallback = self._make_barrier(
+                    self.config.gline.failover_barrier)
+            return GLBarrier(contexts, self.config.gline, fallback=fallback)
         if kind == "dsw":
             return CombiningTreeBarrier(
                 self.allocator, list(range(self.config.num_cores)),
@@ -137,6 +156,8 @@ class CMP:
         self.stats = StatsRegistry(self.config.num_cores)
         self.accounting.stats = self.stats
         self.network.stats = self.stats
+        if self.injector is not None:
+            self.injector.stats = self.stats
         for tile in self.tiles:
             tile.core.stats = self.stats
             tile.l1.stats = self.stats
@@ -144,7 +165,9 @@ class CMP:
             tile.memctrl.stats = self.stats
         impl = self.barrier_impl
         for net in getattr(impl, "networks", []):
-            if hasattr(net, "stats"):
+            if hasattr(net, "set_stats"):
+                net.set_stats(self.stats)
+            elif hasattr(net, "stats"):
                 net.stats = self.stats
 
     def run_with_warmup(self, warmup_workload, workload, **kw) -> RunResult:
@@ -201,10 +224,16 @@ class CMP:
         blocked = tuple(c.cid for c in started if not c.finished)
         if blocked:
             if self.engine.pending() == 0:
+                detail = ", ".join(
+                    f"core {c.cid}: "
+                    f"{type(c.pending_op).__name__ if c.pending_op is not None else 'not started'}"
+                    + (" [fail-stopped]" if c.halted else "")
+                    for c in started if not c.finished)
                 raise DeadlockError(
-                    f"simulation deadlocked: cores {list(blocked)} blocked "
-                    f"with no pending events (barrier some core never "
-                    f"reaches, or mismatched barrier counts)",
+                    f"simulation deadlocked at cycle {self.engine.now}: "
+                    f"cores {list(blocked)} blocked with no pending events "
+                    f"({detail}) -- barrier some core never reaches, or "
+                    f"mismatched barrier counts",
                     blocked_cores=blocked)
             raise SimulationError(
                 f"simulation hit its budget (max_cycles={max_cycles}, "

@@ -22,8 +22,8 @@ from .experiments import (contention_ablation, csw_variant_ablation,
                           dsw_arity_sweep, entry_overhead_sweep,
                           hierarchical_latency, noc_model_ablation,
                           period_sweep, run_fig5, run_fig6_and_fig7,
-                          run_shootout, run_stages, run_table1,
-                          run_table2)
+                          run_resilience, run_shootout, run_stages,
+                          run_table1, run_table2)
 from .experiments.energy_exp import run_energy
 from .experiments.runner import run_benchmark
 from .workloads import (EM3DWorkload, Kernel2Workload, Kernel3Workload,
@@ -122,6 +122,20 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["gl", "dsw", "csw", "csw-fa"])
     prun.add_argument("--verify", action="store_true",
                       help="check the dataflow against the reference")
+    # Deliberately NOT part of "all": the fault sweep is a robustness
+    # diagnostic, not one of the paper's figures.
+    pres = sub.add_parser("resilience", parents=[common],
+                          help="fault sweep: GL barrier under G-line "
+                               "stuck-at faults with watchdog failover")
+    pres.add_argument("--rates", type=float, nargs="+", default=None,
+                      help="stuck-at fault rates to sweep "
+                           "(default: 0 1e-4 5e-4 2e-3)")
+    pres.add_argument("--iterations", type=int, default=40)
+    pres.add_argument("--seed", type=int, default=1,
+                      help="fault-plan seed (sweeps are reproducible "
+                           "per seed)")
+    pres.add_argument("--failover", default="csw", choices=["csw", "dsw"],
+                      help="software barrier used after failover")
     sub.add_parser("all", parents=[common], help="everything above")
     return parser
 
@@ -191,6 +205,15 @@ def _dispatch(args) -> int:
         for name in names:
             _emit(ABLATIONS[name](args.cores).table(), args.out,
                   f"ablation_{name}")
+    if command == "resilience":
+        kwargs = {}
+        if args.rates is not None:
+            kwargs["rates"] = tuple(args.rates)
+        result = run_resilience(num_cores=args.cores,
+                                iterations=args.iterations,
+                                seed=args.seed, failover=args.failover,
+                                **kwargs)
+        _emit(result.table(), args.out, "resilience")
     if command == "run":
         from .chip.cmp import CMP
         from .experiments.runner import paper_config

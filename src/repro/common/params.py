@@ -25,6 +25,7 @@ import math
 from dataclasses import asdict, dataclass, field, fields, replace
 
 from .errors import ConfigError
+from ..faults.plan import FaultPlan
 
 
 def _require(cond: bool, msg: str) -> None:
@@ -181,6 +182,21 @@ class GLineConfig(_SerializableConfig):
     #: Number of independent barrier contexts (space multiplexing
     #: extension; the paper's base design provides 1).
     num_barriers: int = 1
+    #: Watchdog budget in cycles: once every core has arrived, the
+    #: gather+release must finish within this many cycles or the watchdog
+    #: intervenes (retry, then failover).  0 disables all hardening --
+    #: the default, so the paper-faithful network is untouched.
+    watchdog_budget: int = 0
+    #: Bounded retries before the watchdog fails the episode over to the
+    #: software fallback barrier.
+    watchdog_retries: int = 2
+    #: Optional second budget measured from the *first* arrival of an
+    #: episode; catches episodes that can never complete because cores
+    #: are missing (fail-stop).  0 disables it.
+    watchdog_episode_budget: int = 0
+    #: Software barrier the chip falls back to when a G-line network is
+    #: quarantined: "csw" (centralized) or "dsw" (combining tree).
+    failover_barrier: str = "csw"
 
     def __post_init__(self) -> None:
         _require(self.line_latency >= 1, "line_latency must be >= 1")
@@ -188,6 +204,13 @@ class GLineConfig(_SerializableConfig):
         _require(self.barreg_write_cycles >= 0, "barreg_write_cycles >= 0")
         _require(self.entry_overhead >= 0, "entry_overhead must be >= 0")
         _require(self.num_barriers >= 1, "num_barriers must be >= 1")
+        _require(self.watchdog_budget >= 0, "watchdog_budget must be >= 0")
+        _require(self.watchdog_retries >= 0, "watchdog_retries must be >= 0")
+        _require(self.watchdog_episode_budget >= 0,
+                 "watchdog_episode_budget must be >= 0")
+        _require(self.failover_barrier in ("csw", "dsw"),
+                 f"failover_barrier must be 'csw' or 'dsw', "
+                 f"got {self.failover_barrier!r}")
 
     def lines_required(self, rows: int, cols: int) -> int:
         """Total G-lines for one barrier on an ``rows x cols`` mesh.
@@ -236,6 +259,8 @@ class CMPConfig:
     memory_latency: int = 400
     noc: NocConfig = field(default_factory=lambda: NocConfig(rows=4, cols=8))
     gline: GLineConfig = field(default_factory=GLineConfig)
+    #: Fault-injection schedule (repro.faults); all-zero = disabled.
+    faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
         _require(self.num_cores >= 1, "num_cores must be >= 1")
@@ -270,10 +295,12 @@ class CMPConfig:
             "memory_latency": self.memory_latency,
             "noc": self.noc.to_dict(),
             "gline": self.gline.to_dict(),
+            "faults": self.faults.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CMPConfig":
+        faults = data.get("faults")
         return cls(num_cores=data["num_cores"],
                    core=CoreConfig.from_dict(data["core"]),
                    line_bytes=data["line_bytes"],
@@ -281,7 +308,9 @@ class CMPConfig:
                    l2=CacheConfig.from_dict(data["l2"]),
                    memory_latency=data["memory_latency"],
                    noc=NocConfig.from_dict(data["noc"]),
-                   gline=GLineConfig.from_dict(data["gline"]))
+                   gline=GLineConfig.from_dict(data["gline"]),
+                   faults=FaultPlan.from_dict(faults) if faults is not None
+                   else FaultPlan())
 
     def table1(self) -> list[tuple[str, str]]:
         """Render the configuration as (parameter, value) rows, Table-1 style."""

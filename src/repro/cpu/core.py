@@ -54,6 +54,13 @@ class Core(Component):
         #: Scratch space for synchronization libraries (e.g. sense flags).
         self.local: dict = {}
         self.ops_executed = 0
+        #: Bound by the chip when a FaultPlan is enabled (repro.faults).
+        self.injector = None
+        #: The operation currently blocking this core (DeadlockError
+        #: diagnostics); None when between operations or finished.
+        self.pending_op = None
+        #: True once a fail-stop fault halted this core for good.
+        self.halted = False
 
     # ------------------------------------------------------------------ #
     def start(self, program) -> None:
@@ -98,12 +105,14 @@ class Core(Component):
             return
         self.finished = True
         self.finish_time = self.now
+        self.pending_op = None
         if self.on_finish is not None:
             self.on_finish(self)
 
     # ------------------------------------------------------------------ #
     def _execute(self, op) -> None:
         self.ops_executed += 1
+        self.pending_op = op
         t0 = self.now
         if isinstance(op, isa.Compute):
             if op.cycles < 0:
@@ -127,11 +136,27 @@ class Core(Component):
             if self.barrier_binding is None:
                 raise SimulationError(
                     f"core {self.cid}: no barrier implementation bound")
+            delay = 0
+            if self.injector is not None:
+                if self.injector.core_failstop(self.cid):
+                    # Fail-stop: the core halts here and never announces
+                    # arrival.  No recovery is modelled (that would need
+                    # barrier-membership reconfiguration); the run ends in
+                    # an honest DeadlockError naming this core.
+                    self.halted = True
+                    self.stats.bump("faults.core.failstops")
+                    return
+                delay = self.injector.core_straggler_delay(self.cid)
+                if delay:
+                    self.stats.bump("faults.core.stragglers")
+                    self.stats.add_cycles(self.cid,
+                                          self._current_cat(CycleCat.BUSY),
+                                          delay)
             seq = self.barrier_binding.sequence(self, op.barrier_id)
             if self.barrier_accounting is not None:
                 seq = self._accounted_barrier(seq, op.barrier_id)
             self._push_frame(seq, CycleCat.BARRIER)
-            self.schedule(0, self._advance, None)
+            self.schedule(delay, self._advance, None)
         elif isinstance(op, isa.AcquireLock):
             if self.lock_binding is None:
                 raise SimulationError(
@@ -153,9 +178,11 @@ class Core(Component):
             self.schedule(0, self._advance, None)
         elif isinstance(op, HWBarrierArrive):
             # Yielded by the G-line barrier's library sequence: write
-            # bar_reg, then sleep until the controllers reset it.
-            op.barrier.arrive(self.cid, lambda: (
-                self._attr(t0, CycleCat.BARRIER), self._advance(None)))
+            # bar_reg, then sleep until the controllers reset it.  The
+            # optional *outcome* (repro.faults.FAILOVER) is delivered back
+            # into the library sequence so it can complete in software.
+            op.barrier.arrive(self.cid, lambda outcome=None: (
+                self._attr(t0, CycleCat.BARRIER), self._advance(outcome)))
         else:
             raise SimulationError(f"core {self.cid}: unknown op {op!r}")
 

@@ -60,7 +60,13 @@ class ResultCache:
             return entry["result"]
         except FileNotFoundError:
             return None
-        except (json.JSONDecodeError, KeyError, OSError):
+        except (ValueError, KeyError, TypeError, OSError):
+            # ValueError covers both json.JSONDecodeError (truncated or
+            # garbled text) and UnicodeDecodeError (binary garbage);
+            # TypeError covers well-formed JSON of the wrong shape (e.g.
+            # ``null`` or a list, where ``entry["result"]`` can't index).
+            # Whatever the flavor of corruption: treat it as a miss and
+            # remove the bad file so it cannot hurt the next run either.
             try:
                 path.unlink(missing_ok=True)
             except OSError:

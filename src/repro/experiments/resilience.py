@@ -1,0 +1,115 @@
+"""Resilience sweep: GL barrier behavior under injected G-line faults.
+
+For each fault rate, a hardened chip (watchdog + CSW failover) runs the
+Figure-5 synthetic barrier workload with stuck-at faults injected on the
+G-lines at the given per-line, per-active-cycle rate.  Reported per rate:
+average cycles per barrier episode, injected fault counts, and the
+watchdog's detections / retries / failovers -- i.e. how latency degrades
+as the dedicated network decays and episodes migrate to software.
+
+Stuck-at faults are used for the sweep because the hardened network
+*contains* them in every case (watchdog timeout for stuck-at-0, overshoot
+/ spurious-release detection for stuck-at-1), so every run completes.
+Glitch and miscount injection remain available through
+:class:`~repro.faults.FaultPlan` for targeted experiments, but a
+transient that fakes a row's completion can release cores early and skew
+barrier cohorts beyond what any post-hoc failover can repair -- exactly
+the silent-corruption scenario real hardware would face (see
+docs/fault-injection.md).
+
+Determinism: the plan's seed derives every fault stream, and the plan is
+part of the chip config, hence part of the exec cache key -- rerunning a
+sweep (cold or from cache) reproduces the table byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..analysis.report import render_table
+from ..common.params import CMPConfig
+from ..faults import FaultPlan
+from ..workloads.synthetic import SyntheticBarrierWorkload
+from .runner import make_spec, paper_config, run_many
+
+DEFAULT_RATES = (0.0, 0.0001, 0.0005, 0.002)
+
+#: Watchdog settings used by the sweep (generous budget: many times the
+#: 4-cycle ideal latency, so only genuine stalls trip it).
+WATCHDOG_BUDGET = 64
+WATCHDOG_RETRIES = 2
+
+
+def resilience_config(num_cores: int, rate: float, seed: int,
+                      failover: str = "csw") -> CMPConfig:
+    """Hardened paper config with stuck-at injection at *rate*."""
+    cfg = paper_config(num_cores)
+    return cfg.with_(
+        gline=replace(cfg.gline, watchdog_budget=WATCHDOG_BUDGET,
+                      watchdog_retries=WATCHDOG_RETRIES,
+                      failover_barrier=failover),
+        faults=FaultPlan(seed=seed, gline_stuck_rate=rate))
+
+
+@dataclass
+class ResilienceResult:
+    rates: tuple[float, ...]
+    num_cores: int
+    iterations: int
+    seed: int
+    #: One row dict per rate (see ``run_resilience`` for keys).
+    rows: list[dict] = field(default_factory=list)
+
+    def table(self) -> str:
+        headers = ["Stuck rate", "Cycles/barrier", "Stuck", "Detections",
+                   "Retries", "Failovers", "SW arrivals"]
+        body = [[f"{row['rate']:g}", row["cycles_per_barrier"],
+                 row["stuck"], row["detections"], row["retries"],
+                 row["failovers"], row["sw_arrivals"]]
+                for row in self.rows]
+        text = render_table(
+            headers, body,
+            title=f"Resilience: GL barrier vs G-line stuck-at fault rate "
+                  f"({self.num_cores} cores, {self.iterations} iterations "
+                  f"x 4 barriers, seed {self.seed})")
+        total_fo = sum(row["failovers"] for row in self.rows)
+        text += (f"\ntotal failovers: {total_fo}  "
+                 f"(completed via software failover: "
+                 f"{'yes' if total_fo else 'no'})")
+        return text
+
+    def failover_rate(self, rate: float) -> float:
+        """Fraction of barrier episodes that completed via failover."""
+        for row in self.rows:
+            if row["rate"] == rate:
+                episodes = row["barriers"] or 1
+                return row["sw_arrivals"] / (episodes * self.num_cores)
+        raise KeyError(f"rate {rate} not in sweep")
+
+
+def run_resilience(rates=DEFAULT_RATES, num_cores: int = 16,
+                   iterations: int = 40, seed: int = 1,
+                   failover: str = "csw") -> ResilienceResult:
+    """Sweep G-line stuck-at fault rate vs barrier latency/failovers."""
+    result = ResilienceResult(rates=tuple(rates), num_cores=num_cores,
+                              iterations=iterations, seed=seed)
+    specs = [make_spec(SyntheticBarrierWorkload(iterations=iterations),
+                       "gl", num_cores=num_cores,
+                       config=resilience_config(num_cores, rate, seed,
+                                                failover))
+             for rate in rates]
+    runs = run_many(specs)
+    for rate, run in zip(rates, runs):
+        counters = run.stats.counters
+        barriers = run.num_barriers()
+        result.rows.append({
+            "rate": rate,
+            "cycles_per_barrier": run.total_cycles / (barriers or 1),
+            "barriers": barriers,
+            "stuck": counters.get("faults.gline.stuck", 0),
+            "detections": counters.get("faults.watchdog.detections", 0),
+            "retries": counters.get("faults.watchdog.retries", 0),
+            "failovers": counters.get("faults.watchdog.failovers", 0),
+            "sw_arrivals": counters.get("faults.failover.sw_arrivals", 0),
+        })
+    return result

@@ -1,0 +1,17 @@
+"""Deterministic fault injection for the simulated CMP.
+
+:class:`FaultPlan` describes *what* can break and how often (all-zero by
+default, i.e. faults off); :class:`FaultInjector` is the seeded runtime
+that rolls the dice.  The plan is part of :class:`~repro.common.params.
+CMPConfig`, so it serializes into the exec-layer cache key and a faulty
+run is exactly as reproducible -- and cacheable -- as a clean one.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+#: Resume-callback outcome passed to a core when its barrier episode was
+#: abandoned by the watchdog and must be completed in software.
+FAILOVER = "failover"
+
+__all__ = ["FAILOVER", "FaultInjector", "FaultPlan"]

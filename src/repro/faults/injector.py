@@ -1,0 +1,110 @@
+"""The seeded runtime that turns a :class:`FaultPlan` into faults.
+
+Determinism is the whole design: every fault *domain* (one G-line, the
+NoC, one core's straggler stream, ...) gets its own ``random.Random``
+whose seed is a SHA-256 digest of ``(plan seed, domain name)``.  Built-in
+``hash()`` is deliberately avoided -- it is salted per process, which
+would make a cached result disagree with a recomputed one across the
+multiprocessing workers of :mod:`repro.exec`.
+
+Per-domain streams also keep fault schedules *independent*: enabling NoC
+drops does not shift which cycle a G-line gets stuck at, so ablating one
+fault category never perturbs another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from .plan import FaultPlan
+
+
+def _derive_seed(seed: int, domain: str) -> int:
+    digest = hashlib.sha256(f"{seed}:{domain}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class FaultInjector:
+    """Rolls the dice described by a :class:`FaultPlan`.
+
+    One injector is shared by the whole chip (cores, NoC, every G-line
+    network); *stats* is the chip's StatsRegistry, where every injected
+    fault is counted under a ``faults.*`` key.
+    """
+
+    def __init__(self, plan: FaultPlan, stats):
+        self.plan = plan
+        self.stats = stats
+        self._rngs: dict[str, random.Random] = {}
+
+    def _rng(self, domain: str) -> random.Random:
+        rng = self._rngs.get(domain)
+        if rng is None:
+            rng = random.Random(_derive_seed(self.plan.seed, domain))
+            self._rngs[domain] = rng
+        return rng
+
+    # ------------------------------------------------------------------ #
+    # G-line faults (called by the barrier network once per active cycle)
+    # ------------------------------------------------------------------ #
+    def perturb_glines(self, lines) -> None:
+        """Apply this cycle's wire faults to *lines* (an ordered list).
+
+        Mutates the per-cycle override fields of :class:`~repro.gline.
+        gline.GLine`: ``stuck`` persists once set; ``glitch_force`` and
+        ``count_delta`` last for the current cycle only.
+        """
+        plan = self.plan
+        for line in lines:
+            if line.stuck is not None:
+                continue      # a stuck wire can't also glitch
+            rng = self._rng(f"gline:{line.name}")
+            if plan.gline_stuck_rate and rng.random() < plan.gline_stuck_rate:
+                line.stuck = 1 if rng.random() < 0.5 else 0
+                self.stats.bump("faults.gline.stuck")
+                continue
+            if plan.gline_glitch_rate \
+                    and rng.random() < plan.gline_glitch_rate:
+                # A glitch inverts the apparent level for one cycle.
+                line.glitch_force = 0 if line.sampled_on() else 1
+                self.stats.bump("faults.gline.glitches")
+                continue
+            if plan.scsma_miscount_rate \
+                    and rng.random() < plan.scsma_miscount_rate:
+                line.count_delta = rng.choice((-1, 1))
+                self.stats.bump("faults.gline.miscounts")
+
+    # ------------------------------------------------------------------ #
+    # NoC faults (called by Network.send per injected message)
+    # ------------------------------------------------------------------ #
+    def noc_outcome(self) -> str | None:
+        """``"dropped"``, ``"corrupted"`` or ``None`` for this message."""
+        plan = self.plan
+        if not (plan.noc_drop_rate or plan.noc_corrupt_rate):
+            return None
+        r = self._rng("noc").random()
+        if r < plan.noc_drop_rate:
+            return "dropped"
+        if r < plan.noc_drop_rate + plan.noc_corrupt_rate:
+            return "corrupted"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Core faults (called at each barrier entry)
+    # ------------------------------------------------------------------ #
+    def core_failstop(self, cid: int) -> bool:
+        plan = self.plan
+        if not plan.core_failstop_rate:
+            return False
+        return self._rng(f"failstop:{cid}").random() < plan.core_failstop_rate
+
+    def core_straggler_delay(self, cid: int) -> int:
+        """Extra cycles this core stalls before this barrier (0 = none)."""
+        plan = self.plan
+        if not plan.core_straggler_rate:
+            return 0
+        rng = self._rng(f"straggler:{cid}")
+        if rng.random() < plan.core_straggler_rate:
+            return rng.randint(1, plan.straggler_max_cycles)
+        return 0

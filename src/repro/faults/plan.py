@@ -1,0 +1,93 @@
+"""The fault plan: a serializable description of what may break.
+
+A :class:`FaultPlan` is a frozen dataclass of per-cycle (or per-event)
+fault probabilities plus a seed.  It lives inside
+:class:`~repro.common.params.CMPConfig`, so it flows into
+``CMPConfig.to_dict()`` and therefore into the :mod:`repro.exec` cache
+key: two runs with the same plan take the same faults at the same times,
+and a cached faulty result is as trustworthy as a recomputed one.
+
+All rates default to ``0.0`` -- the default plan is *disabled* and a chip
+built with it behaves (and schedules events) exactly as one built before
+this module existed, which is what keeps the golden results byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        # Imported lazily: common.params imports this module, so a
+        # module-level import of common.errors would be circular.
+        from ..common.errors import ConfigError
+        raise ConfigError(msg)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded fault-injection schedule (all rates are probabilities)."""
+
+    #: RNG seed; every fault domain derives its own stream from it.
+    seed: int = 0
+    #: Per-line, per-active-cycle probability that a G-line becomes
+    #: permanently stuck (polarity chosen 50/50 at onset).
+    gline_stuck_rate: float = 0.0
+    #: Per-line, per-active-cycle probability of a one-cycle glitch that
+    #: inverts the line's apparent level.
+    gline_glitch_rate: float = 0.0
+    #: Per-line, per-active-cycle probability that the S-CSMA read-out is
+    #: off by one (+1 or -1, clamped to the physical range).
+    scsma_miscount_rate: float = 0.0
+    #: Per-message probability that a NoC packet is dropped in flight.
+    noc_drop_rate: float = 0.0
+    #: Per-message probability that a NoC packet arrives corrupted (the
+    #: CRC catches it; the sender retransmits).
+    noc_corrupt_rate: float = 0.0
+    #: Detect-and-retransmit penalty for a lost/corrupt packet, cycles.
+    noc_retry_cycles: int = 20
+    #: Per-barrier-entry probability that a core straggles (stalls for up
+    #: to ``straggler_max_cycles`` before announcing arrival).
+    core_straggler_rate: float = 0.0
+    #: Upper bound of the straggler stall, cycles.
+    straggler_max_cycles: int = 200
+    #: Per-barrier-entry probability that a core fail-stops (halts and
+    #: never arrives -- unrecoverable; the run ends in DeadlockError).
+    core_failstop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("gline_stuck_rate", "gline_glitch_rate",
+                     "scsma_miscount_rate", "noc_drop_rate",
+                     "noc_corrupt_rate", "core_straggler_rate",
+                     "core_failstop_rate"):
+            rate = getattr(self, name)
+            _require(0.0 <= rate < 1.0,
+                     f"{name} must be in [0, 1), got {rate}")
+        _require(self.noc_drop_rate + self.noc_corrupt_rate < 1.0,
+                 "noc_drop_rate + noc_corrupt_rate must be < 1")
+        _require(self.noc_retry_cycles >= 1, "noc_retry_cycles must be >= 1")
+        _require(self.straggler_max_cycles >= 1,
+                 "straggler_max_cycles must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def enabled(self) -> bool:
+        """True if any fault category has a nonzero rate."""
+        return any((self.gline_stuck_rate, self.gline_glitch_rate,
+                    self.scsma_miscount_rate, self.noc_drop_rate,
+                    self.noc_corrupt_rate, self.core_straggler_rate,
+                    self.core_failstop_rate))
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Flat plain-dict form (cache-key / worker-IPC format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        _require(not unknown,
+                 f"FaultPlan.from_dict: unknown fields {sorted(unknown)}")
+        return cls(**data)

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, GLineError
 from ..common.params import GLineConfig
 from ..cpu import isa
 from ..cpu.core import HWBarrierArrive
+from ..faults import FAILOVER
 from ..sync.api import BarrierImpl
 
 
@@ -33,16 +34,22 @@ class GLBarrier(BarrierImpl):
 
     name = "GL"
 
-    def __init__(self, networks, config: GLineConfig | None = None):
+    def __init__(self, networks, config: GLineConfig | None = None,
+                 fallback: BarrierImpl | None = None):
         """*networks*: one network per barrier context (space
         multiplexing extension; the base design has a single context).
         Each entry must expose ``arrive(core_id, resume)`` -- either a
         :class:`~repro.gline.network.GLineBarrierNetwork` or a
-        :class:`~repro.gline.hierarchical.HierarchicalGLineBarrier`."""
+        :class:`~repro.gline.hierarchical.HierarchicalGLineBarrier`.
+
+        *fallback* is the software barrier used to complete an episode
+        when the watchdog quarantines a network (repro.faults); the chip
+        wires it automatically when the watchdog is enabled."""
         if not networks:
             raise ConfigError("GLBarrier needs at least one network context")
         self.networks = list(networks)
         self.config = config or GLineConfig()
+        self.fallback = fallback
 
     def sequence(self, core, barrier_id: int) -> Generator:
         if not (0 <= barrier_id < len(self.networks)):
@@ -51,11 +58,28 @@ class GLBarrier(BarrierImpl):
                 f"(have {len(self.networks)})")
         if self.config.entry_overhead:
             yield isa.Compute(self.config.entry_overhead)
-        yield HWBarrierArrive(self.networks[barrier_id])
+        net = self.networks[barrier_id]
+        if self.fallback is not None and getattr(net, "quarantined", False):
+            # The network was retired by the watchdog in an earlier
+            # episode; go software directly.
+            core.stats.bump("faults.failover.sw_arrivals")
+            yield from self.fallback.sequence(core, barrier_id)
+            return
+        outcome = yield HWBarrierArrive(net)
+        if outcome == FAILOVER:
+            if self.fallback is None:
+                raise GLineError(
+                    f"barrier context {barrier_id} failed over but no "
+                    f"software fallback is configured")
+            core.stats.bump("faults.failover.sw_arrivals")
+            yield from self.fallback.sequence(core, barrier_id)
 
     def describe(self) -> str:
         net = self.networks[0]
         wires = getattr(net, "num_glines", "?")
-        return (f"G-line hardware barrier ({len(self.networks)} context(s), "
+        desc = (f"G-line hardware barrier ({len(self.networks)} context(s), "
                 f"{wires} G-lines per context, "
                 f"entry overhead {self.config.entry_overhead} cycles)")
+        if self.fallback is not None:
+            desc += f" with {self.fallback.name} watchdog failover"
+        return desc

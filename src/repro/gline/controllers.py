@@ -104,11 +104,20 @@ class MasterH:
         #: Hook installed by the network wiring: called when this master
         #: performs its release, so co-located vertical state can reset.
         self.on_release = None
+        #: Hardened mode (repro.faults): keep sampling after ``flag`` so a
+        #: faulty wire that keeps counting is caught as an overshoot.
+        self.hardened = False
+        self.fault_suspected = False
+        #: True iff this master drove its release line this cycle -- lets
+        #: the network's guard spot a release-line level nobody drove.
+        self.drove_release = False
 
     def assert_phase(self, bar_regs: BarRegFile, released: list) -> None:
+        self.drove_release = False
         if self.release_trigger:
             if self.tx is not None:
                 self.tx.assert_signal(f"MhT{self.core_id}")
+                self.drove_release = True
             # Reset all registers (release stage, Figure 4 left-pointing
             # transitions) and clear the local core's bar_reg.
             self.scnt = 0
@@ -121,11 +130,21 @@ class MasterH:
 
     def sample_phase(self, bar_regs: BarRegFile) -> None:
         if self.flag:
+            if self.hardened and self.rx is not None:
+                # Keep the S-CSMA sense alive after row completion: in a
+                # fault-free episode no slave signals again before the
+                # release, so any extra count means a lying wire.
+                self.scnt += self.rx.sample_count()
+                if self.scnt > self.num_slaves:
+                    self.fault_suspected = True
             return
         if self.rx is not None:
             self.scnt += self.rx.sample_count()
         if bar_regs.is_set(self.core_id):
             self.mcnt = 1
+        if self.hardened and self.scnt > self.num_slaves:
+            self.fault_suspected = True
+            return
         if self.mcnt == 1 and self.scnt == self.num_slaves:
             self.flag = True
 
@@ -195,16 +214,26 @@ class MasterV:
         #: upward instead of starting the release; the release begins when
         #: ``gate_open`` is switched on by the upper level.
         self.gate = None
+        #: Hardened mode (repro.faults): one extra count-stability cycle
+        #: before committing to the chip-wide release, plus overshoot
+        #: detection -- a stuck-at-1 SglineV keeps counting and is caught
+        #: during validation instead of releasing the chip early.
+        self.hardened = False
+        self.fault_suspected = False
+        self.validating = False
+        self.drove_release = False
 
     def _gate_allows_release(self) -> bool:
         return self.gate is None or self.gate.is_open
 
     def assert_phase(self) -> None:
+        self.drove_release = False
         if self.done and self._gate_allows_release():
             # Release stage start (cycle 2 of the ideal timeline): drive the
             # vertical release line and hand the trigger to the co-located
             # row-0 horizontal master; reset own counters.
             self.tx.assert_signal(f"MvT{self.core_id}")
+            self.drove_release = True
             self.master_h0.release_trigger = True
             self.scnt = 0
             self.mcnt = 0
@@ -214,7 +243,15 @@ class MasterV:
         self.scnt += self.rx.sample_count()
         if self.master_h0.flag:
             self.mcnt = 1
+        if self.hardened and self.scnt > self.num_slaves:
+            self.fault_suspected = True
+            self.validating = False
+            return
         if not self.done and self.mcnt == 1 and self.scnt == self.num_slaves:
+            if self.hardened and not self.validating:
+                self.validating = True
+                return
+            self.validating = False
             self.done = True
             if self.gate is not None:
                 self.gate.on_gathered()
@@ -226,4 +263,6 @@ class MasterV:
     def will_act(self) -> bool:
         if self.done:
             return self._gate_allows_release()
+        if self.validating:
+            return True
         return self.mcnt == 0 and self.master_h0.flag

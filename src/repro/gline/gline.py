@@ -24,7 +24,7 @@ class GLine:
     """One shared 1-bit wire with per-cycle S-CSMA counting."""
 
     __slots__ = ("name", "max_transmitters", "_attached", "_asserting",
-                 "toggles")
+                 "toggles", "stuck", "glitch_force", "count_delta")
 
     def __init__(self, name: str, max_transmitters: int = 6):
         self.name = name
@@ -34,12 +34,23 @@ class GLine:
         self._asserting: set[str] = set()
         #: Total assert events (energy proxy).
         self.toggles = 0
+        #: Fault overrides (repro.faults).  ``stuck`` pins the wire at 0/1
+        #: permanently; ``glitch_force`` does so for one cycle (it also
+        #: wins over ``stuck`` -- the hardened network uses it to mask a
+        #: spurious level before the slaves sample); ``count_delta``
+        #: skews this cycle's S-CSMA read-out.
+        self.stuck: int | None = None
+        self.glitch_force: int | None = None
+        self.count_delta = 0
 
     # ------------------------------------------------------------------ #
     def attach(self, transmitter_id: str) -> None:
         """Register a transmitter; enforces the electrical fan-in limit."""
         if transmitter_id in self._attached:
-            raise CapacityError(
+            # A duplicate id is a wiring bug in the network builder, not a
+            # fan-in capacity problem -- report it as the generic G-line
+            # error so callers can tell the two apart.
+            raise GLineError(
                 f"{transmitter_id} already attached to {self.name}")
         if len(self._attached) >= self.max_transmitters:
             raise CapacityError(
@@ -57,22 +68,43 @@ class GLine:
             self.toggles += 1
 
     # ------------------------------------------------------------------ #
+    def _forced(self) -> int | None:
+        """The fault-forced wire level, or None when the wire is healthy."""
+        if self.glitch_force is not None:
+            return self.glitch_force
+        return self.stuck
+
     def sample_count(self) -> int:
         """S-CSMA read-out: number of simultaneous assertions this cycle."""
+        forced = self._forced()
+        if forced is not None:
+            # A forced-high wire looks like every transmitter asserting at
+            # once to the S-CSMA sense circuit; forced-low reads as silence.
+            return self.num_attached if forced else 0
         count = len(self._asserting)
         if count > self.max_transmitters:  # pragma: no cover - guarded above
             raise GLineError(
                 f"G-line {self.name}: {count} simultaneous transmitters "
                 f"exceed the S-CSMA limit of {self.max_transmitters}")
+        if self.count_delta:
+            count = min(max(count + self.count_delta, 0), self.num_attached)
         return count
 
     def sampled_on(self) -> bool:
         """Plain wired read-out: was the line driven this cycle?"""
+        forced = self._forced()
+        if forced is not None:
+            return bool(forced)
         return bool(self._asserting)
 
     def end_cycle(self) -> None:
-        """Clear per-cycle assertion state (signals are 1-cycle pulses)."""
+        """Clear per-cycle assertion state (signals are 1-cycle pulses).
+
+        Transient fault overrides expire with the cycle; a stuck-at fault
+        is permanent wire damage and survives."""
         self._asserting.clear()
+        self.glitch_force = None
+        self.count_delta = 0
 
     @property
     def num_attached(self) -> int:

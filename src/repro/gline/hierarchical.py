@@ -27,6 +27,7 @@ import math
 from ..common.errors import CapacityError, ConfigError
 from ..common.params import GLineConfig
 from ..common.stats import BarrierSample, StatsRegistry
+from ..faults import FAILOVER
 from ..sim.component import Component
 from ..sim.engine import Engine
 from .network import GLineBarrierNetwork
@@ -99,6 +100,11 @@ class HierarchicalGLineBarrier(Component):
             engine, self._sub_stats, self.cluster_rows, self.cluster_cols,
             self.config, name=f"{name}.top")
 
+        # The sub-networks measure into the private sink, but fault and
+        # watchdog counters must surface at chip level.
+        for net in [*self.clusters, self.top]:
+            net.fault_stats = stats
+
         self.barriers_completed = 0
         self.samples: list[BarrierSample] = []
         self._first_arrival: int | None = None
@@ -118,6 +124,42 @@ class HierarchicalGLineBarrier(Component):
         return self.rows * self.cols
 
     # ------------------------------------------------------------------ #
+    # Fault-handling plumbing (repro.faults)
+    # ------------------------------------------------------------------ #
+    @property
+    def quarantined(self) -> bool:
+        """True once any level of the hierarchy was retired -- chip-wide
+        hardware synchronization is then impossible, so the barrier
+        library routes every arrival to the software fallback."""
+        return (self.top.quarantined
+                or any(net.quarantined for net in self.clusters))
+
+    @property
+    def detections(self) -> int:
+        return (self.top.detections
+                + sum(net.detections for net in self.clusters))
+
+    @property
+    def retries(self) -> int:
+        return self.top.retries + sum(net.retries for net in self.clusters)
+
+    @property
+    def failovers(self) -> int:
+        return (self.top.failovers
+                + sum(net.failovers for net in self.clusters))
+
+    def set_injector(self, injector) -> None:
+        for net in [*self.clusters, self.top]:
+            net.injector = injector
+
+    def set_stats(self, stats: StatsRegistry) -> None:
+        """Chip ``reset_stats`` hook: episode samples keep flowing into
+        the private sub-sink, fault counters into the new registry."""
+        self.stats = stats
+        for net in [*self.clusters, self.top]:
+            net.fault_stats = stats
+
+    # ------------------------------------------------------------------ #
     def arrive(self, core_id: int, resume) -> None:
         if self._first_arrival is None:
             # +write latency: mirrors GLineBarrierNetwork's episode stamps,
@@ -132,9 +174,19 @@ class HierarchicalGLineBarrier(Component):
         # Inter-level G-line: the cluster leader signals the second level
         # (modelled as an arrival whose bar_reg write is the line hop).
         leader = self.top.core_ids[k]
-        self.top.arrive(leader, lambda k=k: self._top_released(k))
+        self.top.arrive(leader,
+                        lambda outcome=None, k=k: self._top_released(
+                            k, outcome))
 
-    def _top_released(self, k: int) -> None:
+    def _top_released(self, k: int, outcome=None) -> None:
+        if outcome == FAILOVER:
+            # The inter-cluster level was quarantined by its watchdog:
+            # chip-wide release can no longer be coordinated in hardware,
+            # so the gathered cluster fails its cores over to software
+            # instead of opening the gate (which would release them
+            # without chip-wide synchronization).
+            self.clusters[k].failover()
+            return
         self.clusters[k].open_gate()
 
     def _cluster_released(self, k: int) -> None:

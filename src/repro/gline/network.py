@@ -22,6 +22,7 @@ from __future__ import annotations
 from ..common.errors import CapacityError
 from ..common.params import GLineConfig
 from ..common.stats import BarrierSample, StatsRegistry
+from ..faults import FAILOVER
 from ..sim.component import Component
 from ..sim.engine import Engine
 from .controllers import BarRegFile, MasterH, MasterV, SlaveH, SlaveV
@@ -37,14 +38,20 @@ class ReleaseGate:
 
     When installed on a network, reaching the all-arrived state reports
     upward via *on_gathered* instead of starting the release; the upper
-    level later opens the gate to let the release proceed.
+    level later opens the gate to let the release proceed.  The report is
+    idempotent per episode (``reported``) so a watchdog-retried gather
+    does not double-arrive at the upper level.
     """
 
     def __init__(self, on_gathered):
         self.is_open = False
+        self.reported = False
         self._on_gathered = on_gathered
 
     def on_gathered(self) -> None:
+        if self.reported:
+            return
+        self.reported = True
         self._on_gathered()
 
 
@@ -93,7 +100,34 @@ class GLineBarrierNetwork(Component):
         self.on_all_released = None
         #: Optional release gate (hierarchical extension).
         self._gate: ReleaseGate | None = None
-        self._gate_reported = False
+
+        # ---- watchdog / fault-handling state (repro.faults) ---------- #
+        #: Hardened mode: watchdog + spurious-release guard + overshoot
+        #: detection.  Off by default, so a plain network schedules the
+        #: exact same events it always did.
+        self.hardened = self.config.watchdog_budget > 0
+        #: Set by CMP when a FaultPlan is enabled; perturbs the wires once
+        #: per clocked cycle.
+        self.injector = None
+        #: Where ``faults.*`` counters go.  Defaults to the local stats
+        #: sink; the hierarchical wrapper re-points cluster networks at
+        #: the chip-level registry so fault counts are never swallowed by
+        #: its private sub-stats.
+        self.fault_stats = stats
+        #: True once the watchdog gave up on this network; arrivals are
+        #: then bounced straight back with the FAILOVER outcome so the
+        #: barrier library completes them in software.
+        self.quarantined = False
+        self.detections = 0
+        self.retries = 0
+        self.failovers = 0
+        self._episode_retries = 0
+        self._spurious_release = False
+        self._row_validated = False
+        for mh in self.masters_h:
+            mh.hardened = self.hardened
+        if self.master_v is not None:
+            self.master_v.hardened = self.hardened
 
     # ------------------------------------------------------------------ #
     def _build(self) -> None:
@@ -163,6 +197,12 @@ class GLineBarrierNetwork(Component):
                       core_id, resume)
 
     def _set_barreg(self, core_id: int, resume) -> None:
+        if self.quarantined:
+            # The watchdog retired this network; the core completes this
+            # episode over the software fallback instead.
+            if resume is not None:
+                self.schedule(0, resume, FAILOVER)
+            return
         local = self._local_of[core_id]
         if self.bar_regs.is_set(local):
             raise CapacityError(
@@ -171,8 +211,16 @@ class GLineBarrierNetwork(Component):
         self.bar_regs.write(local, resume)
         if self._first_arrival is None:
             self._first_arrival = self.now
+            if self.hardened and self.config.watchdog_episode_budget:
+                self._arm_watchdog(self.config.watchdog_episode_budget,
+                                   episode_level=True)
         self._last_arrival = self.now
         self._arrived += 1
+        if self.hardened and self._arrived == self.num_cores:
+            # All cores present: the gather+release must finish within the
+            # budget or the watchdog intervenes.
+            self._arm_watchdog(self.config.watchdog_budget,
+                               episode_level=False)
         if not self.active:
             self.active = True
             # Tick for the cycle in which bar_reg became visible.
@@ -199,6 +247,14 @@ class GLineBarrierNetwork(Component):
         if self.master_v is not None:
             self.master_v.assert_phase()
 
+        # Wire faults land between the assert and sample sub-phases: the
+        # drivers committed their levels, the fault corrupts what the
+        # receivers will see.
+        if self.injector is not None:
+            self.injector.perturb_glines(self.lines)
+        if self.hardened:
+            self._guard_release_lines()
+
         # Sample phase: observe lines at end of cycle, update registers.
         # MasterV samples first so the co-located MasterH flag it reads is
         # the one latched at the *end of the previous cycle* -- the
@@ -213,14 +269,19 @@ class GLineBarrierNetwork(Component):
             sv.sample_phase()
         for sh in self.slaves_h:
             sh.sample_phase(self.bar_regs, released)
-        if self.rows == 1 and self.masters_h[0].flag:
+        fault = self.hardened and self._fault_detected()
+        if not fault and self.rows == 1 and self.masters_h[0].flag \
+                and not self.masters_h[0].release_trigger:
             # Degenerate single-row mesh: the horizontal master releases
             # directly (no vertical stage) -- unless gated by an upper
-            # hierarchy level.
+            # hierarchy level.  Hardened networks hold the release one
+            # extra cycle (count-stability validation, mirroring MasterV).
             if self._gate is None or self._gate.is_open:
-                self.masters_h[0].release_trigger = True
-            elif not self._gate_reported:
-                self._gate_reported = True
+                if self.hardened and not self._row_validated:
+                    self._row_validated = True
+                else:
+                    self.masters_h[0].release_trigger = True
+            else:
                 self._gate.on_gathered()
 
         for line in self.lines:
@@ -229,6 +290,10 @@ class GLineBarrierNetwork(Component):
 
         if released:
             self._complete_release(released)
+
+        if fault and self._arrived > 0:
+            self._handle_fault()
+            return
 
         if self._will_act():
             self.schedule(self.config.line_latency, self._tick,
@@ -249,6 +314,8 @@ class GLineBarrierNetwork(Component):
         self._arrived -= len(released)
         if self._arrived == 0:
             self.barriers_completed += 1
+            self._episode_retries = 0
+            self._row_validated = False
             self.stats.bump("gline.barriers")
             self.samples.append(BarrierSample(
                 barrier_id=self.barriers_completed,
@@ -259,7 +326,7 @@ class GLineBarrierNetwork(Component):
             self._last_arrival = None
             if self._gate is not None:
                 self._gate.is_open = False
-                self._gate_reported = False
+                self._gate.reported = False
             if self.on_all_released is not None:
                 self.on_all_released()
 
@@ -274,7 +341,155 @@ class GLineBarrierNetwork(Component):
             return True
         if self.master_v is not None and self.master_v.will_act():
             return True
+        if (self.hardened and self.rows == 1 and self.masters_h[0].flag
+                and not self.masters_h[0].release_trigger
+                and (self._gate is None or self._gate.is_open)):
+            # Single-row validation cycle pending: keep the clock running.
+            return True
         return False
+
+    # ------------------------------------------------------------------ #
+    # Watchdog, retry and failover (repro.faults hardening)
+    # ------------------------------------------------------------------ #
+    def _guard_release_lines(self) -> None:
+        """Mask release-line levels that no master drove this cycle.
+
+        A release line has exactly one legitimate transmitter, so a level
+        the master did not drive is wire damage about to release cores
+        early -- permanently skewing barrier episodes.  The guard forces
+        the apparent level low before the slaves sample it and flags the
+        episode for the fault handler."""
+        spurious = False
+        for r, rel in enumerate(self.row_rel):
+            if rel is not None and rel.sampled_on() \
+                    and not self.masters_h[r].drove_release:
+                rel.glitch_force = 0
+                spurious = True
+        if self.col_rel is not None and self.col_rel.sampled_on() \
+                and not (self.master_v is not None
+                         and self.master_v.drove_release):
+            self.col_rel.glitch_force = 0
+            spurious = True
+        if spurious:
+            self._spurious_release = True
+            self.fault_stats.bump("faults.gline.spurious_releases")
+
+    def _fault_detected(self) -> bool:
+        """Collect (and clear) this cycle's fault suspicions."""
+        found = self._spurious_release
+        self._spurious_release = False
+        for mh in self.masters_h:
+            found |= mh.fault_suspected
+            mh.fault_suspected = False
+        if self.master_v is not None:
+            found |= self.master_v.fault_suspected
+            self.master_v.fault_suspected = False
+        return found
+
+    def _arm_watchdog(self, budget: int, episode_level: bool) -> None:
+        # The token pins the timer to this exact (episode, retry) attempt;
+        # completion, a retry or a failover each invalidate it, so stale
+        # timers expire silently.
+        token = (self.barriers_completed, self.failovers,
+                 self._episode_retries)
+        self.schedule(budget, self._watchdog_check, token, episode_level)
+
+    def _watchdog_check(self, token, episode_level: bool) -> None:
+        if token != (self.barriers_completed, self.failovers,
+                     self._episode_retries):
+            return
+        if self._arrived == 0 or self.quarantined:
+            return
+        if episode_level and self._arrived < self.num_cores:
+            # Cores are genuinely missing (fail-stopped or extreme
+            # stragglers) -- re-gathering cannot conjure them up, so skip
+            # the retries and fail the episode over directly.
+            self.detections += 1
+            self.fault_stats.bump("faults.watchdog.detections")
+            self.failover()
+            return
+        self._handle_fault()
+
+    def _handle_fault(self) -> None:
+        """A stalled or corrupt episode: retry the gather, else fail over."""
+        self.detections += 1
+        self.fault_stats.bump("faults.watchdog.detections")
+        if self._episode_retries < self.config.watchdog_retries:
+            self._episode_retries += 1
+            self.retries += 1
+            self.fault_stats.bump("faults.watchdog.retries")
+            self._reset_fsm()
+            # bar_regs are still set, so the slaves immediately re-signal;
+            # a transient fault heals, a permanent one re-trips the
+            # watchdog until the retry budget runs out.
+            self.active = True
+            self.schedule(self.config.line_latency, self._tick,
+                          priority=TICK_PRIORITY)
+            if self._arrived == self.num_cores:
+                self._arm_watchdog(self.config.watchdog_budget,
+                                   episode_level=False)
+        else:
+            self.failover()
+
+    def _reset_fsm(self) -> None:
+        """Return every controller to its gather-start state (bar_regs and
+        permanent wire damage are preserved)."""
+        for mh in self.masters_h:
+            mh.scnt = 0
+            mh.mcnt = 0
+            mh.flag = False
+            mh.release_trigger = False
+            mh.fault_suspected = False
+        for sh in self.slaves_h:
+            sh.signaling = True
+        for sv in self.slaves_v:
+            sv.sent = False
+        if self.master_v is not None:
+            self._reset_master_v()
+            self.master_v.validating = False
+            self.master_v.fault_suspected = False
+        self._row_validated = False
+        self._spurious_release = False
+        for line in self.lines:
+            line.end_cycle()
+
+    def failover(self) -> None:
+        """Give up on this network: quarantine it and bounce every waiting
+        core back with the FAILOVER outcome so the episode completes over
+        the software fallback barrier.
+
+        Safe by construction: every core that arrived here is re-routed
+        into the *same* software episode, and cores that have not arrived
+        yet find the network quarantined and go software directly -- no
+        core ever skips an episode, so the cohort stays aligned."""
+        self.quarantined = True
+        self.failovers += 1
+        self.fault_stats.bump("faults.watchdog.failovers")
+        self._reset_fsm()
+        resumes = [self.bar_regs.clear(local)
+                   for local in range(self.num_cores)
+                   if self.bar_regs.is_set(local)]
+        release_time = self.now + 1
+        for resume in resumes:
+            if resume is not None:
+                self.engine.schedule_at(release_time, resume, FAILOVER)
+        self._arrived = 0
+        self._first_arrival = None
+        self._last_arrival = None
+        self._episode_retries = 0
+        if self._gate is not None:
+            self._gate.is_open = False
+            self._gate.reported = False
+        self.active = False
+
+    # ------------------------------------------------------------------ #
+    def set_injector(self, injector) -> None:
+        self.injector = injector
+
+    def set_stats(self, stats: StatsRegistry) -> None:
+        """Re-point both measurement sinks (chip ``reset_stats`` hook)."""
+        self.stats = stats
+        self.fault_stats = stats
 
     # ------------------------------------------------------------------ #
     # Hierarchical-mode gating

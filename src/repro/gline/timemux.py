@@ -57,6 +57,10 @@ class SlotContext:
 
     # Pass-throughs used by GLBarrier / reports / tests.
     @property
+    def num_cores(self) -> int:
+        return self.net.num_cores
+
+    @property
     def num_glines(self) -> int:
         return self.net.num_glines
 
@@ -67,6 +71,29 @@ class SlotContext:
     @property
     def samples(self):
         return self.net.samples
+
+    # Fault-handling pass-throughs (repro.faults).
+    @property
+    def quarantined(self) -> bool:
+        return self.net.quarantined
+
+    @property
+    def detections(self) -> int:
+        return self.net.detections
+
+    @property
+    def retries(self) -> int:
+        return self.net.retries
+
+    @property
+    def failovers(self) -> int:
+        return self.net.failovers
+
+    def set_injector(self, injector) -> None:
+        self.net.injector = injector
+
+    def set_stats(self, stats: StatsRegistry) -> None:
+        self.net.set_stats(stats)
 
 
 def build_time_multiplexed(engine: Engine, stats: StatsRegistry, rows: int,

@@ -19,6 +19,41 @@ from .router import Router
 from .topology import Mesh2D
 
 
+def fault_defer(net, msg: Message) -> bool:
+    """Shared injection-side fault gate for both network models.
+
+    Returns True when *msg* must not inject this cycle: either the
+    (src, dst) channel is still blocked retransmitting an earlier faulted
+    packet, or this packet just faulted (drop/corruption) and its
+    retransmission was scheduled.  The coherence protocol relies on
+    per-(src, dst) FIFO delivery (which XY routing plus in-order links
+    guarantee on the fault-free network), so a retransmission must not
+    let younger packets overtake: the channel blocks head-of-line until
+    the retry goes through, exactly like a link-level retransmission
+    buffer.  *net* needs ``injector``, ``_channel_clear``,
+    ``zero_load_latency`` and the Component scheduling interface.
+    """
+    clear = net._channel_clear.get((msg.src, msg.dst), 0)
+    if net.now < clear:
+        net.engine.schedule_at(clear, net.send, msg)
+        return True
+    outcome = net.injector.noc_outcome()
+    if outcome is None:
+        return False
+    # Modelled as detect-and-retransmit: a drop is noticed by timeout, a
+    # corrupt packet by the CRC at the sink (after a full traversal).
+    # Either way the sender re-injects, so the protocol stays sound and
+    # the fault shows up as added latency (the wasted traversal is folded
+    # into the penalty; only delivered packets count as traffic).
+    net.stats.bump(f"faults.noc.{outcome}")
+    penalty = net.injector.plan.noc_retry_cycles
+    if outcome == "corrupted":
+        penalty += net.zero_load_latency(msg.src, msg.dst, msg.size_bytes)
+    net._channel_clear[(msg.src, msg.dst)] = net.now + penalty
+    net.schedule(penalty, net.send, msg)
+    return True
+
+
 class Network(Component):
     """Packet-level 2D-mesh interconnect."""
 
@@ -26,6 +61,12 @@ class Network(Component):
                  config: NocConfig):
         super().__init__(engine, stats, "noc")
         self.config = config
+        #: Bound by the chip when a FaultPlan is enabled (repro.faults).
+        self.injector = None
+        #: Per-(src, dst) cycle until which the channel is busy
+        #: retransmitting a faulted packet (only touched when faults are
+        #: injected; the fault-free path never reads it).
+        self._channel_clear: dict[tuple[int, int], int] = {}
         self.mesh = Mesh2D(config.rows, config.cols)
         self.routers = [Router(t) for t in range(self.mesh.num_tiles)]
         self.links: dict[tuple[int, int], Link] = {}
@@ -42,6 +83,9 @@ class Network(Component):
             # network message for Figure-7 accounting.
             self.stats.bump("noc.local_deliveries")
             self.schedule(self.config.router_latency, self._deliver, msg)
+            return
+
+        if self.injector is not None and fault_defer(self, msg):
             return
 
         path = self.mesh.route(msg.src, msg.dst)

@@ -37,6 +37,7 @@ from ..common.params import NocConfig
 from ..common.stats import StatsRegistry
 from ..sim.component import Component
 from ..sim.engine import Engine
+from .network import fault_defer
 from .packet import Message
 from .router import Router
 from .topology import Mesh2D
@@ -71,6 +72,9 @@ class VCTNetwork(Component):
                  config: NocConfig, buffer_flits: int = 4):
         super().__init__(engine, stats, "vct")
         self.config = config
+        #: Bound by the chip when a FaultPlan is enabled (repro.faults).
+        self.injector = None
+        self._channel_clear: dict[tuple[int, int], int] = {}
         self.buffer_flits = buffer_flits
         self.mesh = Mesh2D(config.rows, config.cols)
         self.routers = [Router(t) for t in range(self.mesh.num_tiles)]
@@ -86,6 +90,8 @@ class VCTNetwork(Component):
         if msg.src == msg.dst:
             self.stats.bump("noc.local_deliveries")
             self.schedule(self.config.router_latency, self._deliver, msg)
+            return
+        if self.injector is not None and fault_defer(self, msg):
             return
         path = self.mesh.route(msg.src, msg.dst)
         flits = self.config.flits(msg.size_bytes)

@@ -71,6 +71,12 @@ def test_deadlock_detection_mismatched_barriers():
     with pytest.raises(DeadlockError) as exc:
         chip.run([prog(c) for c in range(4)])
     assert set(exc.value.blocked_cores) == {0, 1, 2}
+    # The message pinpoints when it happened and what each blocked core
+    # was executing (here: stuck inside the hardware barrier arrival).
+    msg = str(exc.value)
+    assert "deadlocked at cycle" in msg
+    assert "HWBarrierArrive" in msg
+    assert "core 3" not in msg          # the skipping core finished fine
 
 
 def test_deadlock_detection_software_barrier():
@@ -80,8 +86,11 @@ def test_deadlock_detection_software_barrier():
         if cid != 0:
             yield isa.BarrierOp()
 
-    with pytest.raises(DeadlockError):
+    with pytest.raises(DeadlockError) as exc:
         chip.run([prog(c) for c in range(4)])
+    msg = str(exc.value)
+    assert "deadlocked at cycle" in msg
+    assert "core 1" in msg              # per-core pending-op detail
 
 
 def test_budget_exceeded_reports_running_cores():

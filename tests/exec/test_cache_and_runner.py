@@ -56,6 +56,42 @@ def test_cache_corrupt_entry_is_a_miss(tmp_path):
     assert not entry_path.exists()          # removed, not retried forever
 
 
+@pytest.mark.parametrize("corruption", [
+    b"",                                    # empty file (lost write)
+    b"\x00\xde\xad\xbe\xef" * 7,            # binary garbage
+    b"null",                                # valid JSON, wrong shape
+    b"[1, 2, 3]",                           # valid JSON, wrong shape
+    b'{"fingerprint": {}}',                 # object missing "result"
+    None,                                   # truncated entry (see below)
+], ids=["empty", "binary", "null", "list", "no-result", "truncated"])
+def test_cache_corruption_variants_are_misses(tmp_path, corruption):
+    """Satellite: every flavor of on-disk damage is a miss, never a
+    crash, and the bad file is removed so it cannot hurt the next run."""
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    cache.put(spec.key(), spec.fingerprint(), spec.execute().to_dict())
+    (entry_path,) = tmp_path.glob("??/*.json")
+    if corruption is None:
+        corruption = entry_path.read_bytes()[:50]   # torn mid-write
+    entry_path.write_bytes(corruption)
+    assert cache.get(spec.key()) is None
+    assert not entry_path.exists()
+    # The cache heals: the next put/get round-trips normally.
+    result = spec.execute().to_dict()
+    cache.put(spec.key(), spec.fingerprint(), result)
+    assert cache.get(spec.key()) == result
+
+
+def test_cache_unreadable_entry_is_a_miss(tmp_path):
+    """An entry that exists but cannot be opened as a file (here: it is a
+    directory) must be a miss too, even though it cannot be unlinked."""
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    path = tmp_path / spec.key()[:2] / f"{spec.key()}.json"
+    path.mkdir(parents=True)
+    assert cache.get(spec.key()) is None
+
+
 def test_cache_clear(tmp_path):
     cache = ResultCache(tmp_path)
     for it in (1, 2, 3):

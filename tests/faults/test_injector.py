@@ -1,0 +1,93 @@
+"""FaultInjector: deterministic, per-domain-independent fault streams."""
+
+from repro.common.stats import StatsRegistry
+from repro.faults import FaultInjector, FaultPlan
+from repro.gline.gline import GLine
+
+
+def _injector(**plan_kw):
+    return FaultInjector(FaultPlan(**plan_kw), StatsRegistry(1))
+
+
+def _noc_stream(inj, n=300):
+    return [inj.noc_outcome() for _ in range(n)]
+
+
+def test_same_plan_same_stream():
+    a = _injector(seed=5, noc_drop_rate=0.1, noc_corrupt_rate=0.05)
+    b = _injector(seed=5, noc_drop_rate=0.1, noc_corrupt_rate=0.05)
+    assert _noc_stream(a) == _noc_stream(b)
+
+
+def test_different_seed_different_stream():
+    a = _injector(seed=5, noc_drop_rate=0.1)
+    b = _injector(seed=6, noc_drop_rate=0.1)
+    assert _noc_stream(a) != _noc_stream(b)
+
+
+def test_domains_are_independent():
+    """Enabling a G-line fault category must not shift the NoC stream."""
+    noc_only = _injector(seed=9, noc_drop_rate=0.1)
+    both = _injector(seed=9, noc_drop_rate=0.1, gline_glitch_rate=0.2)
+    line = GLine("g")
+    line.attach("a")
+    both.perturb_glines([line])        # consume G-line randomness first
+    assert _noc_stream(noc_only) == _noc_stream(both)
+
+
+def test_per_core_straggler_streams_differ():
+    inj = _injector(seed=1, core_straggler_rate=0.5,
+                    straggler_max_cycles=100)
+    s0 = [inj.core_straggler_delay(0) for _ in range(50)]
+    inj2 = _injector(seed=1, core_straggler_rate=0.5,
+                     straggler_max_cycles=100)
+    s1 = [inj2.core_straggler_delay(1) for _ in range(50)]
+    assert s0 != s1
+    assert all(0 <= d <= 100 for d in s0 + s1)
+    assert any(d > 0 for d in s0)
+
+
+def test_stuck_onset_is_permanent_and_counted_once():
+    inj = _injector(seed=1, gline_stuck_rate=0.999)
+    line = GLine("g")
+    line.attach("a")
+    inj.perturb_glines([line])
+    assert line.stuck in (0, 1)
+    assert inj.stats.counters["faults.gline.stuck"] == 1
+    inj.perturb_glines([line])         # already stuck: skipped entirely
+    assert inj.stats.counters["faults.gline.stuck"] == 1
+
+
+def test_stuck_line_dominates_its_level():
+    inj = _injector(seed=1, gline_stuck_rate=0.999)
+    line = GLine("g")
+    line.attach("a")
+    inj.perturb_glines([line])
+    if line.stuck == 0:
+        line.assert_signal("a")
+        assert line.sample_count() == 0 and not line.sampled_on()
+    else:
+        assert line.sample_count() == line.num_attached
+        assert line.sampled_on()
+
+
+def test_glitch_inverts_apparent_level_for_one_cycle():
+    inj = _injector(seed=1, gline_glitch_rate=0.999)
+    line = GLine("g")
+    line.attach("a")
+    inj.perturb_glines([line])         # idle line glitches high
+    assert line.sampled_on()
+    assert inj.stats.counters["faults.gline.glitches"] == 1
+    line.end_cycle()
+    assert not line.sampled_on()       # glitch does not persist
+
+
+def test_miscount_is_clamped_to_physical_range():
+    inj = _injector(seed=1, scsma_miscount_rate=0.999)
+    line = GLine("g")
+    line.attach("a")
+    for _ in range(30):
+        inj.perturb_glines([line])
+        assert 0 <= line.sample_count() <= line.num_attached
+        line.end_cycle()
+    assert inj.stats.counters["faults.gline.miscounts"] > 0

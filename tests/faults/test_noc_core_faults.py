@@ -1,0 +1,78 @@
+"""NoC packet faults and core straggler / fail-stop faults."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import CMP, CMPConfig
+from repro.common.errors import DeadlockError
+from repro.faults import FaultPlan
+from repro.workloads.synthetic import SyntheticBarrierWorkload
+
+
+def _run(plan, barrier="csw", cores=4, iterations=5):
+    chip = CMP(CMPConfig.for_cores(cores).with_(faults=plan),
+               barrier=barrier)
+    result = chip.run(SyntheticBarrierWorkload(iterations=iterations))
+    return chip, result
+
+
+def test_noc_drops_slow_but_complete_a_software_barrier():
+    clean_chip, clean = _run(FaultPlan())
+    chip, result = _run(FaultPlan(seed=2, noc_drop_rate=0.05))
+    assert chip.stats.counters["faults.noc.dropped"] > 0
+    assert result.num_barriers() == clean.num_barriers()
+    # Retransmission penalties cost real cycles.
+    assert result.total_cycles > clean.total_cycles
+    # A disabled plan builds no injector at all.
+    assert clean_chip.injector is None
+
+
+def test_noc_corruption_is_detected_and_retransmitted():
+    chip, result = _run(FaultPlan(seed=2, noc_corrupt_rate=0.08))
+    assert chip.stats.counters["faults.noc.corrupted"] > 0
+    assert result.num_barriers() == 20
+
+
+def test_noc_faults_are_deterministic():
+    def one(seed):
+        chip, result = _run(FaultPlan(seed=seed, noc_drop_rate=0.05,
+                                      noc_corrupt_rate=0.05))
+        return (result.total_cycles,
+                chip.stats.counters["faults.noc.dropped"],
+                chip.stats.counters["faults.noc.corrupted"])
+
+    assert one(7) == one(7)
+    assert one(7) != one(8)
+
+
+def test_noc_faults_apply_under_vct_model_too():
+    cfg = CMPConfig.for_cores(4)
+    cfg = cfg.with_(noc=replace(cfg.noc, model="vct"),
+                    faults=FaultPlan(seed=2, noc_drop_rate=0.05))
+    chip = CMP(cfg, barrier="csw")
+    result = chip.run(SyntheticBarrierWorkload(iterations=5))
+    assert chip.stats.counters["faults.noc.dropped"] > 0
+    assert result.num_barriers() == 20
+
+
+def test_stragglers_delay_but_complete_the_barrier():
+    clean_chip, clean = _run(FaultPlan(), barrier="gl")
+    chip, result = _run(FaultPlan(seed=4, core_straggler_rate=0.3,
+                                  straggler_max_cycles=100),
+                        barrier="gl")
+    assert chip.stats.counters["faults.core.stragglers"] > 0
+    assert result.num_barriers() == clean.num_barriers()
+    assert result.total_cycles > clean.total_cycles
+
+
+def test_failstop_deadlock_is_enriched():
+    """Satellite (c): a fail-stopped core is unrecoverable by design; the
+    DeadlockError must say when it happened and what everyone was doing."""
+    with pytest.raises(DeadlockError) as exc:
+        _run(FaultPlan(seed=1, core_failstop_rate=0.5), barrier="gl")
+    msg = str(exc.value)
+    assert "deadlocked at cycle" in msg
+    assert "[fail-stopped]" in msg
+    assert "BarrierOp" in msg              # the halted cores' pending op
+    assert exc.value.blocked_cores         # machine-readable core list

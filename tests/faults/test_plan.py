@@ -1,0 +1,81 @@
+"""FaultPlan: validation, serialization and cache-key integration."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import CMPConfig
+from repro.exec import RunSpec
+from repro.faults import FaultPlan
+from repro.workloads.synthetic import SyntheticBarrierWorkload
+
+
+def test_default_plan_is_disabled():
+    plan = FaultPlan()
+    assert not plan.enabled
+    assert plan.gline_stuck_rate == 0.0
+    assert plan.noc_drop_rate == 0.0
+    assert plan.core_failstop_rate == 0.0
+
+
+@pytest.mark.parametrize("field", [
+    "gline_stuck_rate", "gline_glitch_rate", "scsma_miscount_rate",
+    "noc_drop_rate", "noc_corrupt_rate", "core_straggler_rate",
+    "core_failstop_rate"])
+def test_any_nonzero_rate_enables(field):
+    assert FaultPlan(**{field: 0.01}).enabled
+
+
+@pytest.mark.parametrize("bad", [
+    {"gline_stuck_rate": -0.1},
+    {"gline_stuck_rate": 1.0},
+    {"core_failstop_rate": 2.0},
+    {"noc_drop_rate": 0.6, "noc_corrupt_rate": 0.5},
+    {"noc_retry_cycles": 0},
+    {"straggler_max_cycles": 0},
+])
+def test_invalid_plans_rejected(bad):
+    with pytest.raises(ConfigError):
+        FaultPlan(**bad)
+
+
+def test_round_trip_is_identity():
+    plan = FaultPlan(seed=7, gline_stuck_rate=0.001, noc_drop_rate=0.02,
+                     noc_retry_cycles=33, core_straggler_rate=0.1,
+                     straggler_max_cycles=55)
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigError, match="unknown"):
+        FaultPlan.from_dict({"seed": 1, "gamma_ray_rate": 0.5})
+
+
+def test_cmp_config_carries_the_plan():
+    plan = FaultPlan(seed=3, noc_drop_rate=0.1)
+    cfg = CMPConfig.for_cores(4).with_(faults=plan)
+    data = cfg.to_dict()
+    assert data["faults"]["noc_drop_rate"] == 0.1
+    assert CMPConfig.from_dict(data).faults == plan
+
+
+def test_config_from_dict_without_faults_defaults_disabled():
+    # Pre-fault-subsystem serialized configs must still load.
+    data = CMPConfig.for_cores(4).to_dict()
+    del data["faults"]
+    assert CMPConfig.from_dict(data).faults == FaultPlan()
+
+
+def test_plan_changes_the_exec_cache_key():
+    wl = SyntheticBarrierWorkload(iterations=2)
+    base = RunSpec.make(wl, "gl", num_cores=4,
+                        config=CMPConfig.for_cores(4))
+    faulty = RunSpec.make(wl, "gl", num_cores=4,
+                          config=CMPConfig.for_cores(4).with_(
+                              faults=FaultPlan(seed=1,
+                                               gline_stuck_rate=0.001)))
+    reseeded = RunSpec.make(wl, "gl", num_cores=4,
+                            config=CMPConfig.for_cores(4).with_(
+                                faults=FaultPlan(seed=2,
+                                                 gline_stuck_rate=0.001)))
+    assert base.key() != faulty.key()
+    assert faulty.key() != reseeded.key()

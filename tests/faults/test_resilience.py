@@ -1,0 +1,45 @@
+"""The resilience sweep driver (experiments/resilience.py)."""
+
+from repro.exec import ParallelRunner, ResultCache, use_executor
+from repro.experiments import run_resilience
+
+SWEEP = dict(rates=(0.0, 0.05), num_cores=4, iterations=4, seed=1)
+
+
+def test_sweep_rows_and_table():
+    result = run_resilience(**SWEEP)
+    clean, faulty = result.rows
+
+    # Rate 0 is a plain hardened run: nothing injected, nothing detected.
+    assert clean["rate"] == 0.0
+    assert clean["stuck"] == 0
+    assert (clean["detections"], clean["retries"], clean["failovers"]) \
+        == (0, 0, 0)
+    assert clean["sw_arrivals"] == 0
+
+    # The aggressive rate wedges a wire and the run survives in software.
+    assert faulty["stuck"] >= 1
+    assert faulty["failovers"] >= 1
+    assert faulty["sw_arrivals"] > 0
+    assert faulty["cycles_per_barrier"] > clean["cycles_per_barrier"]
+    assert 0 < result.failover_rate(0.05) <= 1
+
+    table = result.table()
+    assert "Stuck rate" in table
+    assert "completed via software failover: yes" in table
+
+
+def test_sweep_is_deterministic():
+    assert run_resilience(**SWEEP).table() == run_resilience(**SWEEP).table()
+
+
+def test_sweep_reproducible_through_exec_cache(tmp_path):
+    runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    with use_executor(runner):
+        cold = run_resilience(**SWEEP)
+        warm = run_resilience(**SWEEP)
+    assert runner.hits == len(SWEEP["rates"])
+    assert runner.misses == len(SWEEP["rates"])
+    assert cold.table() == warm.table()
+    # And a cached faulty run equals a recomputed one.
+    assert cold.table() == run_resilience(**SWEEP).table()

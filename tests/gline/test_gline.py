@@ -15,10 +15,18 @@ def test_attach_limit_enforced():
 
 
 def test_double_attach_rejected():
+    # A duplicate transmitter id is a wiring bug, not a fan-in problem:
+    # it must raise the generic GLineError, NOT CapacityError, so callers
+    # can distinguish it from hitting the electrical limit.
     line = GLine("g")
     line.attach("a")
-    with pytest.raises(CapacityError):
+    with pytest.raises(GLineError) as exc:
         line.attach("a")
+    assert not isinstance(exc.value, CapacityError)
+    # ...and the fan-in path still reports CapacityError (see
+    # test_attach_limit_enforced for the full check).
+    line.attach("b")
+    assert line.num_attached == 2
 
 
 def test_unattached_transmitter_rejected():
