@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate exported trace artifacts (CI trace-smoke helper).
+
+Usage:  python scripts/validate_trace.py [--perfetto trace.json]
+                                         [--vcd trace.vcd]
+
+Checks that a Perfetto JSON artifact passes the trace-event schema
+validator, and that a VCD artifact parses back and shows the G-line
+gather -> release choreography in order (SglineH* before SglineV before
+MglineV before MglineH*).  Exits nonzero with a diagnostic on the first
+violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import parse_vcd, rise_times, validate_perfetto
+
+
+def check_perfetto(path: Path) -> str:
+    doc = json.loads(path.read_text())
+    count = validate_perfetto(doc)
+    if count == 0:
+        raise ValueError("trace document contains no events")
+    acc = doc.get("otherData", {}).get("tracer")
+    suffix = ""
+    if acc is not None:
+        if acc["emitted"] != acc["retained"] + acc["dropped"]:
+            raise ValueError(f"tracer accounting does not balance: {acc}")
+        suffix = (f" ({acc['retained']} retained, {acc['dropped']} "
+                  f"dropped)")
+    return f"{path}: {count} trace events, schema OK{suffix}"
+
+
+def check_vcd(path: Path) -> str:
+    changes = parse_vcd(path.read_text())
+    if not changes:
+        raise ValueError("VCD contains no signals")
+
+    def first_rise(match) -> int:
+        rises = [rise_times(changes, sig)[0] for sig in changes
+                 if match(sig) and rise_times(changes, sig)]
+        if not rises:
+            raise ValueError(f"no rising signal matches {match.__doc__}")
+        return min(rises)
+
+    def matcher(prefix: str, suffix: str):
+        def match(sig: str) -> bool:
+            stem = sig.rsplit(".", 2)
+            return (len(stem) == 3 and stem[1].startswith(prefix)
+                    and sig.endswith(suffix))
+        match.__doc__ = f"{prefix}*{suffix}"
+        return match
+
+    gather_row = first_rise(matcher("SglineH", ".level"))
+    gather_col = first_rise(matcher("SglineV", ".level"))
+    release_col = first_rise(matcher("MglineV", ".level"))
+    release_row = first_rise(matcher("MglineH", ".level"))
+    if not gather_row < gather_col < release_col < release_row:
+        raise ValueError(
+            f"wire sequence out of order: SglineH@{gather_row}, "
+            f"SglineV@{gather_col}, MglineV@{release_col}, "
+            f"MglineH@{release_row}")
+    return (f"{path}: {len(changes)} signals, gather->release sequence "
+            f"@{gather_row}->{release_row} OK")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--perfetto", type=Path, default=None)
+    parser.add_argument("--vcd", type=Path, default=None)
+    args = parser.parse_args(argv)
+    if args.perfetto is None and args.vcd is None:
+        parser.error("nothing to validate: pass --perfetto and/or --vcd")
+    try:
+        if args.perfetto is not None:
+            print(check_perfetto(args.perfetto))
+        if args.vcd is not None:
+            print(check_vcd(args.vcd))
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

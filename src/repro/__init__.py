@@ -16,6 +16,9 @@ Public API highlights:
   Figure-4 controllers, hierarchical and multi-context extensions).
 * :mod:`repro.faults` -- seeded fault injection, barrier watchdog and
   GL -> software failover (see docs/fault-injection.md).
+* :mod:`repro.obs` -- observability: structured tracing, Perfetto/VCD
+  export, metric streams and the barrier flight recorder (see
+  docs/observability.md).
 """
 
 from .chip import BARRIER_KINDS, CMP, RunResult
@@ -32,6 +35,7 @@ from .common import (
     mesh_dims,
 )
 from .faults import FaultPlan
+from .obs import MetricsRegistry, Observability, RingTracer
 
 __version__ = "1.0.0"
 
@@ -39,6 +43,7 @@ __all__ = [
     "BARRIER_KINDS", "CMP", "RunResult",
     "CMPConfig", "CacheConfig", "CoreConfig", "CycleCat", "FaultPlan",
     "GLineConfig", "MsgCat", "NocConfig", "ReproError", "StatsRegistry",
+    "MetricsRegistry", "Observability", "RingTracer",
     "mesh_dims",
     "__version__",
 ]

@@ -27,6 +27,7 @@ from ..mem.funcmem import FunctionalMemory
 from ..mem.l1 import L1Cache
 from ..mem.memory import MemoryController
 from ..noc.network import Network
+from ..obs import Observability
 from ..sim.engine import Engine
 from ..sync.accounting import BarrierAccounting
 from ..sync.api import BarrierImpl
@@ -46,8 +47,13 @@ class CMP:
     """A simulated tiled chip multiprocessor."""
 
     def __init__(self, config: CMPConfig | None = None,
-                 barrier: str | BarrierImpl = "gl"):
+                 barrier: str | BarrierImpl = "gl",
+                 obs: Observability | None = None):
         self.config = config or CMPConfig()
+        #: Observability bundle (repro.obs).  Deliberately NOT part of
+        #: CMPConfig: a traced run and an untraced run share the same
+        #: exec-cache key and must produce identical results.
+        self.obs = None
         self.engine = Engine()
         self.stats = StatsRegistry(self.config.num_cores)
         self.funcmem = FunctionalMemory()
@@ -100,6 +106,28 @@ class CMP:
             for net in getattr(self.barrier_impl, "networks", []):
                 if hasattr(net, "set_injector"):
                     net.set_injector(self.injector)
+        if obs is not None:
+            self.set_obs(obs)
+
+    # ------------------------------------------------------------------ #
+    def set_obs(self, obs: Observability) -> None:
+        """Thread an observability bundle through every layer.
+
+        Instrumentation is strictly read-only -- it never schedules events
+        or touches StatsRegistry -- so attaching a bundle cannot change
+        simulation results."""
+        self.obs = obs
+        self.engine.tracer = obs.tracer
+        self.network.tracer = obs.tracer
+        self.network.metrics = obs.metrics
+        for tile in self.tiles:
+            for comp in (tile.core, tile.l1, tile.home, tile.memctrl):
+                comp.tracer = obs.tracer
+                comp.metrics = obs.metrics
+            tile.core.flight = obs.flight
+        for net in getattr(self.barrier_impl, "networks", []):
+            if hasattr(net, "set_obs"):
+                net.set_obs(obs)
 
     # ------------------------------------------------------------------ #
     def _make_barrier(self, barrier: str | BarrierImpl) -> BarrierImpl:
@@ -229,20 +257,30 @@ class CMP:
                     f"{type(c.pending_op).__name__ if c.pending_op is not None else 'not started'}"
                     + (" [fail-stopped]" if c.halted else "")
                     for c in started if not c.finished)
-                raise DeadlockError(
+                message = (
                     f"simulation deadlocked at cycle {self.engine.now}: "
                     f"cores {list(blocked)} blocked with no pending events "
                     f"({detail}) -- barrier some core never reaches, or "
-                    f"mismatched barrier counts",
-                    blocked_cores=blocked)
+                    f"mismatched barrier counts")
+                if self.obs is not None and self.obs.flight is not None:
+                    # Post-mortem tail only when observability is on; the
+                    # base message format stays stable otherwise.
+                    tail = self.obs.flight.format_tail(blocked)
+                    if tail:
+                        message += "\n" + tail
+                raise DeadlockError(message, blocked_cores=blocked)
             raise SimulationError(
                 f"simulation hit its budget (max_cycles={max_cycles}, "
                 f"max_events={max_events}) with cores {list(blocked)} "
                 f"still running at cycle {self.engine.now}")
 
         total = max((c.finish_time or 0) for c in started)
+        metrics = {}
+        if self.obs is not None and self.obs.metrics is not None:
+            metrics = self.obs.metrics.to_dict()
         return RunResult(total_cycles=total,
                          barrier_name=self.barrier_impl.name,
                          num_cores=self.num_cores,
                          stats=self.stats,
-                         events_executed=self.engine.events_executed)
+                         events_executed=self.engine.events_executed,
+                         metrics=metrics)

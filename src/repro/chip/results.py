@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..common.stats import CycleCat, MsgCat, StatsRegistry
 
@@ -18,6 +18,11 @@ class RunResult:
     num_cores: int
     stats: StatsRegistry
     events_executed: int
+    #: Observability snapshot (``MetricsRegistry.to_dict()``) when the run
+    #: had an obs bundle attached; {} otherwise.  Not part of the cache
+    #: key, and the trace CLI strips it before caching so traced and
+    #: untraced runs stay interchangeable.
+    metrics: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def cycle_breakdown(self) -> dict[CycleCat, int]:
@@ -67,6 +72,7 @@ class RunResult:
             "num_cores": self.num_cores,
             "events_executed": self.events_executed,
             "stats": self.stats.to_dict(),
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -75,7 +81,9 @@ class RunResult:
                    barrier_name=data["barrier_name"],
                    num_cores=data["num_cores"],
                    stats=StatsRegistry.from_dict(data["stats"]),
-                   events_executed=data["events_executed"])
+                   events_executed=data["events_executed"],
+                   # Pre-obs cache entries have no metrics snapshot.
+                   metrics=data.get("metrics", {}))
 
     # ------------------------------------------------------------------ #
     def summary(self) -> str:

@@ -86,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--no-cache", action="store_true",
                         help="recompute every run; do not read or write "
                              "the result cache")
+    common.add_argument("--metrics", type=Path, default=None,
+                        metavar="PATH",
+                        help="write the executor's metric snapshot to PATH "
+                             "(.csv for CSV, anything else for JSON)")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -136,6 +140,37 @@ def build_parser() -> argparse.ArgumentParser:
                            "per seed)")
     pres.add_argument("--failover", default="csw", choices=["csw", "dsw"],
                       help="software barrier used after failover")
+    # Observability: one traced run, exported as a viewable artifact.
+    # Not under ``common``: its --out names the artifact *file*, not a
+    # directory of rendered tables.
+    ptr = sub.add_parser("trace",
+                         help="run one traced experiment and export the "
+                              "trace (repro.obs)")
+    ptr.add_argument("experiment", choices=["fig5"] + sorted(WORKLOADS),
+                     help="'fig5' traces one synthetic fig5 point; any "
+                          "workload name traces that benchmark")
+    ptr.add_argument("--format", dest="fmt", default="perfetto",
+                     choices=["perfetto", "vcd", "jsonl"],
+                     help="artifact format (default: perfetto JSON)")
+    ptr.add_argument("--out", type=Path, default=None,
+                     help="artifact file (default: trace.<ext>)")
+    ptr.add_argument("--iterations", type=int, default=10,
+                     help="barrier iterations for the fig5 point")
+    ptr.add_argument("--cores", type=int, default=32)
+    ptr.add_argument("--scale", type=float, default=0.5)
+    ptr.add_argument("--barrier", default="gl",
+                     choices=["gl", "dsw", "csw", "csw-fa"])
+    ptr.add_argument("--capacity", type=int, default=None,
+                     help="trace ring capacity (default 65536; 0 means "
+                          "unbounded)")
+    ptr.add_argument("--jobs", type=int, default=None,
+                     help=argparse.SUPPRESS)
+    ptr.add_argument("--cache-dir", type=Path, default=None,
+                     help="result cache to seed (the trace's result is "
+                          "stored so an untraced rerun cache-hits)")
+    ptr.add_argument("--no-cache", action="store_true")
+    ptr.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                     help="write this run's metric snapshot to PATH")
     sub.add_parser("all", parents=[common], help="everything above")
     return parser
 
@@ -159,6 +194,14 @@ def main(argv: list[str] | None = None) -> int:
     # byte-identical whether results were simulated or served from cache.
     if cache is not None:
         print(f"[repro.exec] {executor.summary()}", file=sys.stderr)
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path is not None:
+        if metrics_path.suffix == ".csv":
+            executor.metrics.to_csv(metrics_path)
+        else:
+            executor.metrics.to_json(metrics_path)
+        print(f"[repro.obs] metrics snapshot written to {metrics_path}",
+              file=sys.stderr)
     return rc
 
 
@@ -225,6 +268,71 @@ def _dispatch(args) -> int:
         if args.verify:
             workload.verify(chip)
             print("dataflow verified against the reference")
+    if command == "trace":
+        return _run_trace(args)
+    return 0
+
+
+#: Artifact file extension per trace format.
+TRACE_EXTENSIONS = {"perfetto": "json", "vcd": "vcd", "jsonl": "jsonl"}
+
+
+def _run_trace(args) -> int:
+    """One fully-observed run, exported as a trace artifact.
+
+    The run's *result* is cached with the metrics snapshot stripped, so a
+    later untraced run of the same point is a byte-identical cache hit --
+    tracing seeds the cache, it never forks it.
+    """
+    from .exec import RunSpec, current_executor
+    from .obs import (DEFAULT_CAPACITY, Observability, write_jsonl,
+                      write_perfetto, write_vcd)
+
+    if args.experiment == "fig5":
+        # Exactly the spec run_fig5 builds for this (barrier, cores) point.
+        workload = SyntheticBarrierWorkload(iterations=args.iterations)
+    else:
+        workload = WORKLOADS[args.experiment](args.scale)
+    spec = RunSpec.make(workload, args.barrier, num_cores=args.cores)
+    capacity = DEFAULT_CAPACITY if args.capacity is None \
+        else (None if args.capacity == 0 else args.capacity)
+    obs = Observability.full(args.cores, capacity=capacity)
+    result = spec.execute(obs=obs)
+
+    executor = current_executor()
+    executor.misses += 1
+    executor.metrics.counter("exec.cache.misses").inc()
+    key = None
+    if executor.cache is not None:
+        key = spec.key()
+        executor.cache.put(key, spec.fingerprint(),
+                           dict(result.to_dict(), metrics={}))
+
+    ext = TRACE_EXTENSIONS[args.fmt]
+    out = args.out if args.out is not None else Path(f"trace.{ext}")
+    events = obs.tracer.events
+    if args.fmt == "perfetto":
+        write_perfetto(events, out, accounting=obs.tracer.accounting())
+    elif args.fmt == "vcd":
+        write_vcd(events, out)
+    else:
+        write_jsonl(events, out)
+    if key is not None:
+        # Keep a copy keyed next to the cache entry, so the artifact that
+        # explains a cached number is findable from the number's key.
+        keyed = executor.cache.directory / key[:2] / f"{key}.trace.{ext}"
+        keyed.parent.mkdir(parents=True, exist_ok=True)
+        keyed.write_bytes(Path(out).read_bytes())
+
+    executor.metrics.merge(obs.metrics)
+    acc = obs.tracer.accounting()
+    print(f"[repro.obs] {out} ({args.fmt}): {acc['retained']} events "
+          f"retained, {acc['dropped']} dropped, {acc['filtered']} filtered",
+          file=sys.stderr)
+    if key is not None:
+        print(f"[repro.obs] artifact keyed at {key[:2]}/{key}.trace.{ext}",
+              file=sys.stderr)
+    print(result.summary())
     return 0
 
 

@@ -22,7 +22,9 @@ from typing import Callable, Generator
 from ..common.errors import SimulationError
 from ..common.params import CoreConfig
 from ..common.stats import CycleCat, StatsRegistry
+from ..faults import FAILOVER
 from ..mem.l1 import L1Cache
+from ..obs import events as obs_ev
 from ..sim.component import Component
 from ..sim.engine import Engine
 from . import isa
@@ -61,6 +63,9 @@ class Core(Component):
         self.pending_op = None
         #: True once a fail-stop fault halted this core for good.
         self.halted = False
+        #: Barrier flight recorder (set by the chip when observability is
+        #: enabled; tracer/metrics come from Component).
+        self.flight = None
 
     # ------------------------------------------------------------------ #
     def start(self, program) -> None:
@@ -136,6 +141,8 @@ class Core(Component):
             if self.barrier_binding is None:
                 raise SimulationError(
                     f"core {self.cid}: no barrier implementation bound")
+            self._note_barrier(obs_ev.CORE_BARRIER_ENTER,
+                               barrier=op.barrier_id)
             delay = 0
             if self.injector is not None:
                 if self.injector.core_failstop(self.cid):
@@ -145,6 +152,8 @@ class Core(Component):
                     # an honest DeadlockError naming this core.
                     self.halted = True
                     self.stats.bump("faults.core.failstops")
+                    self._note_barrier(obs_ev.CORE_FAILSTOP,
+                                       barrier=op.barrier_id)
                     return
                 delay = self.injector.core_straggler_delay(self.cid)
                 if delay:
@@ -152,6 +161,7 @@ class Core(Component):
                     self.stats.add_cycles(self.cid,
                                           self._current_cat(CycleCat.BUSY),
                                           delay)
+                    self._note_barrier(obs_ev.CORE_STRAGGLER, delay=delay)
             seq = self.barrier_binding.sequence(self, op.barrier_id)
             if self.barrier_accounting is not None:
                 seq = self._accounted_barrier(seq, op.barrier_id)
@@ -181,10 +191,26 @@ class Core(Component):
             # bar_reg, then sleep until the controllers reset it.  The
             # optional *outcome* (repro.faults.FAILOVER) is delivered back
             # into the library sequence so it can complete in software.
-            op.barrier.arrive(self.cid, lambda outcome=None: (
-                self._attr(t0, CycleCat.BARRIER), self._advance(outcome)))
+            op.barrier.arrive(
+                self.cid, lambda outcome=None: self._hw_resume(t0, outcome))
         else:
             raise SimulationError(f"core {self.cid}: unknown op {op!r}")
+
+    def _hw_resume(self, t0: int, outcome=None) -> None:
+        """Hardware barrier released (or failed over) this core."""
+        self._attr(t0, CycleCat.BARRIER)
+        if self.tracer.enabled or self.flight is not None:
+            self._note_barrier(
+                obs_ev.CORE_BARRIER_RESUME,
+                outcome="failover" if outcome == FAILOVER else "release")
+        self._advance(outcome)
+
+    def _note_barrier(self, kind: str, **detail) -> None:
+        """Mirror a barrier lifecycle event to tracer + flight recorder."""
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, kind, **detail)
+        if self.flight is not None:
+            self.flight.record(self.cid, self.now, self.name, kind, **detail)
 
     # ------------------------------------------------------------------ #
     def _accounted_barrier(self, seq, barrier_id: int):

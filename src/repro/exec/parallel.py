@@ -24,6 +24,7 @@ from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 from ..chip.results import RunResult
+from ..obs.metrics import MetricsRegistry
 from .cache import ResultCache
 from .spec import RunSpec
 
@@ -50,6 +51,10 @@ class ParallelRunner:
         #: Batch-lifetime counters for the CLI's summary line.
         self.hits = 0
         self.misses = 0
+        #: The same counters as metric streams ("exec.cache.hits" /
+        #: "exec.cache.misses"), exportable via ``--metrics`` -- not just
+        #: a throwaway stderr print.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------ #
     def run(self, specs: Sequence[RunSpec]) -> list[RunResult]:
@@ -67,9 +72,11 @@ class ParallelRunner:
                 stored = self.cache.get(key)
                 if stored is not None:
                     self.hits += 1
+                    self.metrics.counter("exec.cache.hits").inc()
                     results[i] = RunResult.from_dict(stored)
                     continue
             self.misses += 1
+            self.metrics.counter("exec.cache.misses").inc()
             pending.append((i, spec, key))
 
         if pending:

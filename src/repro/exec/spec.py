@@ -117,9 +117,14 @@ class RunSpec:
         return hashlib.sha256(blob.encode()).hexdigest()
 
     # ------------------------------------------------------------------ #
-    def execute(self) -> RunResult:
-        """Run the simulation described by this spec (in this process)."""
+    def execute(self, obs=None) -> RunResult:
+        """Run the simulation described by this spec (in this process).
+
+        *obs* (an :class:`repro.obs.Observability`) attaches tracing and
+        metric streams for this run only; it is deliberately not part of
+        the spec or its key -- observability never changes results.
+        """
         from ..chip.cmp import CMP
 
-        chip = CMP(self.config, barrier=self.barrier)
+        chip = CMP(self.config, barrier=self.barrier, obs=obs)
         return chip.run(self.workload, max_events=self.max_events)

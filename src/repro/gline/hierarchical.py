@@ -159,6 +159,18 @@ class HierarchicalGLineBarrier(Component):
         for net in [*self.clusters, self.top]:
             net.fault_stats = stats
 
+    def set_obs(self, obs) -> None:
+        """Attach observability to every level of the hierarchy."""
+        self.tracer = obs.tracer
+        self.metrics = obs.metrics
+        for net in [*self.clusters, self.top]:
+            net.set_obs(obs)
+
+    @property
+    def failover_reports(self) -> list[str]:
+        return [r for net in [*self.clusters, self.top]
+                for r in net.failover_reports]
+
     # ------------------------------------------------------------------ #
     def arrive(self, core_id: int, resume) -> None:
         if self._first_arrival is None:

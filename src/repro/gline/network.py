@@ -23,6 +23,7 @@ from ..common.errors import CapacityError
 from ..common.params import GLineConfig
 from ..common.stats import BarrierSample, StatsRegistry
 from ..faults import FAILOVER
+from ..obs import events as obs_ev
 from ..sim.component import Component
 from ..sim.engine import Engine
 from .controllers import BarRegFile, MasterH, MasterV, SlaveH, SlaveV
@@ -121,6 +122,11 @@ class GLineBarrierNetwork(Component):
         self.detections = 0
         self.retries = 0
         self.failovers = 0
+        #: Barrier flight recorder (set via :meth:`set_obs`).
+        self.flight = None
+        #: Human-readable failover post-mortems (flight tail included when
+        #: the recorder is active); surfaced by resilience reports/tests.
+        self.failover_reports: list[str] = []
         self._episode_retries = 0
         self._spurious_release = False
         self._row_validated = False
@@ -216,6 +222,14 @@ class GLineBarrierNetwork(Component):
                                    episode_level=True)
         self._last_arrival = self.now
         self._arrived += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.GL_ARRIVE,
+                             core=core_id, arrived=self._arrived,
+                             of=self.num_cores)
+        if self.flight is not None:
+            self.flight.record(core_id, self.now, self.name,
+                               obs_ev.GL_ARRIVE, arrived=self._arrived,
+                               of=self.num_cores)
         if self.hardened and self._arrived == self.num_cores:
             # All cores present: the gather+release must finish within the
             # budget or the watchdog intervenes.
@@ -284,9 +298,22 @@ class GLineBarrierNetwork(Component):
             else:
                 self._gate.on_gathered()
 
+        tracing = self.tracer.enabled
         for line in self.lines:
+            if tracing:
+                # Post-guard levels: what the receivers actually sampled.
+                self.tracer.emit(self.now, line.name, obs_ev.GL_WIRE,
+                                 level=int(line.sampled_on()),
+                                 count=line.sample_count())
             self.stats.gline_toggles += len(line._asserting)
             line.end_cycle()
+        if tracing:
+            self.tracer.emit(
+                self.now, self.name, obs_ev.GL_FSM,
+                flags=[mh.flag for mh in self.masters_h],
+                scnt=[mh.scnt for mh in self.masters_h],
+                vscnt=self.master_v.scnt if self.master_v else None,
+                arrived=self._arrived)
 
         if released:
             self._complete_release(released)
@@ -312,6 +339,10 @@ class GLineBarrierNetwork(Component):
             if resume is not None:
                 self.engine.schedule_at(release_time, resume)
         self._arrived -= len(released)
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.GL_RELEASE,
+                             cores=len(released), release=release_time,
+                             remaining=self._arrived)
         if self._arrived == 0:
             self.barriers_completed += 1
             self._episode_retries = 0
@@ -322,6 +353,18 @@ class GLineBarrierNetwork(Component):
                 first_arrival=self._first_arrival,
                 last_arrival=self._last_arrival,
                 release=release_time))
+            if self.tracer.enabled:
+                self.tracer.emit(self.now, self.name, obs_ev.GL_EPISODE,
+                                 barrier=self.barriers_completed,
+                                 first=self._first_arrival,
+                                 last=self._last_arrival,
+                                 release=release_time)
+            if self.metrics is not None:
+                self.metrics.histogram("gline.episode_latency").record(
+                    release_time - self._last_arrival)
+                self.metrics.histogram("gline.episode_span").record(
+                    release_time - self._first_arrival)
+                self.metrics.counter("gline.episodes").inc()
             self._first_arrival = None
             self._last_arrival = None
             if self._gate is not None:
@@ -418,6 +461,16 @@ class GLineBarrierNetwork(Component):
             self._episode_retries += 1
             self.retries += 1
             self.fault_stats.bump("faults.watchdog.retries")
+            if self.tracer.enabled:
+                self.tracer.emit(self.now, self.name,
+                                 obs_ev.GL_WATCHDOG_RETRY,
+                                 attempt=self._episode_retries,
+                                 arrived=self._arrived)
+            if self.flight is not None:
+                for cid in self._waiting_core_ids():
+                    self.flight.record(cid, self.now, self.name,
+                                       obs_ev.GL_WATCHDOG_RETRY,
+                                       attempt=self._episode_retries)
             self._reset_fsm()
             # bar_regs are still set, so the slaves immediately re-signal;
             # a transient fault heals, a permanent one re-trips the
@@ -465,6 +518,25 @@ class GLineBarrierNetwork(Component):
         self.quarantined = True
         self.failovers += 1
         self.fault_stats.bump("faults.watchdog.failovers")
+        waiting = self._waiting_core_ids()
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.GL_WATCHDOG_FAILOVER,
+                             waiting=list(waiting), retries=self.retries)
+        if self.flight is not None:
+            for cid in waiting:
+                self.flight.record(cid, self.now, self.name,
+                                   obs_ev.GL_WATCHDOG_FAILOVER,
+                                   retries=self.retries)
+        report = (f"{self.name}: watchdog FAILOVER at cycle {self.now} "
+                  f"after {self._episode_retries} retries; waiting cores "
+                  f"{waiting} bounced to software fallback")
+        if self.flight is not None:
+            # Recorder tail only when observability is on -- the base
+            # message format stays stable for disabled runs.
+            tail = self.flight.format_tail(waiting)
+            if tail:
+                report += "\n" + tail
+        self.failover_reports.append(report)
         self._reset_fsm()
         resumes = [self.bar_regs.clear(local)
                    for local in range(self.num_cores)
@@ -482,6 +554,11 @@ class GLineBarrierNetwork(Component):
             self._gate.reported = False
         self.active = False
 
+    def _waiting_core_ids(self) -> list[int]:
+        """Chip-level ids of cores currently holding a set bar_reg."""
+        return [self.core_ids[local] for local in range(self.num_cores)
+                if self.bar_regs.is_set(local)]
+
     # ------------------------------------------------------------------ #
     def set_injector(self, injector) -> None:
         self.injector = injector
@@ -490,6 +567,12 @@ class GLineBarrierNetwork(Component):
         """Re-point both measurement sinks (chip ``reset_stats`` hook)."""
         self.stats = stats
         self.fault_stats = stats
+
+    def set_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` bundle."""
+        self.tracer = obs.tracer
+        self.metrics = obs.metrics
+        self.flight = obs.flight
 
     # ------------------------------------------------------------------ #
     # Hierarchical-mode gating

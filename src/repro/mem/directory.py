@@ -25,6 +25,7 @@ from ..common.params import CacheConfig, NocConfig
 from ..common.stats import StatsRegistry
 from ..noc.network import Network
 from ..noc.packet import Message
+from ..obs import events as obs_ev
 from ..sim.component import Component
 from ..sim.engine import Engine
 from .address import AddressMap
@@ -96,7 +97,15 @@ class HomeController(Component):
         line = msg.payload["line"]
         entry = self._entry(line)
         kind = msg.kind
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.DIR_MSG,
+                             kind=kind, src=msg.src, line=line,
+                             queued=len(entry.pending))
         if kind in ("GetS", "GetM", "PutM"):
+            if self.metrics is not None:
+                # Depth the request sees on arrival (0 = served directly).
+                self.metrics.histogram("dir.queue_depth").record(
+                    len(entry.pending))
             if entry.busy or entry.pending:
                 # Queue behind the in-flight transaction (and behind any
                 # already-queued requests, preserving FIFO order even across

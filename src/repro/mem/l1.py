@@ -23,6 +23,7 @@ from ..common.params import CacheConfig, NocConfig
 from ..common.stats import StatsRegistry
 from ..noc.network import Network
 from ..noc.packet import Message
+from ..obs import events as obs_ev
 from ..sim.component import Component
 from ..sim.engine import Engine
 from .address import AddressMap
@@ -137,6 +138,13 @@ class L1Cache(Component):
             return
         entry = self.mshr.allocate(line, need, self.now)
         entry.waiters.append(Waiter(need, retry))
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.L1_MISS,
+                             line=line, need=need,
+                             outstanding=self.mshr.pending())
+        if self.metrics is not None:
+            self.metrics.histogram("l1.mshr_occupancy").record(
+                self.mshr.pending())
         self._send_home(line, "GetS" if need == "S" else "GetM")
 
     def _send_home(self, line: int, kind: str,
@@ -174,6 +182,13 @@ class L1Cache(Component):
 
     def _on_fill(self, line: int, kind: str) -> None:
         entry = self.mshr.complete(line)
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.L1_FILL,
+                             line=line, kind=kind,
+                             wait=self.now - entry.issue_time)
+        if self.metrics is not None:
+            self.metrics.histogram("l1.miss_latency").record(
+                self.now - entry.issue_time)
         if entry.requested == "M" or kind == "GrantM":
             state = MESI.M
         elif kind == "DataE":
@@ -232,6 +247,10 @@ class L1Cache(Component):
     # ------------------------------------------------------------------ #
     def _evict(self, victim: Victim) -> None:
         self.stats.bump("l1.evictions")
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.L1_EVICT,
+                             line=victim.line_addr,
+                             state=victim.state.name)
         # Wake watchers so a spinner never sleeps on a line the directory
         # no longer associates with us (lost-wakeup prevention).
         self._fire_watchers(victim.line_addr)

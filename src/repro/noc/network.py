@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..common.params import NocConfig
 from ..common.stats import StatsRegistry
+from ..obs import events as obs_ev
 from ..sim.component import Component
 from ..sim.engine import Engine
 from .link import Link
@@ -96,6 +97,10 @@ class Network(Component):
         self.routers[msg.dst].ejected += 1
         for mid in path[1:-1]:
             self.routers[mid].forwarded += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.NOC_SEND,
+                             src=msg.src, dst=msg.dst, kind=msg.kind,
+                             flits=flits, hops=msg.hops)
         # Injection: pay the source router pipeline, then start hopping.
         self.schedule(self.config.router_latency, self._hop, msg, path, 0,
                       flits)
@@ -108,6 +113,10 @@ class Network(Component):
         link = self.links[(here, nxt)]
         serialized_end = link.occupy(self.now, flits,
                                      self.config.model_contention)
+        if self.metrics is not None:
+            # Queueing delay only: serialization and wire time excluded.
+            self.metrics.histogram("noc.link_wait").record(
+                max(0, serialized_end - self.now - flits))
         arrival = serialized_end + self.config.link_latency
         if index + 2 == len(path):
             # Last hop: eject through the destination router.
@@ -119,6 +128,12 @@ class Network(Component):
 
     def _deliver(self, msg: Message) -> None:
         msg.arrive_time = self.now
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.NOC_DELIVER,
+                             src=msg.src, dst=msg.dst, kind=msg.kind,
+                             latency=msg.latency)
+        if self.metrics is not None and msg.src != msg.dst:
+            self.metrics.histogram("noc.msg_latency").record(msg.latency)
         if msg.on_delivery is not None:
             msg.on_delivery(msg)
 

@@ -26,3 +26,9 @@ class Router:
     def traversals(self) -> int:
         """Total router-pipeline traversals (energy proxy numerator)."""
         return self.injected + self.ejected + self.forwarded
+
+    def snapshot(self) -> dict:
+        """Per-tile counters in JSON-ready form (obs metric snapshots)."""
+        return {"tile": self.tile, "injected": self.injected,
+                "ejected": self.ejected, "forwarded": self.forwarded,
+                "traversals": self.traversals}

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from ..common.params import NocConfig
 from ..common.stats import StatsRegistry
+from ..obs import events as obs_ev
 from ..sim.component import Component
 from ..sim.engine import Engine
 from .network import fault_defer
@@ -107,6 +108,10 @@ class VCTNetwork(Component):
         self.routers[msg.dst].ejected += 1
         for mid in path[1:-1]:
             self.routers[mid].forwarded += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.NOC_SEND,
+                             src=msg.src, dst=msg.dst, kind=msg.kind,
+                             flits=flits, hops=msg.hops)
         packet = _Packet(msg, flits_capped, path)
         # Injection pipeline, then compete for the first link.
         self.schedule(self.config.router_latency, self._request_hop,
@@ -117,6 +122,10 @@ class VCTNetwork(Component):
         link = self.links[(packet.path[packet.hop],
                            packet.path[packet.hop + 1])]
         link.waiters.append(packet)
+        if self.metrics is not None:
+            # Router input-queue depth at the moment a packet lines up.
+            self.metrics.histogram("vct.queue_depth").record(
+                len(link.waiters))
         self._pump(link)
 
     def _pump(self, link: _LinkState) -> None:
@@ -174,6 +183,12 @@ class VCTNetwork(Component):
 
     def _deliver(self, msg: Message) -> None:
         msg.arrive_time = self.now
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.NOC_DELIVER,
+                             src=msg.src, dst=msg.dst, kind=msg.kind,
+                             latency=msg.latency)
+        if self.metrics is not None and msg.src != msg.dst:
+            self.metrics.histogram("noc.msg_latency").record(msg.latency)
         if msg.on_delivery is not None:
             msg.on_delivery(msg)
 

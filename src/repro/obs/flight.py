@@ -1,0 +1,62 @@
+"""Barrier flight recorder: the last N barrier-relevant events per core.
+
+Unlike the full tracer (which may be filtered, bounded globally, or off),
+the flight recorder is a tiny always-cheap ring *per core* holding only
+:data:`~repro.obs.events.FLIGHT_KINDS` events.  When a run deadlocks or
+the hardened G-line watchdog fails over, the recorder's tail for the
+affected cores is appended to the report -- turning "core 7 blocked" into
+the sequence of arrivals, releases and retries that led there.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+from .events import TraceEvent
+
+DEFAULT_DEPTH = 16
+
+
+class FlightRecorder:
+    """Per-core bounded ring of barrier-relevant events."""
+
+    def __init__(self, num_cores: int, depth: int = DEFAULT_DEPTH):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.num_cores = num_cores
+        self.depth = depth
+        self._rings: list[deque[TraceEvent]] = [
+            deque(maxlen=depth) for _ in range(num_cores)]
+
+    def record(self, core: int, time: int, source: str, kind: str,
+               **detail: Any) -> None:
+        if 0 <= core < self.num_cores:
+            self._rings[core].append(TraceEvent(time, source, kind, detail))
+
+    def tail(self, core: int) -> list[TraceEvent]:
+        """The retained events for *core*, oldest first."""
+        if not (0 <= core < self.num_cores):
+            return []
+        return list(self._rings[core])
+
+    def format_tail(self, cores: Iterable[int] | None = None) -> str:
+        """Human-readable dump for a deadlock/failover report.
+
+        Only cores with at least one recorded event appear; an empty
+        recorder formats to the empty string so callers can append the
+        result unconditionally.
+        """
+        if cores is None:
+            cores = range(self.num_cores)
+        blocks = []
+        for core in cores:
+            events = self.tail(core)
+            if not events:
+                continue
+            lines = [f"  core {core} (last {len(events)} barrier events):"]
+            lines.extend(f"    {e}" for e in events)
+            blocks.append("\n".join(lines))
+        if not blocks:
+            return ""
+        return "flight recorder:\n" + "\n".join(blocks)

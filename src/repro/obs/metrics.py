@@ -1,0 +1,218 @@
+"""Metric streams: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the quantitative side of the observability
+subsystem.  It is layered *on top of* -- not replacing -- the paper-figure
+:class:`~repro.common.stats.StatsRegistry`: StatsRegistry carries exactly
+the aggregates the paper's tables and figures need (and is part of every
+cached ``RunResult``), while MetricsRegistry carries operational
+distributions (barrier-episode latency histograms, MSHR occupancy, NoC
+queueing) that exist only when observability is enabled and never feed a
+figure.
+
+Histograms are HDR-style fixed-bucket: the bucket edges are chosen at
+creation time (default: powers of two, which keeps relative error bounded
+like an HDR histogram's coarse configuration) and recording is a bisect --
+O(log #buckets), no allocation, deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+
+#: Default histogram edges: powers of two from 1 to 64k cycles.  A sample
+#: lands in the first bucket whose edge is >= the value; larger samples
+#: land in the overflow bucket.
+DEFAULT_EDGES = tuple(1 << i for i in range(17))
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value plus the peak it ever reached."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def to_dict(self) -> dict:
+        return {"value": self.value, "peak": self.peak}
+
+
+class Histogram:
+    """Fixed-bucket histogram with an overflow bucket.
+
+    ``edges`` are ascending upper bounds (inclusive); a sample ``v`` is
+    counted in the first bucket with ``edge >= v``, or in the overflow
+    bucket past the last edge.  ``counts`` therefore has
+    ``len(edges) + 1`` entries.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, edges: tuple[int, ...] = DEFAULT_EDGES):
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError(
+                f"histogram edges must be strictly ascending, got {edges}")
+        self.name = name
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def record(self, value) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> int | None:
+        """Upper bucket edge covering the *p*-th percentile (None if
+        empty; the last edge is returned for overflow samples)."""
+        if not self.count:
+            return None
+        rank = max(1, int(p / 100.0 * self.count + 0.5))
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                return self.edges[min(i, len(self.edges) - 1)]
+        return self.edges[-1]  # pragma: no cover - seen always reaches count
+
+    def to_dict(self) -> dict:
+        return {"edges": list(self.edges), "counts": list(self.counts),
+                "count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with snapshot export."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Get-or-create accessors (instrumentation hot path)
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str,
+                  edges: tuple[int, ...] = DEFAULT_EDGES) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, edges)
+        return h
+
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s streams into this registry (counters add,
+        gauges take the later value, histograms add bucket-wise)."""
+        for name, c in other.counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other.gauges.items():
+            mine = self.gauge(name)
+            mine.value = g.value
+            mine.peak = max(mine.peak, g.peak)
+        for name, h in other.histograms.items():
+            mine = self.histogram(name, h.edges)
+            if mine.edges != h.edges:
+                raise ValueError(
+                    f"histogram {name!r}: cannot merge differing edges")
+            for i, n in enumerate(h.counts):
+                mine.counts[i] += n
+            mine.count += h.count
+            mine.total += h.total
+            for attr in ("min", "max"):
+                theirs = getattr(h, attr)
+                if theirs is not None:
+                    mine_v = getattr(mine, attr)
+                    pick = min if attr == "min" else max
+                    setattr(mine, attr,
+                            theirs if mine_v is None else pick(mine_v, theirs))
+
+    # ------------------------------------------------------------------ #
+    # Snapshot export
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Deterministic (sorted-name) plain-dict snapshot."""
+        return {
+            "counters": {n: self.counters[n].value
+                         for n in sorted(self.counters)},
+            "gauges": {n: self.gauges[n].to_dict()
+                       for n in sorted(self.gauges)},
+            "histograms": {n: self.histograms[n].to_dict()
+                           for n in sorted(self.histograms)},
+        }
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Flat ``name,type,field,value`` rows (spreadsheet-friendly)."""
+        rows = ["name,type,field,value"]
+        for n in sorted(self.counters):
+            rows.append(f"{n},counter,value,{self.counters[n].value}")
+        for n in sorted(self.gauges):
+            g = self.gauges[n]
+            rows.append(f"{n},gauge,value,{g.value}")
+            rows.append(f"{n},gauge,peak,{g.peak}")
+        for n in sorted(self.histograms):
+            h = self.histograms[n]
+            rows.append(f"{n},histogram,count,{h.count}")
+            rows.append(f"{n},histogram,sum,{h.total}")
+            rows.append(f"{n},histogram,min,{h.min if h.min is not None else ''}")
+            rows.append(f"{n},histogram,max,{h.max if h.max is not None else ''}")
+            for edge, cnt in zip(h.edges, h.counts):
+                rows.append(f"{n},histogram,le_{edge},{cnt}")
+            rows.append(f"{n},histogram,overflow,{h.counts[-1]}")
+        text = "\n".join(rows) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text

@@ -1,0 +1,48 @@
+"""The Observability bundle wired through a chip.
+
+One :class:`Observability` object carries the three optional streams --
+tracer, metrics, flight recorder -- so the chip builder has a single
+handle to thread through the engine and every device layer.  Each stream
+is independently optional; ``Observability()`` (all off) is behaviourally
+identical to not passing one at all, which is what keeps untraced runs
+byte-identical to the pre-obs simulator.
+"""
+
+from __future__ import annotations
+
+from .flight import DEFAULT_DEPTH, FlightRecorder
+from .metrics import MetricsRegistry
+from .tracer import DEFAULT_CAPACITY, NULL_TRACER, RingTracer, Tracer
+
+
+class Observability:
+    """Bundle of tracer + metrics + flight recorder handed to a CMP."""
+
+    def __init__(self, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 flight: FlightRecorder | None = None):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.flight = flight
+
+    @property
+    def enabled(self) -> bool:
+        """True if any stream is active (used by cheap emit guards)."""
+        return (self.tracer.enabled or self.metrics is not None
+                or self.flight is not None)
+
+    @classmethod
+    def full(cls, num_cores: int,
+             capacity: int | None = DEFAULT_CAPACITY,
+             kinds: set[str] | None = None,
+             sources: set[str] | None = None,
+             flight_depth: int = DEFAULT_DEPTH) -> "Observability":
+        """All three streams on -- what ``repro trace`` uses."""
+        return cls(tracer=RingTracer(capacity=capacity, kinds=kinds,
+                                     sources=sources),
+                   metrics=MetricsRegistry(),
+                   flight=FlightRecorder(num_cores, depth=flight_depth))
+
+
+#: Shared all-off bundle (safe default for components built standalone).
+NULL_OBS = Observability()

@@ -1,0 +1,213 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Converts a stream of :class:`~repro.obs.events.TraceEvent` into the JSON
+object format that https://ui.perfetto.dev and ``chrome://tracing`` load
+directly: one process per simulator layer, one track (thread) per tile,
+per G-line wire and per NoC router, with barrier episodes as duration
+("X") events, wire levels and S-CSMA counts as counter ("C") tracks and
+everything else as instants.
+
+Timestamps are simulator cycles reported as microseconds (1 cycle = 1 us)
+so the viewer's zoom labels read directly as cycle counts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from . import events as ev
+from .events import TraceEvent
+
+# Process ids, one per simulator layer (stable => stable golden artifacts).
+PID_BARRIERS = 0
+PID_CORES = 1
+PID_GLINES = 2
+PID_NOC = 3
+PID_MEM = 4
+PID_ENGINE = 5
+
+_PROCESS_NAMES = {
+    PID_BARRIERS: "barrier episodes",
+    PID_CORES: "cores",
+    PID_GLINES: "g-lines",
+    PID_NOC: "noc routers",
+    PID_MEM: "memory",
+    PID_ENGINE: "engine",
+}
+
+_VALID_PH = frozenset({"M", "X", "i", "C", "B", "E"})
+
+
+def _tid_from_suffix(source: str) -> int:
+    """Trailing-integer tid ("core7" -> 7, "home12" -> 12); 0 if none."""
+    digits = ""
+    for ch in reversed(source):
+        if ch.isdigit():
+            digits = ch + digits
+        else:
+            break
+    return int(digits) if digits else 0
+
+
+class _TrackTable:
+    """Assigns dense thread ids per process and remembers their names."""
+
+    def __init__(self) -> None:
+        self._tracks: dict[tuple[int, str], int] = {}
+        self._next: dict[int, int] = {}
+
+    def tid(self, pid: int, name: str, want: int | None = None) -> int:
+        key = (pid, name)
+        if key not in self._tracks:
+            if want is None:
+                want = self._next.get(pid, 0)
+            self._tracks[key] = want
+            self._next[pid] = max(self._next.get(pid, 0), want + 1)
+        return self._tracks[key]
+
+    def metadata(self) -> list[dict]:
+        out = [{"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": pname}}
+               for pid, pname in _PROCESS_NAMES.items()]
+        for (pid, name), tid in sorted(self._tracks.items(),
+                                       key=lambda kv: (kv[0][0], kv[1])):
+            out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": tid, "args": {"name": name}})
+        return out
+
+
+def to_perfetto(trace: Iterable[TraceEvent],
+                accounting: dict | None = None) -> dict:
+    """Build the Perfetto JSON object for an event stream."""
+    tracks = _TrackTable()
+    out: list[dict] = []
+    # Open core barrier-wait slices awaiting their resume.
+    open_waits: dict[str, TraceEvent] = {}
+
+    def instant(pid: int, tid: int, e: TraceEvent) -> None:
+        out.append({"ph": "i", "name": e.kind, "pid": pid, "tid": tid,
+                    "ts": e.time, "s": "t", "args": dict(e.detail)})
+
+    for e in trace:
+        kind = e.kind
+        if kind.startswith("core."):
+            tid = tracks.tid(PID_CORES, e.source,
+                             want=_tid_from_suffix(e.source))
+            if kind == ev.CORE_BARRIER_ENTER:
+                open_waits[e.source] = e
+            elif kind == ev.CORE_BARRIER_RESUME:
+                enter = open_waits.pop(e.source, None)
+                ts = enter.time if enter is not None else e.time
+                out.append({"ph": "X", "name": "barrier wait",
+                            "pid": PID_CORES, "tid": tid, "ts": ts,
+                            "dur": e.time - ts, "args": dict(e.detail)})
+            else:
+                instant(PID_CORES, tid, e)
+        elif kind == ev.GL_EPISODE:
+            tid = tracks.tid(PID_BARRIERS, e.source)
+            first = e.detail.get("first", e.time)
+            release = e.detail.get("release", e.time)
+            out.append({"ph": "X",
+                        "name": f"barrier {e.detail.get('barrier', '?')}",
+                        "pid": PID_BARRIERS, "tid": tid, "ts": first,
+                        "dur": max(0, release - first),
+                        "args": dict(e.detail)})
+        elif kind == ev.GL_WIRE:
+            tid = tracks.tid(PID_GLINES, e.source)
+            out.append({"ph": "C", "name": e.source, "pid": PID_GLINES,
+                        "tid": tid, "ts": e.time,
+                        "args": {"level": e.detail.get("level", 0),
+                                 "count": e.detail.get("count", 0)}})
+        elif kind.startswith("gline."):
+            instant(PID_GLINES, tracks.tid(PID_GLINES, e.source), e)
+        elif kind == ev.NOC_SEND:
+            router = f"router{e.detail.get('src', 0)}"
+            instant(PID_NOC, tracks.tid(PID_NOC, router,
+                                        want=_tid_from_suffix(router)), e)
+        elif kind == ev.NOC_DELIVER:
+            router = f"router{e.detail.get('dst', 0)}"
+            instant(PID_NOC, tracks.tid(PID_NOC, router,
+                                        want=_tid_from_suffix(router)), e)
+        elif kind.startswith(("l1.", "dir.")):
+            tid = tracks.tid(PID_MEM, e.source,
+                             want=_tid_from_suffix(e.source))
+            instant(PID_MEM, tid, e)
+        else:  # engine.* and anything future
+            instant(PID_ENGINE, tracks.tid(PID_ENGINE, e.source), e)
+
+    # A core still waiting at end-of-trace gets an open-ended zero-length
+    # slice so the stall is visible rather than silently dropped.
+    for source, enter in open_waits.items():
+        tid = tracks.tid(PID_CORES, source, want=_tid_from_suffix(source))
+        out.append({"ph": "i", "name": "barrier wait (unresumed)",
+                    "pid": PID_CORES, "tid": tid, "ts": enter.time,
+                    "s": "t", "args": dict(enter.detail)})
+
+    doc = {"traceEvents": tracks.metadata() + out,
+           "displayTimeUnit": "ms",
+           "otherData": {"generator": "repro.obs",
+                         "timeUnit": "cycles"}}
+    if accounting is not None:
+        doc["otherData"]["tracer"] = dict(accounting)
+    return doc
+
+
+def write_perfetto(trace: Iterable[TraceEvent], path: str | Path,
+                   accounting: dict | None = None) -> dict:
+    doc = to_perfetto(trace, accounting=accounting)
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return doc
+
+
+def validate_perfetto(doc: dict) -> int:
+    """Schema-check a trace document; returns the event count.
+
+    Raises ``ValueError`` on the first malformed event -- used by both the
+    test suite and the CI trace-smoke artifact check.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a trace document: missing 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    open_slices: dict[tuple, int] = {}
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            raise ValueError(f"{where}: not an object")
+        ph = e.get("ph")
+        if ph not in _VALID_PH:
+            raise ValueError(f"{where}: bad ph {ph!r}")
+        if not isinstance(e.get("name"), str):
+            raise ValueError(f"{where}: missing/bad name")
+        for field in ("pid", "tid"):
+            if not isinstance(e.get(field), int):
+                raise ValueError(f"{where}: missing/bad {field}")
+        if ph == "M":
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            raise ValueError(f"{where}: missing/bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                raise ValueError(f"{where}: X event needs dur >= 0")
+        elif ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                    isinstance(v, (int, float)) for v in args.values()):
+                raise ValueError(f"{where}: C event needs numeric args")
+        elif ph == "B":
+            open_slices[(e["pid"], e["tid"])] = \
+                open_slices.get((e["pid"], e["tid"]), 0) + 1
+        elif ph == "E":
+            key = (e["pid"], e["tid"])
+            if open_slices.get(key, 0) < 1:
+                raise ValueError(f"{where}: E without matching B on {key}")
+            open_slices[key] -= 1
+    dangling = {k: v for k, v in open_slices.items() if v}
+    if dangling:
+        raise ValueError(f"unbalanced B/E slices on tracks {dangling}")
+    return len(events)

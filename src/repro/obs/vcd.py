@@ -1,0 +1,169 @@
+"""VCD (Value Change Dump) export of G-line wire activity.
+
+Renders the ``gline.wire`` events of a trace as an IEEE-1364 VCD file so
+a barrier episode can be read like a logic-analyzer capture in GTKWave:
+each G-line contributes a 1-bit ``level`` signal (did the line sample
+high) and an 8-bit ``count`` bus (the S-CSMA transmitter count the
+receivers decoded).
+
+The network only emits wire events on cycles where the barrier network is
+clocked, and an asserted line is a one-cycle pulse -- so any wire *not*
+mentioned at a timestep that previously carried a nonzero value is
+explicitly driven back to 0, and a final all-zero timestep is appended
+one cycle after the last event.  No wall-clock date is written: equal
+runs produce byte-identical dumps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from .events import GL_WIRE, TraceEvent
+
+COUNT_BITS = 8
+
+
+def _ident(index: int) -> str:
+    """Short printable VCD identifier codes: '!', '\"', ... then 2-char."""
+    chars = [chr(c) for c in range(33, 127) if chr(c) != " "]
+    base = len(chars)
+    out = chars[index % base]
+    index //= base
+    while index:
+        out = chars[index % base] + out
+        index //= base
+    return out
+
+
+def to_vcd(trace: Iterable[TraceEvent]) -> str:
+    """Build a VCD document from the gline.wire events of *trace*."""
+    # Gather (time -> {wire: (level, count)}) preserving first-seen wire
+    # order for stable $var declaration order.
+    wires: list[str] = []
+    by_time: dict[int, dict[str, tuple[int, int]]] = {}
+    for e in trace:
+        if e.kind != GL_WIRE:
+            continue
+        by_time.setdefault(e.time, {})
+        if e.source not in wires:
+            wires.append(e.source)
+        by_time[e.time][e.source] = (int(e.detail.get("level", 0)),
+                                     int(e.detail.get("count", 0)))
+
+    lines = [
+        "$comment repro.obs g-line waveform $end",
+        "$timescale 1 ns $end",
+        "$scope module gline $end",
+    ]
+    level_id: dict[str, str] = {}
+    count_id: dict[str, str] = {}
+    for i, w in enumerate(wires):
+        level_id[w] = _ident(2 * i)
+        count_id[w] = _ident(2 * i + 1)
+        safe = w.replace(" ", "_")
+        lines.append(f"$var wire 1 {level_id[w]} {safe}.level $end")
+        lines.append(
+            f"$var wire {COUNT_BITS} {count_id[w]} {safe}.count $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    # Initial values: everything low.
+    lines.append("$dumpvars")
+    for w in wires:
+        lines.append(f"0{level_id[w]}")
+        lines.append(f"b0 {count_id[w]}")
+    lines.append("$end")
+
+    state: dict[str, tuple[int, int]] = {w: (0, 0) for w in wires}
+    last_time = 0
+    for t in sorted(by_time):
+        changes = []
+        seen = by_time[t]
+        for w in wires:
+            new = seen.get(w, (0, 0))  # unmentioned wires fall back low
+            if new != state[w]:
+                if new[0] != state[w][0]:
+                    changes.append(f"{new[0]}{level_id[w]}")
+                if new[1] != state[w][1]:
+                    changes.append(f"b{new[1]:b} {count_id[w]}")
+                state[w] = new
+        if changes:
+            lines.append(f"#{t}")
+            lines.extend(changes)
+            last_time = t
+    # Trailing all-zero step: asserted lines are one-cycle pulses.
+    trailing = []
+    for w in wires:
+        if state[w][0]:
+            trailing.append(f"0{level_id[w]}")
+        if state[w][1]:
+            trailing.append(f"b0 {count_id[w]}")
+    if trailing:
+        lines.append(f"#{last_time + 1}")
+        lines.extend(trailing)
+    return "\n".join(lines) + "\n"
+
+
+def write_vcd(trace: Iterable[TraceEvent], path: str | Path) -> str:
+    text = to_vcd(trace)
+    Path(path).write_text(text)
+    return text
+
+
+def parse_vcd(text: str) -> dict[str, list[tuple[int, int]]]:
+    """Minimal VCD reader: signal name -> [(time, value), ...].
+
+    Understands exactly what :func:`to_vcd` writes (scalar and binary
+    vector changes, one flat scope); used by the parse-back tests and the
+    CI artifact check.  Raises ``ValueError`` on malformed input.
+    """
+    names: dict[str, str] = {}
+    changes: dict[str, list[tuple[int, int]]] = {}
+    time = 0
+    in_defs = True
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_defs:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire <width> <id> <name> $end
+                if len(parts) < 6 or parts[-1] != "$end":
+                    raise ValueError(f"malformed $var line: {line!r}")
+                names[parts[3]] = parts[4]
+                changes[parts[4]] = []
+            elif line.startswith("$enddefinitions"):
+                in_defs = False
+            continue
+        if line.startswith("$"):  # $dumpvars / $end wrappers
+            continue
+        if line.startswith("#"):
+            time = int(line[1:])
+        elif line.startswith("b"):
+            value_str, ident = line[1:].split()
+            if ident not in names:
+                raise ValueError(f"change for undeclared id {ident!r}")
+            changes[names[ident]].append((time, int(value_str, 2)))
+        else:
+            value, ident = line[0], line[1:]
+            if value not in "01xz" or ident not in names:
+                raise ValueError(f"malformed scalar change: {line!r}")
+            changes[names[ident]].append(
+                (time, int(value) if value in "01" else 0))
+    if in_defs:
+        raise ValueError("no $enddefinitions in VCD input")
+    return changes
+
+
+def rise_times(changes: dict[str, list[tuple[int, int]]],
+               signal: str) -> list[int]:
+    """Times at which *signal* transitions to a nonzero value."""
+    out = []
+    prev = 0
+    for t, v in changes.get(signal, []):
+        if v and not prev:
+            out.append(t)
+        prev = v
+    return out

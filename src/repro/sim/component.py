@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from .engine import Engine
 from ..common.stats import StatsRegistry
+from ..obs.tracer import NULL_TRACER
 
 
 class Component:
@@ -12,12 +13,19 @@ class Component:
     Components communicate only by scheduling events on the shared engine;
     they never call each other synchronously across timing boundaries, which
     keeps every latency explicit.
+
+    ``tracer``/``metrics`` are observability sinks; the chip builder
+    replaces them when an :class:`~repro.obs.Observability` bundle is
+    active, and every emit site guards on ``tracer.enabled`` /
+    ``metrics is not None`` so disabled runs pay one attribute read.
     """
 
     def __init__(self, engine: Engine, stats: StatsRegistry, name: str):
         self.engine = engine
         self.stats = stats
         self.name = name
+        self.tracer = NULL_TRACER
+        self.metrics = None
 
     @property
     def now(self) -> int:

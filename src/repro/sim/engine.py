@@ -16,6 +16,7 @@ import heapq
 from typing import Any, Callable
 
 from ..common.errors import SimulationError
+from ..obs.tracer import NULL_TRACER
 
 Callback = Callable[..., None]
 
@@ -23,7 +24,8 @@ Callback = Callable[..., None]
 class Engine:
     """Deterministic discrete-event engine with integer cycle time."""
 
-    __slots__ = ("_queue", "_now", "_seq", "_running", "events_executed")
+    __slots__ = ("_queue", "_now", "_seq", "_running", "events_executed",
+                 "tracer")
 
     def __init__(self) -> None:
         self._queue: list[tuple[int, int, int, Callback, tuple[Any, ...]]] = []
@@ -31,6 +33,8 @@ class Engine:
         self._seq: int = 0
         self._running = False
         self.events_executed: int = 0
+        #: Observability sink; NULL_TRACER keeps the hot path allocation-free.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------ #
     @property
@@ -75,6 +79,10 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        if self.tracer.enabled:
+            self.tracer.emit(self._now, "engine", "engine.run.begin",
+                             until=until, max_events=max_events,
+                             pending=len(self._queue))
         queue = self._queue
         try:
             while queue:
@@ -93,6 +101,10 @@ class Engine:
                     self._now = until
         finally:
             self._running = False
+        if self.tracer.enabled:
+            self.tracer.emit(self._now, "engine", "engine.run.end",
+                             events=self.events_executed,
+                             pending=len(self._queue))
         return self._now
 
     def step(self) -> bool:

@@ -1,53 +1,18 @@
-"""Optional event tracing.
+"""Compatibility shim: tracing now lives in :mod:`repro.obs`.
 
-Tracing is off by default (a no-op sink) so the hot simulation path pays a
-single attribute lookup.  Enable a :class:`ListTracer` in tests or debugging
-sessions to capture a structured log of what every component did and when.
+The original module defined a no-op :class:`Tracer` and an *unbounded*
+:class:`ListTracer`; both names (plus :class:`TraceEvent` and
+:data:`NULL_TRACER`) are re-exported here from the observability
+subsystem so existing imports keep working.  ``ListTracer`` is now a
+bounded ring (see :class:`repro.obs.RingTracer`) -- pass
+``capacity=None`` for the old grow-forever behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from ..obs.events import TraceEvent
+from ..obs.tracer import (DEFAULT_CAPACITY, NULL_TRACER, ListTracer,
+                          RingTracer, Tracer)
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    time: int
-    source: str
-    kind: str
-    detail: dict[str, Any]
-
-
-class Tracer:
-    """Base tracer: discards everything."""
-
-    enabled = False
-
-    def emit(self, time: int, source: str, kind: str, **detail: Any) -> None:
-        """Record one trace event (no-op in the base class)."""
-
-
-class ListTracer(Tracer):
-    """Tracer that appends :class:`TraceEvent` records to a list."""
-
-    enabled = True
-
-    def __init__(self, kinds: set[str] | None = None):
-        #: If given, only events whose ``kind`` is in this set are kept.
-        self.kinds = kinds
-        self.events: list[TraceEvent] = []
-
-    def emit(self, time: int, source: str, kind: str, **detail: Any) -> None:
-        if self.kinds is None or kind in self.kinds:
-            self.events.append(TraceEvent(time, source, kind, detail))
-
-    def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
-
-    def clear(self) -> None:
-        self.events.clear()
-
-
-#: Shared do-nothing tracer instance.
-NULL_TRACER = Tracer()
+__all__ = ["TraceEvent", "Tracer", "RingTracer", "ListTracer",
+           "NULL_TRACER", "DEFAULT_CAPACITY"]

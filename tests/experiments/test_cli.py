@@ -85,3 +85,77 @@ def test_workload_factories_scale():
     for factory in WORKLOADS.values():
         wl = factory(0.01)
         assert wl.info().num_barriers >= 1
+
+
+# ---------------------------------------------------------------------- #
+# trace command (repro.obs)
+# ---------------------------------------------------------------------- #
+def test_trace_command_all_formats(tmp_path, capsys):
+    from repro.obs import parse_vcd, validate_perfetto
+    import json
+
+    for fmt, ext in [("perfetto", "json"), ("vcd", "vcd"),
+                     ("jsonl", "jsonl")]:
+        out = tmp_path / f"trace.{ext}"
+        rc = main(["trace", "fig5", "--format", fmt, "--out", str(out),
+                   "--iterations", "1", "--cores", "4",
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "events retained" in captured.err
+        assert "barrier=GL" in captured.out
+        assert out.exists()
+        if fmt == "perfetto":
+            assert validate_perfetto(json.loads(out.read_text())) > 0
+        elif fmt == "vcd":
+            assert "glnet.SglineV.level" in parse_vcd(out.read_text())
+        else:
+            lines = out.read_text().splitlines()
+            assert lines and all(
+                json.loads(ln)["kind"] for ln in lines)
+
+
+def test_trace_writes_metrics_snapshot(tmp_path):
+    metrics = tmp_path / "metrics.json"
+    rc = main(["trace", "fig5", "--iterations", "1", "--cores", "4",
+               "--out", str(tmp_path / "t.json"), "--no-cache",
+               "--metrics", str(metrics)])
+    assert rc == 0
+    import json
+    snap = json.loads(metrics.read_text())
+    assert snap["counters"]["gline.episodes"] >= 1
+    assert "gline.episode_latency" in snap["histograms"]
+
+
+def test_trace_seeds_cache_for_untraced_fig5(tmp_path, capsys):
+    """Tracing a fig5 point stores its (metrics-stripped) result: the
+    untraced figure run hits the cache for that point and its table is
+    byte-identical to a fully-simulated one."""
+    cache = str(tmp_path / "cache")
+    assert main(["fig5", "--iterations", "1",
+                 "--cache-dir", str(tmp_path / "fresh")]) == 0
+    golden = capsys.readouterr().out
+
+    assert main(["trace", "fig5", "--iterations", "1", "--cores", "4",
+                 "--barrier", "gl", "--out", str(tmp_path / "t.json"),
+                 "--cache-dir", cache]) == 0
+    traced = capsys.readouterr()
+    assert "artifact keyed at" in traced.err
+
+    assert main(["fig5", "--iterations", "1", "--cache-dir", cache]) == 0
+    warm = capsys.readouterr()
+    assert "1/12 cache hits" in warm.err
+    assert warm.out == golden
+
+
+def test_trace_keys_artifact_next_to_cache_entry(tmp_path):
+    cache = tmp_path / "cache"
+    assert main(["trace", "fig5", "--iterations", "1", "--cores", "4",
+                 "--out", str(tmp_path / "t.vcd"), "--format", "vcd",
+                 "--cache-dir", str(cache)]) == 0
+    keyed = list(cache.glob("*/*.trace.vcd"))
+    assert len(keyed) == 1
+    assert keyed[0].read_bytes() == (tmp_path / "t.vcd").read_bytes()
+    # The stripped result entry sits beside it.
+    assert keyed[0].with_name(
+        keyed[0].name.replace(".trace.vcd", ".json")).exists()

@@ -1,0 +1,133 @@
+"""Metric-stream tests: counters, gauges, histogram buckets, merge, export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_EDGES, Histogram, MetricsRegistry
+
+
+# ---------------------------------------------------------------------- #
+# Counters and gauges
+# ---------------------------------------------------------------------- #
+def test_counter_inc():
+    m = MetricsRegistry()
+    c = m.counter("hits")
+    c.inc()
+    c.inc(4)
+    assert m.counter("hits").value == 5          # get-or-create returns same
+
+
+def test_gauge_tracks_peak():
+    m = MetricsRegistry()
+    g = m.gauge("depth")
+    g.set(3)
+    g.set(9)
+    g.set(2)
+    assert g.value == 2
+    assert g.peak == 9
+
+
+# ---------------------------------------------------------------------- #
+# Histogram bucket semantics
+# ---------------------------------------------------------------------- #
+def test_default_edges_are_powers_of_two():
+    assert DEFAULT_EDGES[0] == 1
+    assert DEFAULT_EDGES[-1] == 65536
+    assert all(b == 2 * a for a, b in zip(DEFAULT_EDGES, DEFAULT_EDGES[1:]))
+
+
+def test_histogram_bucket_edges():
+    h = Histogram("lat", edges=(1, 10, 100))
+    # bucket i holds values <= edges[i] (bisect_left on edges); the last
+    # bucket is the overflow bucket.
+    for v in (0, 1, 5, 10, 99, 100, 101):
+        h.record(v)
+    assert h.counts == [2, 2, 2, 1]    # <=1, <=10, <=100, overflow
+    assert h.count == 7
+    assert h.min == 0 and h.max == 101
+
+
+def test_histogram_mean_and_percentile():
+    h = Histogram("lat", edges=(10, 20, 30))
+    for v in (5, 15, 25):
+        h.record(v)
+    assert h.mean == pytest.approx(15.0)
+    assert h.percentile(0) <= h.percentile(50) <= h.percentile(100)
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram("x", edges=(3, 2, 1))
+    with pytest.raises(ValueError):
+        Histogram("x", edges=(1, 1, 2))
+    with pytest.raises(ValueError):
+        Histogram("x", edges=())
+
+
+def test_histogram_to_dict_shape():
+    h = Histogram("lat", edges=(1, 2))
+    h.record(2)
+    d = h.to_dict()
+    assert set(d) == {"edges", "counts", "count", "sum", "min", "max"}
+    assert d["edges"] == [1, 2]
+    assert sum(d["counts"]) == d["count"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# Registry: merge + export
+# ---------------------------------------------------------------------- #
+def test_merge_adds_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("n").inc(2)
+    b.counter("n").inc(3)
+    a.histogram("h", edges=(1, 2)).record(1)
+    b.histogram("h", edges=(1, 2)).record(2)
+    b.gauge("g").set(7)
+    a.merge(b)
+    assert a.counter("n").value == 5
+    assert a.histogram("h", edges=(1, 2)).count == 2
+    assert a.gauge("g").value == 7
+
+
+def test_merge_rejects_mismatched_edges():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("h", edges=(1, 2))
+    b.histogram("h", edges=(1, 3))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_to_dict_snapshot_sorted():
+    m = MetricsRegistry()
+    m.counter("z").inc()
+    m.counter("a").inc(2)
+    d = m.to_dict()
+    assert set(d) == {"counters", "gauges", "histograms"}
+    assert list(d["counters"]) == ["a", "z"]
+    assert d["counters"] == {"a": 2, "z": 1}
+
+
+def test_to_json_round_trips(tmp_path):
+    m = MetricsRegistry()
+    m.counter("c").inc()
+    m.histogram("h", edges=(1,)).record(5)
+    path = tmp_path / "metrics.json"
+    text = m.to_json(path)
+    assert path.read_text() == text + "\n"
+    assert json.loads(text) == m.to_dict()
+
+
+def test_to_csv_rows():
+    m = MetricsRegistry()
+    m.counter("hits").inc(3)
+    m.gauge("depth").set(2)
+    m.histogram("lat", edges=(1, 2)).record(2)
+    rows = list(csv.reader(io.StringIO(m.to_csv())))
+    assert rows[0] == ["name", "type", "field", "value"]
+    body = {(r[0], r[1], r[2]): r[3] for r in rows[1:]}
+    assert body[("hits", "counter", "value")] == "3"
+    assert ("lat", "histogram", "le_2") in body
+    assert ("lat", "histogram", "overflow") in body

@@ -1,0 +1,82 @@
+"""Observability overhead guard: tracing off must cost nothing and change
+nothing; tracing on must change nothing but the metrics snapshot."""
+
+from helpers import make_chip, run_uniform
+from repro.cpu import isa
+from repro.exec.spec import RunSpec
+from repro.experiments.fig5 import run_fig5
+from repro.obs import NULL_TRACER, Observability
+from repro.workloads.synthetic import SyntheticBarrierWorkload
+
+
+def result_modulo_metrics(result):
+    d = result.to_dict()
+    d.pop("metrics")
+    return d
+
+
+# ---------------------------------------------------------------------- #
+# Disabled: the null tracer everywhere, zero events, zero metrics
+# ---------------------------------------------------------------------- #
+def test_untraced_chip_has_null_streams():
+    chip = make_chip(4, "gl")
+    assert chip.obs is None
+    assert chip.engine.tracer is NULL_TRACER
+    assert not chip.engine.tracer.enabled
+    for tile in chip.tiles:
+        assert tile.core.tracer is NULL_TRACER
+        assert tile.core.metrics is None
+        assert tile.core.flight is None
+    run_uniform(chip, lambda c: iter([isa.BarrierOp()]))
+    # Nothing was ever buffered anywhere -- the null tracer has no store.
+    assert not hasattr(NULL_TRACER, "events")
+
+
+def test_untraced_result_has_empty_metrics():
+    chip = make_chip(4, "gl")
+    res = run_uniform(chip, lambda c: iter([isa.BarrierOp()]))
+    assert res.metrics == {}
+
+
+# ---------------------------------------------------------------------- #
+# Enabled: identical simulation, identical result (modulo metrics)
+# ---------------------------------------------------------------------- #
+def test_traced_run_matches_untraced_modulo_metrics():
+    spec = RunSpec.make(SyntheticBarrierWorkload(iterations=3), "gl",
+                        num_cores=8)
+    untraced = spec.execute()
+    obs = Observability.full(8)
+    traced = spec.execute(obs=obs)
+    assert result_modulo_metrics(traced) == result_modulo_metrics(untraced)
+    assert untraced.metrics == {}
+    assert traced.metrics["counters"]["gline.episodes"] == \
+        traced.num_barriers()
+    assert len(obs.tracer) > 0
+
+
+def test_traced_run_round_trips_through_cache_format():
+    spec = RunSpec.make(SyntheticBarrierWorkload(iterations=2), "gl",
+                        num_cores=4)
+    traced = spec.execute(obs=Observability.full(4))
+    clone = type(traced).from_dict(traced.to_dict())
+    assert clone.to_dict() == traced.to_dict()
+    assert clone.metrics == traced.metrics
+
+
+# ---------------------------------------------------------------------- #
+# The golden smoke point: Figure 5's GL column is 13 cycles/barrier with
+# or without observability attached (results/fig5.txt)
+# ---------------------------------------------------------------------- #
+def test_fig5_gl_point_matches_golden():
+    fig = run_fig5(core_counts=(4,), impls=("gl",), iterations=40)
+    assert fig.cycles_per_barrier["gl"][4] == 13.0
+
+
+def test_fig5_gl_point_unchanged_by_tracing():
+    spec = RunSpec.make(SyntheticBarrierWorkload(iterations=40), "gl",
+                        num_cores=4)
+    untraced = spec.execute()
+    traced = spec.execute(obs=Observability.full(4))
+    assert untraced.total_cycles / untraced.num_barriers() == 13.0
+    assert traced.total_cycles == untraced.total_cycles
+    assert result_modulo_metrics(traced) == result_modulo_metrics(untraced)

@@ -1,0 +1,107 @@
+"""Perfetto/Chrome trace-event exporter tests: schema validation of a real
+traced run, and rejection of malformed documents."""
+
+import json
+
+import pytest
+
+from helpers import make_chip, run_uniform
+from repro.cpu import isa
+from repro.obs import Observability, to_perfetto, validate_perfetto, write_perfetto
+from repro.obs.perfetto import PID_BARRIERS, PID_CORES, PID_GLINES
+
+
+def traced_run(num_cores=4, barriers=2):
+    chip = make_chip(num_cores, "gl")
+    obs = Observability.full(num_cores)
+    chip.set_obs(obs)
+    run_uniform(chip, lambda c: iter(
+        [isa.Compute(c)] + [isa.BarrierOp() for _ in range(barriers)]))
+    return obs
+
+
+# ---------------------------------------------------------------------- #
+# A real trace validates and carries the expected tracks
+# ---------------------------------------------------------------------- #
+def test_real_trace_validates():
+    obs = traced_run()
+    doc = to_perfetto(obs.tracer.events,
+                      accounting=obs.tracer.accounting())
+    count = validate_perfetto(doc)
+    assert count == len(doc["traceEvents"]) > 0
+    assert doc["otherData"]["timeUnit"] == "cycles"
+    assert doc["otherData"]["tracer"] == obs.tracer.accounting()
+
+
+def test_metadata_events_lead_the_stream():
+    doc = to_perfetto(traced_run().tracer.events)
+    events = doc["traceEvents"]
+    phs = [e["ph"] for e in events]
+    first_non_meta = phs.index(next(p for p in phs if p != "M"))
+    assert "M" not in phs[first_non_meta:]
+    names = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"barrier episodes", "cores", "g-lines"} <= names
+
+
+def test_barrier_wait_slices_per_core():
+    """Each core's enter -> resume pair becomes one complete X slice on
+    that core's thread track."""
+    doc = to_perfetto(traced_run(num_cores=4, barriers=2).tracer.events)
+    waits = [e for e in doc["traceEvents"]
+             if e["ph"] == "X" and e["name"] == "barrier wait"
+             and e["pid"] == PID_CORES]
+    assert len(waits) == 4 * 2
+    assert {e["tid"] for e in waits} == {0, 1, 2, 3}
+    assert all(e["dur"] >= 0 for e in waits)
+
+
+def test_episode_slices_on_barrier_track():
+    doc = to_perfetto(traced_run(barriers=3).tracer.events)
+    episodes = [e for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["pid"] == PID_BARRIERS]
+    assert len(episodes) == 3
+    assert all(e["name"].startswith("barrier ") for e in episodes)
+
+
+def test_wire_counter_tracks():
+    doc = to_perfetto(traced_run().tracer.events)
+    counters = [e for e in doc["traceEvents"]
+                if e["ph"] == "C" and e["pid"] == PID_GLINES]
+    assert counters
+    assert all(set(e["args"]) == {"level", "count"} for e in counters)
+
+
+def test_write_perfetto_is_valid_json(tmp_path):
+    obs = traced_run()
+    path = tmp_path / "trace.json"
+    write_perfetto(obs.tracer.events, path)
+    doc = json.loads(path.read_text())
+    assert validate_perfetto(doc) > 0
+
+
+# ---------------------------------------------------------------------- #
+# Malformed documents are rejected
+# ---------------------------------------------------------------------- #
+def ev(**kw):
+    base = {"ph": "i", "name": "x", "pid": 0, "tid": 0, "ts": 1}
+    base.update(kw)
+    return base
+
+
+@pytest.mark.parametrize("doc", [
+    {},                                              # no traceEvents
+    {"traceEvents": "nope"},                         # wrong container
+    {"traceEvents": [ev(ph="Q")]},                   # unknown phase
+    {"traceEvents": [ev(name=7)]},                   # non-string name
+    {"traceEvents": [ev(pid="zero")]},               # non-int pid
+    {"traceEvents": [ev(ts=-1)]},                    # negative timestamp
+    {"traceEvents": [ev(ph="X")]},                   # X without dur
+    {"traceEvents": [ev(ph="C", args={})]},          # C without args
+    {"traceEvents": [ev(ph="C", args={"v": "hi"})]},  # non-numeric args
+    {"traceEvents": [ev(ph="E")]},                   # E without B
+    {"traceEvents": [ev(ph="B")]},                   # dangling B
+])
+def test_validate_rejects_malformed(doc):
+    with pytest.raises(ValueError):
+        validate_perfetto(doc)
