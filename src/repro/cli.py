@@ -16,8 +16,9 @@ import os
 import sys
 from pathlib import Path
 
-from .exec import ParallelRunner, ResultCache, default_cache_dir, \
-    use_executor
+from .exec import (ParallelRunner, ResultCache, RunFailureError,
+                   SweepJournal, default_cache_dir, use_executor)
+from .faults import ChaosPlan
 from .experiments import (contention_ablation, csw_variant_ablation,
                           dsw_arity_sweep, entry_overhead_sweep,
                           hierarchical_latency, noc_model_ablation,
@@ -90,6 +91,21 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PATH",
                         help="write the executor's metric snapshot to PATH "
                              "(.csv for CSV, anything else for JSON)")
+    common.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-run wall-clock deadline; a run past it "
+                             "is killed and retried (supervised mode)")
+    common.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retries for crashed/timed-out runs "
+                             "(default 2 in supervised mode; sim errors "
+                             "are deterministic and never retried)")
+    common.add_argument("--keep-going", action="store_true",
+                        help="on a run failure, continue the sweep and "
+                             "report partial results instead of aborting")
+    common.add_argument("--journal", type=Path, default=None,
+                        metavar="PATH",
+                        help="append a JSONL sweep journal at PATH "
+                             "(enables 'repro resume PATH')")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,12 +187,34 @@ def build_parser() -> argparse.ArgumentParser:
     ptr.add_argument("--no-cache", action="store_true")
     ptr.add_argument("--metrics", type=Path, default=None, metavar="PATH",
                      help="write this run's metric snapshot to PATH")
+    # Sweep maintenance: these act on journals/caches, not experiments,
+    # so they take only the flags they need.
+    pre = sub.add_parser("resume",
+                         help="continue an interrupted sweep from its "
+                              "journal (completed runs are cache hits, "
+                              "never re-simulated)")
+    pre.add_argument("journal", type=Path, help="journal written by a "
+                     "previous run's --journal flag")
+    pca = sub.add_parser("cache", help="inspect or maintain the result "
+                                       "cache")
+    pca.add_argument("action", choices=["stats", "clear", "prune"],
+                     help="stats: entries/bytes/per-fingerprint; clear: "
+                          "delete everything; prune: drop entries from "
+                          "other code versions")
+    pca.add_argument("--cache-dir", type=Path, default=None,
+                     help="cache directory (default: $REPRO_CACHE_DIR "
+                          "or ~/.cache/repro)")
     sub.add_parser("all", parents=[common], help="everything above")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
+    if args.command == "resume":
+        return _run_resume(args)
+    if args.command == "cache":
+        return _run_cache(args)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
@@ -187,13 +225,56 @@ def main(argv: list[str] | None = None) -> int:
               f"directory", file=sys.stderr)
         return 2
     cache = None if args.no_cache else ResultCache(cache_dir)
-    executor = ParallelRunner(jobs=jobs, cache=cache)
-    with use_executor(executor):
-        rc = _dispatch(args)
+    chaos = ChaosPlan.from_env()
+    if chaos is not None and chaos.enabled:
+        print(f"[repro.exec] chaos enabled: {chaos}", file=sys.stderr)
+    journal_path = getattr(args, "journal", None)
+    journal = SweepJournal(journal_path, argv=raw_argv) \
+        if journal_path is not None else None
+    executor = ParallelRunner(
+        jobs=jobs, cache=cache,
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", None),
+        keep_going=getattr(args, "keep_going", False),
+        journal=journal, chaos=chaos)
+    interrupted = False
+    try:
+        with use_executor(executor):
+            try:
+                rc = _dispatch(args)
+            except KeyboardInterrupt:
+                interrupted, rc = True, 130
+                if journal is not None:
+                    journal.interrupted()
+            except RunFailureError as exc:
+                _report_failures(exc.failures)
+                rc = 1
+            except Exception:
+                if executor.keep_going and executor.failures:
+                    # A driver choked on a keep-going hole (a None
+                    # result); the partial work is cached -- report what
+                    # failed instead of a bare traceback.
+                    _report_failures(executor.failures)
+                    rc = 1
+                else:
+                    raise
+    finally:
+        if journal is not None:
+            journal.close()
+    if executor.failures and rc == 0:
+        _report_failures(executor.failures)
+        rc = 1
     # The summary goes to stderr so stdout (the figure data) is
     # byte-identical whether results were simulated or served from cache.
     if cache is not None:
         print(f"[repro.exec] {executor.summary()}", file=sys.stderr)
+    if interrupted or rc == 1:
+        if journal_path is not None:
+            print(f"[repro.exec] completed work is cached; continue "
+                  f"with: repro resume {journal_path}", file=sys.stderr)
+        if interrupted:
+            print("[repro.exec] interrupted; workers drained, no "
+                  "zombies left", file=sys.stderr)
     metrics_path = getattr(args, "metrics", None)
     if metrics_path is not None:
         if metrics_path.suffix == ".csv":
@@ -203,6 +284,61 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[repro.obs] metrics snapshot written to {metrics_path}",
               file=sys.stderr)
     return rc
+
+
+def _report_failures(failures) -> None:
+    for failure in failures:
+        print(f"[repro.exec] FAILED {failure}", file=sys.stderr)
+
+
+def _run_resume(args) -> int:
+    """Replay the command recorded in a sweep journal.
+
+    The journal's argv includes its own ``--journal`` flag, so the replay
+    appends to the same file; completed specs are served by the result
+    cache, so nothing already finished is re-simulated.
+    """
+    from .exec import JournalError
+
+    try:
+        recorded = SweepJournal.load_argv(args.journal)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not recorded or recorded[0] in ("resume", "cache"):
+        print(f"error: journal {args.journal} does not record a "
+              f"resumable command (argv={recorded})", file=sys.stderr)
+        return 2
+    done = len(SweepJournal.completed_keys(args.journal))
+    print(f"[repro.exec] resuming: repro {' '.join(recorded)}  "
+          f"({done} run(s) already completed)", file=sys.stderr)
+    return main(recorded)
+
+
+def _run_cache(args) -> int:
+    """``repro cache stats|clear|prune``."""
+    cache_dir = args.cache_dir or default_cache_dir()
+    if cache_dir.exists() and not cache_dir.is_dir():
+        print(f"error: --cache-dir {cache_dir} exists and is not a "
+              f"directory", file=sys.stderr)
+        return 2
+    cache = ResultCache(cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache directory: {cache.directory}")
+        print(f"entries: {stats['entries']}  "
+              f"bytes: {stats['bytes']}  corrupt: {stats['corrupt']}")
+        from .exec import code_fingerprint
+        current = code_fingerprint()
+        for code, count in stats["by_code"].items():
+            marker = "  (current)" if code == current else ""
+            print(f"  {code[:16]}: {count} entries{marker}")
+    elif args.action == "clear":
+        print(f"removed {cache.clear()} entries from {cache.directory}")
+    else:
+        print(f"pruned {cache.prune()} stale entries from "
+              f"{cache.directory}")
+    return 0
 
 
 def _dispatch(args) -> int:

@@ -91,6 +91,61 @@ class ResultCache:
             raise
 
     # ------------------------------------------------------------------ #
+    # Maintenance (the ``repro cache`` subcommand)
+    # ------------------------------------------------------------------ #
+    def entries(self):
+        """Yield ``(path, entry | None)`` for every stored file, in
+        sorted order; ``None`` marks an unreadable/corrupt entry."""
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("??/*.json")):
+            try:
+                with path.open() as fh:
+                    entry = json.load(fh)
+                if not isinstance(entry, dict) or "result" not in entry:
+                    entry = None
+            except (ValueError, OSError):
+                entry = None
+            yield path, entry
+
+    def stats(self) -> dict:
+        """Aggregate inventory: entry/byte counts and a per-code-
+        fingerprint breakdown (orphaned fingerprints are reclaimable)."""
+        total = nbytes = corrupt = 0
+        by_code: dict[str, int] = {}
+        for path, entry in self.entries():
+            total += 1
+            try:
+                nbytes += path.stat().st_size
+            except OSError:
+                pass
+            if entry is None:
+                corrupt += 1
+                continue
+            code = str((entry.get("fingerprint") or {}).get("code",
+                                                           "<unknown>"))
+            by_code[code] = by_code.get(code, 0) + 1
+        return {"entries": total, "bytes": nbytes, "corrupt": corrupt,
+                "by_code": dict(sorted(by_code.items()))}
+
+    def prune(self, current_code: str | None = None) -> int:
+        """Delete entries whose code fingerprint is not *current_code*
+        (default: this tree's), plus corrupt ones; returns the number
+        removed.  Pruned entries were unreachable anyway -- the key
+        embeds the fingerprint -- so this only reclaims disk."""
+        if current_code is None:
+            from .version import code_fingerprint
+            current_code = code_fingerprint()
+        removed = 0
+        for path, entry in self.entries():
+            code = None if entry is None \
+                else (entry.get("fingerprint") or {}).get("code")
+            if code != current_code:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------ #
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 

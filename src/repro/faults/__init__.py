@@ -7,6 +7,7 @@ CMPConfig`, so it serializes into the exec-layer cache key and a faulty
 run is exactly as reproducible -- and cacheable -- as a clean one.
 """
 
+from .chaos import CHAOS_ENV, ChaosPlan
 from .injector import FaultInjector
 from .plan import FaultPlan
 
@@ -14,4 +15,5 @@ from .plan import FaultPlan
 #: abandoned by the watchdog and must be completed in software.
 FAILOVER = "failover"
 
-__all__ = ["FAILOVER", "FaultInjector", "FaultPlan"]
+__all__ = ["CHAOS_ENV", "ChaosPlan", "FAILOVER", "FaultInjector",
+           "FaultPlan"]

@@ -4,11 +4,13 @@ import json
 
 import pytest
 
+from repro.common.errors import SimulationError
 from repro.common.params import CMPConfig
 from repro.cpu import isa
 from repro.exec import (ParallelRunner, ResultCache, RunSpec, SpecError,
                         code_fingerprint, current_executor, use_executor,
                         workload_fingerprint)
+from repro.exec.parallel import _execute_to_dict
 from repro.experiments.runner import run_benchmark
 from repro.workloads.base import Workload
 from repro.workloads.synthetic import SyntheticBarrierWorkload
@@ -17,6 +19,30 @@ from repro.workloads.synthetic import SyntheticBarrierWorkload
 def _spec(iterations=2, barrier="gl", cores=4, **kw):
     return RunSpec.make(SyntheticBarrierWorkload(iterations=iterations),
                         barrier, num_cores=cores, **kw)
+
+
+class ExplodingWorkload(Workload):
+    """Raises deterministically when the simulation builds it."""
+
+    name = "Exploding"
+
+    def programs(self, chip):
+        raise SimulationError("boom")
+
+
+class ExecutorProbeWorkload(Workload):
+    """Fails unless the ambient executor is the serial, uncached one --
+    the state the nested-parallelism guard must force inside workers."""
+
+    name = "ExecutorProbe"
+
+    def programs(self, chip):
+        ambient = current_executor()
+        if ambient.jobs != 1 or ambient.cache is not None:
+            raise SimulationError(
+                f"worker saw ambient executor jobs={ambient.jobs} "
+                f"cache={ambient.cache}")
+        return [iter(()) for _ in range(chip.num_cores)]
 
 
 # ---------------------------------------------------------------------- #
@@ -178,6 +204,58 @@ def test_runner_summary_reports_rate(tmp_path):
 def test_runner_rejects_bad_jobs():
     with pytest.raises(ValueError):
         ParallelRunner(jobs=0)
+
+
+# ---------------------------------------------------------------------- #
+# Association-preserving dispatch: work done before an error is kept
+# ---------------------------------------------------------------------- #
+def test_pool_error_keeps_completed_results_in_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    good = [_spec(iterations=i) for i in (1, 2, 3)]
+    bad = RunSpec.make(ExplodingWorkload(), "gl", num_cores=4)
+    runner = ParallelRunner(jobs=2, cache=cache)
+    with pytest.raises(SimulationError, match="boom"):
+        runner.run(good + [bad])
+    # Every completed spec was cached the moment it landed, so a rerun
+    # without the poison spec is pure cache hits.
+    assert all(spec.key() in cache for spec in good)
+    rerun = ParallelRunner(jobs=2, cache=cache)
+    rerun.run(good)
+    assert (rerun.hits, rerun.misses) == (3, 0)
+
+
+def test_serial_error_keeps_earlier_results_in_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = _spec(iterations=1)
+    bad = RunSpec.make(ExplodingWorkload(), "gl", num_cores=4)
+    never_ran = _spec(iterations=2)
+    with pytest.raises(SimulationError):
+        ParallelRunner(jobs=1, cache=cache).run([first, bad, never_ran])
+    assert first.key() in cache
+    assert never_ran.key() not in cache     # serial: stopped at the error
+
+
+# ---------------------------------------------------------------------- #
+# Nested-parallelism guard (workers must not fork pools or own the cache)
+# ---------------------------------------------------------------------- #
+def test_worker_entry_point_forces_serial_uncached_executor(tmp_path):
+    spec = RunSpec.make(ExecutorProbeWorkload(), "gl", num_cores=4)
+    wide = ParallelRunner(jobs=8, cache=ResultCache(tmp_path))
+    with use_executor(wide):
+        # The worker entry point must shadow the inherited wide executor;
+        # the probe raises if it can still see it.
+        result = _execute_to_dict(spec)
+        assert current_executor() is wide   # guard is scoped, not global
+    assert result["num_cores"] == 4
+
+
+def test_worker_processes_see_serial_executor(tmp_path):
+    specs = [RunSpec.make(ExecutorProbeWorkload(), "gl", num_cores=4),
+             RunSpec.make(ExecutorProbeWorkload(), "dsw", num_cores=4)]
+    wide = ParallelRunner(jobs=2, cache=ResultCache(tmp_path))
+    with use_executor(wide):
+        results = wide.run(specs)           # fork inherits `wide`...
+    assert [r.num_cores for r in results] == [4, 4]   # ...guard hides it
 
 
 # ---------------------------------------------------------------------- #

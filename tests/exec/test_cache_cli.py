@@ -1,0 +1,83 @@
+"""The ``repro cache`` subcommand and cache maintenance helpers."""
+
+import json
+
+from repro.cli import main
+from repro.exec import ResultCache, RunSpec, code_fingerprint
+from repro.workloads.synthetic import SyntheticBarrierWorkload
+
+
+def _seed_entry(directory):
+    """One genuine (current-code) cache entry; returns its key."""
+    spec = RunSpec.make(SyntheticBarrierWorkload(iterations=1), "gl",
+                        num_cores=4)
+    cache = ResultCache(directory)
+    cache.put(spec.key(), spec.fingerprint(), spec.execute().to_dict())
+    return spec.key()
+
+
+def _plant_stale_entry(directory, code="0" * 64):
+    """A well-formed entry from a different code version."""
+    key = "cd" + "5" * 62
+    path = directory / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"key": key,
+                                "fingerprint": {"code": code},
+                                "result": {"total_cycles": 1}}))
+    return key
+
+
+def _plant_corrupt_entry(directory):
+    path = directory / "ef" / ("ef" + "6" * 62 + ".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{torn")
+    return path
+
+
+def test_cache_stats_reports_inventory(tmp_path, capsys):
+    _seed_entry(tmp_path)
+    _plant_stale_entry(tmp_path)
+    _plant_corrupt_entry(tmp_path)
+    rc = main(["cache", "stats", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "entries: 3" in out
+    assert "corrupt: 1" in out
+    assert f"{code_fingerprint()[:16]}: 1 entries  (current)" in out
+    stale_lines = [l for l in out.splitlines() if "0000000000000000" in l]
+    assert stale_lines == ["  0000000000000000: 1 entries"]
+
+
+def test_cache_prune_keeps_only_current_code(tmp_path, capsys):
+    key = _seed_entry(tmp_path)
+    _plant_stale_entry(tmp_path)
+    _plant_corrupt_entry(tmp_path)
+    rc = main(["cache", "prune", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    assert "pruned 2 stale entries" in capsys.readouterr().out
+    cache = ResultCache(tmp_path)
+    assert len(cache) == 1
+    assert key in cache
+
+
+def test_cache_clear_removes_everything(tmp_path, capsys):
+    _seed_entry(tmp_path)
+    _plant_stale_entry(tmp_path)
+    rc = main(["cache", "clear", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    assert "removed 2 entries" in capsys.readouterr().out
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_cache_rejects_non_directory_path(tmp_path, capsys):
+    bogus = tmp_path / "a-file"
+    bogus.write_text("")
+    rc = main(["cache", "stats", "--cache-dir", str(bogus)])
+    assert rc == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_stats_on_empty_cache(tmp_path, capsys):
+    rc = main(["cache", "stats", "--cache-dir", str(tmp_path / "none")])
+    assert rc == 0
+    assert "entries: 0" in capsys.readouterr().out

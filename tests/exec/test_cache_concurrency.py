@@ -1,0 +1,74 @@
+"""Concurrent cache writers: atomic replace means no torn reads.
+
+The cache's contract under concurrency (docs/parallel-execution.md) is
+*last write wins, every read is whole*: simultaneous ``put()`` calls on
+one key may race, but a reader sees either a miss or one complete entry,
+never a splice of two.
+"""
+
+import multiprocessing
+
+from repro.exec import ResultCache
+
+#: Large enough that a non-atomic write would be visibly torn (well past
+#: one pipe/page buffer), small enough to keep the test quick.
+_PAD = "x" * 4096
+_WRITERS = 4
+_ROUNDS = 40
+_KEY = "ab" + "0" * 62          # fan-out dir "ab", well-formed key shape
+
+
+def _writer(directory, writer_id):
+    cache = ResultCache(directory)
+    for round_no in range(_ROUNDS):
+        cache.put(_KEY, {"writer": writer_id},
+                  {"writer": writer_id, "round": round_no, "pad": _PAD})
+
+
+def test_concurrent_puts_no_torn_reads_last_write_wins(tmp_path):
+    ctx = multiprocessing.get_context()
+    workers = [ctx.Process(target=_writer, args=(tmp_path, i))
+               for i in range(_WRITERS)]
+    for process in workers:
+        process.start()
+    cache = ResultCache(tmp_path)
+    observed = 0
+    try:
+        while any(p.is_alive() for p in workers):
+            entry = cache.get(_KEY)
+            if entry is not None:
+                # Whole or nothing: a torn JSON file would come back as
+                # None *and be unlinked*; a mixed-writer splice would
+                # fail these shape checks.
+                assert entry["pad"] == _PAD
+                assert 0 <= entry["writer"] < _WRITERS
+                assert 0 <= entry["round"] < _ROUNDS
+                observed += 1
+    finally:
+        for process in workers:
+            process.join()
+    assert all(p.exitcode == 0 for p in workers)
+    final = cache.get(_KEY)
+    assert final is not None and final["pad"] == _PAD
+    assert observed > 0, "reader never overlapped the writers"
+
+
+def test_concurrent_puts_distinct_keys_all_land(tmp_path):
+    keys = [f"{i:02d}" + "f" * 62 for i in range(8)]
+    ctx = multiprocessing.get_context()
+
+    workers = [ctx.Process(target=_put_one, args=(tmp_path, key, i))
+               for i, key in enumerate(keys)]
+    for process in workers:
+        process.start()
+    for process in workers:
+        process.join()
+    assert all(p.exitcode == 0 for p in workers)
+    cache = ResultCache(tmp_path)
+    assert len(cache) == len(keys)
+    for i, key in enumerate(keys):
+        assert cache.get(key) == {"value": i}
+
+
+def _put_one(directory, key, value):
+    ResultCache(directory).put(key, {}, {"value": value})

@@ -1,0 +1,79 @@
+"""SweepJournal: append-only manifest, resume scanning, error paths."""
+
+import json
+
+import pytest
+
+from repro.exec import JournalError, SweepJournal
+
+
+def test_begin_record_captures_argv(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = SweepJournal(path, argv=["fig5", "--jobs", "2"])
+    journal.close()
+    records = SweepJournal.records(path)
+    assert records[0]["type"] == "begin"
+    assert records[0]["argv"] == ["fig5", "--jobs", "2"]
+    assert SweepJournal.load_argv(path) == ["fig5", "--jobs", "2"]
+
+
+def test_lifecycle_records_and_completed_set(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = SweepJournal(path, argv=["x"])
+    journal.hit("k-hit")
+    journal.attempt("k-done", 0, "crash", detail="worker died")
+    journal.attempt("k-done", 1, "ok")
+    journal.done("k-done", attempts=2)
+    journal.quarantine("k-bad", attempts=3, last="timeout")
+    journal.close()
+    assert journal.completed == {"k-hit", "k-done"}
+    assert journal.quarantined == {"k-bad"}
+    types = [r["type"] for r in SweepJournal.records(path)]
+    assert types == ["begin", "hit", "attempt", "attempt", "done",
+                     "quarantined"]
+    assert SweepJournal.completed_keys(path) == {"k-hit", "k-done"}
+
+
+def test_reopening_loads_history_and_marks_resume(tmp_path):
+    path = tmp_path / "j.jsonl"
+    first = SweepJournal(path, argv=["fig5"])
+    first.done("k1", attempts=1)
+    first.close()
+    second = SweepJournal(path)
+    assert second.completed == {"k1"}
+    second.done("k2", attempts=1)
+    second.close()
+    types = [r["type"] for r in SweepJournal.records(path)]
+    assert types == ["begin", "done", "resume", "done"]
+    # The original argv survives the resume session.
+    assert SweepJournal.load_argv(path) == ["fig5"]
+
+
+def test_interrupted_is_idempotent_per_session(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = SweepJournal(path, argv=["x"])
+    journal.interrupted()
+    journal.interrupted()            # supervisor + CLI both report
+    journal.close()
+    types = [r["type"] for r in SweepJournal.records(path)]
+    assert types.count("interrupted") == 1
+
+
+def test_malformed_journal_raises(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text('{"type": "begin", "argv": []}\nnot json\n')
+    with pytest.raises(JournalError, match="malformed"):
+        SweepJournal.load_argv(path)
+
+
+def test_journal_without_begin_is_not_resumable(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text(json.dumps({"type": "done", "key": "k",
+                                "attempts": 1}) + "\n")
+    with pytest.raises(JournalError, match="begin"):
+        SweepJournal.load_argv(path)
+
+
+def test_missing_journal_raises(tmp_path):
+    with pytest.raises(JournalError):
+        SweepJournal.load_argv(tmp_path / "absent.jsonl")

@@ -1,0 +1,54 @@
+"""``repro resume``: replay a journaled sweep with zero re-simulation."""
+
+import json
+
+from repro.cli import main
+from repro.exec import SweepJournal
+
+
+def test_resume_replays_argv_and_hits_cache(tmp_path, capsys):
+    journal = tmp_path / "sweep.jsonl"
+    argv = ["fig5", "--iterations", "1", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(journal)]
+    assert main(argv) == 0
+    first = capsys.readouterr()
+    assert "0/12 cache hits" in first.err and "12 simulated" in first.err
+    assert len(SweepJournal.completed_keys(journal)) == 12
+
+    assert main(["resume", str(journal)]) == 0
+    second = capsys.readouterr()
+    assert "resuming: repro fig5" in second.err
+    assert "(12 run(s) already completed)" in second.err
+    # Zero re-simulation: every spec is a cache hit on replay...
+    assert "12/12 cache hits (100%), 0 simulated" in second.err
+    # ...and the figure data is byte-identical to the cold run's.
+    assert second.out == first.out
+
+    records = SweepJournal.records(journal)
+    assert [r["type"] for r in records].count("resume") == 1
+    hits = [r for r in records if r["type"] == "hit"]
+    assert len(hits) == 12
+    assert {r["key"] for r in hits} == SweepJournal.completed_keys(journal)
+    # The replay recorded no new attempts (nothing was re-simulated).
+    resume_at = [r["type"] for r in records].index("resume")
+    assert all(r["type"] == "hit" for r in records[resume_at + 1:])
+
+
+def test_resume_rejects_missing_or_damaged_journal(tmp_path, capsys):
+    assert main(["resume", str(tmp_path / "absent.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+    headless = tmp_path / "headless.jsonl"
+    headless.write_text(json.dumps({"type": "done", "key": "k",
+                                    "attempts": 1}) + "\n")
+    assert main(["resume", str(headless)]) == 2
+    assert "begin" in capsys.readouterr().err
+
+
+def test_resume_refuses_self_referential_journal(tmp_path, capsys):
+    weird = tmp_path / "weird.jsonl"
+    weird.write_text(json.dumps({"v": 1, "type": "begin",
+                                 "argv": ["resume", "x"]}) + "\n")
+    assert main(["resume", str(weird)]) == 2
+    assert "not record a resumable command" in capsys.readouterr().err

@@ -1,0 +1,81 @@
+"""ChaosPlan: seeded worker-failure schedules."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.faults import ChaosPlan
+from repro.faults.chaos import CHAOS_ENV, HANG, KILL, OOM
+
+
+def test_default_plan_is_disabled_and_never_strikes():
+    plan = ChaosPlan()
+    assert not plan.enabled
+    assert all(plan.roll(str(t), a) is None
+               for t in range(20) for a in range(3))
+
+
+def test_rolls_are_deterministic_and_seed_sensitive():
+    a = ChaosPlan(seed=0, kill_rate=0.25)
+    b = ChaosPlan(seed=0, kill_rate=0.25)
+    c = ChaosPlan(seed=1, kill_rate=0.25)
+    rolls = [a.roll(str(t), 0) for t in range(64)]
+    assert rolls == [b.roll(str(t), 0) for t in range(64)]
+    assert rolls != [c.roll(str(t), 0) for t in range(64)]
+    # Retries draw independently: a struck token is not struck forever.
+    struck = [t for t in range(64) if rolls[t] == KILL]
+    assert struck, "kill_rate=0.25 over 64 tokens must strike some"
+    assert any(a.roll(str(t), 1) is None for t in struck)
+
+
+def test_rates_partition_the_unit_interval():
+    plan = ChaosPlan(seed=7, kill_rate=0.3, hang_rate=0.3, oom_rate=0.3)
+    rolls = [plan.roll(str(t), 0) for t in range(400)]
+    counts = {k: rolls.count(k) for k in (KILL, HANG, OOM, None)}
+    for kind in (KILL, HANG, OOM):
+        assert 60 <= counts[kind] <= 180, counts  # ~120 each
+    assert counts[None] > 0
+
+
+def test_rate_one_always_strikes():
+    plan = ChaosPlan(seed=3, kill_rate=1.0)
+    assert all(plan.roll(str(t), a) == KILL
+               for t in range(8) for a in range(4))
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"kill_rate": -0.1},
+    {"hang_rate": 1.5},
+    {"kill_rate": 0.6, "hang_rate": 0.6},      # sum > 1
+    {"hang_seconds": 0.0},
+])
+def test_invalid_plans_are_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        ChaosPlan(**kwargs)
+
+
+def test_dict_round_trip():
+    plan = ChaosPlan(seed=9, kill_rate=0.1, hang_rate=0.2,
+                     hang_seconds=5.0)
+    assert ChaosPlan.from_dict(plan.to_dict()) == plan
+    with pytest.raises(ConfigError, match="unknown"):
+        ChaosPlan.from_dict({"bogus": 1})
+
+
+def test_from_env_parses_aliases_and_defaults():
+    env = {CHAOS_ENV: "seed=3,kill=0.25,hang=0.1,oom=0.05"}
+    plan = ChaosPlan.from_env(env)
+    assert plan == ChaosPlan(seed=3, kill_rate=0.25, hang_rate=0.1,
+                             oom_rate=0.05)
+    assert ChaosPlan.from_env({}) is None
+    assert ChaosPlan.from_env({CHAOS_ENV: "  "}) is None
+
+
+@pytest.mark.parametrize("raw", [
+    "kill",                    # no '='
+    "frobnicate=1",            # unknown key
+    "kill=banana",             # bad value
+    "kill=2.0",                # out of range (plan validation)
+])
+def test_from_env_rejects_garbage(raw):
+    with pytest.raises(ConfigError):
+        ChaosPlan.from_env({CHAOS_ENV: raw})
