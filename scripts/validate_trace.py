@@ -3,12 +3,16 @@
 
 Usage:  python scripts/validate_trace.py [--perfetto trace.json]
                                          [--vcd trace.vcd]
+                                         [--counterexample cex.json]
 
 Checks that a Perfetto JSON artifact passes the trace-event schema
 validator, and that a VCD artifact parses back and shows the G-line
 gather -> release choreography in order (SglineH* before SglineV before
-MglineV before MglineH*).  Exits nonzero with a diagnostic on the first
-violation.
+MglineV before MglineH*).  ``--counterexample`` additionally audits a
+``repro verify`` export: the ``otherData.verify`` stamp must be present
+and well-formed, its schedules must match the mesh, and when the stamp
+claims a confirmed violation the early releases must be listed.  Exits
+nonzero with a diagnostic on the first violation.
 """
 
 from __future__ import annotations
@@ -69,18 +73,68 @@ def check_vcd(path: Path) -> str:
             f"@{gather_row}->{release_row} OK")
 
 
+def check_counterexample(path: Path) -> str:
+    """Audit a ``repro verify --export-prefix`` Perfetto artifact."""
+    doc = json.loads(path.read_text())
+    count = validate_perfetto(doc)
+    meta = doc.get("otherData", {}).get("verify")
+    if not isinstance(meta, dict):
+        raise ValueError("not a verify export: otherData.verify missing")
+    for key in ("scenario", "mesh", "schedules", "confirmed",
+                "early_releases", "property", "message"):
+        if key not in meta:
+            raise ValueError(f"otherData.verify incomplete: missing "
+                            f"{key!r}")
+    try:
+        rows_s, _, cols_s = str(meta["mesh"]).partition("x")
+        num_cores = int(rows_s) * int(cols_s)
+    except ValueError:
+        raise ValueError(f"otherData.verify.mesh malformed: "
+                         f"{meta['mesh']!r}") from None
+    schedules = meta["schedules"]
+    if not isinstance(schedules, list) or not any(schedules):
+        raise ValueError("otherData.verify.schedules empty")
+    for t, cores in enumerate(schedules):
+        bad = [c for c in cores if not 0 <= int(c) < num_cores]
+        if bad:
+            raise ValueError(f"schedule cycle {t} names cores {bad} "
+                             f"outside the {meta['mesh']} mesh")
+    if meta["confirmed"] and not meta["early_releases"]:
+        raise ValueError("verify stamp claims a confirmed violation but "
+                         "lists no early releases")
+    # The replay trace must actually contain the scheduled arrivals.
+    arrives = sum(1 for e in doc["traceEvents"]
+                  if e.get("ph") == "i" and e.get("name") == "gline.arrive")
+    scheduled = sum(len(c) for c in schedules)
+    if arrives < scheduled:
+        raise ValueError(f"trace records {arrives} arrivals but the "
+                         f"schedule delivers {scheduled}")
+    verdict = ("CONFIRMED violation of " + str(meta["property"])
+               if meta["confirmed"] else "no violation reproduced")
+    return (f"{path}: {count} events, verify stamp OK "
+            f"({meta['mesh']}, scenario {meta['scenario']}, {verdict})")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--perfetto", type=Path, default=None)
     parser.add_argument("--vcd", type=Path, default=None)
+    parser.add_argument("--counterexample", type=Path, default=None,
+                        metavar="JSON",
+                        help="a repro verify --export-prefix Perfetto "
+                             "artifact to audit (schema + verify stamp)")
     args = parser.parse_args(argv)
-    if args.perfetto is None and args.vcd is None:
-        parser.error("nothing to validate: pass --perfetto and/or --vcd")
+    if args.perfetto is None and args.vcd is None \
+            and args.counterexample is None:
+        parser.error("nothing to validate: pass --perfetto, --vcd and/or "
+                     "--counterexample")
     try:
         if args.perfetto is not None:
             print(check_perfetto(args.perfetto))
         if args.vcd is not None:
             print(check_vcd(args.vcd))
+        if args.counterexample is not None:
+            print(check_counterexample(args.counterexample))
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

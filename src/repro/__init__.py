@@ -19,6 +19,11 @@ Public API highlights:
 * :mod:`repro.obs` -- observability: structured tracing, Perfetto/VCD
   export, metric streams and the barrier flight recorder (see
   docs/observability.md).
+* :mod:`repro.verify` -- explicit-state model checker for the barrier
+  FSMs: proves safety, deadlock freedom, exactly-once release and the
+  paper's 4-cycle completion theorem for every mesh up to 4x4, and
+  replays counterexamples on the real simulator (see
+  docs/verification.md).
 """
 
 from .chip import BARRIER_KINDS, CMP, RunResult

@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -187,6 +188,35 @@ def build_parser() -> argparse.ArgumentParser:
     ptr.add_argument("--no-cache", action="store_true")
     ptr.add_argument("--metrics", type=Path, default=None, metavar="PATH",
                      help="write this run's metric snapshot to PATH")
+    # Formal verification: model-check the barrier FSMs (repro.verify).
+    pv = sub.add_parser("verify", parents=[common],
+                        help="model-check the G-line barrier FSMs: "
+                             "exhaustive state-space exploration, fault "
+                             "scenarios, counterexample replay")
+    pv.add_argument("--mesh", default="2x2", metavar="RxC",
+                    help="mesh shape to verify, e.g. 4x4 (default 2x2)")
+    pv.add_argument("--scenario", default="fault-free",
+                    help="fault scenario name (see --list)")
+    pv.add_argument("--mutation", default=None,
+                    help="deliberate FSM bug to inject (see --list); "
+                         "the checker must refute safety")
+    pv.add_argument("--episodes", type=int, default=1,
+                    help="barrier episodes per core (default 1)")
+    pv.add_argument("--shard-depth", type=int, default=0, metavar="D",
+                    help="split the exploration at BFS depth D and fan "
+                         "the shards out over --jobs workers and the "
+                         "result cache (default 0: single process)")
+    pv.add_argument("--max-states", type=int, default=2_000_000,
+                    help="state cap per (sharded) exploration")
+    pv.add_argument("--export-prefix", type=Path, default=None,
+                    metavar="PREFIX",
+                    help="on a violation, replay it on the real "
+                         "simulator and write PREFIX.perfetto.json + "
+                         "PREFIX.vcd")
+    pv.add_argument("--no-replay", action="store_true",
+                    help="skip the simulator replay of a counterexample")
+    pv.add_argument("--list", action="store_true", dest="list_registry",
+                    help="list known scenarios and mutations, then exit")
     # Sweep maintenance: these act on journals/caches, not experiments,
     # so they take only the flags they need.
     pre = sub.add_parser("resume",
@@ -406,6 +436,8 @@ def _dispatch(args) -> int:
             print("dataflow verified against the reference")
     if command == "trace":
         return _run_trace(args)
+    if command == "verify":
+        return _run_verify(args)
     return 0
 
 
@@ -470,6 +502,107 @@ def _run_trace(args) -> int:
               file=sys.stderr)
     print(result.summary())
     return 0
+
+
+def _run_verify(args) -> int:
+    """``repro verify``: model-check one (mesh, scenario, mutation).
+
+    Exit codes: 0 when the outcome matches the scenario's registered
+    expectation (all properties proved, or -- for violation demos and
+    mutations -- a counterexample found *and*, unless ``--no-replay``,
+    confirmed on the real simulator); 1 otherwise; 2 for usage errors.
+    """
+    from . import verify as v
+    from .exec import current_executor
+
+    if args.list_registry:
+        print("scenarios:")
+        for name in sorted(v.SCENARIOS):
+            sc = v.SCENARIOS[name]
+            print(f"  {name} [{sc.expect}]: {sc.description}")
+        print("mutations:")
+        for name in sorted(v.MUTATIONS):
+            print(f"  {name}: {v.MUTATIONS[name].description}")
+        return 0
+    try:
+        rows_s, _, cols_s = args.mesh.lower().partition("x")
+        rows, cols = int(rows_s), int(cols_s)
+    except ValueError:
+        print(f"error: --mesh must look like RxC, got {args.mesh!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        scenario = v.get_scenario(args.scenario)
+        if args.mutation is not None:
+            v.get_mutation(args.mutation)
+        model = v.GLBarrierModel(rows, cols, scenario=scenario,
+                                 mutation=args.mutation,
+                                 episodes=args.episodes)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.shard_depth > 0:
+        prefixes, early = v.shard_prefixes(model, args.shard_depth)
+        if early is not None:
+            # The violation is shallower than the shard depth; a direct
+            # exploration refinds it immediately with full verdicts.
+            result = v.explore(model, max_states=args.max_states)
+        else:
+            specs = [v.VerifyShardSpec(
+                         rows=rows, cols=cols, scenario=scenario.name,
+                         mutation=args.mutation, episodes=args.episodes,
+                         prefix=p, max_states=args.max_states)
+                     for p in prefixes]
+            print(f"[repro.verify] {len(specs)} shard(s) at depth "
+                  f"{args.shard_depth}", file=sys.stderr)
+            shard_results = current_executor().run(specs)
+            result = v.merge_shards(
+                [r for r in shard_results if r is not None], model)
+    else:
+        result = v.explore(model, max_states=args.max_states)
+
+    print(v.render_report(model, result))
+
+    replay = None
+    conc_path = None
+    if result.violation is not None:
+        print()
+        print(v.render_counterexample(model, result.violation))
+        if not args.no_replay:
+            conc_path = v.concretize(model,
+                                     result.violation.action_indices)
+            replay = v.replay_on_simulator(
+                rows, cols, conc_path.schedules, scenario=scenario,
+                mutation=args.mutation)
+            print(f"simulator replay: {replay.summary()}")
+            if args.export_prefix is not None:
+                paths = v.export_counterexample(
+                    replay, args.export_prefix,
+                    {"property": result.violation.prop,
+                     "message": result.violation.message})
+                print(f"[repro.verify] counterexample exported: "
+                      f"{paths['perfetto']}, {paths['vcd']}",
+                      file=sys.stderr)
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(
+            v.report_dict(model, result, path=conc_path, replay=replay),
+            indent=2, sort_keys=True) + "\n")
+        print(f"[repro.verify] report written: {args.out}",
+              file=sys.stderr)
+
+    expect = scenario.expect
+    if args.mutation is not None:
+        expect = "violation"    # mutations must be refuted
+    if expect == "violation":
+        ok = result.violation is not None and (
+            args.no_replay or (replay is not None and replay.confirmed))
+    else:
+        ok = result.ok and all(
+            verdict in ("proved", "skipped")
+            for verdict in result.properties.values())
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -40,6 +40,16 @@ from .cache import ResultCache
 from .spec import RunSpec
 
 
+def _result_decoder(spec):
+    """The dict->result decoder for *spec*'s result type.
+
+    ``RunSpec`` produces ``RunResult``; other spec kinds (e.g.
+    :class:`~repro.verify.shard.VerifyShardSpec`) advertise their own
+    decoder via a ``result_from_dict`` attribute.  The cache stores plain
+    dicts either way, so storage and IPC stay format-agnostic."""
+    return getattr(spec, "result_from_dict", RunResult.from_dict)
+
+
 def _execute_to_dict(spec: RunSpec) -> dict:
     """Worker entry point: run one spec, ship the result as a plain dict
     (the same format the cache stores).
@@ -138,7 +148,7 @@ class ParallelRunner:
                     self.metrics.counter("exec.cache.hits").inc()
                     if self.journal is not None:
                         self.journal.hit(key)
-                    results[i] = RunResult.from_dict(stored)
+                    results[i] = _result_decoder(spec)(stored)
                     continue
             self.misses += 1
             self.metrics.counter("exec.cache.misses").inc()
@@ -161,7 +171,7 @@ class ParallelRunner:
                result_dict: dict, results: list) -> None:
         if key is not None:
             self.cache.put(key, spec.fingerprint(), result_dict)
-        results[index] = RunResult.from_dict(result_dict)
+        results[index] = _result_decoder(spec)(result_dict)
 
     def _run_basic(self, pending, results: list) -> None:
         """Unsupervised dispatch.  Each result is cached the moment it

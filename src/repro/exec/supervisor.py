@@ -411,10 +411,10 @@ class Supervisor:
 
     def _complete(self, task: _Task, result_dict: dict,
                   results: list) -> None:
-        from ..chip.results import RunResult
+        from .parallel import _result_decoder
 
         self._store(task, result_dict)
-        results[task.index] = RunResult.from_dict(result_dict)
+        results[task.index] = _result_decoder(task.spec)(result_dict)
         if self.journal is not None:
             self.journal.attempt(task.key or task.token, task.attempt,
                                  "ok")

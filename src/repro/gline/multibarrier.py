@@ -54,6 +54,16 @@ def build_submesh_context(engine: Engine, stats: StatsRegistry,
     config = config or GLineConfig()
     if rows < 1 or cols < 1:
         raise ConfigError("sub-mesh must be at least 1x1")
+    if row0 < 0 or col0 < 0:
+        raise ConfigError("sub-mesh origin must be non-negative")
+    if col0 + cols > mesh_cols:
+        # Without this check the id arithmetic below silently wraps the
+        # overflowing columns onto the next mesh row -- a context that
+        # "works" but synchronizes the wrong cores.
+        raise ConfigError(
+            f"sub-mesh columns {col0}..{col0 + cols - 1} overflow a "
+            f"{mesh_cols}-column mesh (core ids would wrap to the next "
+            f"row)")
     max_dim = config.max_transmitters + 1
     if rows > max_dim or cols > max_dim:
         raise CapacityError(

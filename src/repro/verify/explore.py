@@ -1,0 +1,231 @@
+"""Explicit-state exploration of the barrier transition system.
+
+:func:`explore` runs a breadth-first search over canonical states,
+checking the transition-level properties (safety, exactly-once, the
+4-cycle completion bound) as edges are generated and then proving
+deadlock/livelock freedom with a progress pass over the closed state
+graph.  Everything is deterministic -- action enumeration order, BFS
+order, state counts -- so golden state-space sizes can be pinned in CI
+and shard results merge reproducibly.
+
+A counterexample is stored as the list of *action indices* along the
+path from the initial state (index ``i`` selects
+``model.actions(state)[i]``); :func:`replay_actions` turns it back into
+concrete states, and :mod:`repro.verify.conformance` into a real
+simulator schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import (GLBarrierModel, P_DEADLOCK, P_EXACTLY_ONCE,
+                    P_FOUR_CYCLE, P_SAFETY, PropertyViolation)
+
+#: Property result labels.
+PROVED = "proved"
+VIOLATED = "violated"
+NOT_PROVED = "not-proved"   # exploration capped before closure
+SKIPPED = "skipped"         # not meaningful for this scenario
+
+ALL_PROPERTIES = (P_SAFETY, P_DEADLOCK, P_EXACTLY_ONCE, P_FOUR_CYCLE)
+
+
+@dataclass
+class Counterexample:
+    """A violating path: ``actions[i]`` is an index into
+    ``model.actions(state_i)`` and the final action triggers the
+    violation (or, for liveness, enters the stuck cycle)."""
+
+    prop: str
+    message: str
+    action_indices: List[int]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"property": self.prop, "message": self.message,
+                "action_indices": list(self.action_indices)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Counterexample":
+        raw = data["action_indices"]
+        assert isinstance(raw, list)
+        return cls(prop=str(data["property"]),
+                   message=str(data["message"]),
+                   action_indices=[int(i) for i in raw])
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one (possibly rooted) exploration."""
+
+    states: int
+    transitions: int
+    capped: bool
+    violation: Optional[Counterexample]
+    #: Property name -> PROVED / VIOLATED / NOT_PROVED / SKIPPED.
+    properties: Dict[str, str] = field(default_factory=dict)
+    #: Largest observed all-arrived-to-release latency (ticks).
+    max_completion_ticks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None and not self.capped
+
+
+def replay_actions(model: GLBarrierModel, action_indices: List[int],
+                   root: Optional[bytes] = None
+                   ) -> Tuple[List[bytes], List[object],
+                              Optional[PropertyViolation]]:
+    """Re-walk a path of action indices from *root*.
+
+    Returns ``(states, actions, violation)``: ``states[i]`` is the state
+    *before* ``actions[i]``; a violation raised by the final step is
+    captured and returned rather than raised."""
+    state = model.initial() if root is None else root
+    states: List[bytes] = []
+    actions: List[object] = []
+    for n, idx in enumerate(action_indices):
+        acts = model.actions(state)
+        if not 0 <= idx < len(acts):
+            raise ValueError(f"action index {idx} out of range at "
+                             f"step {n}")
+        states.append(state)
+        actions.append(acts[idx])
+        try:
+            state = model.step(state, acts[idx])
+        except PropertyViolation as exc:
+            if n != len(action_indices) - 1:
+                raise
+            return states, actions, exc
+    states.append(state)
+    return states, actions, None
+
+
+def _path_to(parents: List[Tuple[int, int]], sid: int) -> List[int]:
+    path: List[int] = []
+    while sid > 0:
+        pid, ai = parents[sid]
+        path.append(ai)
+        sid = pid
+    path.reverse()
+    return path
+
+
+def explore(model: GLBarrierModel, *, max_states: int = 2_000_000,
+            root: Optional[bytes] = None) -> ExploreResult:
+    """Exhaustively enumerate the reachable canonical state space.
+
+    Stops at the first property violation (returning its counterexample)
+    or when *max_states* distinct states have been generated (returning
+    ``capped=True`` -- all universal properties then downgrade to
+    ``not-proved``)."""
+    init = model.initial() if root is None else root
+    states: List[bytes] = [init]
+    index: Dict[bytes, int] = {init: 0}
+    parents: List[Tuple[int, int]] = [(-1, -1)]
+    transitions = 0
+    capped = False
+    violation: Optional[Counterexample] = None
+
+    head = 0
+    while head < len(states) and violation is None:
+        sid = head
+        head += 1
+        state = states[sid]
+        acts = model.actions(state)
+        for ai, act in enumerate(acts):
+            try:
+                nxt = model.step(state, act)
+            except PropertyViolation as exc:
+                violation = Counterexample(
+                    prop=exc.prop, message=exc.message,
+                    action_indices=_path_to(parents, sid) + [ai])
+                break
+            if nxt == state:
+                continue  # pure stutter; dormancy adds no new behavior
+            transitions += 1
+            if nxt not in index:
+                if len(states) >= max_states:
+                    capped = True
+                    continue
+                index[nxt] = len(states)
+                states.append(nxt)
+                parents.append((sid, ai))
+
+    if violation is None and not capped:
+        violation = _progress_pass(model, states, index, parents)
+
+    return ExploreResult(
+        states=len(states), transitions=transitions, capped=capped,
+        violation=violation,
+        properties=_verdicts(model, capped, violation),
+        max_completion_ticks=model.max_completion_ticks)
+
+
+def _progress_pass(model: GLBarrierModel, states: List[bytes],
+                   index: Dict[bytes, int],
+                   parents: List[Tuple[int, int]]
+                   ) -> Optional[Counterexample]:
+    """Deadlock/livelock freedom: from *every* reachable state, the
+    fair schedule that delivers all pending arrivals each step must
+    complete all episodes.
+
+    This is the standard progress argument for barrier FSMs: once no new
+    arrivals are withheld the system is deterministic, so following the
+    maximal action either reaches completion (good -- and so is every
+    state on the way) or revisits a state (a genuine livelock/deadlock,
+    since no further stimulus can ever arrive)."""
+    good = bytearray(len(states))
+    for start in range(len(states)):
+        if good[start]:
+            continue
+        chain: List[int] = []
+        pos: Dict[int, int] = {}
+        cur = start
+        while True:
+            if good[cur] or model.is_complete(states[cur]):
+                break
+            if cur in pos:
+                # Cycle with no completion: every state in it is stuck.
+                prefix = _path_to(parents, chain[0]) if chain else []
+                loop_actions = [len(model.actions(states[c])) - 1
+                                for c in chain[pos[cur]:]]
+                return Counterexample(
+                    prop=P_DEADLOCK,
+                    message=("no completion reachable under maximal "
+                             "arrival delivery (stuck cycle of length "
+                             f"{len(chain) - pos[cur]})"),
+                    action_indices=prefix + [
+                        len(model.actions(states[c])) - 1
+                        for c in chain[:pos[cur]]] + loop_actions)
+            pos[cur] = len(chain)
+            chain.append(cur)
+            nxt = model.step(states[cur], model.max_action(states[cur]))
+            if nxt == states[cur]:
+                prefix = _path_to(parents, start)
+                return Counterexample(
+                    prop=P_DEADLOCK,
+                    message="state can make no further progress yet "
+                            "episodes remain incomplete",
+                    action_indices=prefix)
+            cur = index[nxt]
+        for c in chain:
+            good[c] = 1
+    return None
+
+
+def _verdicts(model: GLBarrierModel, capped: bool,
+              violation: Optional[Counterexample]) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for prop in ALL_PROPERTIES:
+        if prop == P_FOUR_CYCLE and not model.check_four_cycle:
+            out[prop] = SKIPPED
+            continue
+        if violation is not None and violation.prop == prop:
+            out[prop] = VIOLATED
+        elif violation is not None or capped:
+            out[prop] = NOT_PROVED
+        else:
+            out[prop] = PROVED
+    return out

@@ -1,0 +1,661 @@
+"""Model extraction: the G-line barrier as a finite transition system.
+
+This module reduces the four controller FSMs of
+:mod:`repro.gline.controllers`, the wire/S-CSMA semantics of
+:mod:`repro.gline.gline` and the watchdog/failover machinery of
+:mod:`repro.gline.network` to a compact, hashable state -- a ``bytes``
+string of small registers -- plus one deterministic *tick* per step.  The
+explorer (:mod:`repro.verify.explore`) enumerates every arrival
+interleaving on top of it; the conformance bridge
+(:mod:`repro.verify.conformance`) replays any path cycle-for-cycle on the
+real event-driven simulator.
+
+State layout (all single bytes)::
+
+    per row r (R blocks):   Scnt Mcnt flag rel_trig  Ma Mr Mcd sv_sent
+                            then per horizontal slave: a r signaling cd
+    MasterV block:          Scnt Mcnt done validating
+    tail:                   since_all wd retries quarantined
+                            row_validated episodes_done
+
+``a``/``r`` (``Ma``/``Mr`` for the row master) count a core's barrier
+*arrivals* and *releases*; ``bar_reg`` is set exactly when ``a == r + 1``,
+so it needs no byte of its own.  ``cd`` is a one-step cooldown after a
+release mirroring the >= 1-cycle gap (``barreg_write_cycles``) before a
+re-arrival can become visible.  ``since_all`` counts ticks since every
+core of the in-flight episode arrived -- the register behind the paper's
+4-cycle completion theorem.  ``wd`` is the armed watchdog's remaining
+ticks (0 = idle).
+
+One model step = deliver a chosen set of arrivals (the environment
+action), run the watchdog bookkeeping, then execute one network tick with
+the exact sub-phase ordering of ``GLineBarrierNetwork._tick``: assert
+(MasterH, SlaveH, SlaveV, MasterV last), fault injection, the hardened
+release-line guard, sample (MasterV first, then MasterH, SlaveV, SlaveH),
+the single-row degenerate release, release completion, fault handling.
+Cycle-accuracy is exact along fault-free paths; under fault scenarios the
+model collapses the network's dormant cycles and is therefore
+behavior-equivalent rather than cycle-identical (see
+``docs/verification.md``).
+
+Symmetry reduction: horizontal slaves within a row are interchangeable
+(their blocks are kept sorted), as are entire rows 1..R-1 (row 0 hosts
+MasterV and is special) unless the scenario damages a specific row >= 1.
+Canonical states shrink the reachable space by roughly the product of the
+per-row factorials while preserving all checked properties, which are
+permutation-invariant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .scenarios import FAULT_FREE, FaultScenario, Mutation, get_mutation
+
+# Row-block register offsets.
+SC, MC, FL, RT, MA, MR, MCD, SVS = range(8)
+ROW_FIXED = 8
+#: Per-slave sub-block: arrivals, releases, signaling, cooldown.
+SL_A, SL_R, SL_SIG, SL_CD = range(4)
+SLAVE = 4
+#: MasterV block offsets (relative to ``mv_off``).
+V_SC, V_MC, V_DONE, V_VAL = range(4)
+MV = 4
+#: Tail offsets (relative to ``tail_off``).
+T_SA, T_WD, T_RET, T_Q, T_RV, T_EPS = range(6)
+TAIL = 6
+
+#: Properties the model can report violated.
+P_SAFETY = "safety"
+P_EXACTLY_ONCE = "exactly-once"
+P_DEADLOCK = "deadlock-freedom"
+P_FOUR_CYCLE = "four-cycle"
+
+#: Cap on ``since_all`` so fault scenarios (which legitimately exceed the
+#: completion bound while the watchdog counts down) keep the byte finite.
+_SA_CAP = 250
+
+#: One row's worth of an action: (master_arrives, ((slave_block, n), ...)).
+RowAction = Tuple[int, Tuple[Tuple[bytes, int], ...]]
+Action = Tuple[RowAction, ...]
+
+
+class PropertyViolation(Exception):
+    """Raised by :meth:`GLBarrierModel.step` when a transition breaks a
+    checked property; the explorer turns it into a counterexample."""
+
+    def __init__(self, prop: str, message: str):
+        super().__init__(f"{prop}: {message}")
+        self.prop = prop
+        self.message = message
+
+
+class GLBarrierModel:
+    """The G-line barrier network of one mesh as a transition system.
+
+    :param rows: mesh rows (1..7, the S-CSMA electrical limit).
+    :param cols: mesh columns (1..7).
+    :param scenario: static fault + hardening configuration.
+    :param mutation: name of a deliberate FSM bug from
+        :data:`~repro.verify.scenarios.MUTATIONS`, or ``None``.
+    :param episodes: barrier episodes each core must complete.
+    :param symmetric: canonicalize states (slave/row sorting).  Disable
+        to track concrete core identities (counterexample replay).
+    """
+
+    def __init__(self, rows: int, cols: int, *,
+                 scenario: FaultScenario = FAULT_FREE,
+                 mutation: Optional[str] = None,
+                 episodes: int = 1,
+                 symmetric: bool = True):
+        if not (1 <= rows <= 7 and 1 <= cols <= 7):
+            raise ValueError(f"mesh {rows}x{cols} outside the 7x7 S-CSMA "
+                             f"limit of one G-line network")
+        if rows * cols < 2:
+            raise ValueError("a 1x1 mesh has no barrier to check")
+        if not 1 <= episodes <= 16:
+            raise ValueError(f"episodes must be 1..16, got {episodes}")
+        reason = scenario.applicable(rows, cols)
+        if reason is not None:
+            raise ValueError(f"scenario {scenario.name!r}: {reason}")
+        self.rows = rows
+        self.cols = cols
+        self.scenario = scenario
+        self.episodes = episodes
+        self.symmetric = symmetric
+        self.mutation: Optional[Mutation] = \
+            get_mutation(mutation) if mutation is not None else None
+        if self.mutation is not None:
+            reason = self.mutation.applicable(rows, cols)
+            if reason is not None:
+                raise ValueError(
+                    f"mutation {self.mutation.name!r}: {reason}")
+
+        self.num_cores = rows * cols
+        self.num_slaves_h = cols - 1
+        self.num_slaves_v = rows - 1
+        self.hardened = scenario.hardened
+        self.budget = scenario.watchdog_budget
+        self.max_retries = scenario.watchdog_retries
+
+        # Gather thresholds; a mutation shaves one off exactly as
+        # ``Mutation.apply_to_network`` shaves the real ``num_slaves``.
+        self.mh_target = self.num_slaves_h
+        self.mv_target = self.num_slaves_v
+        if self.mutation is not None:
+            if self.mutation.target == "mh":
+                self.mh_target -= 1
+            else:
+                self.mv_target -= 1
+        #: Scnt caps: one past the overshoot threshold is behaviorally
+        #: absorbing (``== target`` stays false, ``> target`` stays true).
+        self.mh_cap = self.mh_target + 1
+        self.mv_cap = self.mv_target + 1
+
+        # State layout.
+        self.row_size = ROW_FIXED + SLAVE * self.num_slaves_h
+        self.mv_off = rows * self.row_size
+        self.tail_off = self.mv_off + MV
+        self.size = self.tail_off + TAIL
+
+        # Static per-wire faults: role -> (stuck | None, count_delta).
+        self._fault: Dict[Tuple[str, int], Tuple[Optional[int], int]] = {}
+        if scenario.role is not None:
+            row = scenario.row if scenario.role.startswith("row_") else 0
+            self._fault[(scenario.role, row)] = (scenario.stuck,
+                                                 scenario.count_delta)
+
+        #: Row symmetry is sound unless the scenario pins a fault to a
+        #: specific row >= 1 (row 0 is never sorted).
+        self.sort_rows = symmetric and rows > 2 and not (
+            scenario.role in ("row_tx", "row_rel") and scenario.row >= 1)
+
+        #: The 4-cycle theorem is asserted only on healthy wires; the
+        #: hardened validation stage legitimately costs one extra cycle.
+        self.check_four_cycle = scenario.is_fault_free
+        if rows == 1:
+            self.completion_bound = 2 + (1 if self.hardened else 0)
+        else:
+            self.completion_bound = 4 + (1 if self.hardened else 0)
+
+        #: Largest completion latency observed by any :meth:`step` of this
+        #: instance (ticks from all-arrived to release).
+        self.max_completion_ticks = 0
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> Dict[str, object]:
+        """Content identity of this model (shard cache keys)."""
+        return {"kind": "gl-barrier-model",
+                "rows": self.rows, "cols": self.cols,
+                "scenario": self.scenario.to_dict(),
+                "mutation": (self.mutation.name
+                             if self.mutation is not None else None),
+                "episodes": self.episodes,
+                "symmetric": self.symmetric}
+
+    # ------------------------------------------------------------------ #
+    # State helpers
+    # ------------------------------------------------------------------ #
+    def initial(self) -> bytes:
+        s = bytearray(self.size)
+        for r in range(self.rows):
+            base = r * self.row_size + ROW_FIXED
+            for i in range(self.num_slaves_h):
+                s[base + i * SLAVE + SL_SIG] = 1
+        return bytes(self._canon(s))
+
+    def _canon(self, s: bytearray) -> bytearray:
+        if not self.symmetric:
+            return s
+        for r in range(self.rows):
+            base = r * self.row_size + ROW_FIXED
+            blocks = sorted(bytes(s[base + i * SLAVE:
+                                    base + (i + 1) * SLAVE])
+                            for i in range(self.num_slaves_h))
+            for i, blk in enumerate(blocks):
+                s[base + i * SLAVE: base + (i + 1) * SLAVE] = blk
+        if self.sort_rows:
+            rows = sorted(bytes(s[r * self.row_size:
+                                  (r + 1) * self.row_size])
+                          for r in range(1, self.rows))
+            for k, blk in enumerate(rows):
+                base = (1 + k) * self.row_size
+                s[base: base + self.row_size] = blk
+        return s
+
+    def _core_regs(self, s: Sequence[int]) -> List[Tuple[int, int]]:
+        """(arrivals, releases) of every core, masters then slaves."""
+        out = []
+        for r in range(self.rows):
+            base = r * self.row_size
+            out.append((s[base + MA], s[base + MR]))
+            sb = base + ROW_FIXED
+            for i in range(self.num_slaves_h):
+                off = sb + i * SLAVE
+                out.append((s[off + SL_A], s[off + SL_R]))
+        return out
+
+    def _all_waiting(self, s: Sequence[int]) -> bool:
+        return all(a == r + 1 for a, r in self._core_regs(s))
+
+    def _any_waiting(self, s: Sequence[int]) -> bool:
+        return any(a == r + 1 for a, r in self._core_regs(s))
+
+    def is_complete(self, s: Sequence[int]) -> bool:
+        """All episodes done and every core released from the last one."""
+        return s[self.tail_off + T_EPS] == self.episodes
+
+    # ------------------------------------------------------------------ #
+    # Environment actions
+    # ------------------------------------------------------------------ #
+    def _eligible(self, a: int, r: int, cd: int) -> bool:
+        return a == r and a < self.episodes and cd == 0
+
+    def actions(self, state: bytes) -> List[Action]:
+        """All arrival choices from *state*, in deterministic order.
+
+        Index 0 is always the empty (pure-tick) action; the last index
+        delivers every eligible arrival at once.  Within a row, eligible
+        slaves are grouped by their (identical) register block and the
+        action picks a *count* per group -- the symmetry-reduced form of
+        choosing subsets.
+        """
+        per_row: List[List[RowAction]] = []
+        for r in range(self.rows):
+            base = r * self.row_size
+            m_elig = self._eligible(state[base + MA], state[base + MR],
+                                    state[base + MCD])
+            classes: Counter[bytes] = Counter()
+            sb = base + ROW_FIXED
+            for i in range(self.num_slaves_h):
+                off = sb + i * SLAVE
+                if self._eligible(state[off + SL_A], state[off + SL_R],
+                                  state[off + SL_CD]):
+                    classes[state[off: off + SLAVE]] += 1
+            items = list(classes.items())
+            ranges = [range(n + 1) for _, n in items]
+            opts: List[RowAction] = []
+            for m in ((0, 1) if m_elig else (0,)):
+                for counts in product(*ranges):
+                    opts.append((m, tuple(
+                        (blk, c) for (blk, _), c in zip(items, counts)
+                        if c)))
+            per_row.append(opts)
+        return [tuple(combo) for combo in product(*per_row)]
+
+    def max_action(self, state: bytes) -> Action:
+        """The action delivering every eligible arrival (equals the last
+        entry of :meth:`actions`, built without full enumeration)."""
+        out: List[RowAction] = []
+        for r in range(self.rows):
+            base = r * self.row_size
+            m = 1 if self._eligible(state[base + MA], state[base + MR],
+                                    state[base + MCD]) else 0
+            classes: Counter[bytes] = Counter()
+            sb = base + ROW_FIXED
+            for i in range(self.num_slaves_h):
+                off = sb + i * SLAVE
+                if self._eligible(state[off + SL_A], state[off + SL_R],
+                                  state[off + SL_CD]):
+                    classes[state[off: off + SLAVE]] += 1
+            out.append((m, tuple(classes.items())))
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # One transition
+    # ------------------------------------------------------------------ #
+    def step(self, state: bytes, action: Action) -> bytes:
+        """Apply *action*'s arrivals, then run one network tick.
+
+        Raises :class:`PropertyViolation` when the transition breaks
+        safety, exactly-once delivery or the completion bound.
+        """
+        s = bytearray(state)
+        self._apply_arrivals(s, action)
+        return bytes(self._canon(self._advance(s)))
+
+    def step_cores(self, state: bytes, cores: Iterable[int]) -> bytes:
+        """Concrete-identity variant: arrivals named by mesh core id
+        (``row * cols + col``).  Used with ``symmetric=False`` for
+        counterexample replay and trace lifting."""
+        s = bytearray(state)
+        for cid in sorted(set(cores)):
+            r, c = divmod(cid, self.cols)
+            if not 0 <= r < self.rows:
+                raise ValueError(f"core {cid} outside the mesh")
+            base = r * self.row_size
+            off = base + MA if c == 0 \
+                else base + ROW_FIXED + (c - 1) * SLAVE + SL_A
+            cd = base + MCD if c == 0 \
+                else base + ROW_FIXED + (c - 1) * SLAVE + SL_CD
+            rel = base + MR if c == 0 \
+                else base + ROW_FIXED + (c - 1) * SLAVE + SL_R
+            if not self._eligible(s[off], s[rel], s[cd]):
+                raise ValueError(f"core {cid} is not eligible to arrive")
+            s[off] += 1
+        self._post_arrival(s)
+        return bytes(self._canon(self._advance(s)))
+
+    # -- arrival phase ------------------------------------------------- #
+    def _apply_arrivals(self, s: bytearray, action: Action) -> None:
+        if len(action) != self.rows:
+            raise ValueError("action must have one entry per row")
+        for r, (m_arr, slave_choices) in enumerate(action):
+            base = r * self.row_size
+            if m_arr:
+                s[base + MA] += 1
+            sb = base + ROW_FIXED
+            for blk, count in slave_choices:
+                remaining = count
+                for i in range(self.num_slaves_h):
+                    if remaining == 0:
+                        break
+                    off = sb + i * SLAVE
+                    if s[off: off + SLAVE] == blk \
+                            and s[off + SL_A] == s[off + SL_R]:
+                        s[off + SL_A] += 1
+                        remaining -= 1
+                if remaining:
+                    raise ValueError(
+                        f"action asks for {count} slaves of class "
+                        f"{blk.hex()} in row {r}; not that many eligible")
+        self._post_arrival(s)
+
+    def _post_arrival(self, s: bytearray) -> None:
+        """Arm the all-arrived watchdog exactly when the arrival that set
+        the last bar_reg lands (``_set_barreg`` in the real network)."""
+        t = self.tail_off
+        if self.hardened and not s[t + T_Q] and s[t + T_WD] == 0 \
+                and self._all_waiting(s):
+            # +1 compensates the same-step decrement in _advance: the
+            # timer fires pre-tick ``budget`` ticks after arming.
+            s[t + T_WD] = self.budget + 1
+
+    # -- watchdog + tick ------------------------------------------------ #
+    def _advance(self, s: bytearray) -> bytearray:
+        t = self.tail_off
+        if s[t + T_WD]:
+            s[t + T_WD] -= 1
+            if s[t + T_WD] == 0:
+                # Timer expiry (network dormant in every scenario that
+                # reaches it): handle the fault instead of ticking, and
+                # resume clocking next step -- the real retry schedules
+                # its first tick one line-latency later.
+                if not s[t + T_Q] and self._any_waiting(s):
+                    self._handle_fault(s)
+                    self._end_of_step(s, [])
+                    return s
+        if s[t + T_Q]:
+            self._sw_tick(s)
+        else:
+            self._hw_tick(s)
+        return s
+
+    def _sw_tick(self, s: bytearray) -> None:
+        """Quarantined network: episodes complete over the software
+        fallback barrier, which releases everyone once all have arrived
+        (its own correctness is covered by the schedule-permutation
+        tests in ``tests/sync``)."""
+        released: List[Tuple[int, int]] = []
+        if self._all_waiting(s):
+            for r in range(self.rows):
+                released.append((r, -1))
+                released.extend((r, i) for i in range(self.num_slaves_h))
+        self._end_of_step(s, released)
+
+    def _hw_tick(self, s: bytearray) -> None:
+        rows, nsh = self.rows, self.num_slaves_h
+        t, mv = self.tail_off, self.mv_off
+        released: List[Tuple[int, int]] = []  # (row, slave_i); -1=master
+
+        # ---- assert phase: MasterH, SlaveH, SlaveV, MasterV ---------- #
+        drove_h = [False] * rows
+        row_rel_level = [False] * rows
+        row_tx_count = [0] * rows
+        col_tx_count = 0
+        col_rel_level = False
+        drove_v = False
+        for r in range(rows):
+            base = r * self.row_size
+            if s[base + RT]:
+                if nsh:
+                    row_rel_level[r] = True
+                    drove_h[r] = True
+                s[base + SC] = s[base + MC] = 0
+                s[base + FL] = s[base + RT] = 0
+                if s[base + MA] == s[base + MR] + 1:
+                    released.append((r, -1))
+                # on_release wiring hooks.
+                if r == 0 and rows > 1:
+                    s[mv + V_SC] = s[mv + V_MC] = s[mv + V_DONE] = 0
+                elif r >= 1:
+                    s[base + SVS] = 0
+        for r in range(rows):
+            sb = r * self.row_size + ROW_FIXED
+            for i in range(nsh):
+                off = sb + i * SLAVE
+                if s[off + SL_SIG] and s[off + SL_A] == s[off + SL_R] + 1:
+                    row_tx_count[r] += 1
+                    s[off + SL_SIG] = 0
+        if rows > 1:
+            for r in range(1, rows):
+                base = r * self.row_size
+                if not s[base + SVS] and s[base + FL]:
+                    col_tx_count += 1
+                    s[base + SVS] = 1
+            if s[mv + V_DONE]:
+                col_rel_level = True
+                drove_v = True
+                s[RT] = 1  # row-0 MasterH trigger, consumed next tick
+                s[mv + V_SC] = s[mv + V_MC] = s[mv + V_DONE] = 0
+
+        # ---- wire faults land between assert and sample -------------- #
+        row_tx_eff = list(row_tx_count)
+        for r in range(rows):
+            stuck, delta = self._fault.get(("row_tx", r), (None, 0))
+            if stuck is not None:
+                row_tx_eff[r] = nsh if stuck else 0
+            elif delta:
+                row_tx_eff[r] = min(max(row_tx_count[r] + delta, 0), nsh)
+            stuck, _ = self._fault.get(("row_rel", r), (None, 0))
+            if stuck is not None:
+                row_rel_level[r] = bool(stuck)
+        col_tx_eff = col_tx_count
+        stuck, delta = self._fault.get(("col_tx", 0), (None, 0))
+        if stuck is not None:
+            col_tx_eff = self.num_slaves_v if stuck else 0
+        elif delta:
+            col_tx_eff = min(max(col_tx_count + delta, 0),
+                             self.num_slaves_v)
+        stuck, _ = self._fault.get(("col_rel", 0), (None, 0))
+        if stuck is not None:
+            col_rel_level = bool(stuck)
+
+        # ---- hardened spurious-release guard ------------------------- #
+        spurious = False
+        if self.hardened:
+            for r in range(rows):
+                if row_rel_level[r] and not drove_h[r]:
+                    row_rel_level[r] = False
+                    spurious = True
+            if col_rel_level and not drove_v:
+                col_rel_level = False
+                spurious = True
+
+        # ---- sample phase: MasterV first, then MasterH, SlaveV, SlaveH #
+        # The release stage cleared the master's bar_reg during the
+        # assert phase, but the model's MA/MR accounting only happens in
+        # _end_of_step -- so the `MA == MR + 1` predicate is stale for
+        # masters released this tick and must not re-latch Mcnt.
+        rel_masters = {row for row, slave_i in released if slave_i < 0}
+        suspected = False
+        if rows > 1:
+            s[mv + V_SC] = min(s[mv + V_SC] + col_tx_eff, self.mv_cap)
+            if s[FL]:  # row-0 flag as latched before MasterH samples
+                s[mv + V_MC] = 1
+            if self.hardened and s[mv + V_SC] > self.mv_target:
+                suspected = True
+                s[mv + V_VAL] = 0
+            elif not s[mv + V_DONE] and s[mv + V_MC] == 1 \
+                    and s[mv + V_SC] == self.mv_target:
+                if self.hardened and not s[mv + V_VAL]:
+                    s[mv + V_VAL] = 1
+                else:
+                    s[mv + V_VAL] = 0
+                    s[mv + V_DONE] = 1
+        for r in range(rows):
+            base = r * self.row_size
+            if s[base + FL]:
+                if self.hardened and nsh:
+                    s[base + SC] = min(s[base + SC] + row_tx_eff[r],
+                                       self.mh_cap)
+                    if s[base + SC] > self.mh_target:
+                        suspected = True
+                continue
+            if nsh:
+                s[base + SC] = min(s[base + SC] + row_tx_eff[r],
+                                   self.mh_cap)
+            if r not in rel_masters and s[base + MA] == s[base + MR] + 1:
+                s[base + MC] = 1
+            if self.hardened and s[base + SC] > self.mh_target:
+                suspected = True
+                continue
+            if s[base + MC] == 1 and s[base + SC] == self.mh_target:
+                s[base + FL] = 1
+        if rows > 1:
+            for r in range(1, rows):
+                base = r * self.row_size
+                if s[base + SVS] and col_rel_level:
+                    s[base + RT] = 1
+        for r in range(rows):
+            sb = r * self.row_size + ROW_FIXED
+            for i in range(nsh):
+                off = sb + i * SLAVE
+                if not s[off + SL_SIG] and row_rel_level[r]:
+                    s[off + SL_SIG] = 1
+                    if s[off + SL_A] == s[off + SL_R] + 1:
+                        released.append((r, i))
+
+        # ---- degenerate single-row release --------------------------- #
+        fault = self.hardened and (spurious or suspected)
+        if not fault and rows == 1 and s[FL] and not s[RT]:
+            if self.hardened and not s[t + T_RV]:
+                s[t + T_RV] = 1
+            else:
+                s[RT] = 1
+
+        self._end_of_step(s, released)
+        if fault and self._any_waiting(s):
+            self._handle_fault(s)
+
+    # -- fault handling -------------------------------------------------- #
+    def _handle_fault(self, s: bytearray) -> None:
+        t = self.tail_off
+        if s[t + T_RET] < self.max_retries:
+            s[t + T_RET] += 1
+            self._reset_fsm(s)
+            if self._all_waiting(s):
+                s[t + T_WD] = self.budget  # fires `budget` steps later
+        else:
+            self._failover(s)
+
+    def _reset_fsm(self, s: bytearray) -> None:
+        for r in range(self.rows):
+            base = r * self.row_size
+            s[base + SC] = s[base + MC] = 0
+            s[base + FL] = s[base + RT] = 0
+            s[base + SVS] = 0
+            sb = base + ROW_FIXED
+            for i in range(self.num_slaves_h):
+                s[sb + i * SLAVE + SL_SIG] = 1
+        m = self.mv_off
+        s[m + V_SC] = s[m + V_MC] = s[m + V_DONE] = s[m + V_VAL] = 0
+        s[self.tail_off + T_RV] = 0
+
+    def _failover(self, s: bytearray) -> None:
+        """Quarantine: waiting cores bounce to the software fallback and
+        stay logically waiting until the software episode completes."""
+        t = self.tail_off
+        s[t + T_Q] = 1
+        s[t + T_WD] = 0
+        s[t + T_RET] = 0
+        self._reset_fsm(s)
+
+    # -- release accounting / property checks ---------------------------- #
+    def _end_of_step(self, s: bytearray,
+                     released: List[Tuple[int, int]]) -> None:
+        t = self.tail_off
+        regs = self._core_regs(s)
+        min_arrived = min(a for a, _ in regs)
+        for row, slave_i in released:
+            base = row * self.row_size
+            off_a = base + MA if slave_i < 0 \
+                else base + ROW_FIXED + slave_i * SLAVE + SL_A
+            off_r = off_a + (MR - MA if slave_i < 0 else SL_R - SL_A)
+            new_r = s[off_r] + 1
+            if new_r > s[off_a]:
+                raise PropertyViolation(
+                    P_EXACTLY_ONCE,
+                    f"core at row {row}, slot {slave_i} delivered a "
+                    f"release for episode {new_r} it never arrived at")
+            if min_arrived < new_r:
+                raise PropertyViolation(
+                    P_SAFETY,
+                    f"core at row {row}, slot {slave_i} released from "
+                    f"episode {new_r} while other cores are still "
+                    f"missing (min arrivals {min_arrived})")
+            s[off_r] = new_r
+
+        # Cooldowns: a released core's re-arrival is visible no earlier
+        # than two steps later (write latency), matching barreg timing.
+        released_set = set(released)
+        for r in range(self.rows):
+            base = r * self.row_size
+            if (r, -1) in released_set:
+                s[base + MCD] = 1
+            elif s[base + MCD]:
+                s[base + MCD] = 0
+            sb = base + ROW_FIXED
+            for i in range(self.num_slaves_h):
+                off = sb + i * SLAVE
+                if (r, i) in released_set:
+                    s[off + SL_CD] = 1
+                elif s[off + SL_CD]:
+                    s[off + SL_CD] = 0
+
+        # Episode completion + the 4-cycle theorem.
+        regs = self._core_regs(s)
+        min_released = min(r for _, r in regs)
+        if min_released > s[t + T_EPS]:
+            if self.check_four_cycle and not s[t + T_Q]:
+                ticks = s[t + T_SA] + 1
+                self.max_completion_ticks = max(
+                    self.max_completion_ticks, ticks)
+                if ticks > self.completion_bound:
+                    raise PropertyViolation(
+                        P_FOUR_CYCLE,
+                        f"episode completed {ticks} ticks after the last "
+                        f"arrival (bound {self.completion_bound})")
+            s[t + T_EPS] = min_released
+            s[t + T_SA] = 0
+            s[t + T_WD] = 0
+            s[t + T_RET] = 0
+            s[t + T_RV] = 0
+        elif not s[t + T_Q]:
+            k = s[t + T_EPS] + 1
+            if k <= self.episodes and all(a >= k for a, _ in regs):
+                ticks = min(s[t + T_SA] + 1, _SA_CAP)
+                if self.check_four_cycle \
+                        and ticks > self.completion_bound:
+                    raise PropertyViolation(
+                        P_FOUR_CYCLE,
+                        f"all cores arrived {ticks} ticks ago and episode "
+                        f"{k} has still not completed "
+                        f"(bound {self.completion_bound})")
+                s[t + T_SA] = ticks
+            else:
+                s[t + T_SA] = 0
+        else:
+            s[t + T_SA] = 0

@@ -1,0 +1,240 @@
+"""Fault scenarios and FSM mutations for the model checker.
+
+A :class:`FaultScenario` is the verify-side counterpart of a
+:class:`~repro.faults.plan.FaultPlan`: instead of seeded random rates it
+names one *static* wire fault (stuck level or a per-cycle S-CSMA count
+skew on a specific G-line role) plus the hardening configuration the
+network runs under.  Static faults make the transition system finite and
+let the same scenario be applied bit-identically to the abstract model
+(:mod:`repro.verify.model`) and to a real
+:class:`~repro.gline.network.GLineBarrierNetwork` during counterexample
+replay (:mod:`repro.verify.conformance`).
+
+A :class:`Mutation` is a deliberate protocol bug -- an off-by-one in a
+Master controller's gather threshold -- used to prove the checker finds
+real violations.  Each mutation knows how to damage both the model (the
+model reads :attr:`Mutation.target` at build time) and a live network
+(:meth:`Mutation.apply_to_network`), so a model counterexample can be
+replayed against the identically-damaged simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+#: Wire roles a scenario can damage, keyed to the network's line names:
+#: ``row_tx`` = SglineH{row}, ``row_rel`` = MglineH{row}, ``col_tx`` =
+#: SglineV, ``col_rel`` = MglineV.
+WIRE_ROLES = ("row_tx", "row_rel", "col_tx", "col_rel")
+
+#: Expected verdicts. ``pass``: every property proved.  ``failover``:
+#: safety holds because the watchdog retires the network to the software
+#: fallback.  ``violation``: the checker must produce a counterexample
+#: (unhardened fault demos and mutations).
+EXPECT_PASS = "pass"
+EXPECT_FAILOVER = "failover"
+EXPECT_VIOLATION = "violation"
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One static wire fault plus the hardening the network runs under."""
+
+    name: str
+    description: str
+    #: Damaged wire role (``None`` = fault-free) and its row (row roles).
+    role: Optional[str] = None
+    row: int = 0
+    #: Permanent stuck-at level (0/1), or ``None`` for a healthy level.
+    stuck: Optional[int] = None
+    #: Per-cycle S-CSMA count skew (the miscount fault class).
+    count_delta: int = 0
+    #: Hardening: > 0 arms the all-arrived watchdog with this budget.
+    watchdog_budget: int = 0
+    watchdog_retries: int = 2
+    #: What the checker should conclude (see ``EXPECT_*``).
+    expect: str = EXPECT_PASS
+
+    def __post_init__(self) -> None:
+        if self.role is not None and self.role not in WIRE_ROLES:
+            raise ValueError(f"unknown wire role {self.role!r}")
+        if self.stuck not in (None, 0, 1):
+            raise ValueError(f"stuck must be None/0/1, got {self.stuck!r}")
+        if self.role is not None and self.stuck is None \
+                and self.count_delta == 0:
+            raise ValueError(f"scenario {self.name}: role without a fault")
+        if not 0 <= self.watchdog_budget <= 250:
+            raise ValueError("watchdog_budget must be in 0..250")
+        if self.expect not in (EXPECT_PASS, EXPECT_FAILOVER,
+                               EXPECT_VIOLATION):
+            raise ValueError(f"unknown expectation {self.expect!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fault_free(self) -> bool:
+        return self.role is None
+
+    @property
+    def hardened(self) -> bool:
+        return self.watchdog_budget > 0
+
+    def applicable(self, rows: int, cols: int) -> Optional[str]:
+        """Why this scenario cannot run on ``rows x cols`` (None = it can)."""
+        if self.role in ("row_tx", "row_rel"):
+            if cols < 2:
+                return f"{self.role} needs cols >= 2"
+            if self.row >= rows:
+                return f"row {self.row} outside a {rows}-row mesh"
+        if self.role in ("col_tx", "col_rel") and rows < 2:
+            return f"{self.role} needs rows >= 2"
+        return None
+
+    def wire_suffix(self) -> Optional[str]:
+        """Line-name suffix of the damaged wire (matches ``GLine.name``)."""
+        if self.role is None:
+            return None
+        return {"row_tx": f"SglineH{self.row}",
+                "row_rel": f"MglineH{self.row}",
+                "col_tx": "SglineV",
+                "col_rel": "MglineV"}[self.role]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "role": self.role, "row": self.row,
+                "stuck": self.stuck, "count_delta": self.count_delta,
+                "watchdog_budget": self.watchdog_budget,
+                "watchdog_retries": self.watchdog_retries,
+                "expect": self.expect}
+
+
+class ScenarioInjector:
+    """A :class:`~repro.faults.injector.FaultInjector`-compatible shim that
+    applies one scenario's static fault to the real network every cycle.
+
+    ``perturb_glines`` is the only hook the network calls; re-applying the
+    transient ``count_delta`` each clocked cycle mirrors the model, where
+    the skew is part of the transition relation rather than a seeded event.
+    """
+
+    def __init__(self, scenario: FaultScenario):
+        self.scenario = scenario
+        self._suffix = scenario.wire_suffix()
+
+    def perturb_glines(self, lines: List[Any]) -> None:
+        if self._suffix is None:
+            return
+        for line in lines:
+            if line.name.endswith("." + self._suffix):
+                if self.scenario.stuck is not None:
+                    line.stuck = self.scenario.stuck
+                if self.scenario.count_delta:
+                    line.count_delta = self.scenario.count_delta
+
+
+# ---------------------------------------------------------------------- #
+# Mutations: deliberate protocol bugs the checker must catch.
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Mutation:
+    """An off-by-one gather threshold in one Master controller class.
+
+    ``target`` selects the controller: ``"mh"`` lowers every MasterH's
+    ``num_slaves`` by one (a row flags complete with a slave still
+    missing), ``"mv"`` lowers MasterV's (the chip releases with a row
+    still gathering).  Both reproduce the classic early-release bug class
+    of barrier hardware.
+    """
+
+    name: str
+    description: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.target not in ("mh", "mv"):
+            raise ValueError(f"unknown mutation target {self.target!r}")
+
+    def applicable(self, rows: int, cols: int) -> Optional[str]:
+        if self.target == "mh" and cols < 2:
+            return "mh threshold mutation needs cols >= 2"
+        if self.target == "mv" and rows < 2:
+            return "mv threshold mutation needs rows >= 2"
+        return None
+
+    def apply_to_network(self, net: Any) -> None:
+        """Damage a live ``GLineBarrierNetwork`` identically to the model."""
+        if self.target == "mh":
+            for mh in net.masters_h:
+                mh.num_slaves -= 1
+        else:
+            net.master_v.num_slaves -= 1
+
+
+#: Registry of named scenarios.  The hardened fault scenarios must stay
+#: safe (the watchdog/failover machinery absorbs the fault); the
+#: unhardened miscount demo must *lose* safety -- proving the checker can
+#: tell the difference.
+SCENARIOS: Dict[str, FaultScenario] = {s.name: s for s in [
+    FaultScenario(
+        name="fault-free",
+        description="healthy wires, paper-faithful unhardened network"),
+    FaultScenario(
+        name="fault-free-hardened",
+        description="healthy wires with the watchdog armed (budget 8); "
+                    "hardening must not break any property",
+        watchdog_budget=8),
+    FaultScenario(
+        name="stuck-row-tx-low",
+        description="row-0 SglineH stuck at 0: slave arrivals invisible, "
+                    "watchdog must retry then fail over safely",
+        role="row_tx", row=0, stuck=0,
+        watchdog_budget=8, expect=EXPECT_FAILOVER),
+    FaultScenario(
+        name="stuck-col-rel-high",
+        description="MglineV stuck at 1: spurious chip release level; the "
+                    "hardened guard masks it and fails over safely",
+        role="col_rel", stuck=1,
+        watchdog_budget=8, expect=EXPECT_FAILOVER),
+    FaultScenario(
+        name="miscount-row-tx",
+        description="row-0 SglineH S-CSMA over-counts by one each cycle; "
+                    "overshoot detection must catch it and fail over",
+        role="row_tx", row=0, count_delta=1,
+        watchdog_budget=8, expect=EXPECT_FAILOVER),
+    FaultScenario(
+        name="miscount-row-tx-unhardened",
+        description="the same miscount without hardening: the polluted "
+                    "Scnt releases a later episode early (demo of a real "
+                    "safety violation)",
+        role="row_tx", row=0, count_delta=1,
+        expect=EXPECT_VIOLATION),
+]}
+
+#: The canonical fault-free scenario (model default).
+FAULT_FREE = SCENARIOS["fault-free"]
+
+MUTATIONS: Dict[str, Mutation] = {m.name: m for m in [
+    Mutation(name="mh-early-flag",
+             description="every MasterH gathers to num_slaves-1: a row "
+                         "flags complete with one slave missing",
+             target="mh"),
+    Mutation(name="mv-early-done",
+             description="MasterV gathers to num_rows-2: the chip release "
+                         "starts with one row still gathering",
+             target="mv"),
+]}
+
+
+def get_scenario(name: str) -> FaultScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"known: {', '.join(sorted(SCENARIOS))}") from None
+
+
+def get_mutation(name: str) -> Mutation:
+    try:
+        return MUTATIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown mutation {name!r}; "
+                       f"known: {', '.join(sorted(MUTATIONS))}") from None

@@ -1,0 +1,122 @@
+"""Schedule-permutation properties for the software barriers.
+
+The model checker (:mod:`repro.verify`) proves arrival-order
+insensitivity exhaustively for the G-line hardware; these tests carry
+the same obligation to the software implementations, where exhaustive
+checking is impractical: for *drawn arrival permutations* (realized as
+strictly staggered per-core delays) every implementation must
+
+1. release each core exactly once per episode, in every ordering;
+2. never release an episode before its last arrival;
+3. advance its per-core episode state in lockstep -- the CSW/DSW sense
+   bit reverses every episode, the dissemination/tournament episode
+   counters count them -- so flag reuse across episodes stays safe.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_chip
+from repro.cpu import isa
+
+#: Gap between consecutive ranks of a drawn permutation, large enough to
+#: dominate cache-miss jitter so the intended arrival order is realized.
+STAGGER = 400
+
+IMPLS = ("csw", "csw-fa", "dsw", "diss", "tour")
+
+#: Per-core episode-state key and its expected value after E episodes.
+EPISODE_STATE = {
+    "csw": (("csw_sense", 0), lambda e: e % 2),
+    "csw-fa": (("csw_sense", 0), lambda e: e % 2),
+    "dsw": (("dsw_sense", 0), lambda e: e % 2),
+    "diss": (("diss_episode", 0), lambda e: e),
+    "tour": (("tour_episode", 0), lambda e: e),
+}
+
+
+def run_permutations(impl, num_cores, perms):
+    """One chip run: episode k's arrivals follow permutation ``perms[k]``."""
+    chip = make_chip(num_cores, impl)
+    episodes = len(perms)
+    entries = [[None] * num_cores for _ in range(episodes)]
+    exits = [[None] * num_cores for _ in range(episodes)]
+    counts = [[0] * num_cores for _ in range(episodes)]
+
+    def prog(cid):
+        for k, perm in enumerate(perms):
+            yield isa.Compute(perm.index(cid) * STAGGER)
+            entries[k][cid] = chip.engine.now
+            yield isa.BarrierOp()
+            counts[k][cid] += 1
+            exits[k][cid] = chip.engine.now
+
+    chip.run([prog(c) for c in range(num_cores)])
+    return chip, entries, exits, counts
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_every_permutation_releases_exactly_once(impl, data):
+    num_cores = data.draw(st.sampled_from([2, 3, 4, 5, 8]))
+    episodes = data.draw(st.integers(1, 4))
+    perms = [data.draw(st.permutations(range(num_cores)))
+             for _ in range(episodes)]
+
+    chip, entries, exits, counts = run_permutations(impl, num_cores,
+                                                    perms)
+
+    for k in range(episodes):
+        # Exactly once: every core passed episode k's barrier exactly one
+        # time, whatever the arrival order.
+        assert counts[k] == [1] * num_cores, \
+            f"{impl}: episode {k} release counts {counts[k]}"
+        assert min(exits[k]) >= max(entries[k]), \
+            f"{impl}: episode {k} released before its last arrival " \
+            f"(perm {perms[k]})"
+    assert chip.stats.num_barriers() == episodes
+    assert chip.engine.pending() == 0
+
+    key, expected = EPISODE_STATE[impl]
+    for core in chip.cores:
+        assert core.local.get(key, 0) == expected(episodes), \
+            f"{impl}: core {core.cid} episode state did not advance " \
+            f"in lockstep"
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_reversed_permutation_same_outcome(impl, data):
+    """A permutation and its reverse produce the same episode structure:
+    order changes *when* the barrier completes, never *whether* or how
+    many times each core is released."""
+    num_cores = data.draw(st.sampled_from([3, 4, 6]))
+    perm = data.draw(st.permutations(range(num_cores)))
+    rev = list(reversed(perm))
+
+    chip_a, _, _, counts_a = run_permutations(impl, num_cores,
+                                              [list(perm)])
+    chip_b, _, _, counts_b = run_permutations(impl, num_cores, [rev])
+
+    assert chip_a.stats.num_barriers() == chip_b.stats.num_barriers() == 1
+    assert counts_a[0] == counts_b[0] == [1] * num_cores
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_sense_reverses_across_many_episodes(impl):
+    """15 episodes of rotating arrival order: the per-core episode state
+    stays in lockstep the whole way (flag-reuse safety)."""
+    num_cores, episodes = 4, 15
+    perms = [[(r + c) % num_cores for c in range(num_cores)]
+             for r in range(episodes)]
+    chip, entries, exits, counts = run_permutations(impl, num_cores,
+                                                    perms)
+    for k in range(episodes):
+        assert counts[k] == [1] * num_cores
+        assert min(exits[k]) >= max(entries[k])
+    key, expected = EPISODE_STATE[impl]
+    for core in chip.cores:
+        assert core.local.get(key, 0) == expected(episodes)

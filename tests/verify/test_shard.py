@@ -1,0 +1,96 @@
+"""Sharded exploration over the parallel experiment executor.
+
+Verify shards are ordinary executor specs: they fan out over
+:class:`ParallelRunner` workers, land in the persistent
+:class:`ResultCache`, and decode back through the spec's
+``result_from_dict`` hook (not ``RunResult``).  The merged census must
+reach the same verdicts as the single-process exploration.
+"""
+
+import pytest
+
+from repro.exec import ParallelRunner, ResultCache
+from repro.verify import (GLBarrierModel, PROVED, VerifyShardResult,
+                          VerifyShardSpec, explore, merge_shards,
+                          replay_actions, shard_prefixes)
+
+
+def _specs(model, depth, **kw):
+    prefixes, early = shard_prefixes(model, depth)
+    assert early is None
+    return [VerifyShardSpec(rows=model.rows, cols=model.cols,
+                            prefix=p, **kw) for p in prefixes]
+
+
+def test_shard_prefixes_are_deterministic_and_rooted():
+    model = GLBarrierModel(2, 4)
+    a, _ = shard_prefixes(model, 2)
+    b, _ = shard_prefixes(model, 2)
+    assert a == b == sorted(a)
+    assert len(a) == len(set(a)) > 1
+
+
+def test_shallow_violation_surfaces_during_prefix_walk():
+    model = GLBarrierModel(2, 2, mutation="mh-early-flag")
+    prefixes, early = shard_prefixes(model, 6)
+    assert prefixes == [] and early is not None
+    assert early.prop == "safety"
+
+
+def test_merged_census_matches_single_process_verdicts():
+    model = GLBarrierModel(2, 4)
+    single = explore(model)
+    results = [spec.execute() for spec in _specs(model, 2)]
+    merged = merge_shards(results, model)
+    assert merged.ok
+    # Shards overlap where subtrees reconverge: summed counts upper-
+    # bound the single-process census but never undercount it.
+    assert merged.states >= single.states
+    assert merged.transitions >= single.transitions
+    assert all(v == PROVED for v in merged.properties.values())
+    assert merged.max_completion_ticks == single.max_completion_ticks
+
+
+def test_shard_violation_carries_full_path():
+    model = GLBarrierModel(2, 2, mutation="mv-early-done")
+    specs = _specs(model, 1, mutation="mv-early-done")
+    results = [spec.execute() for spec in specs]
+    merged = merge_shards(results, model)
+    assert merged.violation is not None
+    # The prefix + local path replays from the *initial* state to the
+    # same violation.
+    _, _, violation = replay_actions(model,
+                                     merged.violation.action_indices)
+    assert violation is not None
+    assert violation.prop == merged.violation.prop
+
+
+def test_specs_run_and_cache_over_the_executor(tmp_path):
+    model = GLBarrierModel(2, 2)
+    specs = _specs(model, 1)
+    cache = ResultCache(tmp_path)
+    runner = ParallelRunner(jobs=2, cache=cache)
+    cold = runner.run(specs)
+    assert runner.misses == len(specs) and runner.hits == 0
+    assert all(isinstance(r, VerifyShardResult) for r in cold)
+
+    # Same specs, fresh runner: every shard must come from the cache and
+    # still decode through VerifyShardSpec.result_from_dict.
+    warm_runner = ParallelRunner(jobs=2, cache=ResultCache(tmp_path))
+    warm = warm_runner.run(specs)
+    assert warm_runner.hits == len(specs) and warm_runner.misses == 0
+    assert all(isinstance(r, VerifyShardResult) for r in warm)
+    assert [r.to_dict() for r in warm] == [r.to_dict() for r in cold]
+    merged = merge_shards(warm, model)
+    assert merged.ok and merged.properties["safety"] == PROVED
+
+
+def test_shard_result_dict_roundtrip():
+    res = VerifyShardResult(states=3, transitions=9, capped=False,
+                            max_completion_ticks=4, violation=None)
+    assert VerifyShardResult.from_dict(res.to_dict()) == res
+    spec = VerifyShardSpec(rows=2, cols=2, prefix=(1, 2))
+    assert spec.key() == VerifyShardSpec(rows=2, cols=2,
+                                         prefix=(1, 2)).key()
+    assert spec.key() != VerifyShardSpec(rows=2, cols=2,
+                                         prefix=(2, 1)).key()
