@@ -1,0 +1,86 @@
+"""Benchmark case registry.
+
+A :class:`BenchCase` names a reproducible bundle of :class:`RunSpec`\\ s --
+the same specs the experiment drivers build, so the timed work is exactly
+the work the figures pay for.  Every case has a ``quick`` variant (fewer
+iterations / fewer chip sizes) for the CI smoke job; quick and full specs
+carry different config digests, so the comparison gate never confuses the
+two scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exec.spec import RunSpec
+from ..workloads import Kernel3Workload, SyntheticBarrierWorkload
+from ..workloads.stress import StressWorkload
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named, timeable bundle of runs."""
+
+    name: str
+    description: str
+    #: quick -> specs.  Specs must be deterministic functions of ``quick``
+    #: so the config digest identifies what was measured.
+    build: Callable[[bool], list[RunSpec]]
+
+
+def _fig5_specs(quick: bool) -> list[RunSpec]:
+    """Figure 5's grid (all three barriers), scaled down when quick.
+
+    Mirrors :func:`repro.experiments.fig5.run_fig5`: one synthetic-barrier
+    run per (implementation, core count).
+    """
+    core_counts = (4, 8) if quick else (4, 8, 16, 32)
+    iterations = 8 if quick else 40
+    workload = SyntheticBarrierWorkload(iterations=iterations)
+    return [RunSpec.make(workload, barrier, num_cores=cores)
+            for barrier in ("csw", "dsw", "gl")
+            for cores in core_counts]
+
+
+def _fig6_fig7_specs(quick: bool) -> list[RunSpec]:
+    """The KERN3 DSW-vs-GL pair behind figures 6 and 7's headline row."""
+    iterations = 8 if quick else 75
+    cores = 16 if quick else 32
+    workload = Kernel3Workload(iterations=iterations)
+    return [RunSpec.make(workload, barrier, num_cores=cores)
+            for barrier in ("dsw", "gl")]
+
+
+def _stress16x16_specs(quick: bool) -> list[RunSpec]:
+    """A 256-core (16x16 mesh) random op-mix -- the scaling direction
+    ROADMAP's 1024-core goal points at, far beyond the paper's 32 cores."""
+    workload = StressWorkload(ops_per_core=8 if quick else 60,
+                              barriers=2 if quick else 6, seed=7)
+    return [RunSpec.make(workload, "gl", num_cores=256)]
+
+
+CASES: dict[str, BenchCase] = {
+    "fig5": BenchCase(
+        name="fig5",
+        description="Figure 5 grid: synthetic barrier latency, "
+                    "csw/dsw/gl across chip sizes",
+        build=_fig5_specs),
+    "fig6_fig7": BenchCase(
+        name="fig6_fig7",
+        description="Figures 6+7: the KERN3 DSW-vs-GL pair",
+        build=_fig6_fig7_specs),
+    "stress16x16": BenchCase(
+        name="stress16x16",
+        description="16x16-mesh (256-core) random op-mix stress run",
+        build=_stress16x16_specs),
+}
+
+
+def get_case(name: str) -> BenchCase:
+    """Look up a case; raises ``KeyError`` with the known names."""
+    try:
+        return CASES[name]
+    except KeyError:
+        raise KeyError(f"unknown bench case {name!r}; "
+                       f"known: {sorted(CASES)}") from None

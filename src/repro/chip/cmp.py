@@ -28,7 +28,7 @@ from ..mem.l1 import L1Cache
 from ..mem.memory import MemoryController
 from ..noc.network import Network
 from ..obs import Observability
-from ..sim.engine import Engine
+from ..sim import make_engine
 from ..sync.accounting import BarrierAccounting
 from ..sync.api import BarrierImpl
 from ..sync.csw import CentralizedBarrier
@@ -54,7 +54,7 @@ class CMP:
         #: CMPConfig: a traced run and an untraced run share the same
         #: exec-cache key and must produce identical results.
         self.obs = None
-        self.engine = Engine()
+        self.engine = make_engine(self.config.sim_backend)
         self.stats = StatsRegistry(self.config.num_cores)
         self.funcmem = FunctionalMemory()
         self.amap = AddressMap(self.config.num_cores, self.config.line_bytes)

@@ -225,6 +225,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "never re-simulated)")
     pre.add_argument("journal", type=Path, help="journal written by a "
                      "previous run's --journal flag")
+    # Wall-clock benchmarks: times experiments in-process, so it takes
+    # only its own flags (no executor/cache machinery).
+    pbe = sub.add_parser("bench",
+                         help="time fig5/6/7 + stress cases, write "
+                              "BENCH_*.json, gate against baselines "
+                              "(repro.bench)")
+    pbe.add_argument("names", nargs="*",
+                     help="cases to run (default: all; see repro.bench)")
+    pbe.add_argument("--quick", action="store_true",
+                     help="smoke-scale variants (what CI runs)")
+    pbe.add_argument("--backend", default="both",
+                     choices=["heap", "batched", "both"],
+                     help="engine backend(s) to time (default: both)")
+    pbe.add_argument("--repeats", type=int, default=None, metavar="N",
+                     help="repeats per case, median reported "
+                          "(default: 3, or 2 with --quick)")
+    pbe.add_argument("--out", type=Path, default=None, metavar="DIR",
+                     help="directory for fresh BENCH_*.json snapshots "
+                          "(e.g. CI artifacts; default: don't write)")
+    pbe.add_argument("--baseline-dir", type=Path, default=None,
+                     metavar="DIR",
+                     help="committed baselines to gate against "
+                          "(default: benchmarks/perf)")
+    pbe.add_argument("--write", action="store_true",
+                     help="refresh the baseline files in --baseline-dir "
+                          "instead of gating against them")
+    pbe.add_argument("--check", action="store_true",
+                     help="exit 1 on any regression beyond tolerance")
+    pbe.add_argument("--tolerance", type=float, default=None,
+                     help="allowed normalized-score regression "
+                          "(default 0.25)")
     pca = sub.add_parser("cache", help="inspect or maintain the result "
                                        "cache")
     pca.add_argument("action", choices=["stats", "clear", "prune"],
@@ -245,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_resume(args)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "bench":
+        return _run_bench(args)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
@@ -343,6 +376,81 @@ def _run_resume(args) -> int:
     print(f"[repro.exec] resuming: repro {' '.join(recorded)}  "
           f"({done} run(s) already completed)", file=sys.stderr)
     return main(recorded)
+
+
+def _run_bench(args) -> int:
+    """``repro bench``: time cases, snapshot, gate against baselines.
+
+    Exit codes: 0 ok; 1 a regression beyond tolerance with ``--check``;
+    2 usage errors (unknown case, incomparable baseline).
+    """
+    from .bench import (CASES, DEFAULT_REPEATS, DEFAULT_TOLERANCE,
+                        BenchSnapshot, calibrate, compare_snapshots,
+                        get_case, load_snapshot, run_case, write_snapshot)
+    from .bench.runner import BenchError, config_digest
+
+    names = args.names or sorted(CASES)
+    try:
+        cases = [get_case(name) for name in names]
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    backends = ["heap", "batched"] if args.backend == "both" \
+        else [args.backend]
+    repeats = args.repeats if args.repeats is not None \
+        else (2 if args.quick else DEFAULT_REPEATS)
+    tolerance = args.tolerance if args.tolerance is not None \
+        else DEFAULT_TOLERANCE
+
+    calibration_eps = calibrate()
+    print(f"[repro.bench] calibration: {calibration_eps:,.0f} "
+          f"events/sec (pure-python reference loop)", file=sys.stderr)
+
+    regressed = False
+    for case in cases:
+        snapshot = BenchSnapshot(name=case.name, quick=args.quick,
+                                 config_digest=config_digest(
+                                     case, args.quick))
+        for backend in backends:
+            meas = run_case(case, backend, quick=args.quick,
+                            repeats=repeats,
+                            calibration_eps=calibration_eps)
+            snapshot.backends[backend] = meas
+            print(f"{case.name:<12} {backend:<8} "
+                  f"median {meas.median_wall_s * 1000:8.1f} ms   "
+                  f"{meas.events_per_sec:12,.0f} ev/s   "
+                  f"norm {meas.normalized_score:.3f}   "
+                  f"({meas.events:,} events x{meas.repeats})")
+        # --write refreshes the committed baselines; --out drops fresh
+        # snapshots elsewhere (CI artifacts).  A plain run writes nothing.
+        if args.write:
+            path = write_snapshot(snapshot, args.baseline_dir)
+            print(f"[repro.bench] wrote {path}", file=sys.stderr)
+        elif args.out is not None:
+            path = write_snapshot(snapshot, args.out)
+            print(f"[repro.bench] wrote {path}", file=sys.stderr)
+        if not args.write:
+            baseline = load_snapshot(case.name, args.baseline_dir)
+            if baseline is None:
+                print(f"[repro.bench] no baseline for {case.name}; "
+                      f"seed one with: repro bench --write "
+                      + ("--quick " if args.quick else "") + case.name,
+                      file=sys.stderr)
+                continue
+            try:
+                comparisons = compare_snapshots(snapshot, baseline,
+                                                tolerance=tolerance)
+            except BenchError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            for comp in comparisons:
+                print("[repro.bench] " + comp.summary())
+                regressed = regressed or comp.regressed
+    if regressed and args.check:
+        print("[repro.bench] regression beyond tolerance (see above)",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_cache(args) -> int:

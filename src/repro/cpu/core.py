@@ -116,85 +116,101 @@ class Core(Component):
 
     # ------------------------------------------------------------------ #
     def _execute(self, op) -> None:
+        """Dispatch one operation by exact type (dict lookup; the
+        per-op hot path), falling back to an isinstance walk for op
+        subclasses so test doubles keep working."""
         self.ops_executed += 1
         self.pending_op = op
-        t0 = self.now
-        if isinstance(op, isa.Compute):
-            if op.cycles < 0:
-                raise SimulationError("negative compute duration")
-            self.stats.add_cycles(self.cid,
-                                  self._current_cat(CycleCat.BUSY),
-                                  op.cycles)
-            self.schedule(op.cycles, self._advance, None)
-        elif isinstance(op, isa.Load):
-            self.l1.load(op.addr, lambda v: (
-                self._attr(t0, CycleCat.READ), self._advance(v)))
-        elif isinstance(op, isa.Store):
-            self.l1.store(op.addr, op.value, lambda: (
-                self._attr(t0, CycleCat.WRITE), self._advance(None)))
-        elif isinstance(op, isa.AtomicRMW):
-            self.l1.atomic(op.addr, op.fn, lambda old: (
-                self._attr(t0, CycleCat.WRITE), self._advance(old)))
-        elif isinstance(op, isa.SpinUntil):
-            self._exec_spin(op, t0)
-        elif isinstance(op, isa.BarrierOp):
-            if self.barrier_binding is None:
+        handler = _DISPATCH.get(type(op))
+        if handler is None:
+            for klass, candidate in _DISPATCH.items():
+                if isinstance(op, klass):
+                    handler = candidate
+                    break
+            else:
                 raise SimulationError(
-                    f"core {self.cid}: no barrier implementation bound")
-            self._note_barrier(obs_ev.CORE_BARRIER_ENTER,
-                               barrier=op.barrier_id)
-            delay = 0
-            if self.injector is not None:
-                if self.injector.core_failstop(self.cid):
-                    # Fail-stop: the core halts here and never announces
-                    # arrival.  No recovery is modelled (that would need
-                    # barrier-membership reconfiguration); the run ends in
-                    # an honest DeadlockError naming this core.
-                    self.halted = True
-                    self.stats.bump("faults.core.failstops")
-                    self._note_barrier(obs_ev.CORE_FAILSTOP,
-                                       barrier=op.barrier_id)
-                    return
-                delay = self.injector.core_straggler_delay(self.cid)
-                if delay:
-                    self.stats.bump("faults.core.stragglers")
-                    self.stats.add_cycles(self.cid,
-                                          self._current_cat(CycleCat.BUSY),
-                                          delay)
-                    self._note_barrier(obs_ev.CORE_STRAGGLER, delay=delay)
-            seq = self.barrier_binding.sequence(self, op.barrier_id)
-            if self.barrier_accounting is not None:
-                seq = self._accounted_barrier(seq, op.barrier_id)
-            self._push_frame(seq, CycleCat.BARRIER)
-            self.schedule(delay, self._advance, None)
-        elif isinstance(op, isa.AcquireLock):
-            if self.lock_binding is None:
-                raise SimulationError(
-                    f"core {self.cid}: no lock implementation bound")
-            # A lock taken inside a barrier (or another phase) inherits the
-            # enclosing attribution -- e.g. CSW's internal lock is Barrier
-            # time (stage S1), not Lock time.
-            phase = None if self._phase_stack else CycleCat.LOCK
-            self._push_frame(self.lock_binding.acquire_seq(op.lock_addr),
-                             phase)
-            self.schedule(0, self._advance, None)
-        elif isinstance(op, isa.ReleaseLock):
-            if self.lock_binding is None:
-                raise SimulationError(
-                    f"core {self.cid}: no lock implementation bound")
-            phase = None if self._phase_stack else CycleCat.LOCK
-            self._push_frame(self.lock_binding.release_seq(op.lock_addr),
-                             phase)
-            self.schedule(0, self._advance, None)
-        elif isinstance(op, HWBarrierArrive):
-            # Yielded by the G-line barrier's library sequence: write
-            # bar_reg, then sleep until the controllers reset it.  The
-            # optional *outcome* (repro.faults.FAILOVER) is delivered back
-            # into the library sequence so it can complete in software.
-            op.barrier.arrive(
-                self.cid, lambda outcome=None: self._hw_resume(t0, outcome))
-        else:
-            raise SimulationError(f"core {self.cid}: unknown op {op!r}")
+                    f"core {self.cid}: unknown op {op!r}")
+        handler(self, op, self.now)
+
+    def _exec_compute(self, op: isa.Compute, t0: int) -> None:
+        if op.cycles < 0:
+            raise SimulationError("negative compute duration")
+        self.stats.add_cycles(self.cid,
+                              self._current_cat(CycleCat.BUSY),
+                              op.cycles)
+        self.schedule(op.cycles, self._advance, None)
+
+    def _exec_load(self, op: isa.Load, t0: int) -> None:
+        self.l1.load(op.addr, lambda v: (
+            self._attr(t0, CycleCat.READ), self._advance(v)))
+
+    def _exec_store(self, op: isa.Store, t0: int) -> None:
+        self.l1.store(op.addr, op.value, lambda: (
+            self._attr(t0, CycleCat.WRITE), self._advance(None)))
+
+    def _exec_atomic(self, op: isa.AtomicRMW, t0: int) -> None:
+        self.l1.atomic(op.addr, op.fn, lambda old: (
+            self._attr(t0, CycleCat.WRITE), self._advance(old)))
+
+    def _exec_barrier(self, op: isa.BarrierOp, t0: int) -> None:
+        if self.barrier_binding is None:
+            raise SimulationError(
+                f"core {self.cid}: no barrier implementation bound")
+        self._note_barrier(obs_ev.CORE_BARRIER_ENTER,
+                           barrier=op.barrier_id)
+        delay = 0
+        if self.injector is not None:
+            if self.injector.core_failstop(self.cid):
+                # Fail-stop: the core halts here and never announces
+                # arrival.  No recovery is modelled (that would need
+                # barrier-membership reconfiguration); the run ends in
+                # an honest DeadlockError naming this core.
+                self.halted = True
+                self.stats.bump("faults.core.failstops")
+                self._note_barrier(obs_ev.CORE_FAILSTOP,
+                                   barrier=op.barrier_id)
+                return
+            delay = self.injector.core_straggler_delay(self.cid)
+            if delay:
+                self.stats.bump("faults.core.stragglers")
+                self.stats.add_cycles(self.cid,
+                                      self._current_cat(CycleCat.BUSY),
+                                      delay)
+                self._note_barrier(obs_ev.CORE_STRAGGLER, delay=delay)
+        seq = self.barrier_binding.sequence(self, op.barrier_id)
+        if self.barrier_accounting is not None:
+            seq = self._accounted_barrier(seq, op.barrier_id)
+        self._push_frame(seq, CycleCat.BARRIER)
+        self.schedule(delay, self._advance, None)
+
+    def _exec_acquire(self, op: isa.AcquireLock, t0: int) -> None:
+        if self.lock_binding is None:
+            raise SimulationError(
+                f"core {self.cid}: no lock implementation bound")
+        # A lock taken inside a barrier (or another phase) inherits the
+        # enclosing attribution -- e.g. CSW's internal lock is Barrier
+        # time (stage S1), not Lock time.
+        phase = None if self._phase_stack else CycleCat.LOCK
+        self._push_frame(self.lock_binding.acquire_seq(op.lock_addr),
+                         phase)
+        self.schedule(0, self._advance, None)
+
+    def _exec_release(self, op: isa.ReleaseLock, t0: int) -> None:
+        if self.lock_binding is None:
+            raise SimulationError(
+                f"core {self.cid}: no lock implementation bound")
+        phase = None if self._phase_stack else CycleCat.LOCK
+        self._push_frame(self.lock_binding.release_seq(op.lock_addr),
+                         phase)
+        self.schedule(0, self._advance, None)
+
+    def _exec_hw_arrive(self, op: "HWBarrierArrive", t0: int) -> None:
+        # Yielded by the G-line barrier's library sequence: write
+        # bar_reg, then sleep until the controllers reset it.  The
+        # optional *outcome* (repro.faults.FAILOVER) is delivered back
+        # into the library sequence so it can complete in software.
+        op.barrier.arrive(
+            self.cid, lambda outcome=None: self._hw_resume(t0, outcome))
 
     def _hw_resume(self, t0: int, outcome=None) -> None:
         """Hardware barrier released (or failed over) this core."""
@@ -268,3 +284,18 @@ class HWBarrierArrive:
 
     def __init__(self, barrier):
         self.barrier = barrier
+
+
+#: Exact-type dispatch for Core._execute.  Order mirrors the original
+#: isinstance chain so the subclass fallback keeps its precedence.
+_DISPATCH: dict[type, Callable] = {
+    isa.Compute: Core._exec_compute,
+    isa.Load: Core._exec_load,
+    isa.Store: Core._exec_store,
+    isa.AtomicRMW: Core._exec_atomic,
+    isa.SpinUntil: Core._exec_spin,
+    isa.BarrierOp: Core._exec_barrier,
+    isa.AcquireLock: Core._exec_acquire,
+    isa.ReleaseLock: Core._exec_release,
+    HWBarrierArrive: Core._exec_hw_arrive,
+}

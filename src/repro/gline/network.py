@@ -376,12 +376,16 @@ class GLineBarrierNetwork(Component):
     def _will_act(self) -> bool:
         """True if any controller will drive a line or change registers next
         cycle without a further bar_reg write."""
-        if any(mh.will_act(self.bar_regs) for mh in self.masters_h):
-            return True
-        if any(sh.will_act(self.bar_regs) for sh in self.slaves_h):
-            return True
-        if any(sv.will_act() for sv in self.slaves_v):
-            return True
+        bar_regs = self.bar_regs
+        for mh in self.masters_h:
+            if mh.will_act(bar_regs):
+                return True
+        for sh in self.slaves_h:
+            if sh.will_act(bar_regs):
+                return True
+        for sv in self.slaves_v:
+            if sv.will_act():
+                return True
         if self.master_v is not None and self.master_v.will_act():
             return True
         if (self.hardened and self.rows == 1 and self.masters_h[0].flag

@@ -99,7 +99,7 @@ class HomeController(Component):
         kind = msg.kind
         if self.tracer.enabled:
             self.tracer.emit(self.now, self.name, obs_ev.DIR_MSG,
-                             kind=kind, src=msg.src, line=line,
+                             msg_kind=kind, src=msg.src, line=line,
                              queued=len(entry.pending))
         if kind in ("GetS", "GetM", "PutM"):
             if self.metrics is not None:

@@ -184,7 +184,7 @@ class L1Cache(Component):
         entry = self.mshr.complete(line)
         if self.tracer.enabled:
             self.tracer.emit(self.now, self.name, obs_ev.L1_FILL,
-                             line=line, kind=kind,
+                             line=line, msg_kind=kind,
                              wait=self.now - entry.issue_time)
         if self.metrics is not None:
             self.metrics.histogram("l1.miss_latency").record(

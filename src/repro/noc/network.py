@@ -99,7 +99,7 @@ class Network(Component):
             self.routers[mid].forwarded += 1
         if self.tracer.enabled:
             self.tracer.emit(self.now, self.name, obs_ev.NOC_SEND,
-                             src=msg.src, dst=msg.dst, kind=msg.kind,
+                             src=msg.src, dst=msg.dst, msg_kind=msg.kind,
                              flits=flits, hops=msg.hops)
         # Injection: pay the source router pipeline, then start hopping.
         self.schedule(self.config.router_latency, self._hop, msg, path, 0,
@@ -130,7 +130,7 @@ class Network(Component):
         msg.arrive_time = self.now
         if self.tracer.enabled:
             self.tracer.emit(self.now, self.name, obs_ev.NOC_DELIVER,
-                             src=msg.src, dst=msg.dst, kind=msg.kind,
+                             src=msg.src, dst=msg.dst, msg_kind=msg.kind,
                              latency=msg.latency)
         if self.metrics is not None and msg.src != msg.dst:
             self.metrics.histogram("noc.msg_latency").record(msg.latency)

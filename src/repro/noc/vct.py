@@ -110,7 +110,7 @@ class VCTNetwork(Component):
             self.routers[mid].forwarded += 1
         if self.tracer.enabled:
             self.tracer.emit(self.now, self.name, obs_ev.NOC_SEND,
-                             src=msg.src, dst=msg.dst, kind=msg.kind,
+                             src=msg.src, dst=msg.dst, msg_kind=msg.kind,
                              flits=flits, hops=msg.hops)
         packet = _Packet(msg, flits_capped, path)
         # Injection pipeline, then compete for the first link.
@@ -185,7 +185,7 @@ class VCTNetwork(Component):
         msg.arrive_time = self.now
         if self.tracer.enabled:
             self.tracer.emit(self.now, self.name, obs_ev.NOC_DELIVER,
-                             src=msg.src, dst=msg.dst, kind=msg.kind,
+                             src=msg.src, dst=msg.dst, msg_kind=msg.kind,
                              latency=msg.latency)
         if self.metrics is not None and msg.src != msg.dst:
             self.metrics.histogram("noc.msg_latency").record(msg.latency)

@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
-from .engine import Engine
+from typing import TYPE_CHECKING, Any
+
+from .engine import Callback, Engine
 from ..common.stats import StatsRegistry
 from ..obs.tracer import NULL_TRACER
+
+if TYPE_CHECKING:
+    from .fastcore import FastEngine
 
 
 class Component:
@@ -20,18 +25,20 @@ class Component:
     ``metrics is not None`` so disabled runs pay one attribute read.
     """
 
-    def __init__(self, engine: Engine, stats: StatsRegistry, name: str):
+    def __init__(self, engine: "Engine | FastEngine", stats: StatsRegistry,
+                 name: str):
         self.engine = engine
         self.stats = stats
         self.name = name
-        self.tracer = NULL_TRACER
-        self.metrics = None
+        self.tracer: Any = NULL_TRACER
+        self.metrics: Any = None
 
     @property
     def now(self) -> int:
         return self.engine.now
 
-    def schedule(self, delay: int, callback, *args, priority: int = 0) -> None:
+    def schedule(self, delay: int, callback: Callback, *args: Any,
+                 priority: int = 0) -> None:
         self.engine.schedule(delay, callback, *args, priority=priority)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,148 @@
+"""Dual-backend differential oracle.
+
+:func:`run_dual` executes the *same* workload on two chips that differ
+only in their event-engine backend -- the reference heap engine and the
+batched calendar kernel -- and asserts that every observable output is
+identical:
+
+* the **event execution order** (each engine's ``order_log``:
+  ``(time, priority, seq, qualname)`` per executed event),
+* the **StatsRegistry dump** (every paper-figure number),
+* the **RunResult** (total cycles, events executed, metrics),
+* optionally the **full trace stream** (every ``TraceEvent`` both chips
+  emit, compared event by event).
+
+This is the traced==untraced pattern from the observability subsystem
+turned on the simulator core itself: the heap engine is the oracle, and
+any divergence -- including "one backend raised and the other didn't" --
+surfaces as a :class:`DualRunDivergence` naming the first differing
+entry.  ``tests/sim/test_fastcore_diff.py`` drives this under Hypothesis
+with random workloads and fault plans; ``repro.bench`` uses the same
+chips for apples-to-apples timing.
+
+The two chips cannot share component objects (each component binds its
+engine at construction), so :func:`run_dual` builds two complete chips
+from one config.  Workload objects in this repo are immutable functions
+of their constructor parameters, so the same instance drives both runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..common.errors import ReproError
+from ..obs import Observability, RingTracer
+
+
+class DualRunDivergence(ReproError):
+    """The two backends produced observably different executions."""
+
+
+def _first_diff(a: list[Any], b: list[Any]) -> str:
+    """Human-readable pointer at the first differing entry of two logs."""
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return f"entry {i}: heap={x!r} batched={y!r}"
+    return (f"length mismatch: heap has {len(a)} entries, "
+            f"batched has {len(b)}")
+
+
+@dataclass
+class DualRunReport:
+    """Outcome of one dual run (oracle side's numbers)."""
+
+    result: Any                    # RunResult from the heap (oracle) chip
+    events_executed: int           # identical on both backends by contract
+    order_entries: int             # length of the compared order logs
+    trace_entries: int             # compared trace events (0 if untraced)
+    #: Both runs raised the same error instead of completing (the chips
+    #: diverged from *success*, not from each other) -- e.g. a fault plan
+    #: that deadlocks both backends identically.
+    error: Optional[str] = None
+
+
+def run_dual(workload: Any, config: Any, barrier: str = "gl",
+             max_cycles: int | None = None,
+             max_events: int | None = None,
+             compare_traces: bool = False) -> DualRunReport:
+    """Run *workload* on heap and batched chips; raise on any divergence.
+
+    *config* is a :class:`~repro.common.params.CMPConfig`; its
+    ``sim_backend`` field is overridden per side.  With
+    ``compare_traces=True`` both chips carry an unbounded
+    :class:`RingTracer` plus metrics and the full per-event streams are
+    compared (slower; the engine's own ``engine.run.*`` events are
+    included -- both backends emit identical pending/executed counts).
+    """
+    from ..chip.cmp import CMP
+
+    sides: dict[str, dict[str, Any]] = {}
+    for backend in ("heap", "batched"):
+        chip = CMP(config.with_(sim_backend=backend), barrier=barrier)
+        chip.engine.order_log = []
+        obs = None
+        if compare_traces:
+            obs = Observability.full(config.num_cores, capacity=None)
+            chip.set_obs(obs)
+        result = error = None
+        try:
+            result = chip.run(workload, max_cycles=max_cycles,
+                              max_events=max_events)
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        sides[backend] = {
+            "chip": chip, "obs": obs, "result": result, "error": error}
+
+    heap, batched = sides["heap"], sides["batched"]
+    if heap["error"] != batched["error"]:
+        raise DualRunDivergence(
+            f"outcome mismatch: heap={heap['error'] or 'completed'!r} "
+            f"batched={batched['error'] or 'completed'!r}")
+
+    h_log = heap["chip"].engine.order_log
+    b_log = batched["chip"].engine.order_log
+    if h_log != b_log:
+        raise DualRunDivergence(
+            "event order diverged: " + _first_diff(h_log, b_log))
+
+    h_stats = heap["chip"].stats.to_dict()
+    b_stats = batched["chip"].stats.to_dict()
+    if h_stats != b_stats:
+        keys = [k for k in h_stats if h_stats[k] != b_stats.get(k)]
+        raise DualRunDivergence(f"stats diverged in {keys[:5]}")
+
+    if heap["result"] is not None:
+        h_res = heap["result"].to_dict()
+        b_res = batched["result"].to_dict()
+        if h_res != b_res:
+            keys = [k for k in h_res if h_res[k] != b_res.get(k)]
+            raise DualRunDivergence(f"RunResult diverged in {keys}")
+
+    h_ev = heap["chip"].engine.events_executed
+    b_ev = batched["chip"].engine.events_executed
+    if h_ev != b_ev:
+        raise DualRunDivergence(
+            f"events_executed diverged: heap={h_ev} batched={b_ev}")
+    if heap["chip"].engine.pending() != batched["chip"].engine.pending():
+        raise DualRunDivergence(
+            f"pending() diverged: heap={heap['chip'].engine.pending()} "
+            f"batched={batched['chip'].engine.pending()}")
+
+    trace_entries = 0
+    if compare_traces:
+        h_trace = [e.to_dict() for e in heap["obs"].tracer.events]
+        b_trace = [e.to_dict() for e in batched["obs"].tracer.events]
+        if h_trace != b_trace:
+            raise DualRunDivergence(
+                "trace streams diverged: " + _first_diff(h_trace, b_trace))
+        trace_entries = len(h_trace)
+        h_metrics = heap["obs"].metrics.to_dict()
+        b_metrics = batched["obs"].metrics.to_dict()
+        if h_metrics != b_metrics:
+            raise DualRunDivergence("metrics streams diverged")
+
+    return DualRunReport(result=heap["result"], events_executed=h_ev,
+                         order_entries=len(h_log),
+                         trace_entries=trace_entries,
+                         error=heap["error"])

@@ -8,15 +8,21 @@ timestamps (a requirement for reproducible experiments and property tests).
 The engine is deliberately minimal -- per the profiling-first guidance, the
 hot path is ``schedule`` + ``run``'s pop loop, so both avoid any allocation
 beyond the event tuple itself.
+
+This heap engine is the repo's *reference* backend: the batched kernel in
+:mod:`repro.sim.fastcore` must reproduce its execution order event for
+event (the differential-oracle contract pinned by
+``tests/sim/test_fastcore_diff.py``).  Changes to ordering semantics here
+must be mirrored there.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from ..common.errors import SimulationError
-from ..obs.tracer import NULL_TRACER
+from ..obs.tracer import NULL_TRACER, Tracer
 
 Callback = Callable[..., None]
 
@@ -24,17 +30,26 @@ Callback = Callable[..., None]
 class Engine:
     """Deterministic discrete-event engine with integer cycle time."""
 
-    __slots__ = ("_queue", "_now", "_seq", "_running", "events_executed",
-                 "tracer")
+    __slots__ = ("_queue", "_now", "_seq", "_running", "_cancelled",
+                 "events_executed", "tracer", "order_log")
 
     def __init__(self) -> None:
         self._queue: list[tuple[int, int, int, Callback, tuple[Any, ...]]] = []
         self._now: int = 0
         self._seq: int = 0
         self._running = False
+        #: Sequence numbers whose events were cancelled but not yet reaped
+        #: from the queue (lazy deletion keeps ``cancel`` O(1)).
+        self._cancelled: set[int] = set()
         self.events_executed: int = 0
         #: Observability sink; NULL_TRACER keeps the hot path allocation-free.
-        self.tracer = NULL_TRACER
+        self.tracer: Tracer = NULL_TRACER
+        #: Optional execution-order probe: when set to a list, every
+        #: executed event appends ``(time, priority, seq, qualname)``.
+        #: Used by the dual-run differential oracle to assert that two
+        #: backends execute the exact same event sequence; ``None`` (the
+        #: default) costs one attribute read per run() call.
+        self.order_log: Optional[list[tuple[int, int, int, str]]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -43,33 +58,55 @@ class Engine:
         return self._now
 
     def pending(self) -> int:
-        """Number of events still queued."""
+        """Number of events still queued (cancelled-but-unreaped events
+        count until their cycle is reached)."""
         return len(self._queue)
 
     # ------------------------------------------------------------------ #
     def schedule(self, delay: int, callback: Callback, *args: Any,
-                 priority: int = 0) -> None:
+                 priority: int = 0) -> int:
         """Schedule *callback(args)* to run ``delay`` cycles from now.
 
         ``priority`` breaks same-cycle ties before the sequence number:
         lower priority values run first.  Components use it sparingly
         (e.g. the G-line network samples transmitters after all writers of
         the same cycle have asserted).
+
+        Returns an opaque handle accepted by :meth:`cancel`.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        self.schedule_at(self._now + delay, callback, *args,
-                         priority=priority)
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq,
+                                     callback, args))
+        return self._seq
 
     def schedule_at(self, time: int, callback: Callback, *args: Any,
-                    priority: int = 0) -> None:
-        """Schedule *callback(args)* at absolute cycle ``time``."""
+                    priority: int = 0) -> int:
+        """Schedule *callback(args)* at absolute cycle ``time``.
+
+        Returns an opaque handle accepted by :meth:`cancel`."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}, now is {self._now}")
         self._seq += 1
         heapq.heappush(self._queue, (time, priority, self._seq,
                                      callback, args))
+        return self._seq
+
+    def cancel(self, handle: int) -> None:
+        """Cancel the event identified by *handle* (a value returned by
+        :meth:`schedule`/:meth:`schedule_at`).
+
+        Cancellation is lazy: the event stays queued until its cycle is
+        reached, then is discarded without executing (it neither runs nor
+        counts toward ``events_executed``/``max_events``).  Cancelling an
+        event that already executed, or an unknown handle, is a silent
+        no-op.  The simulation clock still advances to the cancelled
+        event's cycle when it is reaped, exactly as if an empty event ran
+        there.
+        """
+        self._cancelled.add(handle)
 
     # ------------------------------------------------------------------ #
     def run(self, until: int | None = None,
@@ -78,23 +115,35 @@ class Engine:
         ``max_events`` events execute.  Returns the final time."""
         if self._running:
             raise SimulationError("engine is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}, now is already {self._now}")
         self._running = True
         if self.tracer.enabled:
             self.tracer.emit(self._now, "engine", "engine.run.begin",
                              until=until, max_events=max_events,
                              pending=len(self._queue))
         queue = self._queue
+        cancelled = self._cancelled
+        log = self.order_log
         try:
             while queue:
-                if max_events is not None and self.events_executed >= max_events:
+                if (max_events is not None
+                        and self.events_executed >= max_events):
                     break
-                time, _prio, _seq, callback, args = queue[0]
+                time, prio, seq, callback, args = queue[0]
                 if until is not None and time > until:
                     self._now = until
                     break
                 heapq.heappop(queue)
                 self._now = time
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
                 self.events_executed += 1
+                if log is not None:
+                    log.append((time, prio, seq,
+                                getattr(callback, "__qualname__", "?")))
                 callback(*args)
             else:
                 if until is not None and until > self._now:
@@ -108,11 +157,20 @@ class Engine:
         return self._now
 
     def step(self) -> bool:
-        """Execute exactly one event.  Returns False if the queue is empty."""
-        if not self._queue:
-            return False
-        time, _prio, _seq, callback, args = heapq.heappop(self._queue)
-        self._now = time
-        self.events_executed += 1
-        callback(*args)
-        return True
+        """Execute exactly one event.  Returns False if the queue is empty
+        (cancelled events are reaped silently, never "executed")."""
+        cancelled = self._cancelled
+        while self._queue:
+            time, prio, seq, callback, args = heapq.heappop(self._queue)
+            self._now = time
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self.events_executed += 1
+            if self.order_log is not None:
+                self.order_log.append((time, prio, seq,
+                                       getattr(callback, "__qualname__",
+                                               "?")))
+            callback(*args)
+            return True
+        return False

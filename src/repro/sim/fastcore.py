@@ -1,0 +1,255 @@
+"""Batched discrete-event kernel (the ``"batched"`` sim backend).
+
+:class:`FastEngine` replaces the global binary heap of
+:mod:`repro.sim.engine` with a *calendar of per-cycle buckets*: all events
+that fall in the same cycle live in one bucket, and the engine advances
+bucket by bucket, draining each in a single pass.  A small heap orders the
+distinct cycle numbers only, so the common case -- many events per cycle,
+which is exactly what barrier episodes produce (every core arrives, every
+G-line controller ticks, every router forwards in the same few cycles) --
+costs one O(log t) pop per *cycle* instead of one O(log n) pop per *event*.
+
+Within a bucket, the default-priority events (priority 0, the vast
+majority) are kept in a plain appended list and consumed by index: FIFO
+order *is* sequence order, so no comparison work is needed at all.
+Non-zero priorities go to a per-bucket mini-heap keyed ``(priority, seq)``.
+The drain loop merges the two streams so that the observable execution
+order is **exactly** the reference heap engine's global
+``(time, priority, seq)`` order -- the merge rule exploits the invariant
+that every list event has priority 0:
+
+* a mini-heap head with negative priority beats every list event,
+* otherwise any remaining list event (priority 0) beats a positive-priority
+  mini-heap head,
+* the list exhausted, the mini-heap drains in ``(priority, seq)`` order.
+
+Zero-delay events scheduled from inside a callback land in the live bucket
+and are picked up by the same merge rule, reproducing the heap engine's
+mid-cycle interleaving bit for bit.
+
+Why not numpy?  The paper-scale meshes (up to 16x16) give the G-line
+network tens of wires and the NoC a few hundred links -- far below the
+array sizes where numpy's per-call overhead amortizes, and vectorizing the
+controllers would break the shared-component/bit-identity contract the
+differential oracle depends on.  ``docs/performance.md`` records the
+measurements behind this decision.
+
+The class mirrors :class:`repro.sim.engine.Engine`'s public surface
+exactly (``schedule``/``schedule_at``/``cancel``/``run``/``step``/``now``/
+``pending``/``events_executed``/``tracer``/``order_log``) so components
+and the chip need no changes; ``tests/sim/test_fastcore_diff.py`` pins the
+two backends to identical behaviour property-by-property.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from ..common.errors import SimulationError
+from ..obs.tracer import NULL_TRACER, Tracer
+
+Callback = Callable[..., None]
+
+# A bucket is [fifo list of (seq, callback, args), consumed-prefix index,
+# mini-heap of (priority, seq, callback, args)] -- a mutable list rather
+# than a class keeps per-bucket allocation at one object.
+
+
+class FastEngine:
+    """Bucket-batched engine, observably identical to :class:`Engine`."""
+
+    __slots__ = ("_buckets", "_times", "_now", "_seq", "_pending",
+                 "_running", "_cancelled", "events_executed", "tracer",
+                 "order_log")
+
+    def __init__(self) -> None:
+        #: time -> [fifo, fifo_idx, mini-heap]; a bucket exists iff its
+        #: time is in ``_times`` (pushed exactly once, on creation).
+        self._buckets: dict[int, list[Any]] = {}
+        self._times: list[int] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._pending: int = 0
+        self._running = False
+        self._cancelled: set[int] = set()
+        self.events_executed: int = 0
+        self.tracer: Tracer = NULL_TRACER
+        #: Same execution-order probe as the heap engine; the dual-run
+        #: oracle compares the two logs entry by entry.
+        self.order_log: Optional[list[tuple[int, int, int, str]]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def pending(self) -> int:
+        """Number of events still queued (cancelled-but-unreaped events
+        count until their cycle is reached)."""
+        return self._pending
+
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, time: int, priority: int, callback: Callback,
+                 args: tuple[Any, ...]) -> int:
+        self._seq += 1
+        seq = self._seq
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            bucket = [[], 0, []]
+            self._buckets[time] = bucket
+            heapq.heappush(self._times, time)
+        if priority == 0:
+            bucket[0].append((seq, callback, args))
+        else:
+            heapq.heappush(bucket[2], (priority, seq, callback, args))
+        self._pending += 1
+        return seq
+
+    def schedule(self, delay: int, callback: Callback, *args: Any,
+                 priority: int = 0) -> int:
+        """Schedule *callback(args)* ``delay`` cycles from now; returns a
+        handle accepted by :meth:`cancel`."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        return self._enqueue(self._now + delay, priority, callback, args)
+
+    def schedule_at(self, time: int, callback: Callback, *args: Any,
+                    priority: int = 0) -> int:
+        """Schedule *callback(args)* at absolute cycle ``time``; returns a
+        handle accepted by :meth:`cancel`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, now is {self._now}")
+        return self._enqueue(time, priority, callback, args)
+
+    def cancel(self, handle: int) -> None:
+        """Lazily cancel a scheduled event; same semantics as
+        :meth:`Engine.cancel` (no-op for unknown/executed handles, the
+        clock still advances to the cancelled cycle when reaped)."""
+        self._cancelled.add(handle)
+
+    # ------------------------------------------------------------------ #
+    def _next_event(self, bucket: list[Any]
+                    ) -> Optional[tuple[int, int, Callback, tuple[Any, ...]]]:
+        """Pop the bucket's next event in global (priority, seq) order, or
+        None if the bucket is exhausted.  See the module docstring for the
+        merge rule between the priority-0 fifo and the mini-heap."""
+        fifo, idx, other = bucket[0], bucket[1], bucket[2]
+        if other and other[0][0] < 0:
+            prio, seq, callback, args = heapq.heappop(other)
+            return prio, seq, callback, args
+        if idx < len(fifo):
+            bucket[1] = idx + 1
+            seq, callback, args = fifo[idx]
+            return 0, seq, callback, args
+        if other:
+            prio, seq, callback, args = heapq.heappop(other)
+            return prio, seq, callback, args
+        return None
+
+    def run(self, until: int | None = None,
+            max_events: int | None = None) -> int:
+        """Run until the calendar drains, ``until`` cycles pass, or
+        ``max_events`` events execute.  Returns the final time."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}, now is already {self._now}")
+        self._running = True
+        if self.tracer.enabled:
+            self.tracer.emit(self._now, "engine", "engine.run.begin",
+                             until=until, max_events=max_events,
+                             pending=self._pending)
+        times = self._times
+        buckets = self._buckets
+        cancelled = self._cancelled
+        log = self.order_log
+        exhausted = True
+        try:
+            while times:
+                time = times[0]
+                if until is not None and time > until:
+                    self._now = until
+                    exhausted = False
+                    break
+                bucket = buckets[time]
+                fifo = bucket[0]
+                other = bucket[2]
+                # Drain this cycle's bucket.  The bucket (and its slot in
+                # ``times``) stays registered until truly empty, so a
+                # budget break mid-bucket resumes correctly and same-cycle
+                # schedule() calls from callbacks land in the live bucket.
+                # The merge rule below is `_next_event` inlined -- the fifo
+                # path must not pay a function call per event (see module
+                # docstring for why the rule is order-exact).
+                while True:
+                    if (max_events is not None
+                            and self.events_executed >= max_events):
+                        exhausted = False
+                        break
+                    if other and other[0][0] < 0:
+                        prio, seq, callback, args = heapq.heappop(other)
+                    elif bucket[1] < len(fifo):
+                        idx = bucket[1]
+                        bucket[1] = idx + 1
+                        seq, callback, args = fifo[idx]
+                        prio = 0
+                    elif other:
+                        prio, seq, callback, args = heapq.heappop(other)
+                    else:
+                        heapq.heappop(times)
+                        del buckets[time]
+                        break
+                    self._now = time
+                    self._pending -= 1
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        continue
+                    self.events_executed += 1
+                    if log is not None:
+                        log.append((time, prio, seq,
+                                    getattr(callback, "__qualname__", "?")))
+                    callback(*args)
+                if not exhausted:
+                    break
+            if exhausted and until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        if self.tracer.enabled:
+            self.tracer.emit(self._now, "engine", "engine.run.end",
+                             events=self.events_executed,
+                             pending=self._pending)
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns False if the calendar is
+        empty (cancelled events are reaped silently, never "executed")."""
+        times = self._times
+        buckets = self._buckets
+        cancelled = self._cancelled
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            event = self._next_event(bucket)
+            if event is None:
+                heapq.heappop(times)
+                del buckets[time]
+                continue
+            self._now = time
+            self._pending -= 1
+            prio, seq, callback, args = event
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self.events_executed += 1
+            if self.order_log is not None:
+                self.order_log.append((time, prio, seq,
+                                       getattr(callback, "__qualname__",
+                                               "?")))
+            callback(*args)
+            return True
+        return False

@@ -1,0 +1,131 @@
+"""The dual-run oracle itself: reports, and -- crucially -- that it
+actually *catches* divergent backends.
+
+A differential rig that never fires is worthless, so these tests swap
+deliberately-broken engines into the backend registry and assert
+:class:`DualRunDivergence` is raised with a useful message.
+"""
+
+import pytest
+
+import repro.sim as sim
+from repro.common.errors import DeadlockError
+from repro.common.params import CMPConfig
+from repro.sim.dualrun import DualRunDivergence, _first_diff, run_dual
+from repro.sim.engine import Engine
+from repro.workloads import SyntheticBarrierWorkload
+
+
+@pytest.fixture
+def broken_backend(monkeypatch):
+    """Temporarily replace the 'batched' backend; yields a setter."""
+
+    def install(cls):
+        monkeypatch.setitem(sim.BACKENDS, "batched", cls)
+
+    return install
+
+
+# ---------------------------------------------------------------------- #
+def test_report_fields_on_clean_run():
+    report = run_dual(SyntheticBarrierWorkload(iterations=3),
+                      CMPConfig.for_cores(4), barrier="gl")
+    assert report.error is None
+    assert report.result is not None
+    assert report.result.total_cycles > 0
+    assert report.events_executed == report.order_entries > 0
+    assert report.trace_entries == 0        # untraced by default
+
+
+def test_report_error_when_both_sides_fail_identically():
+    # 4 programs for 4 cores, but one never reaches the barrier.
+    class LopsidedWorkload(SyntheticBarrierWorkload):
+        def programs(self, chip):
+            programs = super().programs(chip)
+            programs[0] = iter(())          # core 0 does nothing
+            return programs
+
+    report = run_dual(LopsidedWorkload(iterations=1),
+                      CMPConfig.for_cores(4), barrier="gl")
+    assert report.error is not None and "Deadlock" in report.error
+    assert report.result is None
+
+
+# ---------------------------------------------------------------------- #
+class _SwappedPriorityEngine(Engine):
+    """Runs same-cycle events in *reversed* priority order."""
+
+    def schedule(self, delay, callback, *args, priority=0):
+        return super().schedule(delay, callback, *args,
+                                priority=-priority)
+
+
+class _LaggingEngine(Engine):
+    """Every event lands one cycle late."""
+
+    def schedule(self, delay, callback, *args, priority=0):
+        return super().schedule(delay + 1, callback, *args,
+                                priority=priority)
+
+
+class _CrashingEngine(Engine):
+    """Deadlocks by dropping every 1000th event."""
+
+    def schedule(self, delay, callback, *args, priority=0):
+        seq = self._seq + 1
+        handle = super().schedule(delay, callback, *args,
+                                  priority=priority)
+        if seq % 1000 == 0:
+            self.cancel(handle)
+        return handle
+
+
+def test_divergent_priority_order_is_caught(broken_backend):
+    broken_backend(_SwappedPriorityEngine)
+    with pytest.raises(DualRunDivergence) as exc:
+        run_dual(SyntheticBarrierWorkload(iterations=2),
+                 CMPConfig.for_cores(4), barrier="gl")
+    assert "diverged" in str(exc.value)
+
+
+def test_divergent_timing_is_caught(broken_backend):
+    broken_backend(_LaggingEngine)
+    with pytest.raises(DualRunDivergence):
+        run_dual(SyntheticBarrierWorkload(iterations=2),
+                 CMPConfig.for_cores(4), barrier="gl")
+
+
+def test_one_sided_failure_is_caught(broken_backend):
+    broken_backend(_CrashingEngine)
+    with pytest.raises(DualRunDivergence) as exc:
+        run_dual(SyntheticBarrierWorkload(iterations=4),
+                 CMPConfig.for_cores(8), barrier="dsw")
+    assert "outcome mismatch" in str(exc.value)
+
+
+def test_divergence_points_at_first_differing_entry():
+    assert "entry 1" in _first_diff([(1, 0), (2, 0)], [(1, 0), (2, 1)])
+    assert "length mismatch" in _first_diff([(1, 0)], [(1, 0), (2, 0)])
+
+
+# ---------------------------------------------------------------------- #
+def test_deadlock_errors_match_between_real_backends():
+    """Sanity: a genuine deadlock raises DeadlockError identically on
+    both real backends (covered via run_dual's error-equivalence path),
+    and directly on each chip."""
+    from repro.chip.cmp import CMP
+
+    class LopsidedWorkload(SyntheticBarrierWorkload):
+        def programs(self, chip):
+            programs = super().programs(chip)
+            programs[0] = iter(())
+            return programs
+
+    messages = []
+    for backend in ("heap", "batched"):
+        chip = CMP(CMPConfig.for_cores(4).with_(sim_backend=backend),
+                   barrier="gl")
+        with pytest.raises(DeadlockError) as exc:
+            chip.run(LopsidedWorkload(iterations=1))
+        messages.append(str(exc.value))
+    assert messages[0] == messages[1]

@@ -1,0 +1,206 @@
+"""Differential oracle: the batched kernel vs the heap reference.
+
+Two layers of Hypothesis-driven comparison:
+
+* **engine level** -- random event scripts (nested scheduling, zero
+  delays, mixed priorities, cancellations, run/step/until/max_events
+  interleavings) executed on both backends, asserting the *exact* global
+  ``(time, priority, seq)`` execution order via ``order_log``.  This is
+  the acceptance criterion's >= 200-example suite: ordering is where a
+  batched kernel can silently diverge, so it gets the volume.
+* **chip level** -- random workloads and fault plans through
+  :func:`repro.sim.dualrun.run_dual`, asserting identical StatsRegistry
+  dumps, barrier release cycles, RunResults and (on a subset) full trace
+  streams.
+
+Plus the cache-key corollary: since results are bit-identical, both
+backends must share exec-cache entries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import CMPConfig, GLineConfig
+from repro.exec.spec import RunSpec
+from repro.faults.plan import FaultPlan
+from repro.sim import Engine, FastEngine
+from repro.sim.dualrun import run_dual
+from repro.workloads import Kernel2Workload, SyntheticBarrierWorkload
+from repro.workloads.stress import StressWorkload
+
+
+# ---------------------------------------------------------------------- #
+# Engine level: random event scripts, exact order equality
+# ---------------------------------------------------------------------- #
+#: One scripted action: (delay, priority, children, cancel_child).
+#: ``children`` spawn from inside the callback; ``cancel_child`` cancels
+#: the handle of a sibling scheduled in the same callback.
+_action = st.tuples(st.integers(0, 30),
+                    st.sampled_from([-2, -1, 0, 0, 0, 0, 1, 3, 10]),
+                    st.integers(0, 3),
+                    st.booleans())
+
+
+def _run_script(engine, actions, stop_cycle):
+    """Deterministically replay *actions* on *engine*; returns the full
+    observable outcome (order log includes time/priority/seq)."""
+    engine.order_log = []
+    trace = []
+    pool = list(actions)
+
+    def cb(tag):
+        trace.append((tag, engine.now))
+        if engine.now >= stop_cycle or not pool:
+            return
+        delay, priority, children, cancel_child = pool.pop()
+        handles = [engine.schedule(delay + i, cb, f"{tag}.{i}",
+                                   priority=priority)
+                   for i in range(children)]
+        if cancel_child and handles:
+            engine.cancel(handles[len(handles) // 2])
+
+    for i, (delay, priority, _, _) in enumerate(actions[:12]):
+        engine.schedule(delay, cb, f"root{i}", priority=priority)
+    engine.run()
+    return (trace, engine.order_log, engine.now, engine.events_executed,
+            engine.pending())
+
+
+@settings(max_examples=200, deadline=None)
+@given(actions=st.lists(_action, min_size=1, max_size=60),
+       stop_cycle=st.integers(10, 300))
+def test_engine_order_identical_across_backends(actions, stop_cycle):
+    reference = _run_script(Engine(), actions, stop_cycle)
+    batched = _run_script(FastEngine(), actions, stop_cycle)
+    assert batched == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(actions=st.lists(_action, min_size=1, max_size=40),
+       budgets=st.lists(st.integers(1, 25), min_size=1, max_size=5),
+       until_step=st.integers(5, 50))
+def test_engine_budgeted_run_identical_across_backends(actions, budgets,
+                                                       until_step):
+    """Interleaved max_events slices, until windows and single steps must
+    leave both backends in identical externally-visible states."""
+    outcomes = []
+    for engine in (Engine(), FastEngine()):
+        engine.order_log = []
+        pool = list(actions)
+
+        def cb(tag):
+            if not pool:
+                return
+            delay, priority, children, _ = pool.pop()
+            for i in range(min(children, 2)):
+                engine.schedule(delay + i, cb, f"{tag}.{i}",
+                                priority=priority)
+
+        for i, (delay, priority, _, _) in enumerate(actions[:10]):
+            engine.schedule(delay, cb, f"r{i}", priority=priority)
+        states = []
+        for budget in budgets:
+            engine.run(max_events=engine.events_executed + budget)
+            states.append((engine.now, engine.events_executed,
+                           engine.pending()))
+            engine.step()
+            engine.run(until=engine.now + until_step)
+            states.append((engine.now, engine.events_executed,
+                           engine.pending()))
+        engine.run()
+        outcomes.append((states, engine.order_log, engine.now,
+                         engine.events_executed))
+    assert outcomes[0] == outcomes[1]
+
+
+# ---------------------------------------------------------------------- #
+# Chip level: random workloads + fault plans through the dual-run oracle
+# ---------------------------------------------------------------------- #
+def _barrier_release_cycles(report):
+    """Per-barrier release cycles from the oracle's stats (the paper's
+    ground-truth timeline)."""
+    samples = report.result.stats.to_dict().get("barriers", [])
+    return [s["release"] for s in samples]
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_chip_runs_identical_across_backends(data):
+    num_cores = data.draw(st.sampled_from([4, 8, 16]))
+    barrier = data.draw(st.sampled_from(["gl", "dsw", "csw"]))
+    workload = data.draw(st.sampled_from([
+        SyntheticBarrierWorkload(iterations=3),
+        SyntheticBarrierWorkload(iterations=6, barriers_per_iter=2),
+        Kernel2Workload(iterations=2),
+        StressWorkload(ops_per_core=25, barriers=3, seed=11),
+        StressWorkload(ops_per_core=40, barriers=2, seed=99),
+    ]))
+    compare_traces = data.draw(st.booleans())
+    report = run_dual(workload, CMPConfig.for_cores(num_cores),
+                      barrier=barrier, compare_traces=compare_traces)
+    assert report.error is None
+    assert report.events_executed == report.order_entries > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_chip_runs_identical_under_faults(data):
+    """Fault injection (including watchdog failover paths) must stay
+    bit-identical too -- faults are seeded, so they are part of the
+    deterministic contract."""
+    plan = FaultPlan(
+        gline_stuck_rate=data.draw(st.sampled_from([0.0, 1e-3, 5e-3])),
+        gline_glitch_rate=data.draw(st.sampled_from([0.0, 1e-2])),
+        scsma_miscount_rate=data.draw(st.sampled_from([0.0, 1e-2])),
+        seed=data.draw(st.integers(0, 2**16)))
+    gline = GLineConfig(watchdog_budget=200, watchdog_episode_budget=4000)
+    config = CMPConfig.for_cores(8).with_(faults=plan, gline=gline)
+    workload = StressWorkload(
+        ops_per_core=20, barriers=3,
+        seed=data.draw(st.integers(0, 2**16)))
+    report = run_dual(workload, config, barrier="gl",
+                      max_cycles=300_000)
+    # Both sides agreed -- completed identically or failed identically.
+    assert report.events_executed == report.order_entries
+
+
+def test_chip_traced_run_identical_with_barrier_releases():
+    """One fully-traced run; release cycles are present and the trace
+    streams matched event for event (run_dual raises otherwise)."""
+    report = run_dual(SyntheticBarrierWorkload(iterations=5),
+                      CMPConfig.for_cores(16), barrier="gl",
+                      compare_traces=True)
+    assert report.trace_entries > 0
+    releases = _barrier_release_cycles(report)
+    assert len(releases) == 20 and sorted(releases) == releases
+
+
+# ---------------------------------------------------------------------- #
+# Cache-key corollary: backends share exec-cache entries
+# ---------------------------------------------------------------------- #
+def test_backends_share_cache_key():
+    workload = SyntheticBarrierWorkload(iterations=4)
+    spec_heap = RunSpec.make(workload, "gl", num_cores=8,
+                             config=CMPConfig.for_cores(8).with_(
+                                 sim_backend="heap"))
+    spec_batched = RunSpec.make(workload, "gl", num_cores=8,
+                                config=CMPConfig.for_cores(8).with_(
+                                    sim_backend="batched"))
+    assert spec_heap.key() == spec_batched.key()
+    assert "sim_backend" not in spec_heap.fingerprint()["config"]
+
+
+def test_sim_backend_survives_config_roundtrip():
+    cfg = CMPConfig.for_cores(8).with_(sim_backend="batched")
+    assert CMPConfig.from_dict(cfg.to_dict()).sim_backend == "batched"
+    # Old-format dicts (pre-backend) default to the reference engine.
+    legacy = cfg.to_dict()
+    del legacy["sim_backend"]
+    assert CMPConfig.from_dict(legacy).sim_backend == "heap"
+
+
+def test_unknown_backend_rejected_at_config_time():
+    from repro.common.errors import ConfigError
+    with pytest.raises(ConfigError):
+        CMPConfig.for_cores(4).with_(sim_backend="numpy")
