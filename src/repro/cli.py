@@ -24,8 +24,8 @@ from .experiments import (contention_ablation, csw_variant_ablation,
                           dsw_arity_sweep, entry_overhead_sweep,
                           hierarchical_latency, noc_model_ablation,
                           period_sweep, run_fig5, run_fig6_and_fig7,
-                          run_resilience, run_shootout, run_stages,
-                          run_table1, run_table2)
+                          run_recovery, run_resilience, run_shootout,
+                          run_stages, run_table1, run_table2)
 from .experiments.energy_exp import run_energy
 from .experiments.runner import run_benchmark
 from .workloads import (EM3DWorkload, Kernel2Workload, Kernel3Workload,
@@ -157,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "per seed)")
     pres.add_argument("--failover", default="csw", choices=["csw", "dsw"],
                       help="software barrier used after failover")
+    pres.add_argument("--recovery", action="store_true",
+                      help="sweep the self-healing recovery FSM against "
+                           "seeded intermittent bursts instead of "
+                           "permanent stuck-at faults")
+    pres.add_argument("--duties", type=float, nargs="+", default=None,
+                      help="intermittent-burst duty cycles to sweep with "
+                           "--recovery (default: 0.25 0.5 0.75 1.0)")
     # Observability: one traced run, exported as a viewable artifact.
     # Not under ``common``: its --out names the artifact *file*, not a
     # directory of rendered tables.
@@ -523,14 +530,24 @@ def _dispatch(args) -> int:
             _emit(ABLATIONS[name](args.cores).table(), args.out,
                   f"ablation_{name}")
     if command == "resilience":
-        kwargs = {}
-        if args.rates is not None:
-            kwargs["rates"] = tuple(args.rates)
-        result = run_resilience(num_cores=args.cores,
-                                iterations=args.iterations,
-                                seed=args.seed, failover=args.failover,
-                                **kwargs)
-        _emit(result.table(), args.out, "resilience")
+        if args.recovery:
+            kwargs = {}
+            if args.duties is not None:
+                kwargs["duties"] = tuple(args.duties)
+            result = run_recovery(num_cores=args.cores,
+                                  iterations=args.iterations,
+                                  seed=args.seed, failover=args.failover,
+                                  **kwargs)
+            _emit(result.table(), args.out, "resilience_recovery")
+        else:
+            kwargs = {}
+            if args.rates is not None:
+                kwargs["rates"] = tuple(args.rates)
+            result = run_resilience(num_cores=args.cores,
+                                    iterations=args.iterations,
+                                    seed=args.seed, failover=args.failover,
+                                    **kwargs)
+            _emit(result.table(), args.out, "resilience")
     if command == "run":
         from .chip.cmp import CMP
         from .experiments.runner import paper_config
@@ -682,7 +699,7 @@ def _run_verify(args) -> int:
                                      result.violation.action_indices)
             replay = v.replay_on_simulator(
                 rows, cols, conc_path.schedules, scenario=scenario,
-                mutation=args.mutation)
+                mutation=args.mutation, glitches=conc_path.glitches)
             print(f"simulator replay: {replay.summary()}")
             if args.export_prefix is not None:
                 paths = v.export_counterexample(

@@ -198,6 +198,34 @@ class GLineConfig(_SerializableConfig):
     #: Software barrier the chip falls back to when a G-line network is
     #: quarantined: "csw" (centralized) or "dsw" (combining tree).
     failover_barrier: str = "csw"
+    #: Self-healing recovery (repro.gline.recovery): when True, a watchdog
+    #: FAILOVER degrades the network instead of quarantining it forever --
+    #: idle-cycle probes with exponential backoff re-admit the wires
+    #: through a probation period with a software shadow cross-check.
+    #: Off by default, so failover stays terminal exactly as before.
+    recovery_enabled: bool = False
+    #: Cycles of backoff before the first probe after a degrade.
+    recovery_probe_interval: int = 64
+    #: Multiplier applied to the backoff after every failed probe or
+    #: flapped re-admission.
+    recovery_backoff_factor: int = 2
+    #: Upper bound on the probe backoff, cycles.
+    recovery_max_backoff: int = 4096
+    #: Probe attempts per degraded episode before escalating to
+    #: permanent quarantine.
+    recovery_max_probes: int = 6
+    #: Barriers run under the software shadow cross-check after a
+    #: re-admission before the network is declared HEALTHY again.
+    recovery_probation_barriers: int = 4
+    #: Failed re-admissions (probation trips) before the network is
+    #: permanently quarantined (flap damping).
+    recovery_max_flaps: int = 3
+    #: Hierarchical meshes only: degrade *per segment* -- a quarantined
+    #: cluster completes over a software segment cohort that still joins
+    #: the chip-wide G-line barrier, so healthy clusters stay on
+    #: hardware.  Off by default (any quarantined level degrades the
+    #: whole chip, the pre-recovery behaviour).
+    segment_failover: bool = False
 
     def __post_init__(self) -> None:
         _require(self.line_latency >= 1, "line_latency must be >= 1")
@@ -212,6 +240,21 @@ class GLineConfig(_SerializableConfig):
         _require(self.failover_barrier in ("csw", "dsw"),
                  f"failover_barrier must be 'csw' or 'dsw', "
                  f"got {self.failover_barrier!r}")
+        _require(not self.recovery_enabled or self.watchdog_budget > 0,
+                 "recovery_enabled requires a hardened network "
+                 "(watchdog_budget > 0)")
+        _require(self.recovery_probe_interval >= 1,
+                 "recovery_probe_interval must be >= 1")
+        _require(self.recovery_backoff_factor >= 1,
+                 "recovery_backoff_factor must be >= 1")
+        _require(self.recovery_max_backoff >= self.recovery_probe_interval,
+                 "recovery_max_backoff must be >= recovery_probe_interval")
+        _require(self.recovery_max_probes >= 1,
+                 "recovery_max_probes must be >= 1")
+        _require(self.recovery_probation_barriers >= 1,
+                 "recovery_probation_barriers must be >= 1")
+        _require(self.recovery_max_flaps >= 1,
+                 "recovery_max_flaps must be >= 1")
 
     def lines_required(self, rows: int, cols: int) -> int:
         """Total G-lines for one barrier on an ``rows x cols`` mesh.

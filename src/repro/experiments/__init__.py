@@ -15,7 +15,9 @@ from .energy_exp import EnergyResult, run_energy
 from .fig5 import DEFAULT_CORE_COUNTS, Fig5Result, run_fig5
 from .fig6 import Fig6Result, default_fig6_workloads, run_fig6
 from .fig7 import Fig7Result, run_fig6_and_fig7, run_fig7
-from .resilience import ResilienceResult, resilience_config, run_resilience
+from .resilience import (RecoveryResult, ResilienceResult,
+                         recovery_config, resilience_config,
+                         run_recovery, run_resilience)
 from .runner import (Comparison, compare, compare_many, make_spec,
                      paper_config, run_benchmark, run_many)
 from .sensitivity import (gl_is_platform_insensitive, l2_latency_sweep,
@@ -42,4 +44,5 @@ __all__ = [
     "memory_latency_sweep", "router_latency_sweep",
     "ShootoutResult", "run_shootout",
     "ResilienceResult", "resilience_config", "run_resilience",
+    "RecoveryResult", "recovery_config", "run_recovery",
 ]

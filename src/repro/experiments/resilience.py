@@ -34,6 +34,16 @@ from .runner import make_spec, paper_config, run_many
 
 DEFAULT_RATES = (0.0, 0.0001, 0.0005, 0.002)
 
+#: Duty-cycle sweep for the recovery experiment: the fraction of burst
+#: cycles on which an intermittent fault actually asserts.  Low duty =
+#: a flaky contact that idle probes often miss (flap territory); 1.0 =
+#: a solid burst that heals cleanly when its window closes.
+DEFAULT_DUTIES = (0.25, 0.5, 0.75, 1.0)
+
+#: Intermittent-burst onset rate and window used by the recovery sweep.
+RECOVERY_BURST_RATE = 0.002
+RECOVERY_BURST_CYCLES = (40, 160)
+
 #: Watchdog settings used by the sweep (generous budget: many times the
 #: 4-cycle ideal latency, so only genuine stalls trip it).
 WATCHDOG_BUDGET = 64
@@ -110,6 +120,111 @@ def run_resilience(rates=DEFAULT_RATES, num_cores: int = 16,
             "detections": counters.get("faults.watchdog.detections", 0),
             "retries": counters.get("faults.watchdog.retries", 0),
             "failovers": counters.get("faults.watchdog.failovers", 0),
+            "sw_arrivals": counters.get("faults.failover.sw_arrivals", 0),
+        })
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Recovery sweep: self-healing vs intermittent-fault duty cycle
+# ---------------------------------------------------------------------- #
+def recovery_config(num_cores: int, duty: float, seed: int,
+                    failover: str = "csw") -> CMPConfig:
+    """Hardened paper config with self-healing recovery enabled and
+    seeded intermittent bursts at *duty* inside their windows."""
+    cfg = paper_config(num_cores)
+    lo, hi = RECOVERY_BURST_CYCLES
+    return cfg.with_(
+        gline=replace(cfg.gline, watchdog_budget=WATCHDOG_BUDGET,
+                      watchdog_retries=WATCHDOG_RETRIES,
+                      failover_barrier=failover,
+                      recovery_enabled=True,
+                      recovery_probe_interval=16,
+                      recovery_backoff_factor=2,
+                      recovery_max_backoff=512,
+                      recovery_probation_barriers=2,
+                      recovery_max_flaps=4,
+                      recovery_max_probes=8),
+        faults=FaultPlan(seed=seed,
+                         gline_intermittent_rate=RECOVERY_BURST_RATE,
+                         gline_intermittent_min_cycles=lo,
+                         gline_intermittent_max_cycles=hi,
+                         gline_intermittent_duty=duty,
+                         gline_intermittent_polarity=0))
+
+
+@dataclass
+class RecoveryResult:
+    """Availability / recovery-time curves vs intermittent duty cycle."""
+
+    duties: tuple[float, ...]
+    num_cores: int
+    iterations: int
+    seed: int
+    #: One row dict per duty (see ``run_recovery`` for keys).
+    rows: list[dict] = field(default_factory=list)
+
+    def table(self) -> str:
+        headers = ["Duty", "Cycles/barrier", "Bursts", "Degrades",
+                   "Readmits", "Flaps", "MTTR", "Availability", "Retired"]
+        body = [[f"{row['duty']:g}", row["cycles_per_barrier"],
+                 row["bursts"], row["degrades"], row["readmits"],
+                 row["flaps"], f"{row['mttr']:.1f}",
+                 f"{row['availability']:.4f}", row["retired"]]
+                for row in self.rows]
+        text = render_table(
+            headers, body,
+            title=f"Recovery: self-healing GL barrier vs intermittent "
+                  f"fault duty cycle ({self.num_cores} cores, "
+                  f"{self.iterations} iterations x 4 barriers, "
+                  f"seed {self.seed})")
+        total_readmits = sum(row["readmits"] for row in self.rows)
+        text += (f"\ntotal re-admissions: {total_readmits}  "
+                 f"(network returned to hardware barriers: "
+                 f"{'yes' if total_readmits else 'no'})")
+        return text
+
+
+def run_recovery(duties=DEFAULT_DUTIES, num_cores: int = 16,
+                 iterations: int = 40, seed: int = 1,
+                 failover: str = "csw") -> RecoveryResult:
+    """Sweep intermittent-fault duty cycle vs recovery behavior.
+
+    Per duty: cycles/barrier, burst onsets, degraded spells entered,
+    re-admissions, probation flaps, MTTR (mean cycles from degrade to
+    re-admission, closed spells only), availability (fraction of run
+    cycles the network was *not* degraded; a spell still open at run end
+    is not charged), and whether the network retired permanently."""
+    result = RecoveryResult(duties=tuple(duties), num_cores=num_cores,
+                            iterations=iterations, seed=seed)
+    specs = [make_spec(SyntheticBarrierWorkload(iterations=iterations),
+                       "gl", num_cores=num_cores,
+                       config=recovery_config(num_cores, duty, seed,
+                                              failover))
+             for duty in duties]
+    runs = run_many(specs)
+    for duty, run in zip(duties, runs):
+        counters = run.stats.counters
+        barriers = run.num_barriers()
+        readmits = counters.get("faults.recovery.readmits", 0)
+        repair = counters.get("faults.recovery.repair_cycles", 0)
+        total = run.total_cycles or 1
+        result.rows.append({
+            "duty": duty,
+            "cycles_per_barrier": run.total_cycles / (barriers or 1),
+            "barriers": barriers,
+            "bursts": counters.get("faults.gline.intermittent_onsets", 0),
+            "degrades": counters.get("faults.recovery.degrades", 0),
+            "readmits": readmits,
+            "flaps": counters.get("faults.recovery.redegrades", 0),
+            "probes": counters.get("faults.recovery.probes", 0),
+            "probe_failures": counters.get(
+                "faults.recovery.probe_failures", 0),
+            "shadow_aborts": counters.get(
+                "faults.recovery.shadow_aborts", 0),
+            "mttr": repair / readmits if readmits else 0.0,
+            "availability": 1.0 - repair / total,
+            "retired": counters.get("faults.recovery.retired", 0),
             "sw_arrivals": counters.get("faults.failover.sw_arrivals", 0),
         })
     return result

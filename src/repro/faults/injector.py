@@ -16,13 +16,27 @@ from __future__ import annotations
 
 import hashlib
 import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from .plan import FaultPlan
+
+if TYPE_CHECKING:
+    from repro.common.stats import StatsRegistry
+    from repro.gline.gline import GLine
 
 
 def _derive_seed(seed: int, domain: str) -> int:
     digest = hashlib.sha256(f"{seed}:{domain}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class _Burst:
+    """An in-flight intermittent fault: ends at cycle *end* (exclusive)."""
+
+    end: int
+    polarity: int
 
 
 class FaultInjector:
@@ -33,10 +47,12 @@ class FaultInjector:
     fault is counted under a ``faults.*`` key.
     """
 
-    def __init__(self, plan: FaultPlan, stats):
+    def __init__(self, plan: FaultPlan, stats: StatsRegistry) -> None:
         self.plan = plan
         self.stats = stats
         self._rngs: dict[str, random.Random] = {}
+        #: Active intermittent bursts, keyed by line name.
+        self._bursts: dict[str, _Burst] = {}
 
     def _rng(self, domain: str) -> random.Random:
         rng = self._rngs.get(domain)
@@ -48,17 +64,27 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # G-line faults (called by the barrier network once per active cycle)
     # ------------------------------------------------------------------ #
-    def perturb_glines(self, lines) -> None:
+    def perturb_glines(self, lines: Iterable[GLine],
+                       now: int | None = None) -> None:
         """Apply this cycle's wire faults to *lines* (an ordered list).
 
         Mutates the per-cycle override fields of :class:`~repro.gline.
         gline.GLine`: ``stuck`` persists once set; ``glitch_force`` and
         ``count_delta`` last for the current cycle only.
+
+        *now* is the current engine cycle; it is required only for the
+        intermittent fault class (burst windows are wall-clock bounded,
+        so a burst also heals while a quarantined network is not being
+        clocked).  Passing ``None`` disables intermittent faults for the
+        call, which keeps legacy call sites byte-identical.
         """
         plan = self.plan
         for line in lines:
             if line.stuck is not None:
                 continue      # a stuck wire can't also glitch
+            if plan.gline_intermittent_rate and now is not None \
+                    and self._intermittent(line, now):
+                continue      # burst asserts this cycle; wins over the rest
             rng = self._rng(f"gline:{line.name}")
             if plan.gline_stuck_rate and rng.random() < plan.gline_stuck_rate:
                 line.stuck = 1 if rng.random() < 0.5 else 0
@@ -74,6 +100,40 @@ class FaultInjector:
                     and rng.random() < plan.scsma_miscount_rate:
                 line.count_delta = rng.choice((-1, 1))
                 self.stats.bump("faults.gline.miscounts")
+
+    def _intermittent(self, line: GLine, now: int) -> bool:
+        """Advance *line*'s burst state; True if the fault asserts now.
+
+        Uses a dedicated per-line RNG stream (``glineint:<name>``) so
+        enabling intermittent faults never shifts the stuck/glitch/
+        miscount schedules of the other domains.
+        """
+        plan = self.plan
+        rng = self._rng(f"glineint:{line.name}")
+        burst = self._bursts.get(line.name)
+        if burst is not None and now >= burst.end:
+            del self._bursts[line.name]
+            self.stats.bump("faults.gline.intermittent_heals")
+            burst = None
+        if burst is None:
+            if rng.random() >= plan.gline_intermittent_rate:
+                return False
+            duration = rng.randint(plan.gline_intermittent_min_cycles,
+                                   plan.gline_intermittent_max_cycles)
+            # The polarity draw happens even when pinned, so pinning does
+            # not shift the stream's later onset/duration draws.
+            coin = 1 if rng.random() < 0.5 else 0
+            polarity = coin if plan.gline_intermittent_polarity is None \
+                else plan.gline_intermittent_polarity
+            burst = _Burst(end=now + duration, polarity=polarity)
+            self._bursts[line.name] = burst
+            self.stats.bump("faults.gline.intermittent_onsets")
+        if plan.gline_intermittent_duty >= 1.0 \
+                or rng.random() < plan.gline_intermittent_duty:
+            line.glitch_force = burst.polarity
+            self.stats.bump("faults.gline.intermittent_cycles")
+            return True
+        return False
 
     # ------------------------------------------------------------------ #
     # NoC faults (called by Network.send per injected message)

@@ -40,6 +40,25 @@ class FaultPlan:
     #: Per-line, per-active-cycle probability that the S-CSMA read-out is
     #: off by one (+1 or -1, clamped to the physical range).
     scsma_miscount_rate: float = 0.0
+    #: Per-line, per-active-cycle probability that an *intermittent* fault
+    #: burst begins: the line misbehaves (forced level, polarity chosen
+    #: 50/50 at onset) for a bounded duration and then heals -- the fault
+    #: class between a one-cycle glitch and a permanent stuck-at.
+    gline_intermittent_rate: float = 0.0
+    #: Burst duration is drawn uniformly from this closed range, cycles.
+    gline_intermittent_min_cycles: int = 20
+    gline_intermittent_max_cycles: int = 200
+    #: Fraction of burst cycles on which the fault actually asserts
+    #: (1.0 = solid burst; lower values model a flaky contact that only
+    #: intermittently corrupts the wire inside its burst window).
+    gline_intermittent_duty: float = 1.0
+    #: Burst polarity: ``None`` draws 0/1 per burst (50/50).  Pin to 0
+    #: (forced low) for sweeps that must stay *containable*: a suppressed
+    #: line can only stall -- detectable by the watchdog -- whereas a
+    #: forced-high gather line can land the S-CSMA count exactly on
+    #: target with cores missing and release early (the silent-corruption
+    #: class only the recovery probation shadow check catches).
+    gline_intermittent_polarity: int | None = None
     #: Per-message probability that a NoC packet is dropped in flight.
     noc_drop_rate: float = 0.0
     #: Per-message probability that a NoC packet arrives corrupted (the
@@ -58,12 +77,21 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         for name in ("gline_stuck_rate", "gline_glitch_rate",
-                     "scsma_miscount_rate", "noc_drop_rate",
-                     "noc_corrupt_rate", "core_straggler_rate",
-                     "core_failstop_rate"):
+                     "scsma_miscount_rate", "gline_intermittent_rate",
+                     "noc_drop_rate", "noc_corrupt_rate",
+                     "core_straggler_rate", "core_failstop_rate"):
             rate = getattr(self, name)
             _require(0.0 <= rate < 1.0,
                      f"{name} must be in [0, 1), got {rate}")
+        _require(self.gline_intermittent_min_cycles >= 1,
+                 "gline_intermittent_min_cycles must be >= 1")
+        _require(self.gline_intermittent_max_cycles
+                 >= self.gline_intermittent_min_cycles,
+                 "gline_intermittent_max_cycles must be >= the minimum")
+        _require(0.0 < self.gline_intermittent_duty <= 1.0,
+                 "gline_intermittent_duty must be in (0, 1]")
+        _require(self.gline_intermittent_polarity in (None, 0, 1),
+                 "gline_intermittent_polarity must be None, 0 or 1")
         _require(self.noc_drop_rate + self.noc_corrupt_rate < 1.0,
                  "noc_drop_rate + noc_corrupt_rate must be < 1")
         _require(self.noc_retry_cycles >= 1, "noc_retry_cycles must be >= 1")
@@ -75,9 +103,9 @@ class FaultPlan:
     def enabled(self) -> bool:
         """True if any fault category has a nonzero rate."""
         return any((self.gline_stuck_rate, self.gline_glitch_rate,
-                    self.scsma_miscount_rate, self.noc_drop_rate,
-                    self.noc_corrupt_rate, self.core_straggler_rate,
-                    self.core_failstop_rate))
+                    self.scsma_miscount_rate, self.gline_intermittent_rate,
+                    self.noc_drop_rate, self.noc_corrupt_rate,
+                    self.core_straggler_rate, self.core_failstop_rate))
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:

@@ -50,6 +50,12 @@ class GLBarrier(BarrierImpl):
         self.networks = list(networks)
         self.config = config or GLineConfig()
         self.fallback = fallback
+        #: Cores of the current episode already committed to the software
+        #: fallback, per context.  While non-zero, *every* core of that
+        #: episode goes software even if the recovery controller re-admits
+        #: the network mid-episode -- splitting one episode between the
+        #: hardware and software barriers would deadlock both cohorts.
+        self._sw_cohort: dict[int, int] = {}
 
     def sequence(self, core, barrier_id: int) -> Generator:
         if not (0 <= barrier_id < len(self.networks)):
@@ -59,11 +65,12 @@ class GLBarrier(BarrierImpl):
         if self.config.entry_overhead:
             yield isa.Compute(self.config.entry_overhead)
         net = self.networks[barrier_id]
-        if self.fallback is not None and getattr(net, "quarantined", False):
-            # The network was retired by the watchdog in an earlier
-            # episode; go software directly.
-            core.stats.bump("faults.failover.sw_arrivals")
-            yield from self.fallback.sequence(core, barrier_id)
+        if self.fallback is not None \
+                and (self._sw_cohort.get(barrier_id, 0)
+                     or getattr(net, "quarantined", False)):
+            # The network is quarantined (or this episode's cohort is
+            # already completing over software); go software directly.
+            yield from self._join_software(core, barrier_id, net)
             return
         outcome = yield HWBarrierArrive(net)
         if outcome == FAILOVER:
@@ -71,8 +78,18 @@ class GLBarrier(BarrierImpl):
                 raise GLineError(
                     f"barrier context {barrier_id} failed over but no "
                     f"software fallback is configured")
-            core.stats.bump("faults.failover.sw_arrivals")
-            yield from self.fallback.sequence(core, barrier_id)
+            yield from self._join_software(core, barrier_id, net)
+
+    def _join_software(self, core, barrier_id: int, net) -> Generator:
+        """Complete this episode over the software fallback, keeping the
+        episode's cohort together (see ``_sw_cohort``)."""
+        core.stats.bump("faults.failover.sw_arrivals")
+        joined = self._sw_cohort.get(barrier_id, 0) + 1
+        # The software episode is fully subscribed once every core has
+        # joined; the next episode decides hardware-vs-software afresh.
+        self._sw_cohort[barrier_id] = \
+            0 if joined >= getattr(net, "num_cores", 0) else joined
+        yield from self.fallback.sequence(core, barrier_id)
 
     def describe(self) -> str:
         net = self.networks[0]

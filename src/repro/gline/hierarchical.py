@@ -81,6 +81,15 @@ class HierarchicalGLineBarrier(Component):
         self._sub_stats = StatsRegistry(rows * cols)
         self.clusters: list[GLineBarrierNetwork] = []
         self._cluster_of_core: dict[int, int] = {}
+        #: Per-segment degradation (``config.segment_failover``): cores of
+        #: a quarantined cluster gather in a software cohort that still
+        #: joins the chip-wide barrier through the top-level network, so
+        #: healthy clusters stay on G-line hardware.
+        self.segment_mode = self.config.segment_failover
+        self._sw_pending: list[list] = []
+        self._leader_sent: list[bool] = []
+        self._gate_open_phase: list[bool] = []
+        self._sw_latency: list[int] = []
         for ri, (r0, rlen) in enumerate(row_chunks):
             for ci, (c0, clen) in enumerate(col_chunks):
                 ids = [(r0 + r) * cols + (c0 + c)
@@ -94,6 +103,14 @@ class HierarchicalGLineBarrier(Component):
                 self.clusters.append(net)
                 for cid in ids:
                     self._cluster_of_core[cid] = k
+                self._sw_pending.append([])
+                self._leader_sent.append(False)
+                self._gate_open_phase.append(False)
+                # Software-segment combine penalty: a library-call entry
+                # plus a NoC-ish gather/scatter across the cluster's
+                # diameter, paid once on gather and once on release.
+                self._sw_latency.append(
+                    self.config.entry_overhead + 2 * (rlen + clen))
 
         # Second level: one participant per cluster.
         self.top = GLineBarrierNetwork(
@@ -128,9 +145,15 @@ class HierarchicalGLineBarrier(Component):
     # ------------------------------------------------------------------ #
     @property
     def quarantined(self) -> bool:
-        """True once any level of the hierarchy was retired -- chip-wide
-        hardware synchronization is then impossible, so the barrier
-        library routes every arrival to the software fallback."""
+        """True once chip-wide hardware synchronization is impossible.
+
+        Without ``segment_failover`` any retired level quarantines the
+        whole chip (the pre-recovery behaviour).  With it, a quarantined
+        *cluster* only degrades its own segment (cores complete over a
+        software cohort that still joins the top-level barrier); only
+        losing the top-level network forces the chip-wide fallback."""
+        if self.segment_mode:
+            return self.top.quarantined
         return (self.top.quarantined
                 or any(net.quarantined for net in self.clusters))
 
@@ -171,6 +194,11 @@ class HierarchicalGLineBarrier(Component):
         return [r for net in [*self.clusters, self.top]
                 for r in net.failover_reports]
 
+    @property
+    def failover_reports_dropped(self) -> int:
+        return sum(net.failover_reports_dropped
+                   for net in [*self.clusters, self.top])
+
     # ------------------------------------------------------------------ #
     def arrive(self, core_id: int, resume) -> None:
         if self._first_arrival is None:
@@ -178,11 +206,75 @@ class HierarchicalGLineBarrier(Component):
             # which record the bar_reg-visible time.
             self._first_arrival = self.now + self.config.barreg_write_cycles
         self._last_arrival = self.now + self.config.barreg_write_cycles
-        cluster = self.clusters[self._cluster_of_core[core_id]]
-        cluster.arrive(core_id, resume)
+        k = self._cluster_of_core[core_id]
+        cluster = self.clusters[k]
+        if not self.segment_mode:
+            cluster.arrive(core_id, resume)
+            return
+        if self._sw_pending[k] and not cluster.quarantined:
+            # The cluster was re-admitted mid-episode while a software
+            # cohort was already collecting: keep the cohort together.
+            self._segment_arrive(k, resume)
+            return
+        cluster.arrive(core_id, self._wrap_segment(k, resume))
+
+    # ------------------------------------------------------------------ #
+    # Per-segment software fallback (segment_failover mode)
+    # ------------------------------------------------------------------ #
+    def _wrap_segment(self, k: int, resume):
+        """Intercept a cluster-level FAILOVER bounce: while the top level
+        is still up, the core joins its segment's software cohort instead
+        of the chip-wide software barrier."""
+        def wrapped(outcome=None, _k=k, _resume=resume):
+            if outcome == FAILOVER and not self.top.quarantined:
+                self._segment_arrive(_k, _resume)
+            elif _resume is not None:
+                if outcome is None:
+                    _resume()
+                else:
+                    _resume(outcome)
+        return wrapped
+
+    def _segment_arrive(self, k: int, resume) -> None:
+        pend = self._sw_pending[k]
+        pend.append(resume)
+        self.stats.bump("faults.failover.segment_arrivals")
+        if len(pend) != self.clusters[k].num_cores:
+            return
+        if self._gate_open_phase[k]:
+            # The cluster degraded *mid-release*, after the top level
+            # already released it: chip-wide coordination for this
+            # episode is done, so the cohort just finishes locally.
+            self._scatter_segment(k)
+            return
+        # Software gather complete: the segment joins the chip-wide
+        # barrier through the top level after the combine penalty.
+        # (_cluster_gathered is idempotent per episode, covering a
+        # leader arrival already in flight from before the degrade.)
+        self.schedule(self._sw_latency[k], self._cluster_gathered, k)
+
+    def _scatter_segment(self, k: int) -> None:
+        """Resume a complete software cohort (release-side penalty) and
+        account the cluster's episode completion."""
+        release_time = self.now + self._sw_latency[k]
+        for resume in self._drain_segment(k):
+            if resume is not None:
+                self.engine.schedule_at(release_time, resume)
+        self._cluster_released(k)
+
+    def _drain_segment(self, k: int):
+        pend = self._sw_pending[k]
+        self._sw_pending[k] = []
+        return pend
 
     # ------------------------------------------------------------------ #
     def _cluster_gathered(self, k: int) -> None:
+        if self._leader_sent[k]:
+            # Idempotent per episode across the hardware and segment
+            # paths: a cluster that degrades after its gate reported must
+            # not re-arrive its leader at the second level.
+            return
+        self._leader_sent[k] = True
         # Inter-level G-line: the cluster leader signals the second level
         # (modelled as an arrival whose bar_reg write is the line hop).
         leader = self.top.core_ids[k]
@@ -191,17 +283,38 @@ class HierarchicalGLineBarrier(Component):
                             k, outcome))
 
     def _top_released(self, k: int, outcome=None) -> None:
+        self._leader_sent[k] = False
         if outcome == FAILOVER:
             # The inter-cluster level was quarantined by its watchdog:
             # chip-wide release can no longer be coordinated in hardware,
             # so the gathered cluster fails its cores over to software
             # instead of opening the gate (which would release them
             # without chip-wide synchronization).
+            pend = self._drain_segment(k)
+            if pend:
+                for resume in pend:
+                    if resume is not None:
+                        self.engine.schedule_at(self.now + 1, resume,
+                                                FAILOVER)
+                return
             self.clusters[k].failover()
             return
-        self.clusters[k].open_gate()
+        pend = self._sw_pending[k]
+        if len(pend) == self.clusters[k].num_cores:
+            # Chip-wide release reached a software segment: scatter it to
+            # the cohort with the segment's release-side penalty.
+            self._scatter_segment(k)
+            return
+        if self.segment_mode:
+            # Top-level coordination for this episode is done; a cohort
+            # still collecting (failover bounces in flight) finishes
+            # locally once complete (_segment_arrive's gate-open branch).
+            self._gate_open_phase[k] = True
+        if not pend:
+            self.clusters[k].open_gate()
 
     def _cluster_released(self, k: int) -> None:
+        self._gate_open_phase[k] = False
         self._released_clusters += 1
         self._release_time = self.now
         if self._released_clusters == len(self.clusters):

@@ -19,6 +19,8 @@ arbitrary meshes and arrival orders by property tests.
 
 from __future__ import annotations
 
+from collections import deque
+
 from ..common.errors import CapacityError
 from ..common.params import GLineConfig
 from ..common.stats import BarrierSample, StatsRegistry
@@ -28,10 +30,17 @@ from ..sim.component import Component
 from ..sim.engine import Engine
 from .controllers import BarRegFile, MasterH, MasterV, SlaveH, SlaveV
 from .gline import GLine
+from .recovery import RecoveryController
 
 #: Event priority for network ticks: same-cycle bar_reg writes (normal
 #: priority 0) become visible to the tick that samples that cycle.
 TICK_PRIORITY = 10
+
+#: Cap on retained failover post-mortems.  A flapping line under the
+#: recovery controller can fail over an unbounded number of times on a
+#: long run; like the PR 3 ListTracer fix, the reports keep the most
+#: recent window and count what they drop.
+FAILOVER_REPORT_CAP = 64
 
 
 class ReleaseGate:
@@ -126,7 +135,14 @@ class GLineBarrierNetwork(Component):
         self.flight = None
         #: Human-readable failover post-mortems (flight tail included when
         #: the recorder is active); surfaced by resilience reports/tests.
-        self.failover_reports: list[str] = []
+        #: Bounded: keeps the most recent window, counts drops.
+        self.failover_reports: deque[str] = deque(maxlen=FAILOVER_REPORT_CAP)
+        self.failover_reports_dropped = 0
+        #: Self-healing re-admission state machine (repro.gline.recovery);
+        #: None keeps failover terminal, exactly the PR 2 semantics.
+        self.recovery: RecoveryController | None = (
+            RecoveryController(self) if self.config.recovery_enabled
+            else None)
         self._episode_retries = 0
         self._spurious_release = False
         self._row_validated = False
@@ -265,7 +281,7 @@ class GLineBarrierNetwork(Component):
         # drivers committed their levels, the fault corrupts what the
         # receivers will see.
         if self.injector is not None:
-            self.injector.perturb_glines(self.lines)
+            self.injector.perturb_glines(self.lines, now=self.now)
         if self.hardened:
             self._guard_release_lines()
 
@@ -333,6 +349,24 @@ class GLineBarrierNetwork(Component):
             self.active = False
 
     def _complete_release(self, released: list) -> None:
+        if self.hardened and len(released) != self._arrived:
+            # Release atomicity: a legitimate release pulse covers every
+            # waiting core in one cycle, so a shortfall means a release
+            # line dropped the pulse for part of the mesh (stuck or
+            # forced low) while the masters -- who release their own
+            # cores at drive time -- ran ahead.  Retrying cannot recall
+            # the cores already released, so the only sound containment
+            # is the same as a shadow mismatch: the whole episode
+            # completes as one software cohort.
+            self.fault_stats.bump("faults.gline.partial_releases")
+            self._abort_release(released, reason="partial release")
+            return
+        if self.recovery is not None \
+                and not self.recovery.release_ok(len(released)):
+            # Probation shadow cross-check failed: withhold the hardware
+            # release and complete the episode over software instead.
+            self._abort_release(released, reason="probation shadow-mismatch")
+            return
         # Cores resume at the end of the release cycle.
         release_time = self.now + 1
         for resume in released:
@@ -370,8 +404,24 @@ class GLineBarrierNetwork(Component):
             if self._gate is not None:
                 self._gate.is_open = False
                 self._gate.reported = False
+            if self.recovery is not None:
+                self.recovery.on_episode_complete()
             if self.on_all_released is not None:
                 self.on_all_released()
+
+    def _abort_release(self, released: list, reason: str) -> None:
+        """Bounce an untrusted release's cores to the software fallback.
+
+        Their bar_regs were already cleared by the release path, so the
+        subsequent :meth:`failover` sweep (which handles the cores still
+        waiting) cannot double-bounce them -- every core of the episode
+        ends up in the same software cohort exactly once."""
+        release_time = self.now + 1
+        for resume in released:
+            if resume is not None:
+                self.engine.schedule_at(release_time, resume, FAILOVER)
+        self._arrived -= len(released)
+        self.failover(reason=reason)
 
     def _will_act(self) -> bool:
         """True if any controller will drive a line or change registers next
@@ -447,6 +497,14 @@ class GLineBarrierNetwork(Component):
             return
         if self._arrived == 0 or self.quarantined:
             return
+        if not episode_level and self._gate is not None \
+                and self._gate.reported and not self._gate.is_open:
+            # Local gather is complete, validated and reported upward;
+            # the episode is parked on the upper hierarchy level, whose
+            # own watchdog owns that wait (a degraded sibling segment may
+            # legitimately hold the gate far longer than our budget).
+            # ``open_gate`` re-arms us to cover the release pipeline.
+            return
         if episode_level and self._arrived < self.num_cores:
             # Cores are genuinely missing (fail-stopped or extreme
             # stragglers) -- re-gathering cannot conjure them up, so skip
@@ -461,6 +519,12 @@ class GLineBarrierNetwork(Component):
         """A stalled or corrupt episode: retry the gather, else fail over."""
         self.detections += 1
         self.fault_stats.bump("faults.watchdog.detections")
+        if self.recovery is not None and self.recovery.in_probation:
+            # Zero tolerance during probation: a re-admitted network that
+            # raises any suspicion re-degrades immediately (a flap), no
+            # retry burn-down.
+            self.failover(reason="probation watchdog")
+            return
         if self._episode_retries < self.config.watchdog_retries:
             self._episode_retries += 1
             self.retries += 1
@@ -510,7 +574,7 @@ class GLineBarrierNetwork(Component):
         for line in self.lines:
             line.end_cycle()
 
-    def failover(self) -> None:
+    def failover(self, reason: str = "watchdog") -> None:
         """Give up on this network: quarantine it and bounce every waiting
         core back with the FAILOVER outcome so the episode completes over
         the software fallback barrier.
@@ -518,7 +582,11 @@ class GLineBarrierNetwork(Component):
         Safe by construction: every core that arrived here is re-routed
         into the *same* software episode, and cores that have not arrived
         yet find the network quarantined and go software directly -- no
-        core ever skips an episode, so the cohort stays aligned."""
+        core ever skips an episode, so the cohort stays aligned.
+
+        With a recovery controller attached the quarantine is not
+        terminal: the controller schedules idle-cycle probes and may
+        re-admit the network (see :mod:`repro.gline.recovery`)."""
         self.quarantined = True
         self.failovers += 1
         self.fault_stats.bump("faults.watchdog.failovers")
@@ -531,7 +599,7 @@ class GLineBarrierNetwork(Component):
                 self.flight.record(cid, self.now, self.name,
                                    obs_ev.GL_WATCHDOG_FAILOVER,
                                    retries=self.retries)
-        report = (f"{self.name}: watchdog FAILOVER at cycle {self.now} "
+        report = (f"{self.name}: {reason} FAILOVER at cycle {self.now} "
                   f"after {self._episode_retries} retries; waiting cores "
                   f"{waiting} bounced to software fallback")
         if self.flight is not None:
@@ -540,6 +608,9 @@ class GLineBarrierNetwork(Component):
             tail = self.flight.format_tail(waiting)
             if tail:
                 report += "\n" + tail
+        if len(self.failover_reports) == self.failover_reports.maxlen:
+            self.failover_reports_dropped += 1
+            self.fault_stats.bump("faults.watchdog.reports_dropped")
         self.failover_reports.append(report)
         self._reset_fsm()
         resumes = [self.bar_regs.clear(local)
@@ -557,6 +628,8 @@ class GLineBarrierNetwork(Component):
             self._gate.is_open = False
             self._gate.reported = False
         self.active = False
+        if self.recovery is not None:
+            self.recovery.on_failover()
 
     def _waiting_core_ids(self) -> list[int]:
         """Chip-level ids of cores currently holding a set bar_reg."""
@@ -566,6 +639,10 @@ class GLineBarrierNetwork(Component):
     # ------------------------------------------------------------------ #
     def set_injector(self, injector) -> None:
         self.injector = injector
+        # Heal-mode injectors watch this network's recovery state to
+        # decide whether their fault is currently active.
+        if injector is not None and hasattr(injector, "net"):
+            injector.net = self
 
     def set_stats(self, stats: StatsRegistry) -> None:
         """Re-point both measurement sinks (chip ``reset_stats`` hook)."""
@@ -598,6 +675,11 @@ class GLineBarrierNetwork(Component):
         self._gate.is_open = True
         if self.rows == 1 and self.masters_h[0].flag:
             self.masters_h[0].release_trigger = True
+        if self.hardened and self._arrived == self.num_cores:
+            # Fresh budget for the release pipeline: the gate-parked wait
+            # (upper-level coordination) is excluded from the watchdog.
+            self._arm_watchdog(self.config.watchdog_budget,
+                               episode_level=False)
         if not self.active and self._will_act():
             self.active = True
             self.schedule(0, self._tick, priority=TICK_PRIORITY)

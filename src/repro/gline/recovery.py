@@ -1,0 +1,277 @@
+"""Self-healing recovery for a quarantined G-line barrier network.
+
+PR 2's watchdog retires a faulty network *forever*: one transient burst
+on a wire and a 1024-core chip is demoted to the software barrier for
+the rest of its life.  This module turns that terminal quarantine into a
+verified state machine:
+
+::
+
+                      watchdog FAILOVER
+        HEALTHY ─────────────────────────────► DEGRADED
+           ▲                                  (software
+           │ N clean barriers                  fallback)
+           │ under the shadow                      │ backoff expired
+           │ cross-check                           ▼
+        PROBATION ◄──────────────────────────── PROBING
+        (hardware +        probe passed       (idle-cycle
+         shadow check)                         wire test)
+           │                                       │ probe failed:
+           │ shadow mismatch or                    │ backoff *= factor,
+           │ watchdog trip:                        ▼ retry (≤ max_probes)
+           │ flap += 1                          DEGRADED
+           ▼
+        DEGRADED ── flaps ≥ K or probes exhausted ──► QUARANTINED
+                                                      (permanent)
+
+* **DEGRADED** -- exactly PR 2's quarantine: arrivals bounce straight to
+  the software fallback.  A probe is scheduled after an exponential
+  backoff (``probe_interval * factor^(failed probes + flaps)``, capped).
+* **PROBING** -- a two-cycle idle-line test: every transmitter drives
+  its line for one cycle (level must read high and the S-CSMA count must
+  equal the attached-transmitter count), then all stay silent for one
+  cycle (level must read low, count zero).  The fault injector perturbs
+  the wires during both cycles, so an active stuck-at or intermittent
+  burst fails the probe; a healed wire passes.
+* **PROBATION** -- the next N barriers run on hardware, but every
+  release is cross-checked against the network's own software-maintained
+  arrival count (the *shadow*): a release that does not cover the full
+  cohort is withheld and the episode completes over software.  This
+  catches the one fault class the PR 2 guards provably cannot: a
+  one-shot gather glitch that lands the count exactly at the target with
+  a core missing.  Any watchdog suspicion during probation re-degrades
+  immediately (zero tolerance -- no retry burn-down).
+* **Flap damping** -- each probation failure counts a *flap*; after K
+  flaps (or ``max_probes`` consecutive failed probes in one degraded
+  spell) the network is quarantined permanently, exactly as in PR 2.
+
+The controller is pure bookkeeping plus engine-scheduled probe events;
+with ``recovery_enabled=False`` (the default) it is never constructed
+and the network behaves bit-identically to PR 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..obs import events as obs_ev
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import GLineBarrierNetwork
+
+#: Recovery states.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+PROBING = "probing"
+PROBATION = "probation"
+QUARANTINED = "quarantined"
+
+#: Cap on the human-readable recovery event log (mirrors the bounded
+#: failover_reports deque; a flapping line must not grow memory).
+RECOVERY_LOG_CAP = 256
+
+
+class RecoveryController:
+    """Probe/probation re-admission state machine for one network."""
+
+    def __init__(self, net: "GLineBarrierNetwork") -> None:
+        self.net = net
+        self.config = net.config
+        self.state = HEALTHY
+        #: Failed re-admissions (probation trips).
+        self.flaps = 0
+        #: Successful re-admissions (probation entries).
+        self.readmissions = 0
+        #: Probe episodes run / failed (lifetime).
+        self.probes = 0
+        self.probe_failures = 0
+        #: Consecutive failed probes in the current degraded spell.
+        self._spell_probe_failures = 0
+        #: Barriers left under the shadow cross-check.
+        self.probation_left = 0
+        #: Degraded spells entered (lifetime).
+        self.degraded_episodes = 0
+        #: Total cycles spent degraded (closed spells only).
+        self.degraded_cycles = 0
+        #: Repair time (degrade -> re-admission) samples, cycles.
+        self.mttr_samples: list[int] = []
+        #: Set by the planted verification mutation: probation runs
+        #: without the shadow cross-check (repro.verify catches this).
+        self.shadow_disabled = False
+        #: Bounded human-readable event log (golden-regression surface).
+        self.log: deque[str] = deque(maxlen=RECOVERY_LOG_CAP)
+        self.log_dropped = 0
+        self._probe_token = 0
+        self._degraded_at = 0
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by GLineBarrierNetwork
+    # ------------------------------------------------------------------ #
+    @property
+    def in_probation(self) -> bool:
+        return self.state == PROBATION
+
+    def on_failover(self) -> None:
+        """The network just failed an episode over to software."""
+        if self.state == QUARANTINED:
+            return
+        if self.state == PROBATION:
+            self.flaps += 1
+            self.net.fault_stats.bump("faults.recovery.redegrades")
+            self._emit(obs_ev.GL_REDEGRADE, flaps=self.flaps,
+                       limit=self.config.recovery_max_flaps)
+            self._log(f"REDEGRADE at cycle {self.net.now}: probation "
+                      f"tripped (flap {self.flaps}/"
+                      f"{self.config.recovery_max_flaps})")
+            if self.flaps >= self.config.recovery_max_flaps:
+                self._retire("flap limit reached")
+                return
+        self.state = DEGRADED
+        self.degraded_episodes += 1
+        self._degraded_at = self.net.now
+        self._spell_probe_failures = 0
+        self.net.fault_stats.bump("faults.recovery.degrades")
+        self._schedule_probe()
+
+    def release_ok(self, released: int) -> bool:
+        """Shadow cross-check: may this cycle's release be delivered?
+
+        The *shadow* is the network's software-maintained arrival count;
+        during probation a release that does not cover the full cohort
+        means the wires produced a count the software disagrees with --
+        the release is withheld and the network re-degrades."""
+        if self.state != PROBATION or self.shadow_disabled:
+            return True
+        if released == self.net.num_cores == self.net._arrived:
+            return True
+        self.net.fault_stats.bump("faults.recovery.shadow_aborts")
+        self._log(f"SHADOW ABORT at cycle {self.net.now}: hardware "
+                  f"released {released}/{self.net.num_cores} cores "
+                  f"({self.net._arrived} arrived)")
+        return False
+
+    def on_episode_complete(self) -> None:
+        """A barrier completed on hardware."""
+        if self.state != PROBATION:
+            return
+        self.probation_left -= 1
+        if self.probation_left == 0:
+            self.state = HEALTHY
+            self.net.fault_stats.bump("faults.recovery.healthy")
+            self._emit(obs_ev.GL_READMIT, phase="healthy",
+                       flaps=self.flaps)
+            self._log(f"HEALTHY at cycle {self.net.now}: probation "
+                      f"complete")
+
+    # ------------------------------------------------------------------ #
+    # Probe machinery
+    # ------------------------------------------------------------------ #
+    def _schedule_probe(self) -> None:
+        self._probe_token += 1
+        backoff = self._backoff()
+        self.net.schedule(backoff, self._probe_due, self._probe_token)
+        self._log(f"DEGRADED at cycle {self.net.now}: probe in "
+                  f"{backoff} cycles")
+
+    def _backoff(self) -> int:
+        exponent = self._spell_probe_failures + self.flaps
+        backoff = (self.config.recovery_probe_interval
+                   * self.config.recovery_backoff_factor ** exponent)
+        return min(backoff, self.config.recovery_max_backoff)
+
+    def _probe_due(self, token: int) -> None:
+        if token != self._probe_token or self.state != DEGRADED:
+            return
+        self.state = PROBING
+        self.probes += 1
+        self.net.fault_stats.bump("faults.recovery.probes")
+        drive_ok = self._probe_cycle(drive=True)
+        self.net.schedule(self.config.line_latency, self._probe_silence,
+                          token, drive_ok)
+
+    def _probe_silence(self, token: int, drive_ok: bool) -> None:
+        if token != self._probe_token or self.state != PROBING:
+            return  # pragma: no cover - tokens only go stale on retire
+        ok = self._probe_cycle(drive=False) and drive_ok
+        self._emit(obs_ev.GL_PROBE, result="pass" if ok else "fail",
+                   attempt=self._spell_probe_failures + 1)
+        self._log(f"PROBE {'pass' if ok else 'fail'} at cycle "
+                  f"{self.net.now} "
+                  f"(attempt {self._spell_probe_failures + 1})")
+        if ok:
+            self._readmit()
+            return
+        self.probe_failures += 1
+        self._spell_probe_failures += 1
+        self.net.fault_stats.bump("faults.recovery.probe_failures")
+        if self._spell_probe_failures >= self.config.recovery_max_probes:
+            self._retire("probe attempts exhausted")
+            return
+        self.state = DEGRADED
+        self._schedule_probe()
+
+    def _probe_cycle(self, drive: bool) -> bool:
+        """One idle-cycle wire test; True if every line reads clean.
+
+        The network is quarantined while probing, so no controller is
+        clocked and the wires are otherwise idle by construction."""
+        net = self.net
+        if drive:
+            for line in net.lines:
+                for tid in sorted(line._attached):
+                    line.assert_signal(tid)
+        if net.injector is not None:
+            net.injector.perturb_glines(net.lines, now=net.now)
+        ok = True
+        for line in net.lines:
+            level, count = line.sampled_on(), line.sample_count()
+            if drive:
+                ok &= level and count == line.num_attached
+            else:
+                ok &= not level and count == 0
+            net.stats.gline_toggles += len(line._asserting)
+            line.end_cycle()
+        return ok
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def _readmit(self) -> None:
+        self.state = PROBATION
+        self.probation_left = self.config.recovery_probation_barriers
+        self.readmissions += 1
+        repair = self.net.now - self._degraded_at
+        self.degraded_cycles += repair
+        self.mttr_samples.append(repair)
+        self.net.quarantined = False
+        self.net.fault_stats.bump("faults.recovery.readmits")
+        self.net.fault_stats.bump("faults.recovery.repair_cycles", repair)
+        if self.net.metrics is not None:
+            self.net.metrics.histogram(
+                "gline.recovery.repair_time").record(repair)
+        self._emit(obs_ev.GL_READMIT, phase="probation",
+                   probation=self.probation_left, repair=repair)
+        self._log(f"READMIT at cycle {self.net.now}: degraded "
+                  f"{repair} cycles; probation over "
+                  f"{self.probation_left} barriers")
+
+    def _retire(self, why: str) -> None:
+        self.state = QUARANTINED
+        self._probe_token += 1  # cancel any pending probe
+        self.net.quarantined = True
+        self.net.fault_stats.bump("faults.recovery.retired")
+        self._log(f"QUARANTINED permanently at cycle {self.net.now}: "
+                  f"{why}")
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, kind: str, **detail: object) -> None:
+        net = self.net
+        if net.tracer.enabled:
+            net.tracer.emit(net.now, net.name, kind, **detail)
+
+    def _log(self, message: str) -> None:
+        if len(self.log) == self.log.maxlen:
+            self.log_dropped += 1
+            self.net.fault_stats.bump("faults.recovery.log_dropped")
+        self.log.append(message)

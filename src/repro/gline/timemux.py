@@ -72,10 +72,25 @@ class SlotContext:
     def samples(self):
         return self.net.samples
 
-    # Fault-handling pass-throughs (repro.faults).
+    # Fault-handling pass-throughs (repro.faults).  Each slot context has
+    # its own logical network, so quarantine/recovery is naturally *per
+    # segment*: one degraded slot falls back to software while the other
+    # slots keep running on the shared physical wires.
     @property
     def quarantined(self) -> bool:
         return self.net.quarantined
+
+    @property
+    def recovery(self):
+        return self.net.recovery
+
+    @property
+    def failover_reports(self):
+        return self.net.failover_reports
+
+    @property
+    def failover_reports_dropped(self) -> int:
+        return self.net.failover_reports_dropped
 
     @property
     def detections(self) -> int:

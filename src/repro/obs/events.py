@@ -39,6 +39,9 @@ GL_RELEASE = "gline.release"              # cores released this cycle
 GL_EPISODE = "gline.episode"              # one completed barrier episode
 GL_WATCHDOG_RETRY = "gline.watchdog.retry"
 GL_WATCHDOG_FAILOVER = "gline.watchdog.failover"
+GL_PROBE = "gline.recovery.probe"          # idle-cycle wire probe episode
+GL_READMIT = "gline.recovery.readmit"      # probation entry / healthy again
+GL_REDEGRADE = "gline.recovery.redegrade"  # probation tripped; degraded
 
 # Data NoC (source: "noc" / "vct").
 NOC_SEND = "noc.send"
@@ -56,6 +59,7 @@ ALL_KINDS = frozenset({
     CORE_BARRIER_ENTER, CORE_BARRIER_RESUME, CORE_STRAGGLER, CORE_FAILSTOP,
     GL_ARRIVE, GL_WIRE, GL_FSM, GL_RELEASE, GL_EPISODE,
     GL_WATCHDOG_RETRY, GL_WATCHDOG_FAILOVER,
+    GL_PROBE, GL_READMIT, GL_REDEGRADE,
     NOC_SEND, NOC_DELIVER,
     L1_MISS, L1_FILL, L1_EVICT, DIR_MSG,
 })
@@ -64,6 +68,7 @@ ALL_KINDS = frozenset({
 FLIGHT_KINDS = frozenset({
     CORE_BARRIER_ENTER, CORE_BARRIER_RESUME, CORE_STRAGGLER, CORE_FAILSTOP,
     GL_ARRIVE, GL_RELEASE, GL_WATCHDOG_RETRY, GL_WATCHDOG_FAILOVER,
+    GL_READMIT, GL_REDEGRADE,
 })
 
 

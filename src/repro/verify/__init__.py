@@ -42,8 +42,8 @@ from .conformance import (ConcretePath, LiftResult, ReplayResult,
 from .explore import (ALL_PROPERTIES, NOT_PROVED, PROVED, SKIPPED,
                       VIOLATED, Counterexample, ExploreResult, explore,
                       replay_actions)
-from .model import (GLBarrierModel, P_DEADLOCK, P_EXACTLY_ONCE,
-                    P_FOUR_CYCLE, P_SAFETY, PropertyViolation)
+from .model import (GLBarrierModel, P_DEADLOCK, P_EXACTLY_ONCE, P_FLAP,
+                    P_FOUR_CYCLE, P_RECOVERY, P_SAFETY, PropertyViolation)
 from .report import (expectation_verdict, render_counterexample,
                      render_report, report_dict)
 from .scenarios import (EXPECT_FAILOVER, EXPECT_PASS, EXPECT_VIOLATION,
@@ -56,6 +56,7 @@ from .shard import (VerifyShardResult, VerifyShardSpec, merge_shards,
 __all__ = [
     "GLBarrierModel", "PropertyViolation",
     "P_SAFETY", "P_EXACTLY_ONCE", "P_DEADLOCK", "P_FOUR_CYCLE",
+    "P_RECOVERY", "P_FLAP",
     "explore", "replay_actions", "ExploreResult", "Counterexample",
     "ALL_PROPERTIES", "PROVED", "VIOLATED", "NOT_PROVED", "SKIPPED",
     "FaultScenario", "Mutation", "ScenarioInjector",

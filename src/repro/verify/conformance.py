@@ -39,7 +39,8 @@ from ..obs import Observability, RingTracer, to_perfetto, write_vcd
 from ..obs import events as obs_ev
 from ..obs.events import TraceEvent
 from ..sim.engine import Engine
-from .model import (GLBarrierModel, MA, MCD, MR, ROW_FIXED,
+from ..gline.recovery import PROBATION
+from .model import (GLBarrierModel, GLITCH, MA, MCD, MR, ROW_FIXED,
                     SL_A, SL_CD, SL_R, SLAVE, Action, PropertyViolation)
 from .scenarios import (FAULT_FREE, FaultScenario, Mutation,
                         ScenarioInjector, get_mutation)
@@ -66,6 +67,8 @@ class ConcretePath:
     schedules: List[List[int]]
     prop: Optional[str] = None
     message: Optional[str] = None
+    #: Model steps at which the path fired the armed wire glitch.
+    glitches: List[int] = field(default_factory=list)
 
     @property
     def violating(self) -> bool:
@@ -73,7 +76,8 @@ class ConcretePath:
 
     def to_dict(self) -> Dict[str, object]:
         return {"schedules": [list(s) for s in self.schedules],
-                "property": self.prop, "message": self.message}
+                "property": self.prop, "message": self.message,
+                "glitches": list(self.glitches)}
 
 
 def _row_order(model: GLBarrierModel, conc: bytes) -> List[int]:
@@ -151,6 +155,7 @@ def concretize(model: GLBarrierModel,
     abstract = model.initial()
     conc = twin.initial()
     schedules: List[List[int]] = []
+    glitches: List[int] = []
     prop: Optional[str] = None
     message: Optional[str] = None
     for n, idx in enumerate(action_indices):
@@ -158,10 +163,15 @@ def concretize(model: GLBarrierModel,
         if not 0 <= idx < len(acts):
             raise ValueError(f"action index {idx} out of range at step "
                              f"{n}")
-        cores = _match_action(twin, conc, acts[idx])
+        action = acts[idx]
+        glitched = bool(action) and action[-1] == GLITCH
+        if glitched:
+            glitches.append(n)
+            action = action[:-1]
+        cores = _match_action(twin, conc, action)
         schedules.append(cores)
         try:
-            conc = twin.step_cores(conc, cores)
+            conc = twin.step_cores(conc, cores, glitch=glitched)
         except PropertyViolation as exc:
             if n != len(action_indices) - 1:
                 raise
@@ -176,7 +186,8 @@ def concretize(model: GLBarrierModel,
             # report the canonical verdict (the replay will arbitrate).
             prop, message = exc.prop, exc.message
             break
-    return ConcretePath(schedules=schedules, prop=prop, message=message)
+    return ConcretePath(schedules=schedules, prop=prop, message=message,
+                        glitches=glitches)
 
 
 # ---------------------------------------------------------------------- #
@@ -238,6 +249,7 @@ def replay_on_simulator(rows: int, cols: int,
                         schedules: Sequence[Sequence[int]], *,
                         scenario: FaultScenario = FAULT_FREE,
                         mutation: Union[Mutation, str, None] = None,
+                        glitches: Sequence[int] = (),
                         trace_capacity: Optional[int] = 65536
                         ) -> ReplayResult:
     """Drive a real ``GLineBarrierNetwork`` with concrete schedules.
@@ -257,12 +269,26 @@ def replay_on_simulator(rows: int, cols: int,
     stats = StatsRegistry(rows * cols)
     cfg = GLineConfig(barreg_write_cycles=0,
                       watchdog_budget=scenario.watchdog_budget,
-                      watchdog_retries=scenario.watchdog_retries)
+                      watchdog_retries=scenario.watchdog_retries,
+                      recovery_enabled=scenario.recovery,
+                      recovery_probe_interval=scenario.probe_backoff,
+                      recovery_backoff_factor=1,
+                      recovery_max_backoff=scenario.probe_backoff,
+                      recovery_probation_barriers=(
+                          scenario.probation_barriers),
+                      recovery_max_flaps=scenario.max_flaps,
+                      recovery_max_probes=scenario.max_probes)
     net = GLineBarrierNetwork(engine, stats, rows, cols, cfg)
     if mutation is not None:
         mutation.apply_to_network(net)
-    if not scenario.is_fault_free:
-        net.set_injector(ScenarioInjector(scenario))
+    if scenario.needs_injector:
+        inj = ScenarioInjector(scenario, glitch_cycles=tuple(glitches))
+        inj.net = net
+        net.set_injector(inj)
+    if scenario.recovery and scenario.start == "probation" \
+            and net.recovery is not None:
+        net.recovery.state = PROBATION
+        net.recovery.probation_left = scenario.probation_barriers
     tracer = RingTracer(capacity=trace_capacity)
     net.set_obs(Observability(tracer=tracer))
 

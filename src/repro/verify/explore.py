@@ -20,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .model import (GLBarrierModel, P_DEADLOCK, P_EXACTLY_ONCE,
-                    P_FOUR_CYCLE, P_SAFETY, PropertyViolation)
+from .model import (GLBarrierModel, P_DEADLOCK, P_EXACTLY_ONCE, P_FLAP,
+                    P_FOUR_CYCLE, P_RECOVERY, P_SAFETY, PropertyViolation)
 
 #: Property result labels.
 PROVED = "proved"
@@ -217,8 +217,10 @@ def _progress_pass(model: GLBarrierModel, states: List[bytes],
 
 def _verdicts(model: GLBarrierModel, capped: bool,
               violation: Optional[Counterexample]) -> Dict[str, str]:
+    props = ALL_PROPERTIES + ((P_RECOVERY, P_FLAP) if model.recovery
+                              else ())
     out: Dict[str, str] = {}
-    for prop in ALL_PROPERTIES:
+    for prop in props:
         if prop == P_FOUR_CYCLE and not model.check_four_cycle:
             out[prop] = SKIPPED
             continue

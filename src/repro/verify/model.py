@@ -17,6 +17,8 @@ State layout (all single bytes)::
     MasterV block:          Scnt Mcnt done validating
     tail:                   since_all wd retries quarantined
                             row_validated episodes_done
+                            recovery_state probe_timer probation_left
+                            flaps probe_fails glitch_armed degraded_ever
 
 ``a``/``r`` (``Ma``/``Mr`` for the row master) count a core's barrier
 *arrivals* and *releases*; ``bar_reg`` is set exactly when ``a == r + 1``,
@@ -37,6 +39,20 @@ Cycle-accuracy is exact along fault-free paths; under fault scenarios the
 model collapses the network's dormant cycles and is therefore
 behavior-equivalent rather than cycle-identical (see
 ``docs/verification.md``).
+
+Recovery scenarios (``scenario.recovery``) extend the tail with the
+probe/probation FSM of :mod:`repro.gline.recovery`: ``recovery_state``
+is HEALTHY/DEGRADED/PROBATION/RETIRED (the transient PROBING episode is
+folded into the instant the probe timer expires -- the model is
+behavior-equivalent, not cycle-identical, under faults anyway), the
+probe timer abstracts the exponential backoff to the constant
+``probe_backoff``, and re-admission is deferred to an episode boundary
+exactly as the sticky software cohort in
+:class:`~repro.gline.barrier.GLBarrier` defers it on the real chip.  A
+scenario's one-shot ``glitch`` is an extra environment action: the
+explorer fires it at every possible step, forcing the damaged TX wire
+high for one cycle so the S-CSMA count lands exactly on the gather
+target with a core missing.
 
 Symmetry reduction: horizontal slaves within a row are interchangeable
 (their blocks are kept sorted), as are entire rows 1..R-1 (row 0 hosts
@@ -63,15 +79,30 @@ SLAVE = 4
 #: MasterV block offsets (relative to ``mv_off``).
 V_SC, V_MC, V_DONE, V_VAL = range(4)
 MV = 4
-#: Tail offsets (relative to ``tail_off``).
-T_SA, T_WD, T_RET, T_Q, T_RV, T_EPS = range(6)
-TAIL = 6
+#: Tail offsets (relative to ``tail_off``).  The recovery bytes stay 0
+#: for non-recovery scenarios, so canonical state counts are unchanged.
+(T_SA, T_WD, T_RET, T_Q, T_RV, T_EPS,
+ T_RST, T_PRT, T_PBL, T_FLP, T_PRF, T_GL, T_DEG) = range(13)
+TAIL = 13
+
+#: ``T_RST`` recovery-state encoding.
+R_HEALTHY, R_DEGRADED, R_PROBATION, R_RETIRED = range(4)
+
+#: The one-shot glitch marker appended to an action tuple.
+GLITCH = "glitch"
 
 #: Properties the model can report violated.
 P_SAFETY = "safety"
 P_EXACTLY_ONCE = "exactly-once"
 P_DEADLOCK = "deadlock-freedom"
 P_FOUR_CYCLE = "four-cycle"
+#: Recovery-only properties (reported only when ``scenario.recovery``).
+#: Bounded recovery: a degraded network always has a probe pending, so
+#: it re-admits or retires within ``max_probes * probe_backoff`` steps
+#: of the wires healing.  Flap bound: failed re-admissions never exceed
+#: ``max_flaps`` before the permanent quarantine engages.
+P_RECOVERY = "bounded-recovery"
+P_FLAP = "flap-bound"
 
 #: Cap on ``since_all`` so fault scenarios (which legitimately exceed the
 #: completion bound while the watchdog counts down) keep the byte finite.
@@ -132,6 +163,10 @@ class GLBarrierModel:
             if reason is not None:
                 raise ValueError(
                     f"mutation {self.mutation.name!r}: {reason}")
+            if self.mutation.target == "shadow" and not scenario.recovery:
+                raise ValueError(
+                    f"mutation {self.mutation.name!r} needs a recovery "
+                    f"scenario (it disables probation's shadow check)")
 
         self.num_cores = rows * cols
         self.num_slaves_h = cols - 1
@@ -147,12 +182,25 @@ class GLBarrierModel:
         if self.mutation is not None:
             if self.mutation.target == "mh":
                 self.mh_target -= 1
-            else:
+            elif self.mutation.target == "mv":
                 self.mv_target -= 1
         #: Scnt caps: one past the overshoot threshold is behaviorally
         #: absorbing (``== target`` stays false, ``> target`` stays true).
         self.mh_cap = self.mh_target + 1
         self.mv_cap = self.mv_target + 1
+
+        # Recovery FSM parameters (see repro.gline.recovery).
+        self.recovery = scenario.recovery
+        self.probation_barriers = scenario.probation_barriers
+        self.max_flaps = scenario.max_flaps
+        self.probe_backoff = scenario.probe_backoff
+        self.max_probes = scenario.max_probes
+        self.heal = scenario.heal
+        self.glitch_armed = scenario.glitch_role is not None
+        self.glitch_row = scenario.glitch_row
+        #: The planted bug: probation runs without the shadow check.
+        self.shadow_mutated = (self.mutation is not None
+                               and self.mutation.target == "shadow")
 
         # State layout.
         self.row_size = ROW_FIXED + SLAVE * self.num_slaves_h
@@ -167,14 +215,18 @@ class GLBarrierModel:
             self._fault[(scenario.role, row)] = (scenario.stuck,
                                                  scenario.count_delta)
 
-        #: Row symmetry is sound unless the scenario pins a fault to a
-        #: specific row >= 1 (row 0 is never sorted).
+        #: Row symmetry is sound unless the scenario pins a fault (or the
+        #: one-shot glitch) to a specific row >= 1 (row 0 is never sorted).
         self.sort_rows = symmetric and rows > 2 and not (
-            scenario.role in ("row_tx", "row_rel") and scenario.row >= 1)
+            scenario.role in ("row_tx", "row_rel")
+            and scenario.row >= 1) and not (
+            scenario.glitch_role is not None and scenario.glitch_row >= 1)
 
         #: The 4-cycle theorem is asserted only on healthy wires; the
-        #: hardened validation stage legitimately costs one extra cycle.
-        self.check_four_cycle = scenario.is_fault_free
+        #: hardened validation stage legitimately costs one extra cycle,
+        #: and recovery scenarios route episodes through software.
+        self.check_four_cycle = scenario.is_fault_free \
+            and not scenario.recovery
         if rows == 1:
             self.completion_bound = 2 + (1 if self.hardened else 0)
         else:
@@ -204,6 +256,12 @@ class GLBarrierModel:
             base = r * self.row_size + ROW_FIXED
             for i in range(self.num_slaves_h):
                 s[base + i * SLAVE + SL_SIG] = 1
+        t = self.tail_off
+        if self.recovery and self.scenario.start == "probation":
+            s[t + T_RST] = R_PROBATION
+            s[t + T_PBL] = self.probation_barriers
+        if self.glitch_armed:
+            s[t + T_GL] = 1
         return bytes(self._canon(s))
 
     def _canon(self, s: bytearray) -> bytearray:
@@ -242,6 +300,9 @@ class GLBarrierModel:
 
     def _any_waiting(self, s: Sequence[int]) -> bool:
         return any(a == r + 1 for a, r in self._core_regs(s))
+
+    def _waiting_count(self, s: Sequence[int]) -> int:
+        return sum(a == r + 1 for a, r in self._core_regs(s))
 
     def is_complete(self, s: Sequence[int]) -> bool:
         """All episodes done and every core released from the last one."""
@@ -283,7 +344,13 @@ class GLBarrierModel:
                         (blk, c) for (blk, _), c in zip(items, counts)
                         if c)))
             per_row.append(opts)
-        return [tuple(combo) for combo in product(*per_row)]
+        acts = [tuple(combo) for combo in product(*per_row)]
+        if state[self.tail_off + T_GL]:
+            # The one-shot glitch may fire alongside any arrival choice;
+            # un-glitched variants come first so the last action stays
+            # the maximal one (arrivals + glitch = ``max_action``).
+            acts = acts + [a + (GLITCH,) for a in acts]
+        return acts
 
     def max_action(self, state: bytes) -> Action:
         """The action delivering every eligible arrival (equals the last
@@ -301,7 +368,10 @@ class GLBarrierModel:
                                   state[off + SL_CD]):
                     classes[state[off: off + SLAVE]] += 1
             out.append((m, tuple(classes.items())))
-        return tuple(out)
+        act = tuple(out)
+        if state[self.tail_off + T_GL]:
+            act = act + (GLITCH,)
+        return act
 
     # ------------------------------------------------------------------ #
     # One transition
@@ -312,14 +382,24 @@ class GLBarrierModel:
         Raises :class:`PropertyViolation` when the transition breaks
         safety, exactly-once delivery or the completion bound.
         """
+        glitch = len(action) > 0 and action[-1] == GLITCH
+        if glitch:
+            if not state[self.tail_off + T_GL]:
+                raise ValueError("glitch fired but not armed")
+            action = action[:-1]
         s = bytearray(state)
         self._apply_arrivals(s, action)
-        return bytes(self._canon(self._advance(s)))
+        if glitch:
+            s[self.tail_off + T_GL] = 0
+        return bytes(self._canon(self._advance(s, glitch)))
 
-    def step_cores(self, state: bytes, cores: Iterable[int]) -> bytes:
+    def step_cores(self, state: bytes, cores: Iterable[int],
+                   glitch: bool = False) -> bytes:
         """Concrete-identity variant: arrivals named by mesh core id
         (``row * cols + col``).  Used with ``symmetric=False`` for
         counterexample replay and trace lifting."""
+        if glitch and not state[self.tail_off + T_GL]:
+            raise ValueError("glitch fired but not armed")
         s = bytearray(state)
         for cid in sorted(set(cores)):
             r, c = divmod(cid, self.cols)
@@ -336,7 +416,9 @@ class GLBarrierModel:
                 raise ValueError(f"core {cid} is not eligible to arrive")
             s[off] += 1
         self._post_arrival(s)
-        return bytes(self._canon(self._advance(s)))
+        if glitch:
+            s[self.tail_off + T_GL] = 0
+        return bytes(self._canon(self._advance(s, glitch)))
 
     # -- arrival phase ------------------------------------------------- #
     def _apply_arrivals(self, s: bytearray, action: Action) -> None:
@@ -374,7 +456,7 @@ class GLBarrierModel:
             s[t + T_WD] = self.budget + 1
 
     # -- watchdog + tick ------------------------------------------------ #
-    def _advance(self, s: bytearray) -> bytearray:
+    def _advance(self, s: bytearray, glitch: bool = False) -> bytearray:
         t = self.tail_off
         if s[t + T_WD]:
             s[t + T_WD] -= 1
@@ -387,11 +469,62 @@ class GLBarrierModel:
                     self._handle_fault(s)
                     self._end_of_step(s, [])
                     return s
+        if self.recovery and s[t + T_RST] == R_DEGRADED and s[t + T_PRT]:
+            s[t + T_PRT] -= 1
+            if s[t + T_PRT] == 0:
+                self._probe(s)
         if s[t + T_Q]:
             self._sw_tick(s)
         else:
-            self._hw_tick(s)
+            self._hw_tick(s, glitch)
         return s
+
+    # -- recovery FSM (repro.gline.recovery, folded to tick granularity) #
+    def _fault_active(self, s: Sequence[int]) -> bool:
+        """Whether the scenario's static fault perturbs the wires now.
+
+        The heal modes make the fault deterministically intermittent:
+        ``after-degrade`` ends the burst at the first failover,
+        ``off-degraded`` is a load-correlated fault invisible to idle
+        probes (active except while degraded)."""
+        if not self._fault:
+            return False
+        if not self.recovery or self.heal == "never":
+            return True
+        t = self.tail_off
+        if self.heal == "after-degrade":
+            return not s[t + T_DEG]
+        return s[t + T_RST] != R_DEGRADED
+
+    def _probe(self, s: bytearray) -> None:
+        """The probe timer expired: run the idle-cycle wire test.
+
+        Passes exactly when the static fault is inactive (the real probe
+        drives every line and checks level/count both ways; any live
+        stuck-at or miscount trips it).  Re-admission waits for an
+        episode boundary -- the sticky software cohort on the real chip
+        keeps a mid-flight episode software either way."""
+        t = self.tail_off
+        if not self._fault_active(s):
+            if self._any_waiting(s):
+                s[t + T_PRT] = self.probe_backoff
+                return
+            s[t + T_RST] = R_PROBATION
+            s[t + T_PBL] = self.probation_barriers
+            s[t + T_PRF] = 0
+            s[t + T_Q] = 0
+            self._reset_fsm(s)
+            return
+        s[t + T_PRF] += 1
+        if s[t + T_PRF] > self.max_probes:
+            raise PropertyViolation(
+                P_RECOVERY,
+                f"{s[t + T_PRF]} failed probes exceed the "
+                f"max_probes bound of {self.max_probes}")
+        if s[t + T_PRF] >= self.max_probes:
+            s[t + T_RST] = R_RETIRED
+        else:
+            s[t + T_PRT] = self.probe_backoff
 
     def _sw_tick(self, s: bytearray) -> None:
         """Quarantined network: episodes complete over the software
@@ -405,7 +538,7 @@ class GLBarrierModel:
                 released.extend((r, i) for i in range(self.num_slaves_h))
         self._end_of_step(s, released)
 
-    def _hw_tick(self, s: bytearray) -> None:
+    def _hw_tick(self, s: bytearray, glitch: bool = False) -> None:
         rows, nsh = self.rows, self.num_slaves_h
         t, mv = self.tail_off, self.mv_off
         released: List[Tuple[int, int]] = []  # (row, slave_i); -1=master
@@ -453,25 +586,31 @@ class GLBarrierModel:
 
         # ---- wire faults land between assert and sample -------------- #
         row_tx_eff = list(row_tx_count)
-        for r in range(rows):
-            stuck, delta = self._fault.get(("row_tx", r), (None, 0))
-            if stuck is not None:
-                row_tx_eff[r] = nsh if stuck else 0
-            elif delta:
-                row_tx_eff[r] = min(max(row_tx_count[r] + delta, 0), nsh)
-            stuck, _ = self._fault.get(("row_rel", r), (None, 0))
-            if stuck is not None:
-                row_rel_level[r] = bool(stuck)
         col_tx_eff = col_tx_count
-        stuck, delta = self._fault.get(("col_tx", 0), (None, 0))
-        if stuck is not None:
-            col_tx_eff = self.num_slaves_v if stuck else 0
-        elif delta:
-            col_tx_eff = min(max(col_tx_count + delta, 0),
-                             self.num_slaves_v)
-        stuck, _ = self._fault.get(("col_rel", 0), (None, 0))
-        if stuck is not None:
-            col_rel_level = bool(stuck)
+        if self._fault_active(s):
+            for r in range(rows):
+                stuck, delta = self._fault.get(("row_tx", r), (None, 0))
+                if stuck is not None:
+                    row_tx_eff[r] = nsh if stuck else 0
+                elif delta:
+                    row_tx_eff[r] = min(max(row_tx_count[r] + delta, 0),
+                                        nsh)
+                stuck, _ = self._fault.get(("row_rel", r), (None, 0))
+                if stuck is not None:
+                    row_rel_level[r] = bool(stuck)
+            stuck, delta = self._fault.get(("col_tx", 0), (None, 0))
+            if stuck is not None:
+                col_tx_eff = self.num_slaves_v if stuck else 0
+            elif delta:
+                col_tx_eff = min(max(col_tx_count + delta, 0),
+                                 self.num_slaves_v)
+            stuck, _ = self._fault.get(("col_rel", 0), (None, 0))
+            if stuck is not None:
+                col_rel_level = bool(stuck)
+        if glitch:
+            # One-shot forced-high on the glitch row's TX wire: the
+            # S-CSMA count reads the full attached-transmitter count.
+            row_tx_eff[self.glitch_row] = nsh
 
         # ---- hardened spurious-release guard ------------------------- #
         spurious = False
@@ -546,6 +685,33 @@ class GLBarrierModel:
             else:
                 s[RT] = 1
 
+        # ---- hardened release atomicity ------------------------------ #
+        # A legitimate release pulse covers every waiting core in one
+        # step; a shortfall means a release line dropped the pulse for
+        # part of the mesh (stuck low) while the masters -- who release
+        # their own cores at drive time -- ran ahead.  The released
+        # cores cannot be recalled, so the hardened network fails the
+        # episode over as one software cohort (mirrors the simulator's
+        # ``_complete_release`` partial-release guard).
+        if self.hardened and released \
+                and len(released) != self._waiting_count(s):
+            self._failover(s)
+            self._end_of_step(s, [])
+            return
+
+        # ---- probation shadow cross-check ---------------------------- #
+        # A release that does not cover the full cohort means the wires
+        # produced a count the software arrival shadow disagrees with:
+        # withhold it and fail the episode over (a flap).  The planted
+        # ``shadow`` mutation skips this, so the partial release reaches
+        # the accounting below and safety is lost.
+        if (self.recovery and s[t + T_RST] == R_PROBATION
+                and not self.shadow_mutated and released
+                and len(released) != self.num_cores):
+            self._failover(s)
+            self._end_of_step(s, [])
+            return
+
         self._end_of_step(s, released)
         if fault and self._any_waiting(s):
             self._handle_fault(s)
@@ -553,6 +719,11 @@ class GLBarrierModel:
     # -- fault handling -------------------------------------------------- #
     def _handle_fault(self, s: bytearray) -> None:
         t = self.tail_off
+        if self.recovery and s[t + T_RST] == R_PROBATION:
+            # Zero tolerance during probation: any watchdog suspicion
+            # re-degrades immediately, no retry burn-down (a flap).
+            self._failover(s)
+            return
         if s[t + T_RET] < self.max_retries:
             s[t + T_RET] += 1
             self._reset_fsm(s)
@@ -576,8 +747,33 @@ class GLBarrierModel:
 
     def _failover(self, s: bytearray) -> None:
         """Quarantine: waiting cores bounce to the software fallback and
-        stay logically waiting until the software episode completes."""
+        stay logically waiting until the software episode completes.
+
+        With recovery, quarantine is DEGRADED (probe pending) instead of
+        terminal; a probation failover is a *flap*, and the flap/probe
+        bounds retire the network permanently (back to PR 2 semantics)."""
         t = self.tail_off
+        if self.recovery and s[t + T_RST] != R_RETIRED:
+            if s[t + T_RST] == R_PROBATION:
+                s[t + T_FLP] += 1
+                if s[t + T_FLP] > self.max_flaps:
+                    raise PropertyViolation(
+                        P_FLAP,
+                        f"{s[t + T_FLP]} re-admission flaps exceed the "
+                        f"max_flaps bound of {self.max_flaps}")
+                if s[t + T_FLP] >= self.max_flaps:
+                    s[t + T_RST] = R_RETIRED
+                    s[t + T_PRT] = 0
+                else:
+                    s[t + T_RST] = R_DEGRADED
+                    s[t + T_PRT] = self.probe_backoff
+                    s[t + T_PRF] = 0
+            else:
+                s[t + T_RST] = R_DEGRADED
+                s[t + T_PRT] = self.probe_backoff
+                s[t + T_PRF] = 0
+            s[t + T_PBL] = 0
+            s[t + T_DEG] = 1
         s[t + T_Q] = 1
         s[t + T_WD] = 0
         s[t + T_RET] = 0
@@ -638,6 +834,11 @@ class GLBarrierModel:
                         P_FOUR_CYCLE,
                         f"episode completed {ticks} ticks after the last "
                         f"arrival (bound {self.completion_bound})")
+            if self.recovery and not s[t + T_Q] \
+                    and s[t + T_RST] == R_PROBATION and s[t + T_PBL]:
+                s[t + T_PBL] -= 1
+                if s[t + T_PBL] == 0:
+                    s[t + T_RST] = R_HEALTHY
             s[t + T_EPS] = min_released
             s[t + T_SA] = 0
             s[t + T_WD] = 0
@@ -659,3 +860,13 @@ class GLBarrierModel:
                 s[t + T_SA] = 0
         else:
             s[t + T_SA] = 0
+
+        # Bounded recovery: while degraded (and not retired) a probe is
+        # always pending, so re-admission or retirement happens within
+        # max_probes * probe_backoff ticks of any failover.
+        if self.recovery and s[t + T_RST] == R_DEGRADED \
+                and s[t + T_PRT] == 0:
+            raise PropertyViolation(
+                P_RECOVERY,
+                "network degraded with no probe pending: recovery would "
+                "never complete")

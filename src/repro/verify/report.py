@@ -42,7 +42,8 @@ def render_report(model: GLBarrierModel, result: ExploreResult) -> str:
         lines.append(f"max completion latency: "
                      f"{result.max_completion_ticks} tick(s) "
                      f"(bound {model.completion_bound})")
-    for prop in ALL_PROPERTIES:
+    extra = tuple(p for p in result.properties if p not in ALL_PROPERTIES)
+    for prop in ALL_PROPERTIES + extra:
         verdict = result.properties.get(prop, SKIPPED)
         lines.append(f"property {prop}: {verdict.upper()}")
     if result.violation is not None:

@@ -1,0 +1,111 @@
+"""Intermittent G-line faults: seeded bursts that assert and heal.
+
+The intermittent class sits between a one-cycle glitch and a permanent
+stuck-at: a burst begins at a seeded onset, forces the line's level (at
+the plan's duty cycle) for a bounded window, then heals.  Everything is
+deterministic per (plan, seed), and the class rides its own RNG domain
+so enabling it never shifts the stuck/glitch/miscount schedules.
+"""
+
+from repro.common.stats import StatsRegistry
+from repro.faults import FaultInjector, FaultPlan
+from repro.gline.gline import GLine
+
+
+def _injector(stats=None, **plan_kw):
+    plan_kw.setdefault("gline_intermittent_rate", 0.05)
+    plan_kw.setdefault("gline_intermittent_min_cycles", 5)
+    plan_kw.setdefault("gline_intermittent_max_cycles", 20)
+    return FaultInjector(FaultPlan(**plan_kw),
+                         stats if stats is not None else StatsRegistry(1))
+
+
+def _trace(inj, line, cycles=600):
+    """(cycle, forced_level) pairs for every cycle the fault asserts."""
+    out = []
+    for now in range(cycles):
+        inj.perturb_glines([line], now=now)
+        if line.glitch_force is not None:
+            out.append((now, line.glitch_force))
+        line.end_cycle()
+    return out
+
+
+def _line():
+    line = GLine("glnet.SglineH0")
+    line.attach("a")
+    return line
+
+
+def test_bursts_are_deterministic_per_seed():
+    a = _trace(_injector(seed=7), _line())
+    b = _trace(_injector(seed=7), _line())
+    c = _trace(_injector(seed=8), _line())
+    assert a and a == b
+    assert a != c
+
+
+def test_bursts_heal_within_the_window_bounds():
+    stats = StatsRegistry(1)
+    trace = _trace(_injector(stats, seed=3), _line())
+    onsets = stats.counters["faults.gline.intermittent_onsets"]
+    heals = stats.counters["faults.gline.intermittent_heals"]
+    assert onsets >= 2
+    # Every burst that started early enough healed; at most one can
+    # still be open at the end of the trace.
+    assert onsets - heals <= 1
+    # Asserting cycles come in runs no longer than the max window.
+    runs, start = [], trace[0][0]
+    for (c0, _), (c1, _) in zip(trace, trace[1:]):
+        if c1 != c0 + 1:
+            runs.append(c0 - start + 1)
+            start = c1
+    assert runs and all(r <= 20 for r in runs)
+
+
+def test_duty_cycle_thins_burst_assertion():
+    solid = _trace(_injector(seed=11, gline_intermittent_duty=1.0),
+                   _line())
+    thin = _trace(_injector(seed=11, gline_intermittent_duty=0.3),
+                  _line())
+    assert 0 < len(thin) < len(solid)
+
+
+def test_polarity_pin_forces_every_burst_low():
+    pinned = _trace(_injector(seed=2, gline_intermittent_polarity=0),
+                    _line(), cycles=3000)
+    assert pinned and all(level == 0 for _, level in pinned)
+    free = _trace(_injector(seed=2), _line(), cycles=3000)
+    assert {level for _, level in free} == {0, 1}
+
+
+def test_polarity_pin_does_not_shift_the_schedule():
+    """The polarity coin is drawn even when pinned, so pinning changes
+    *levels* only -- onsets and durations stay on the same cycles."""
+    free = _trace(_injector(seed=4), _line())
+    pinned = _trace(_injector(seed=4, gline_intermittent_polarity=1),
+                    _line())
+    assert [c for c, _ in free] == [c for c, _ in pinned]
+
+
+def test_legacy_call_without_now_disables_intermittent():
+    """perturb_glines(lines) with no cycle stays byte-identical to the
+    pre-intermittent injector -- burst windows need wall-clock time."""
+    inj = _injector(seed=1)
+    line = _line()
+    for _ in range(200):
+        inj.perturb_glines([line])
+        assert line.glitch_force is None and line.stuck is None
+        line.end_cycle()
+    assert "faults.gline.intermittent_onsets" not in inj.stats.counters
+
+
+def test_stuck_line_wins_over_intermittent():
+    inj = _injector(seed=6)
+    line = _line()
+    line.stuck = 1
+    for now in range(300):
+        inj.perturb_glines([line], now=now)
+        assert line.glitch_force is None
+        line.end_cycle()
+    assert "faults.gline.intermittent_onsets" not in inj.stats.counters

@@ -1,0 +1,303 @@
+"""Self-healing recovery: probe/probation re-admission state machine.
+
+PR 2's quarantine is terminal; with ``recovery_enabled`` the network
+probes the wires while degraded, re-admits through a shadow-checked
+probation window, damps flapping lines and retires permanently once the
+flap or probe budget is exhausted.  With recovery disabled nothing here
+may change: quarantine stays sticky and every PR 2 counter is identical.
+"""
+
+from dataclasses import replace
+
+from repro.common.params import GLineConfig
+from repro.common.stats import StatsRegistry
+from repro.faults import FAILOVER
+from repro.gline.network import GLineBarrierNetwork
+from repro.gline.recovery import (DEGRADED, HEALTHY, PROBATION,
+                                  QUARANTINED, RECOVERY_LOG_CAP)
+from repro.sim.engine import Engine
+
+RECOVERY = dict(watchdog_budget=32, watchdog_retries=2,
+                recovery_enabled=True, recovery_probe_interval=8,
+                recovery_backoff_factor=2, recovery_max_backoff=64,
+                recovery_probation_barriers=2, recovery_max_flaps=2,
+                recovery_max_probes=3)
+
+
+def build(rows, cols, **cfg):
+    engine = Engine()
+    stats = StatsRegistry(rows * cols)
+    net = GLineBarrierNetwork(engine, stats, rows, cols,
+                              GLineConfig(**{**RECOVERY, **cfg}))
+    return engine, stats, net
+
+
+def arrive_all(engine, net, drain=True):
+    """Schedule every core's arrival now and run until all outcomes land.
+
+    With *drain* the engine runs completely dry -- which also executes
+    any recovery probes pending on the queue.  ``drain=False`` stops at
+    the instant the last outcome is delivered, so a test can observe the
+    DEGRADED state (and heal the wire) before the first probe fires."""
+    outcomes = {}
+    for cid in range(net.num_cores):
+        engine.schedule_at(engine.now, lambda c=cid: net.arrive(
+            c, lambda *a, c=c: outcomes.__setitem__(c, a)))
+    if drain:
+        engine.run()
+    else:
+        while len(outcomes) < net.num_cores:
+            assert engine.step(), "engine drained before all outcomes"
+    return outcomes
+
+
+def degrade(engine, net, line_index=0):
+    """Stick a gather line low and run one episode into failover,
+    stopping before the first recovery probe fires."""
+    net.lines[line_index].stuck = 0
+    outcomes = arrive_all(engine, net, drain=False)
+    assert all(a == (FAILOVER,) for a in outcomes.values())
+    assert net.quarantined and net.recovery.state == DEGRADED
+    return outcomes
+
+
+# ---------------------------------------------------------------------- #
+# Happy path: degrade -> probe -> probation -> healthy
+# ---------------------------------------------------------------------- #
+def test_healed_fault_is_probed_and_readmitted():
+    engine, stats, net = build(2, 2)
+    degrade(engine, net)
+    net.lines[0].stuck = None          # the intermittent burst ends
+    engine.run()                       # pending probe fires, passes
+    assert net.recovery.state == PROBATION
+    assert not net.quarantined
+    assert net.recovery.mttr_samples and net.recovery.mttr_samples[0] > 0
+    # Probation barriers run on hardware under the shadow check...
+    for _ in range(RECOVERY["recovery_probation_barriers"]):
+        assert net.recovery.state == PROBATION
+        outcomes = arrive_all(engine, net)
+        assert all(a == () for a in outcomes.values())
+    # ...and a clean window restores full health.
+    assert net.recovery.state == HEALTHY
+    assert stats.counters["faults.recovery.readmits"] == 1
+    assert stats.counters["faults.recovery.healthy"] == 1
+
+
+def test_post_recovery_latency_matches_fresh_network():
+    """Acceptance: after re-admission, barriers run at the hardware
+    golden latency -- indistinguishable from a never-faulted network."""
+    engine, _, net = build(2, 2)
+    degrade(engine, net)
+    net.lines[0].stuck = None
+    engine.run()
+    for _ in range(3):                 # probation (2) + one healthy
+        arrive_all(engine, net)
+    recovered = net.samples[-1]
+
+    engine2, _, fresh = build(2, 2)
+    arrive_all(engine2, fresh)
+    golden = fresh.samples[-1]
+    assert (recovered.release - recovered.last_arrival
+            == golden.release - golden.last_arrival)
+
+
+def test_still_faulty_wire_fails_probes_then_retires():
+    engine, stats, net = build(2, 2)
+    degrade(engine, net)               # stuck-at stays active
+    engine.run()                       # probes fire on backoff schedule
+    assert net.recovery.state == QUARANTINED
+    assert net.quarantined
+    assert stats.counters["faults.recovery.probe_failures"] \
+        == RECOVERY["recovery_max_probes"]
+    # Permanent: later arrivals bounce straight to software, no probes.
+    probes_before = net.recovery.probes
+    outcomes = arrive_all(engine, net)
+    assert all(a == (FAILOVER,) for a in outcomes.values())
+    assert net.recovery.probes == probes_before
+
+
+def test_probe_backoff_is_exponential_and_capped():
+    engine, _, net = build(2, 2, recovery_max_probes=5,
+                           recovery_max_backoff=16)
+    degrade(engine, net)
+    rec = net.recovery
+    # Backoff doubles per failed probe in the spell, clamped at the cap.
+    assert rec._backoff() == 8
+    rec._spell_probe_failures = 1
+    assert rec._backoff() == 16
+    rec._spell_probe_failures = 3
+    assert rec._backoff() == 16        # capped
+
+
+def test_flap_limit_retires_permanently():
+    """A load-correlated fault passes idle probes but trips probation:
+    each round trip is a flap, and the flap budget ends the cycling."""
+    engine, stats, net = build(2, 2, recovery_max_flaps=2)
+    degrade(engine, net)
+    for expected_flaps in (1, 2):
+        # Fault "heals" while degraded (off-degraded class)...
+        net.lines[0].stuck = None
+        engine.run()                   # probe passes -> probation
+        assert net.recovery.state == PROBATION
+        # ...then reasserts under load, tripping the probation watchdog.
+        net.lines[0].stuck = 0
+        outcomes = arrive_all(engine, net, drain=False)
+        assert all(a == (FAILOVER,) for a in outcomes.values())
+        assert net.recovery.flaps == expected_flaps
+    assert net.recovery.state == QUARANTINED
+    assert stats.counters["faults.recovery.redegrades"] == 2
+    # Sticky: healing the wire now changes nothing.
+    net.lines[0].stuck = None
+    engine.run()
+    assert net.recovery.state == QUARANTINED and net.quarantined
+
+
+def test_probation_watchdog_redegrades_without_retry_burndown():
+    """Zero tolerance: during probation a watchdog trip re-degrades
+    immediately instead of burning the retry budget."""
+    engine, stats, net = build(2, 2)
+    degrade(engine, net)
+    retries_after_first = net.retries
+    net.lines[0].stuck = None
+    engine.run()
+    assert net.recovery.state == PROBATION
+    net.lines[0].stuck = 0
+    outcomes = arrive_all(engine, net, drain=False)
+    assert all(a == (FAILOVER,) for a in outcomes.values())
+    assert net.retries == retries_after_first   # no new retries
+    assert net.recovery.state == DEGRADED
+
+
+# ---------------------------------------------------------------------- #
+# Shadow cross-check
+# ---------------------------------------------------------------------- #
+class _GlitchInjector:
+    """Force one line high during given cycles (between assert/sample)."""
+
+    def __init__(self, line_name, cycles):
+        self.line_name = line_name
+        self.cycles = set(cycles)
+        self.net = None
+
+    def perturb_glines(self, lines, now=None):
+        if now in self.cycles:
+            for line in lines:
+                if line.name.endswith(self.line_name):
+                    line.glitch_force = 1
+
+
+def test_shadow_check_catches_exact_landing_glitch():
+    """A one-shot forced-high gather glitch lands the S-CSMA count on
+    target with a slave missing -- invisible to every PR 2 guard.  The
+    probation shadow cross-check withholds the release and re-degrades."""
+    engine, stats, net = build(2, 2, barreg_write_cycles=0)
+    net.recovery.state = PROBATION
+    net.recovery.probation_left = 2
+    net.set_injector(_GlitchInjector("SglineH0", {0}))
+    outcomes = {}
+    for cid in (0, 2, 3):              # core 1 (row-0 slave) missing
+        net.arrive(cid, lambda *a, c=cid: outcomes.__setitem__(c, a))
+    engine.run()
+    # Everyone who arrived was bounced to software -- nobody released on
+    # hardware while core 1 was missing.
+    assert all(outcomes[c] == (FAILOVER,) for c in (0, 2, 3))
+    assert stats.counters["faults.recovery.shadow_aborts"] == 1
+    assert stats.counters["faults.recovery.redegrades"] == 1
+    assert net.recovery.flaps == 1
+    # The glitch was one-shot, so the post-flap probe passed and the
+    # network is back in a *fresh* probation window.
+    assert net.recovery.state == PROBATION
+    assert net.recovery.probation_left \
+        == RECOVERY["recovery_probation_barriers"]
+
+
+def test_shadow_disabled_mutation_lets_glitch_release_early():
+    """The planted verification mutation: without the shadow check the
+    same glitch releases the partial cohort (repro.verify catches it)."""
+    engine, _, net = build(2, 2, barreg_write_cycles=0)
+    net.recovery.state = PROBATION
+    net.recovery.probation_left = 2
+    net.recovery.shadow_disabled = True
+    net.set_injector(_GlitchInjector("SglineH0", {0}))
+    outcomes = {}
+    for cid in (0, 2, 3):
+        net.arrive(cid, lambda *a, c=cid: outcomes.__setitem__(c, a))
+    engine.run()
+    assert all(outcomes[c] == () for c in (0, 2, 3))   # early release!
+
+
+# ---------------------------------------------------------------------- #
+# PR 2 parity: recovery disabled
+# ---------------------------------------------------------------------- #
+def test_recovery_disabled_quarantine_is_sticky():
+    engine, stats, net = build(2, 2, recovery_enabled=False)
+    assert net.recovery is None
+    net.lines[0].stuck = 0
+    arrive_all(engine, net)
+    assert net.quarantined
+    net.lines[0].stuck = None          # healing changes nothing
+    engine.run()
+    assert net.quarantined
+    outcomes = arrive_all(engine, net)
+    assert all(a == (FAILOVER,) for a in outcomes.values())
+    assert "faults.recovery.degrades" not in stats.counters
+
+
+def test_recovery_disabled_run_is_bit_identical_to_pr2():
+    """Event-for-event parity: enabling the *code path* (module import,
+    GLBarrier cohort bookkeeping) without the config flag must not move
+    a single cycle or counter relative to the hardened PR 2 network."""
+    def run(**cfg):
+        engine, stats, net = build(2, 2, recovery_enabled=False, **cfg)
+        net.lines[0].stuck = 0
+        arrive_all(engine, net)
+        out2 = arrive_all(engine, net)
+        return (engine.now, net.failovers, net.detections, net.retries,
+                sorted(stats.counters.items()),
+                list(net.failover_reports), {c: a for c, a in out2.items()})
+
+    assert run() == run()
+
+
+# ---------------------------------------------------------------------- #
+# Bounded logs (satellite: no unbounded growth on flapping hardware)
+# ---------------------------------------------------------------------- #
+def test_failover_reports_are_bounded_with_drop_counter():
+    engine, stats, net = build(2, 2, recovery_enabled=False)
+    cap = net.failover_reports.maxlen
+    for _ in range(cap + 7):
+        net.failover()
+    assert len(net.failover_reports) == cap
+    assert net.failover_reports_dropped == 7
+    assert stats.counters["faults.watchdog.reports_dropped"] == 7
+
+
+def test_recovery_log_is_bounded():
+    engine, _, net = build(2, 2)
+    rec = net.recovery
+    for i in range(RECOVERY_LOG_CAP + 5):
+        rec._log(f"event {i}")
+    assert len(rec.log) == RECOVERY_LOG_CAP
+    assert rec.log_dropped == 5
+    assert rec.log[0] == "event 5"     # oldest entries dropped first
+
+
+# ---------------------------------------------------------------------- #
+# Observability events
+# ---------------------------------------------------------------------- #
+def test_recovery_emits_probe_readmit_redegrade_events():
+    from repro.obs import Observability, RingTracer
+    from repro.obs import events as obs_ev
+
+    engine, _, net = build(2, 2)
+    tracer = RingTracer(capacity=4096)
+    net.set_obs(Observability(tracer=tracer))
+    degrade(engine, net)
+    net.lines[0].stuck = None
+    engine.run()                       # probe -> readmit
+    net.lines[0].stuck = 0
+    arrive_all(engine, net)            # probation trip -> redegrade
+    kinds = {e.kind for e in tracer}
+    assert obs_ev.GL_PROBE in kinds
+    assert obs_ev.GL_READMIT in kinds
+    assert obs_ev.GL_REDEGRADE in kinds

@@ -1,0 +1,127 @@
+"""Property-based tests for the self-healing recovery controller.
+
+Invariants checked over random mesh shapes, fault schedules and recovery
+budgets:
+
+1. Probe attempts per degraded spell never exceed ``recovery_max_probes``
+   and re-admission flaps never exceed ``recovery_max_flaps`` -- the FSM
+   cannot cycle forever.
+2. Every scheduled core gets an outcome exactly once per episode
+   (hardware release, software FAILOVER bounce, or a mix) -- recovery
+   never loses or double-delivers a core.
+3. With recovery *disabled*, quarantine is sticky: once the watchdog
+   retires the network, no later event un-quarantines it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import GLineConfig
+from repro.common.stats import StatsRegistry
+from repro.faults import FAILOVER
+from repro.gline.network import GLineBarrierNetwork
+from repro.gline.recovery import QUARANTINED
+from repro.sim.engine import Engine
+
+mesh_shapes = st.tuples(st.integers(1, 4), st.integers(1, 4))
+budgets = st.tuples(st.integers(1, 3),   # max_probes
+                    st.integers(1, 3),   # max_flaps
+                    st.integers(1, 2))   # probation_barriers
+
+
+def _build(rows, cols, recovery, max_probes=3, max_flaps=2,
+           probation=1):
+    engine = Engine()
+    n = rows * cols
+    net = GLineBarrierNetwork(
+        engine, StatsRegistry(n), rows, cols,
+        GLineConfig(watchdog_budget=24, watchdog_retries=1,
+                    recovery_enabled=recovery,
+                    recovery_probe_interval=4,
+                    recovery_backoff_factor=2,
+                    recovery_max_backoff=32,
+                    recovery_max_probes=max_probes,
+                    recovery_max_flaps=max_flaps,
+                    recovery_probation_barriers=probation))
+    return engine, net
+
+
+def _run_episodes(engine, net, episodes, times):
+    """Run *episodes* full-mesh barriers; returns per-episode outcomes."""
+    n = net.num_cores
+    all_outcomes = []
+    for ep in range(episodes):
+        outcomes = {}
+        base = engine.now
+        for cid in range(n):
+            engine.schedule_at(
+                base + times[(ep * n + cid) % len(times)],
+                lambda c=cid: net.arrive(
+                    c, lambda *a, c=c: outcomes.__setitem__(c, a)))
+        engine.run()
+        all_outcomes.append(outcomes)
+    return all_outcomes
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=mesh_shapes, budget=budgets, data=st.data())
+def test_probe_and_flap_budgets_are_hard_bounds(shape, budget, data):
+    rows, cols = shape
+    max_probes, max_flaps, probation = budget
+    engine, net = _build(rows, cols, recovery=True,
+                         max_probes=max_probes, max_flaps=max_flaps,
+                         probation=probation)
+    if not net.lines:
+        return  # 1x1 mesh has no wires to break
+    line = net.lines[data.draw(
+        st.integers(0, len(net.lines) - 1), label="line")]
+    line.stuck = data.draw(st.integers(0, 1), label="polarity")
+    times = data.draw(st.lists(st.integers(0, 40), min_size=net.num_cores,
+                               max_size=net.num_cores), label="times")
+    episodes = data.draw(st.integers(1, 3), label="episodes")
+    outcomes = _run_episodes(engine, net, episodes, times)
+
+    rec = net.recovery
+    # 1: budgets are hard bounds.
+    assert rec._spell_probe_failures <= max_probes
+    assert rec.flaps <= max_flaps
+    counters = net.fault_stats.counters
+    spells = max(counters.get("faults.recovery.degrades", 0), 1)
+    assert counters.get("faults.recovery.probe_failures", 0) \
+        <= max_probes * spells
+    # A permanently stuck wire can never be re-admitted to HEALTHY.
+    assert counters.get("faults.recovery.healthy", 0) == 0
+    # 2: exactly one outcome per core per episode, every one accounted.
+    for per_ep in outcomes:
+        assert sorted(per_ep) == list(range(net.num_cores))
+    # The FSM came to rest: no event left behind.
+    assert engine.pending() == 0
+    if rec.state == QUARANTINED:
+        assert net.quarantined
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=mesh_shapes, data=st.data())
+def test_recovery_disabled_quarantine_is_sticky(shape, data):
+    rows, cols = shape
+    engine, net = _build(rows, cols, recovery=False)
+    if not net.lines:
+        return
+    assert net.recovery is None
+    line = net.lines[data.draw(
+        st.integers(0, len(net.lines) - 1), label="line")]
+    line.stuck = data.draw(st.integers(0, 1), label="polarity")
+    times = data.draw(st.lists(st.integers(0, 40), min_size=net.num_cores,
+                               max_size=net.num_cores), label="times")
+    outcomes = _run_episodes(engine, net, 2, times)
+    if not net.quarantined:
+        return  # this fault was absorbed (e.g. retried through)
+    # Sticky even after the wire heals: all later arrivals bounce.
+    line.stuck = None
+    engine.run()
+    assert net.quarantined
+    bounced = _run_episodes(engine, net, 1, times)[0]
+    assert all(a == (FAILOVER,) for a in bounced.values())
+    assert net.quarantined
+    for per_ep in outcomes:
+        assert sorted(per_ep) == list(range(net.num_cores))

@@ -15,13 +15,15 @@ from repro.verify import (EXPECT_FAILOVER, EXPECT_PASS, EXPECT_VIOLATION,
                           get_mutation, get_scenario)
 
 HARDENED_SAFE = ["fault-free-hardened", "stuck-row-tx-low",
-                 "stuck-col-rel-high", "miscount-row-tx"]
+                 "stuck-col-rel-high", "stuck-row-rel-low",
+                 "miscount-row-tx"]
 
 
 def test_registries_are_well_formed():
     assert set(SCENARIOS) >= {"fault-free", *HARDENED_SAFE,
                               "miscount-row-tx-unhardened"}
-    assert set(MUTATIONS) == {"mh-early-flag", "mv-early-done"}
+    assert set(MUTATIONS) == {"mh-early-flag", "mv-early-done",
+                              "probation-skip-shadow"}
     for s in SCENARIOS.values():
         assert s.expect in (EXPECT_PASS, EXPECT_FAILOVER,
                             EXPECT_VIOLATION)
@@ -57,7 +59,14 @@ def test_unhardened_miscount_is_caught():
 
 @pytest.mark.parametrize("name", sorted(MUTATIONS))
 def test_mutations_are_caught(name):
-    result = explore(GLBarrierModel(2, 2, mutation=name))
+    # The shadow mutation only means anything during recovery probation;
+    # it rides on the glitch scenario (see test_recovery_model.py for
+    # the full concretize/replay round trip).
+    scenario = (get_scenario("probation-glitch")
+                if name == "probation-skip-shadow"
+                else get_scenario("fault-free"))
+    result = explore(GLBarrierModel(2, 2, scenario=scenario,
+                                    mutation=name))
     assert result.violation is not None
     assert result.violation.prop == "safety"
     assert result.violation.action_indices
