@@ -73,6 +73,54 @@ def check_vcd(path: Path) -> str:
             f"@{gather_row}->{release_row} OK")
 
 
+def check_collective(path: Path) -> str:
+    """Audit the GL_REDUCE_* choreography in a Perfetto artifact.
+
+    A collective trace must open each episode (``gline.reduce.start``)
+    before clocking rounds and delivering results, deliver as many
+    results as operands arrived (failed-over arrivals are accounted by
+    ``gline.reduce.failover`` instead), and stamp every result with the
+    operation kind and the delivered value.
+    """
+    doc = json.loads(path.read_text())
+    validate_perfetto(doc)
+    events = [e for e in doc["traceEvents"]
+              if str(e.get("name", "")).startswith("gline.reduce.")]
+    if not events:
+        raise ValueError("no gline.reduce.* events in trace")
+    by_kind: dict[str, list[dict]] = {}
+    for e in events:
+        by_kind.setdefault(e["name"], []).append(e)
+    arrives = by_kind.get("gline.reduce.arrive", [])
+    starts = by_kind.get("gline.reduce.start", [])
+    results = by_kind.get("gline.reduce.result", [])
+    failovers = by_kind.get("gline.reduce.failover", [])
+    if not starts:
+        raise ValueError("collective trace has arrivals but no "
+                         "gline.reduce.start")
+    if not results and not failovers:
+        raise ValueError("collective trace never delivers a result or "
+                         "fails over")
+    first_start = min(e["ts"] for e in starts)
+    for e in results:
+        if e["ts"] < first_start:
+            raise ValueError(f"result at ts={e['ts']} precedes the first "
+                             f"episode start at ts={first_start}")
+        args = e.get("args", {})
+        if "op" not in args or "value" not in args:
+            raise ValueError(f"result event lacks op/value args: {e}")
+    bounced = sum(len(e.get("args", {}).get("waiting", []))
+                  for e in failovers)
+    if len(results) + bounced < len(arrives):
+        raise ValueError(
+            f"{len(arrives)} operands arrived but only {len(results)} "
+            f"results + {bounced} failover bounces recorded")
+    return (f"{path}: {len(events)} gline.reduce.* events, "
+            f"{len(starts)} episode starts, {len(results)} results"
+            + (f", {len(failovers)} failovers" if failovers else "")
+            + " OK")
+
+
 def check_counterexample(path: Path) -> str:
     """Audit a ``repro verify --export-prefix`` Perfetto artifact."""
     doc = json.loads(path.read_text())
@@ -123,11 +171,15 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="JSON",
                         help="a repro verify --export-prefix Perfetto "
                              "artifact to audit (schema + verify stamp)")
+    parser.add_argument("--collective", type=Path, default=None,
+                        metavar="JSON",
+                        help="a Perfetto artifact from a collective run "
+                             "to audit (gline.reduce.* choreography)")
     args = parser.parse_args(argv)
     if args.perfetto is None and args.vcd is None \
-            and args.counterexample is None:
-        parser.error("nothing to validate: pass --perfetto, --vcd and/or "
-                     "--counterexample")
+            and args.counterexample is None and args.collective is None:
+        parser.error("nothing to validate: pass --perfetto, --vcd, "
+                     "--counterexample and/or --collective")
     try:
         if args.perfetto is not None:
             print(check_perfetto(args.perfetto))
@@ -135,6 +187,8 @@ def main(argv: list[str] | None = None) -> int:
             print(check_vcd(args.vcd))
         if args.counterexample is not None:
             print(check_counterexample(args.counterexample))
+        if args.collective is not None:
+            print(check_collective(args.collective))
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

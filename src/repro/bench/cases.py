@@ -10,11 +10,14 @@ two scales.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
+from ..collectives.config import CollectiveConfig
+from ..common.params import CMPConfig
 from ..exec.spec import RunSpec
 from ..workloads import Kernel3Workload, SyntheticBarrierWorkload
+from ..workloads.collective import CollectiveAllReduceWorkload
 from ..workloads.stress import StressWorkload
 
 
@@ -52,6 +55,16 @@ def _fig6_fig7_specs(quick: bool) -> list[RunSpec]:
             for barrier in ("dsw", "gl")]
 
 
+def _collectives16x16_specs(quick: bool) -> list[RunSpec]:
+    """The collective hot loop: bit-serial all-reduce rounds on a 256-core
+    (16x16) mesh through the two-level G-line reduction fabric."""
+    workload = CollectiveAllReduceWorkload(iterations=6 if quick else 48)
+    cfg = replace(CMPConfig.for_cores(256),
+                  collectives=CollectiveConfig(enabled=True,
+                                               value_width=8))
+    return [RunSpec.make(workload, "gl", num_cores=256, config=cfg)]
+
+
 def _stress16x16_specs(quick: bool) -> list[RunSpec]:
     """A 256-core (16x16 mesh) random op-mix -- the scaling direction
     ROADMAP's 1024-core goal points at, far beyond the paper's 32 cores."""
@@ -74,6 +87,11 @@ CASES: dict[str, BenchCase] = {
         name="stress16x16",
         description="16x16-mesh (256-core) random op-mix stress run",
         build=_stress16x16_specs),
+    "collectives16x16": BenchCase(
+        name="collectives16x16",
+        description="256-core bit-serial all-reduce rounds over the "
+                    "hierarchical collective fabric",
+        build=_collectives16x16_specs),
 }
 
 

@@ -14,6 +14,10 @@ from __future__ import annotations
 
 from typing import Generator, Iterable
 
+from ..collectives import (
+    GLCollective, SoftwareAllReduce, build_collective_contexts,
+)
+from ..collectives.library import CollectiveImpl
 from ..common.errors import ConfigError, DeadlockError, SimulationError
 from ..common.params import CMPConfig
 from ..common.stats import StatsRegistry
@@ -97,15 +101,18 @@ class CMP:
             tile.l1.home_resolver = lambda t: self.tiles[t].home
 
         self.barrier_impl = self._make_barrier(barrier)
+        self.collective_impl = self._make_collective()
         for tile in self.tiles:
             tile.core.barrier_binding = self.barrier_impl
+            tile.core.collective_binding = self.collective_impl
             tile.core.lock_binding = self.lock_alg
             tile.core.barrier_accounting = self.accounting
             tile.core.injector = self.injector
         if self.injector is not None:
-            for net in getattr(self.barrier_impl, "networks", []):
-                if hasattr(net, "set_injector"):
-                    net.set_injector(self.injector)
+            for impl in (self.barrier_impl, self.collective_impl):
+                for net in getattr(impl, "networks", []):
+                    if hasattr(net, "set_injector"):
+                        net.set_injector(self.injector)
         if obs is not None:
             self.set_obs(obs)
 
@@ -125,9 +132,10 @@ class CMP:
                 comp.tracer = obs.tracer
                 comp.metrics = obs.metrics
             tile.core.flight = obs.flight
-        for net in getattr(self.barrier_impl, "networks", []):
-            if hasattr(net, "set_obs"):
-                net.set_obs(obs)
+        for impl in (self.barrier_impl, self.collective_impl):
+            for net in getattr(impl, "networks", []):
+                if hasattr(net, "set_obs"):
+                    net.set_obs(obs)
 
     # ------------------------------------------------------------------ #
     def _make_barrier(self, barrier: str | BarrierImpl) -> BarrierImpl:
@@ -173,6 +181,35 @@ class CMP:
             f"unknown barrier kind {barrier!r}; expected one of "
             f"{BARRIER_KINDS} or a BarrierImpl instance")
 
+    def _make_collective(self) -> CollectiveImpl | None:
+        """Build the collective engine per ``config.collectives``.
+
+        Disabled (the default) constructs nothing at all -- no G-lines,
+        no allocator traffic -- so barrier-only chips stay byte-identical
+        to pre-collective builds."""
+        cc = self.config.collectives
+        if not cc.enabled:
+            return None
+        ncontexts = max(cc.num_contexts, cc.time_slots)
+        if cc.backend == "sw":
+            return SoftwareAllReduce(self.allocator, self.config.num_cores,
+                                     num_contexts=ncontexts,
+                                     value_width=cc.value_width)
+        contexts = build_collective_contexts(
+            self.engine, self.stats, self.config.noc.rows,
+            self.config.noc.cols, self.config.gline, cc)
+        fallback = None
+        if cc.watchdog_budget > 0:
+            # Hardened mode: provision the software all-reduce the
+            # watchdog fails quarantined episodes over to.
+            fallback = SoftwareAllReduce(self.allocator,
+                                         self.config.num_cores,
+                                         num_contexts=len(contexts),
+                                         value_width=cc.value_width)
+        return GLCollective(contexts,
+                            entry_overhead=self.config.gline.entry_overhead,
+                            fallback=fallback)
+
     # ------------------------------------------------------------------ #
     def reset_stats(self) -> None:
         """Zero all measurement state while keeping architectural state
@@ -191,12 +228,12 @@ class CMP:
             tile.l1.stats = self.stats
             tile.home.stats = self.stats
             tile.memctrl.stats = self.stats
-        impl = self.barrier_impl
-        for net in getattr(impl, "networks", []):
-            if hasattr(net, "set_stats"):
-                net.set_stats(self.stats)
-            elif hasattr(net, "stats"):
-                net.stats = self.stats
+        for impl in (self.barrier_impl, self.collective_impl):
+            for net in getattr(impl, "networks", []):
+                if hasattr(net, "set_stats"):
+                    net.set_stats(self.stats)
+                elif hasattr(net, "stats"):
+                    net.stats = self.stats
 
     def run_with_warmup(self, warmup_workload, workload, **kw) -> RunResult:
         """Run *warmup_workload* (discarding its statistics), then measure

@@ -23,9 +23,10 @@ from .faults import ChaosPlan
 from .experiments import (contention_ablation, csw_variant_ablation,
                           dsw_arity_sweep, entry_overhead_sweep,
                           hierarchical_latency, noc_model_ablation,
-                          period_sweep, run_fig5, run_fig6_and_fig7,
-                          run_recovery, run_resilience, run_shootout,
-                          run_stages, run_table1, run_table2)
+                          period_sweep, run_collectives, run_fig5,
+                          run_fig6_and_fig7, run_recovery,
+                          run_resilience, run_shootout, run_stages,
+                          run_table1, run_table2)
 from .experiments.energy_exp import run_energy
 from .experiments.runner import run_benchmark
 from .workloads import (EM3DWorkload, Kernel2Workload, Kernel3Workload,
@@ -131,6 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="software-barrier comparison incl. "
                               "dissemination/tournament")
     psh.add_argument("--iterations", type=int, default=30)
+    pco = sub.add_parser("collectives", parents=[common],
+                         help="collective shootout: G-line bit-serial "
+                              "all-reduce vs software NoC all-reduce")
+    pco.add_argument("--iterations", type=int, default=24)
+    pco.add_argument("--value-width", type=int, default=8,
+                     help="operand width in bits (default 8)")
+    pco.add_argument("--core-counts", type=int, nargs="+",
+                     default=None,
+                     help="chip sizes to sweep (default: 16 64 256)")
     pab = sub.add_parser("ablations", parents=[common],
                          help="design-choice ablations")
     pab.add_argument("names", nargs="*", choices=list(ABLATIONS),
@@ -524,6 +534,14 @@ def _dispatch(args) -> int:
         iterations = getattr(args, "iterations", 30)
         result = run_shootout(iterations=iterations)
         _emit(result.table(), args.out, "shootout")
+    if command in ("collectives", "all"):
+        kwargs = {}
+        if getattr(args, "core_counts", None):
+            kwargs["core_counts"] = tuple(args.core_counts)
+        result = run_collectives(
+            iterations=getattr(args, "iterations", 24),
+            value_width=getattr(args, "value_width", 8), **kwargs)
+        _emit(result.table(), args.out, "collectives")
     if command in ("ablations", "all"):
         names = getattr(args, "names", None) or list(ABLATIONS)
         for name in names:

@@ -1,0 +1,37 @@
+"""Collective operations on the G-line fabric (reduce / broadcast /
+all-reduce), the subsystem grown around the barrier network's S-CSMA
+counting wires."""
+
+from .build import build_collective_contexts, total_wires
+from .config import CollectiveConfig
+from .controllers import MUTATIONS, StageMaster, StageSlave
+from .fabric import CollectiveFabric
+from .hierarchical import HierarchicalCollectiveNetwork
+from .library import CollectiveImpl, GLCollective, SoftwareAllReduce
+from .network import CollectiveNetwork
+from .ops import (
+    COMBINE_KIND, KINDS, MECHANISM, reference_reduce, result_width,
+)
+from .timemux import CollectiveSlotContext, build_time_multiplexed
+
+__all__ = [
+    "COMBINE_KIND",
+    "CollectiveConfig",
+    "CollectiveFabric",
+    "CollectiveImpl",
+    "CollectiveNetwork",
+    "CollectiveSlotContext",
+    "GLCollective",
+    "HierarchicalCollectiveNetwork",
+    "KINDS",
+    "MECHANISM",
+    "MUTATIONS",
+    "SoftwareAllReduce",
+    "StageMaster",
+    "StageSlave",
+    "build_collective_contexts",
+    "build_time_multiplexed",
+    "reference_reduce",
+    "result_width",
+    "total_wires",
+]

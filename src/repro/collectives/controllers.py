@@ -1,0 +1,426 @@
+"""Master/slave controller FSMs for one bit-serial reduction stage.
+
+A *stage* reduces over one shared wire pair -- ``tx`` (slaves -> master,
+S-CSMA counted) and ``rel`` (master -> slaves) -- and is instantiated
+once per mesh row plus once for the first column, mirroring the barrier
+network's wiring.  The protocol per stage:
+
+1. **Gather**: each slave pulses ``tx`` once when its operand is ready;
+   the master accumulates the S-CSMA count until every slave (and its
+   own operand) is present.
+2. **Start pulse**: the master pulses ``rel`` for one tick; rounds run
+   in lockstep from the next tick.
+3. **Rounds** -- per mechanism (:data:`repro.collectives.ops.MECHANISM`):
+
+   * ``count``: round *b* has every slave assert ``tx`` iff bit *b* of
+     its contribution is set; the master adds ``count << b``.  With the
+     predicate kinds' 1-bit contributions this degenerates to a single
+     voting round.
+   * ``elim``: MSB-first elimination, two ticks per bit.  Transmit tick:
+     every still-competing slave asserts iff its current bit equals the
+     *strong* bit (0 for MIN, 1 for MAX).  Reflect tick: the master
+     drives the winning bit back on ``rel``; slaves whose bit lost drop
+     out.
+   * ``bcast``: no rounds -- the master's own operand is the result.
+
+4. **Broadcast**: a start bit then ``bw`` data bits on ``rel`` (LSB
+   first), so slaves can distinguish a result of 0 from silence.
+
+Controllers are *pure state machines*: they never touch the engine, so
+the verify layer drives the exact production FSMs under exhaustive
+arrival interleavings (``repro.verify.collectives``) while
+:class:`~repro.collectives.network.CollectiveNetwork` clocks the same
+objects inside the simulator.  ``snapshot``/``restore`` exist for that
+model checker.
+
+``mutation`` plants a named bug for the checker to catch (see
+:data:`MUTATIONS`); production builders never set it.
+"""
+
+from __future__ import annotations
+
+from ..gline.gline import GLine
+
+# Slave states.
+S_IDLE = 0        # no operand yet
+S_SIGNAL = 1      # operand latched; arrival pulse pending
+S_WAIT_START = 2  # waiting for the master's round-start pulse
+S_ROUNDS = 3      # lockstep reduction rounds
+S_WAIT_BC = 4     # waiting for the broadcast start bit
+S_BC_DATA = 5     # latching broadcast data bits
+S_DONE = 6        # result latched
+
+# Master states.
+M_GATHER = 0      # counting arrival pulses
+M_START = 1       # round-start pulse pending
+M_ROUNDS = 2      # reduction rounds
+M_DONE = 3        # stage result computed (fabric orchestrates next)
+M_BC_START = 4    # broadcast start bit pending
+M_BC_DATA = 5     # driving broadcast data bits
+M_BC_DONE = 6     # broadcast finished
+
+#: Planted-bug registry for the verify layer (name -> description).
+MUTATIONS = {
+    "master-skip-own": "counting master omits its own contribution",
+    "slave-double-pulse": "slave re-sends its arrival pulse, so the "
+                          "master starts rounds before the row is full",
+    "bcast-drop-msb": "broadcasting master never drives the final data "
+                      "bit, truncating the result's MSB",
+}
+
+
+class StageSlave:
+    """One slave controller of a reduction stage."""
+
+    __slots__ = ("tx", "rel", "mechanism", "in_width", "strong_bit", "bw",
+                 "state", "value", "competing", "pulses", "round",
+                 "reflect", "cur_bit", "bc_idx", "result", "mutation")
+
+    def __init__(self, tx: GLine, rel: GLine, transmitter_id: str,
+                 mutation: str | None = None) -> None:
+        self.tx = tx
+        self.rel = rel
+        tx.attach(transmitter_id)
+        self.mutation = mutation
+        # Per-episode parameters (set by configure()).
+        self.mechanism = "count"
+        self.in_width = 1
+        self.strong_bit = 0
+        self.bw = 1
+        # Mutable FSM state.
+        self.state = S_IDLE
+        self.value = 0
+        self.competing = False
+        self.pulses = 0
+        self.round = 0
+        self.reflect = False
+        self.cur_bit = 0
+        self.bc_idx = 0
+        self.result = 0
+
+    # ------------------------------------------------------------------ #
+    def configure(self, mechanism: str, in_width: int, strong_bit: int,
+                  bw: int) -> None:
+        self.mechanism = mechanism
+        self.in_width = in_width
+        self.strong_bit = strong_bit
+        self.bw = bw
+
+    def set_input(self, contrib: int) -> None:
+        """Latch this participant's stage-domain contribution."""
+        self.value = contrib
+        self.competing = True
+        self.pulses = 0
+        self.state = S_SIGNAL
+
+    def resignal(self) -> None:
+        """Watchdog retry: re-announce the still-latched operand."""
+        if self.state != S_IDLE:
+            self.set_input(self.value)
+
+    def reset(self) -> None:
+        self.state = S_IDLE
+        self.value = 0
+        self.competing = False
+        self.pulses = 0
+        self.round = 0
+        self.reflect = False
+        self.cur_bit = 0
+        self.bc_idx = 0
+        self.result = 0
+
+    # ------------------------------------------------------------------ #
+    def assert_phase(self, tid: str) -> None:
+        if self.state == S_SIGNAL:
+            self.tx.assert_signal(tid)
+            self.pulses += 1
+            if self.mutation == "slave-double-pulse" and self.pulses == 1:
+                return  # stay in S_SIGNAL: the pulse repeats next tick
+            self.state = (S_WAIT_BC if self.mechanism == "bcast"
+                          else S_WAIT_START)
+        elif self.state == S_ROUNDS:
+            if self.mechanism == "count":
+                if (self.value >> self.round) & 1:
+                    self.tx.assert_signal(tid)
+            elif not self.reflect and self.competing \
+                    and ((self.value >> self.cur_bit) & 1) == self.strong_bit:
+                self.tx.assert_signal(tid)
+
+    def sample_phase(self) -> None:
+        if self.state == S_WAIT_START:
+            if self.rel.sampled_on():
+                self.state = S_ROUNDS
+                self.round = 0
+                self.reflect = False
+                self.cur_bit = self.in_width - 1
+        elif self.state == S_ROUNDS:
+            if self.mechanism == "count":
+                self.round += 1
+                if self.round >= self.in_width:
+                    self.state = S_WAIT_BC
+            elif not self.reflect:
+                self.reflect = True
+            else:
+                winner = 1 if self.rel.sampled_on() else 0
+                if self.competing \
+                        and ((self.value >> self.cur_bit) & 1) != winner:
+                    self.competing = False
+                self.reflect = False
+                self.cur_bit -= 1
+                if self.cur_bit < 0:
+                    self.state = S_WAIT_BC
+        elif self.state == S_WAIT_BC:
+            if self.rel.sampled_on():
+                self.state = S_BC_DATA
+                self.bc_idx = 0
+                self.result = 0
+        elif self.state == S_BC_DATA:
+            if self.rel.sampled_on():
+                self.result |= 1 << self.bc_idx
+            self.bc_idx += 1
+            if self.bc_idx >= self.bw:
+                self.state = S_DONE
+
+    # ------------------------------------------------------------------ #
+    def will_act(self) -> bool:
+        """True if this controller changes state next tick unprompted."""
+        return self.state in (S_SIGNAL, S_ROUNDS, S_BC_DATA)
+
+    @property
+    def idle(self) -> bool:
+        return self.state == S_IDLE
+
+    def snapshot(self) -> tuple:
+        return (self.state, self.value, self.competing, self.pulses,
+                self.round, self.reflect, self.cur_bit, self.bc_idx,
+                self.result, self.mechanism, self.in_width,
+                self.strong_bit, self.bw)
+
+    def restore(self, snap: tuple) -> None:
+        (self.state, self.value, self.competing, self.pulses, self.round,
+         self.reflect, self.cur_bit, self.bc_idx, self.result,
+         self.mechanism, self.in_width, self.strong_bit, self.bw) = snap
+
+
+class StageMaster:
+    """The master controller of a reduction stage.
+
+    *n_slaves* may be 0 (single-column rows): the stage then completes
+    as soon as the master's own operand is ready, with no wire activity.
+    """
+
+    __slots__ = ("tx", "rel", "rel_tid", "n_slaves", "mechanism",
+                 "in_width", "strong_bit", "bw", "finalize", "state",
+                 "own", "own_set", "arrived", "acc", "round", "cur_bit",
+                 "own_competing", "pending_reflect", "result", "bc_value",
+                 "bc_idx", "drove_rel", "fault_suspected", "mutation")
+
+    def __init__(self, tx: GLine | None, rel: GLine | None,
+                 rel_tid: str = "", mutation: str | None = None) -> None:
+        self.tx = tx
+        self.rel = rel
+        self.rel_tid = rel_tid
+        if rel is not None:
+            rel.attach(rel_tid)
+        self.mutation = mutation
+        self.n_slaves = 0
+        # Per-episode parameters (configure()).
+        self.mechanism = "count"
+        self.in_width = 1
+        self.strong_bit = 0
+        self.bw = 1
+        #: Applied to the raw accumulator: ("any"|"all"|None, n).
+        self.finalize: tuple[str | None, int] = (None, 1)
+        # Mutable FSM state.
+        self.state = M_GATHER
+        self.own = 0
+        self.own_set = False
+        self.arrived = 0
+        self.acc = 0
+        self.round = 0
+        self.cur_bit = 0
+        self.own_competing = False
+        self.pending_reflect = -1
+        self.result = 0
+        self.bc_value = 0
+        self.bc_idx = 0
+        self.drove_rel = False
+        self.fault_suspected = False
+
+    # ------------------------------------------------------------------ #
+    def configure(self, mechanism: str, in_width: int, strong_bit: int,
+                  bw: int, finalize: tuple[str | None, int],
+                  n_slaves: int) -> None:
+        self.mechanism = mechanism
+        self.in_width = in_width
+        self.strong_bit = strong_bit
+        self.bw = bw
+        self.finalize = finalize
+        self.n_slaves = n_slaves
+
+    def set_own(self, contrib: int) -> None:
+        """Latch the master's co-located operand (register write, not a
+        wire pulse -- the master is its own receiver)."""
+        self.own = contrib
+        self.own_set = True
+        self._maybe_complete_gather()
+
+    def resignal(self) -> None:
+        """Watchdog retry: back to gather-start with the operand kept."""
+        own, own_set = self.own, self.own_set
+        self.reset()
+        self.own, self.own_set = own, own_set
+        self._maybe_complete_gather()
+
+    def reset(self) -> None:
+        self.state = M_GATHER
+        self.own = 0
+        self.own_set = False
+        self.arrived = 0
+        self.acc = 0
+        self.round = 0
+        self.cur_bit = 0
+        self.own_competing = False
+        self.pending_reflect = -1
+        self.result = 0
+        self.bc_value = 0
+        self.bc_idx = 0
+        self.drove_rel = False
+        self.fault_suspected = False
+
+    # ------------------------------------------------------------------ #
+    def _maybe_complete_gather(self) -> None:
+        if self.state != M_GATHER or not self.own_set \
+                or self.arrived < self.n_slaves:
+            return
+        if self.mechanism == "bcast" or self.n_slaves == 0:
+            # No rounds: the result is local arithmetic on the operand.
+            self._finish(self.own)
+        else:
+            self.state = M_START
+
+    def _finish(self, raw: int) -> None:
+        fin, n = self.finalize
+        if fin == "any":
+            raw = 1 if raw > 0 else 0
+        elif fin == "all":
+            raw = 1 if raw == n else 0
+        self.result = raw
+        self.state = M_DONE
+
+    def start_broadcast(self, value: int) -> None:
+        """Fabric hand-off: push *value* down this stage's ``rel`` line."""
+        self.bc_value = value
+        self.bc_idx = 0
+        if self.n_slaves == 0:
+            self.state = M_BC_DONE
+        else:
+            self.state = M_BC_START
+
+    # ------------------------------------------------------------------ #
+    def assert_phase(self) -> None:
+        self.drove_rel = False
+        if self.rel is None:
+            return
+        if self.state == M_START:
+            # The start pulse; the sample phase arms the round state so
+            # the first round is counted one tick later, in lockstep with
+            # the slaves (they observe this pulse at end of tick).
+            self.rel.assert_signal(self.rel_tid)
+            self.drove_rel = True
+        elif self.state == M_ROUNDS and self.mechanism == "elim" \
+                and self.pending_reflect == 1:
+            self.rel.assert_signal(self.rel_tid)
+            self.drove_rel = True
+        elif self.state == M_BC_START:
+            self.rel.assert_signal(self.rel_tid)
+            self.drove_rel = True
+            self.bc_idx = 0
+            self.state = M_BC_DATA
+        elif self.state == M_BC_DATA:
+            last = self.bc_idx == self.bw - 1
+            if (self.bc_value >> self.bc_idx) & 1 \
+                    and not (last and self.mutation == "bcast-drop-msb"):
+                self.rel.assert_signal(self.rel_tid)
+                self.drove_rel = True
+            self.bc_idx += 1
+            if self.bc_idx >= self.bw:
+                self.state = M_BC_DONE
+
+    def sample_phase(self) -> None:
+        if self.state == M_GATHER:
+            if self.tx is not None:
+                cnt = self.tx.sample_count()
+                if cnt:
+                    self.arrived += cnt
+                    if self.arrived > self.n_slaves:
+                        self.fault_suspected = True
+                        self.arrived = self.n_slaves
+            self._maybe_complete_gather()
+        elif self.state == M_START:
+            # Pulse sent this tick; rounds are live from the next one.
+            self.round = 0
+            self.cur_bit = self.in_width - 1
+            self.acc = 0 if self.mutation == "master-skip-own" else self.own
+            self.own_competing = True
+            self.pending_reflect = -1
+            self.state = M_ROUNDS
+            if self.mechanism == "elim":
+                self.acc = 0
+        elif self.state == M_ROUNDS:
+            if self.mechanism == "count":
+                assert self.tx is not None
+                cnt = self.tx.sample_count()
+                if cnt > self.n_slaves:
+                    self.fault_suspected = True
+                    cnt = self.n_slaves
+                self.acc += cnt << self.round
+                self.round += 1
+                if self.round >= self.in_width:
+                    self._finish(self.acc)
+            elif self.pending_reflect < 0:  # elim transmit tick
+                assert self.tx is not None
+                cnt = self.tx.sample_count()
+                if cnt > self.n_slaves:
+                    self.fault_suspected = True
+                    cnt = self.n_slaves
+                own_bit = (self.own >> self.cur_bit) & 1
+                holders = cnt + (1 if self.own_competing
+                                 and own_bit == self.strong_bit else 0)
+                self.pending_reflect = (self.strong_bit if holders > 0
+                                        else 1 - self.strong_bit)
+            else:  # elim reflect tick
+                winner = self.pending_reflect
+                own_bit = (self.own >> self.cur_bit) & 1
+                if self.own_competing and own_bit != winner:
+                    self.own_competing = False
+                self.acc |= winner << self.cur_bit
+                self.pending_reflect = -1
+                self.cur_bit -= 1
+                if self.cur_bit < 0:
+                    self._finish(self.acc)
+
+    # ------------------------------------------------------------------ #
+    def will_act(self) -> bool:
+        return self.state in (M_START, M_ROUNDS, M_BC_START, M_BC_DATA)
+
+    @property
+    def idle(self) -> bool:
+        return self.state == M_GATHER and not self.own_set \
+            and self.arrived == 0
+
+    def snapshot(self) -> tuple:
+        return (self.state, self.own, self.own_set, self.arrived, self.acc,
+                self.round, self.cur_bit, self.own_competing,
+                self.pending_reflect, self.result, self.bc_value,
+                self.bc_idx, self.drove_rel, self.fault_suspected,
+                self.mechanism, self.in_width, self.strong_bit, self.bw,
+                self.finalize, self.n_slaves)
+
+    def restore(self, snap: tuple) -> None:
+        (self.state, self.own, self.own_set, self.arrived, self.acc,
+         self.round, self.cur_bit, self.own_competing,
+         self.pending_reflect, self.result, self.bc_value, self.bc_idx,
+         self.drove_rel, self.fault_suspected, self.mechanism,
+         self.in_width, self.strong_bit, self.bw, self.finalize,
+         self.n_slaves) = snap

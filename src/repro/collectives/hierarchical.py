@@ -1,0 +1,206 @@
+"""Two-level hierarchical collective network for meshes beyond 7x7.
+
+Mirrors :mod:`repro.gline.hierarchical`: the mesh is partitioned into
+clusters of at most ``max_transmitters + 1`` per dimension, each with its
+own :class:`~repro.collectives.network.CollectiveNetwork` built in
+``hold_result`` mode, plus a *top* network spanning the cluster grid
+(one participant per cluster -- its (0,0) *root* core).
+
+The reduction recursion is the same ``COMBINE_KIND`` composition the
+flat fabric uses between its row and column stages, one level up:
+
+* a cluster reduces its cores' operands with kind *k* and parks the
+  partial (``on_reduced``);
+* the root arrives at the top network with kind ``COMBINE_KIND[k]`` and
+  the partial as its operand (the top fabric's operand width is sized
+  for the widest possible cluster partial);
+* the top result is chip-global; each root's resume hands it back here,
+  which resumes the root core and opens the cluster's local broadcast
+  (``open_result``) framed at the global width the clusters were told
+  at ``begin`` time (``bcast_width_fn``).
+
+Fault containment is whole-operation: if any cluster or the top network
+fails over, every waiting core of the episode is bounced with
+``FAILOVER`` and the library completes the operation as one software
+cohort -- splitting one collective between hardware and software could
+deliver different values to different cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from itertools import chain
+
+from ..common.errors import CapacityError, ConfigError
+from ..common.params import GLineConfig
+from ..common.stats import StatsRegistry
+from ..faults import FAILOVER
+from ..gline.hierarchical import partition
+from ..sim.component import Component
+from ..sim.engine import Engine
+from . import ops
+from .config import CollectiveConfig
+from .network import CollectiveNetwork
+
+
+class HierarchicalCollectiveNetwork(Component):
+    """Two-level collective network; same ``arrive`` interface as the
+    flat :class:`~repro.collectives.network.CollectiveNetwork`."""
+
+    def __init__(self, engine: Engine, stats: StatsRegistry, rows: int,
+                 cols: int, gl_config: GLineConfig | None = None,
+                 coll_config: CollectiveConfig | None = None,
+                 name: str = "collh"):
+        super().__init__(engine, stats, name)
+        self.gl_config = gl_config or GLineConfig()
+        self.coll_config = coll_config or CollectiveConfig()
+        self.rows = rows
+        self.cols = cols
+        self.num_cores = rows * cols
+        max_dim = self.gl_config.max_transmitters + 1
+        row_chunks = partition(rows, max_dim)
+        col_chunks = partition(cols, max_dim)
+        self.cluster_rows = len(row_chunks)
+        self.cluster_cols = len(col_chunks)
+        if self.cluster_rows > max_dim or self.cluster_cols > max_dim:
+            raise CapacityError(
+                f"{rows}x{cols} needs more than {max_dim}x{max_dim} "
+                f"clusters; a deeper hierarchy is not implemented")
+
+        w = self.coll_config.value_width
+        max_nc = max(rl for _, rl in row_chunks) * \
+            max(cl for _, cl in col_chunks)
+        #: Top-level operand width: sized for the widest cluster partial
+        #: any kind can produce (SUM over the largest cluster).
+        self.top_width = ops.stage_result_width("sum", w, max_nc)
+        if self.top_width > 64:
+            raise ConfigError(
+                f"value_width {w} leaves no headroom for cluster SUM "
+                f"partials on a {rows}x{cols} mesh (needs "
+                f"{self.top_width} bits at the top level); reduce "
+                f"CollectiveConfig.value_width")
+
+        self.clusters: list[CollectiveNetwork] = []
+        self._cluster_of: dict[int, CollectiveNetwork] = {}
+        root_ids: list[int] = []
+        for ri, (r0, rl) in enumerate(row_chunks):
+            for ci, (c0, cl) in enumerate(col_chunks):
+                ids = [(r0 + r) * cols + (c0 + c)
+                       for r in range(rl) for c in range(cl)]
+                cl_net = CollectiveNetwork(
+                    engine, stats, rl, cl, self.gl_config,
+                    self.coll_config, name=f"{name}.c{ri}_{ci}",
+                    core_ids=ids, hold_result=True)
+                cl_net.bcast_width_fn = self._global_bw
+                cl_net.on_reduced = \
+                    lambda partial, n=cl_net: self._cluster_reduced(
+                        n, partial)
+                cl_net.on_failover = self.failover
+                self.clusters.append(cl_net)
+                for cid in ids:
+                    self._cluster_of[cid] = cl_net
+                root_ids.append(ids[0])
+
+        top_coll = replace(self.coll_config, value_width=self.top_width)
+        self.top = CollectiveNetwork(
+            engine, stats, self.cluster_rows, self.cluster_cols,
+            self.gl_config, top_coll, name=f"{name}.top",
+            core_ids=root_ids)
+        self.top.on_failover = self.failover
+
+        self.quarantined = False
+        self.failovers = 0
+        self._failing = False
+
+    # ------------------------------------------------------------------ #
+    def _global_bw(self, kind: str) -> int:
+        """Broadcast framing of the chip-global result -- identical to
+        the width the top fabric computes for its own broadcast, so the
+        cluster rebroadcast carries every bit."""
+        k2 = ops.COMBINE_KIND[kind]
+        return ops.result_width(k2, self.top_width, self.cluster_rows,
+                                self.cluster_cols)
+
+    # ------------------------------------------------------------------ #
+    def arrive(self, core_id: int, kind: str, value: int, resume) -> None:
+        self._cluster_of[core_id].arrive(core_id, kind, value, resume)
+
+    def _cluster_reduced(self, cluster: CollectiveNetwork,
+                         partial: int) -> None:
+        """A cluster parked its partial: its root joins the top level."""
+        kind = cluster._kind
+        assert kind is not None
+        self.top.arrive(
+            cluster.core_ids[0], ops.COMBINE_KIND[kind], partial,
+            lambda outcome=None, n=cluster: self._top_resumed(n, outcome))
+
+    def _top_resumed(self, cluster: CollectiveNetwork, outcome) -> None:
+        if outcome == FAILOVER:
+            self.failover()
+            return
+        cluster.open_result(outcome)
+
+    # ------------------------------------------------------------------ #
+    def failover(self) -> None:
+        """Whole-operation abort: one software cohort for the episode."""
+        if self._failing or self.quarantined:
+            return
+        self._failing = True
+        self.quarantined = True
+        self.failovers += 1
+        self.fault_stats.bump("faults.collective.segment_aborts")
+        if not self.top.quarantined:
+            self.top.failover(reason="hierarchical abort")
+        for cl_net in self.clusters:
+            cl_net.abort_episode()
+        self._failing = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def fault_stats(self) -> StatsRegistry:
+        return self.stats
+
+    @property
+    def num_glines(self) -> int:
+        return self.top.num_glines + sum(c.num_glines
+                                         for c in self.clusters)
+
+    @property
+    def collectives_completed(self) -> int:
+        return self.top.collectives_completed
+
+    @property
+    def detections(self) -> int:
+        return self.top.detections + sum(c.detections
+                                         for c in self.clusters)
+
+    @property
+    def retries(self) -> int:
+        return self.top.retries + sum(c.retries for c in self.clusters)
+
+    @property
+    def failover_reports(self) -> list[str]:
+        return list(chain(self.top.failover_reports,
+                          *(c.failover_reports for c in self.clusters)))
+
+    def set_injector(self, injector) -> None:
+        self.top.set_injector(injector)
+        for c in self.clusters:
+            c.set_injector(injector)
+
+    def set_stats(self, stats: StatsRegistry) -> None:
+        self.stats = stats
+        self.top.set_stats(stats)
+        for c in self.clusters:
+            c.set_stats(stats)
+
+    def set_obs(self, obs) -> None:
+        self.tracer = obs.tracer
+        self.metrics = obs.metrics
+        self.top.set_obs(obs)
+        for c in self.clusters:
+            c.set_obs(obs)
+
+    def fully_idle(self) -> bool:
+        return self.top.fully_idle() and all(c.fully_idle()
+                                             for c in self.clusters)

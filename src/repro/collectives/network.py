@@ -1,0 +1,406 @@
+"""Engine-backed collective network: one operation context on a chip.
+
+Wraps one :class:`~repro.collectives.fabric.CollectiveFabric` with the
+same lifecycle the barrier network gives its controllers: arrivals go
+through a modelled ``col_reg`` write latency, the fabric is clocked at
+``line_latency`` only while an episode is in flight (power gating), the
+fault injector perturbs the wires between the assert and sample
+sub-phases, and a hardened network (``CollectiveConfig.watchdog_budget``
+> 0) guards its release lines, watches episode progress and -- after
+bounded retries -- quarantines itself, bouncing every waiting core back
+with the ``FAILOVER`` outcome so the library completes the operation
+over the software NoC all-reduce.
+
+``hold_result=True`` builds a *cluster* network for the hierarchical
+variant: the locally reduced partial is reported through ``on_reduced``
+instead of broadcast, and :meth:`open_result` later injects the
+chip-global value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..common.errors import CapacityError, GLineError
+from ..common.params import GLineConfig
+from ..common.stats import StatsRegistry
+from ..faults import FAILOVER
+from ..gline.gline import GLine
+from ..gline.network import FAILOVER_REPORT_CAP, TICK_PRIORITY
+from ..obs import events as obs_ev
+from ..sim.component import Component
+from ..sim.engine import Engine
+from .config import CollectiveConfig
+from .fabric import CollectiveFabric
+
+
+class CollectiveNetwork(Component):
+    """One collective operation context over a dedicated G-line fabric."""
+
+    def __init__(self, engine: Engine, stats: StatsRegistry, rows: int,
+                 cols: int, gl_config: GLineConfig | None = None,
+                 coll_config: CollectiveConfig | None = None,
+                 name: str = "collnet",
+                 core_ids: list[int] | None = None,
+                 hold_result: bool = False,
+                 mutation: str | None = None):
+        super().__init__(engine, stats, name)
+        self.gl_config = gl_config or GLineConfig()
+        self.coll_config = coll_config or CollectiveConfig()
+        max_dim = self.gl_config.max_transmitters + 1
+        if rows > max_dim or cols > max_dim:
+            raise CapacityError(
+                f"a single collective network supports at most "
+                f"{max_dim}x{max_dim} cores (S-CSMA limit of "
+                f"{self.gl_config.max_transmitters} transmitters per "
+                f"line); use repro.collectives.hierarchical for "
+                f"{rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.core_ids = core_ids or list(range(rows * cols))
+        if len(self.core_ids) != rows * cols:
+            raise CapacityError("core_ids must cover the full mesh")
+        self.num_cores = rows * cols
+        self._local_of = {cid: i for i, cid in enumerate(self.core_ids)}
+
+        self.fabric = CollectiveFabric(
+            rows, cols, self.coll_config.value_width,
+            self.gl_config.max_transmitters, name=name,
+            hold_result=hold_result, mutation=mutation)
+        self.hardened = self.coll_config.watchdog_budget > 0
+        self.fabric.guard = self.hardened
+        self.fabric.wire_probe = self._wire_probe
+        if hold_result:
+            self.fabric.on_reduced = self._on_partial
+
+        self.active = False
+        self.active_cycles = 0
+        self.collectives_completed = 0
+        #: Per-episode bookkeeping.
+        self._resumes: dict[int, Callable | None] = {}
+        #: Locals already delivered in the open episode (deliveries
+        #: stagger: row 0 finishes its broadcast before the column
+        #: result has reached the other rows).
+        self._delivered_locals: set[int] = set()
+        #: Next-episode arrivals from already-delivered cores, drained
+        #: when the open episode closes.
+        self._pending: list[tuple[int, str, int, Callable | None]] = []
+        self._kind: str | None = None
+        self._first_arrival: int | None = None
+        self._last_arrival: int | None = None
+        #: Per-episode broadcast-width override (hierarchical clusters
+        #: frame the chip-global width, not their own).
+        self.bcast_width_fn: Callable[[str], int | None] | None = None
+        #: Hierarchical hooks: partial ready / network gave up.
+        self.on_reduced: Callable[[int], None] | None = None
+        self.on_failover: Callable[[], None] | None = None
+
+        # ---- fault handling (mirrors the barrier network) ------------ #
+        self.injector = None
+        self.fault_stats = stats
+        self.quarantined = False
+        self.detections = 0
+        self.retries = 0
+        self.failovers = 0
+        self._episode_retries = 0
+        self.flight = None
+        self.failover_reports: deque[str] = deque(maxlen=FAILOVER_REPORT_CAP)
+        self.failover_reports_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_glines(self) -> int:
+        return len(self.fabric.lines)
+
+    @property
+    def lines(self) -> list[GLine]:
+        return self.fabric.lines
+
+    # ------------------------------------------------------------------ #
+    # Arrival interface (called by the core / collective library)
+    # ------------------------------------------------------------------ #
+    def arrive(self, core_id: int, kind: str, value: int, resume) -> None:
+        """Core *core_id* writes (kind, value) to its col_reg; *resume*
+        runs with the collective's result (or ``FAILOVER``)."""
+        self.schedule(self.gl_config.barreg_write_cycles,
+                      self._set_colreg, core_id, kind, value, resume)
+
+    def _set_colreg(self, core_id: int, kind: str, value: int,
+                    resume) -> None:
+        if self.quarantined:
+            if resume is not None:
+                self.schedule(0, resume, FAILOVER)
+            return
+        local = self._local_of[core_id]
+        if local in self._resumes:
+            raise CapacityError(
+                f"core {core_id} re-arrived at collective {self.name} "
+                f"before completion (one outstanding op per context)")
+        if self._kind is not None and local in self._delivered_locals:
+            # This core finished the open episode early (its row's
+            # broadcast completed first) and is starting the next one.
+            self._pending.append((core_id, kind, value, resume))
+            return
+        if self._kind is None:
+            self._kind = kind
+            bw = None
+            if self.bcast_width_fn is not None:
+                bw = self.bcast_width_fn(kind)
+            self.fabric.begin(kind, bcast_width=bw)
+            if self.tracer.enabled:
+                self.tracer.emit(self.now, self.name, obs_ev.GL_REDUCE_START,
+                                 op=kind,
+                                 width=self.coll_config.value_width)
+        elif kind != self._kind:
+            raise GLineError(
+                f"collective {self.name}: core {core_id} arrived with "
+                f"kind {kind!r} during an open {self._kind!r} episode")
+        self.fabric.arrive_local(local, value)
+        self._resumes[local] = resume
+        if self._first_arrival is None:
+            self._first_arrival = self.now
+        self._last_arrival = self.now
+        arrived = len(self._resumes)
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.GL_REDUCE_ARRIVE,
+                             core=core_id, op=kind, value=value,
+                             arrived=arrived, of=self.num_cores)
+        if self.flight is not None:
+            self.flight.record(core_id, self.now, self.name,
+                               obs_ev.GL_REDUCE_ARRIVE, op=kind,
+                               arrived=arrived, of=self.num_cores)
+        if self.hardened and arrived == self.num_cores:
+            self._arm_watchdog()
+        if not self.active:
+            self.active = True
+            self.schedule(0, self._tick, priority=TICK_PRIORITY)
+
+    # ------------------------------------------------------------------ #
+    # Clocking
+    # ------------------------------------------------------------------ #
+    def _tick(self) -> None:
+        self.active_cycles += 1
+        if self.injector is not None and self.fabric.perturb_hook is None:
+            self.fabric.perturb_hook = self._perturb
+        deliveries = self.fabric.tick()
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.GL_REDUCE_ROUND,
+                             op=self._kind, tick=self.active_cycles)
+
+        if deliveries:
+            self._complete(deliveries)
+
+        fault = self.hardened and self.fabric.collect_fault()
+        if fault and self._resumes:
+            self._handle_fault()
+            return
+
+        if self.fabric.will_act():
+            self.schedule(self.gl_config.line_latency, self._tick,
+                          priority=TICK_PRIORITY)
+        else:
+            self.active = False
+
+    def _perturb(self, lines: list[GLine]) -> None:
+        self.injector.perturb_glines(lines, now=self.now)
+
+    def _wire_probe(self, lines: list[GLine]) -> None:
+        tracing = self.tracer.enabled
+        for line in lines:
+            if tracing:
+                self.tracer.emit(self.now, line.name, obs_ev.GL_WIRE,
+                                 level=int(line.sampled_on()),
+                                 count=line.sample_count())
+            self.stats.gline_toggles += len(line._asserting)
+
+    def _complete(self, deliveries: list[tuple[int, int]]) -> None:
+        release_time = self.now + 1
+        for local, value in deliveries:
+            self._delivered_locals.add(local)
+            resume = self._resumes.pop(local, None)
+            if resume is not None:
+                self.engine.schedule_at(release_time, resume, value)
+            if self.tracer.enabled:
+                self.tracer.emit(self.now, self.name,
+                                 obs_ev.GL_REDUCE_RESULT,
+                                 core=self.core_ids[local], value=value,
+                                 op=self._kind)
+            if self.flight is not None:
+                self.flight.record(self.core_ids[local], self.now,
+                                   self.name, obs_ev.GL_REDUCE_RESULT,
+                                   value=value, op=self._kind)
+        if not self._resumes and self.fabric.done:
+            self._finish_episode(release_time)
+
+    def _finish_episode(self, release_time: int) -> None:
+        self.collectives_completed += 1
+        self._episode_retries = 0
+        self.stats.bump("collectives.completed")
+        if self.metrics is not None:
+            self.metrics.counter("collectives.episodes").inc()
+            if self._last_arrival is not None:
+                self.metrics.histogram(
+                    "collectives.episode_latency").record(
+                        release_time - self._last_arrival)
+            if self._first_arrival is not None:
+                self.metrics.histogram("collectives.episode_span").record(
+                    release_time - self._first_arrival)
+        self._kind = None
+        self._first_arrival = None
+        self._last_arrival = None
+        self._delivered_locals.clear()
+        self.fabric.close_episode()
+        if self._pending:
+            pending, self._pending = self._pending, []
+            for core_id, kind, value, resume in pending:
+                self._set_colreg(core_id, kind, value, resume)
+
+    # ------------------------------------------------------------------ #
+    # Hierarchical cluster hooks
+    # ------------------------------------------------------------------ #
+    def _on_partial(self, result: int) -> None:
+        """The held fabric parked its local partial; report upward."""
+        if self.on_reduced is not None:
+            self.on_reduced(result)
+
+    def open_result(self, value: int) -> None:
+        """Hierarchical hand-off: broadcast the chip-global *value*
+        locally and resume the cluster root directly (the upper level
+        computed its result)."""
+        root_resume = self._resumes.pop(0, None)
+        self._delivered_locals.add(0)
+        if root_resume is not None:
+            self.engine.schedule_at(self.now + 1, root_resume, value)
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.GL_REDUCE_RESULT,
+                             core=self.core_ids[0], value=value,
+                             op=self._kind)
+        self.fabric.open_with(value)
+        if self.hardened:
+            self._arm_watchdog()
+        if not self.active and self.fabric.will_act():
+            self.active = True
+            self.schedule(0, self._tick, priority=TICK_PRIORITY)
+
+    def abort_episode(self) -> None:
+        """Upper level failed over: this cluster's episode completes in
+        software too (one cohort, like the barrier's segment abort)."""
+        if self._resumes or self._kind is not None:
+            self.failover(reason="upper-level failover")
+
+    @property
+    def parked(self) -> bool:
+        """Holding a reduced partial, waiting for the upper level."""
+        return (self.fabric.hold_result and self.fabric._global_ready
+                and not self.fabric._bc_started)
+
+    # ------------------------------------------------------------------ #
+    # Watchdog, retry and failover
+    # ------------------------------------------------------------------ #
+    def _arm_watchdog(self) -> None:
+        token = (self.collectives_completed, self.failovers,
+                 self._episode_retries)
+        self.schedule(self.coll_config.watchdog_budget,
+                      self._watchdog_check, token)
+
+    def _watchdog_check(self, token) -> None:
+        if token != (self.collectives_completed, self.failovers,
+                     self._episode_retries):
+            return
+        if not self._resumes or self.quarantined:
+            return
+        if self.parked:
+            # The wait belongs to the upper hierarchy level;
+            # ``open_result`` re-arms us for the broadcast leg.
+            return
+        self._handle_fault()
+
+    def _handle_fault(self) -> None:
+        self.detections += 1
+        self.fault_stats.bump("faults.collective.detections")
+        if self._episode_retries < self.coll_config.watchdog_retries:
+            self._episode_retries += 1
+            self.retries += 1
+            self.fault_stats.bump("faults.collective.retries")
+            if self.tracer.enabled:
+                self.tracer.emit(self.now, self.name,
+                                 obs_ev.GL_WATCHDOG_RETRY,
+                                 attempt=self._episode_retries,
+                                 arrived=len(self._resumes))
+            # Operands are still latched in the col_regs: restart the
+            # wire protocol; transients heal, permanent damage re-trips.
+            self.fabric.reset_episode(keep_operands=True)
+            self.active = True
+            self.schedule(self.gl_config.line_latency, self._tick,
+                          priority=TICK_PRIORITY)
+            if self.hardened and len(self._resumes) == self.num_cores:
+                self._arm_watchdog()
+        else:
+            self.failover()
+
+    def failover(self, reason: str = "watchdog") -> None:
+        """Quarantine this context and bounce every waiting core with the
+        FAILOVER outcome; the library completes the operation over the
+        software NoC all-reduce (same-cohort guarantee as the barrier)."""
+        self.quarantined = True
+        self.failovers += 1
+        self.fault_stats.bump("faults.collective.failovers")
+        waiting = [self.core_ids[local] for local in sorted(self._resumes)]
+        if self.tracer.enabled:
+            self.tracer.emit(self.now, self.name, obs_ev.GL_REDUCE_FAILOVER,
+                             waiting=list(waiting), retries=self.retries,
+                             op=self._kind)
+        if self.flight is not None:
+            for cid in waiting:
+                self.flight.record(cid, self.now, self.name,
+                                   obs_ev.GL_REDUCE_FAILOVER,
+                                   retries=self.retries)
+        report = (f"{self.name}: {reason} FAILOVER at cycle {self.now} "
+                  f"after {self._episode_retries} retries; waiting cores "
+                  f"{waiting} bounced to software all-reduce")
+        if self.flight is not None:
+            tail = self.flight.format_tail(waiting)
+            if tail:
+                report += "\n" + tail
+        if len(self.failover_reports) == self.failover_reports.maxlen:
+            self.failover_reports_dropped += 1
+            self.fault_stats.bump("faults.collective.reports_dropped")
+        self.failover_reports.append(report)
+        release_time = self.now + 1
+        for local in sorted(self._resumes):
+            resume = self._resumes[local]
+            if resume is not None:
+                self.engine.schedule_at(release_time, resume, FAILOVER)
+        for _core_id, _kind, _value, resume in self._pending:
+            if resume is not None:
+                self.engine.schedule_at(release_time, resume, FAILOVER)
+        self._pending.clear()
+        self._resumes.clear()
+        self._delivered_locals.clear()
+        self._kind = None
+        self._first_arrival = None
+        self._last_arrival = None
+        self._episode_retries = 0
+        self.fabric.close_episode()
+        self.active = False
+        if self.on_failover is not None:
+            self.on_failover()
+
+    # ------------------------------------------------------------------ #
+    def set_injector(self, injector) -> None:
+        self.injector = injector
+        self.fabric.perturb_hook = (self._perturb if injector is not None
+                                    else None)
+
+    def set_stats(self, stats: StatsRegistry) -> None:
+        self.stats = stats
+        self.fault_stats = stats
+
+    def set_obs(self, obs) -> None:
+        self.tracer = obs.tracer
+        self.metrics = obs.metrics
+        self.flight = obs.flight
+
+    def fully_idle(self) -> bool:
+        return not self._resumes and self.fabric.idle

@@ -24,14 +24,25 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import asdict, dataclass, field, fields, replace
+from typing import TYPE_CHECKING
 
 from .errors import ConfigError
 from ..faults.plan import FaultPlan
+
+if TYPE_CHECKING:
+    from ..collectives.config import CollectiveConfig
 
 
 def _require(cond: bool, msg: str) -> None:
     if not cond:
         raise ConfigError(msg)
+
+
+def _default_collectives() -> "CollectiveConfig":
+    # Deferred import: repro.collectives pulls in the gline package,
+    # which imports this module back for GLineConfig.
+    from ..collectives.config import CollectiveConfig
+    return CollectiveConfig()
 
 
 def mesh_dims(num_cores: int) -> tuple[int, int]:
@@ -303,6 +314,10 @@ class CMPConfig:
     memory_latency: int = 400
     noc: NocConfig = field(default_factory=lambda: NocConfig(rows=4, cols=8))
     gline: GLineConfig = field(default_factory=GLineConfig)
+    #: G-line collective engine (repro.collectives); disabled by default,
+    #: so barrier-only chips build byte-identical to pre-collective runs.
+    collectives: "CollectiveConfig" = field(
+        default_factory=_default_collectives)
     #: Fault-injection schedule (repro.faults); all-zero = disabled.
     faults: FaultPlan = field(default_factory=FaultPlan)
     #: Event-engine backend: "heap" (reference) or "batched" (the
@@ -349,13 +364,16 @@ class CMPConfig:
             "memory_latency": self.memory_latency,
             "noc": self.noc.to_dict(),
             "gline": self.gline.to_dict(),
+            "collectives": self.collectives.to_dict(),
             "faults": self.faults.to_dict(),
             "sim_backend": self.sim_backend,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CMPConfig":
+        from ..collectives.config import CollectiveConfig
         faults = data.get("faults")
+        coll = data.get("collectives")
         return cls(num_cores=data["num_cores"],
                    sim_backend=data.get("sim_backend", "heap"),
                    core=CoreConfig.from_dict(data["core"]),
@@ -365,6 +383,8 @@ class CMPConfig:
                    memory_latency=data["memory_latency"],
                    noc=NocConfig.from_dict(data["noc"]),
                    gline=GLineConfig.from_dict(data["gline"]),
+                   collectives=CollectiveConfig.from_dict(coll)
+                   if coll is not None else CollectiveConfig(),
                    faults=FaultPlan.from_dict(faults) if faults is not None
                    else FaultPlan())
 

@@ -48,6 +48,9 @@ class Core(Component):
         self.on_finish: Callable[["Core"], None] | None = None
         #: Bound by the chip: maps BarrierOp to an implementation.
         self.barrier_binding = None
+        #: Bound by the chip: maps CollectiveOp to an implementation
+        #: (repro.collectives; None unless collectives are enabled).
+        self.collective_binding = None
         #: Bound by the chip: lock algorithm factory.
         self.lock_binding = None
         #: Bound by the chip: episode accounting (may stay None in
@@ -183,6 +186,35 @@ class Core(Component):
         self._push_frame(seq, CycleCat.BARRIER)
         self.schedule(delay, self._advance, None)
 
+    def _exec_collective(self, op: isa.CollectiveOp, t0: int) -> None:
+        if self.collective_binding is None:
+            raise SimulationError(
+                f"core {self.cid}: no collective implementation bound "
+                f"(enable CMPConfig.collectives)")
+        self._note_barrier(obs_ev.CORE_BARRIER_ENTER,
+                           collective=op.kind, ident=op.ident)
+        delay = 0
+        if self.injector is not None:
+            # Same fault surface as a barrier arrival: a collective is a
+            # synchronization point, so fail-stop and straggler faults
+            # apply at its entry.
+            if self.injector.core_failstop(self.cid):
+                self.halted = True
+                self.stats.bump("faults.core.failstops")
+                self._note_barrier(obs_ev.CORE_FAILSTOP,
+                                   collective=op.kind)
+                return
+            delay = self.injector.core_straggler_delay(self.cid)
+            if delay:
+                self.stats.bump("faults.core.stragglers")
+                self.stats.add_cycles(self.cid,
+                                      self._current_cat(CycleCat.BUSY),
+                                      delay)
+                self._note_barrier(obs_ev.CORE_STRAGGLER, delay=delay)
+        seq = self.collective_binding.sequence(self, op)
+        self._push_frame(seq, CycleCat.BARRIER)
+        self.schedule(delay, self._advance, None)
+
     def _exec_acquire(self, op: isa.AcquireLock, t0: int) -> None:
         if self.lock_binding is None:
             raise SimulationError(
@@ -211,6 +243,15 @@ class Core(Component):
         # into the library sequence so it can complete in software.
         op.barrier.arrive(
             self.cid, lambda outcome=None: self._hw_resume(t0, outcome))
+
+    def _exec_hw_coll_arrive(self, op: "HWCollectiveArrive",
+                             t0: int) -> None:
+        # Yielded by the G-line collective library: write (kind, value)
+        # to col_reg, sleep until the fabric delivers the result (or the
+        # FAILOVER outcome).
+        op.net.arrive(
+            self.cid, op.kind, op.value,
+            lambda outcome=None: self._hw_resume(t0, outcome))
 
     def _hw_resume(self, t0: int, outcome=None) -> None:
         """Hardware barrier released (or failed over) this core."""
@@ -272,6 +313,23 @@ def _as_generator(program) -> Generator:
     return _wrap()
 
 
+class HWCollectiveArrive:
+    """Internal operation yielded by the G-line collective library.
+
+    Not part of the public ISA: workloads yield :class:`repro.cpu.isa.
+    CollectiveOp` and the bound implementation expands to this when the
+    hardware collective engine is selected.  The yield returns the
+    collective's result (or ``FAILOVER``).
+    """
+
+    __slots__ = ("net", "kind", "value")
+
+    def __init__(self, net, kind: str, value: int):
+        self.net = net
+        self.kind = kind
+        self.value = value
+
+
 class HWBarrierArrive:
     """Internal operation yielded by the G-line barrier library sequence.
 
@@ -295,7 +353,9 @@ _DISPATCH: dict[type, Callable] = {
     isa.AtomicRMW: Core._exec_atomic,
     isa.SpinUntil: Core._exec_spin,
     isa.BarrierOp: Core._exec_barrier,
+    isa.CollectiveOp: Core._exec_collective,
     isa.AcquireLock: Core._exec_acquire,
     isa.ReleaseLock: Core._exec_release,
     HWBarrierArrive: Core._exec_hw_arrive,
+    HWCollectiveArrive: Core._exec_hw_coll_arrive,
 }

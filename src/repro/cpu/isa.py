@@ -95,6 +95,25 @@ class BarrierOp:
 
 
 @dataclass(frozen=True)
+class CollectiveOp:
+    """Collective operation on the implementation bound to the chip.
+
+    The yield returns the collective's result on every participating
+    core (all-reduce semantics: reduce + broadcast).  *kind* is one of
+    :data:`repro.collectives.ops.KINDS` -- ``sum``/``min``/``max``/
+    ``vote``/``any``/``all``/``bcast`` -- and *value* is this core's
+    operand (for ``bcast`` only core 0's value matters; for the
+    predicate kinds any non-zero value counts as a 1).  ``ident``
+    selects an operation context when several collectives are in
+    flight, mirroring ``BarrierOp.barrier_id``.
+    """
+
+    kind: str
+    value: int = 0
+    ident: int = 0
+
+
+@dataclass(frozen=True)
 class AcquireLock:
     """Acquire the test&test&set lock at *lock_addr* (phase: Lock)."""
 
@@ -109,4 +128,4 @@ class ReleaseLock:
 
 
 Operation = (Compute, Load, Store, AtomicRMW, SpinUntil, BarrierOp,
-             AcquireLock, ReleaseLock)
+             CollectiveOp, AcquireLock, ReleaseLock)

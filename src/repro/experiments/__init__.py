@@ -11,6 +11,7 @@ from .ablations import (
     noc_model_ablation,
     period_sweep,
 )
+from .collectives_exp import CollectivesResult, run_collectives
 from .energy_exp import EnergyResult, run_energy
 from .fig5 import DEFAULT_CORE_COUNTS, Fig5Result, run_fig5
 from .fig6 import Fig6Result, default_fig6_workloads, run_fig6
@@ -38,6 +39,7 @@ __all__ = [
     "paper_config", "run_benchmark", "run_many",
     "matches_paper", "run_table1",
     "Table2Result", "default_table2_workloads", "run_table2",
+    "CollectivesResult", "run_collectives",
     "EnergyResult", "run_energy",
     "StagesResult", "decompose", "run_stages",
     "gl_is_platform_insensitive", "l2_latency_sweep",

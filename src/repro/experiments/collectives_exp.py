@@ -1,0 +1,82 @@
+"""Collective shootout: G-line reduction fabric vs software NoC all-reduce.
+
+The paper's G-lines carry single-bit barrier events; the collectives
+subsystem reuses the same wires for bit-serial reductions (MIN/MAX by
+MSB-first elimination, SUM from per-bit transmitter counts).  This
+experiment measures what that buys: the same
+:class:`~repro.workloads.collective.CollectiveAllReduceWorkload` is run
+with ``collectives.backend="gl"`` and ``"sw"`` (NoC message all-reduce
+over shared memory) at 4x4, 8x8 and 16x16 meshes, and the table reports
+average cycles per all-reduce episode plus the GL speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..collectives.config import CollectiveConfig
+from ..common.params import CMPConfig
+from ..workloads.collective import CollectiveAllReduceWorkload
+from .runner import make_spec, run_many
+
+DEFAULT_CORE_COUNTS = (16, 64, 256)
+BACKENDS = ("gl", "sw")
+
+
+@dataclass
+class CollectivesResult:
+    core_counts: tuple[int, ...]
+    iterations: int
+    value_width: int
+    #: cycles_per_episode[backend][cores]
+    cycles_per_episode: dict[str, dict[int, float]] = field(
+        default_factory=dict)
+
+    def speedup(self, cores: int) -> float:
+        """Software NoC cycles divided by G-line cycles per episode."""
+        return self.cycles_per_episode["sw"][cores] / \
+            (self.cycles_per_episode["gl"][cores] or 1)
+
+    def table(self) -> str:
+        headers = ["Mesh", "Cores", "GL", "SW-NoC", "GL speedup"]
+        rows = []
+        for n in self.core_counts:
+            cfg = CMPConfig.for_cores(n)
+            rows.append([
+                f"{cfg.noc.rows}x{cfg.noc.cols}", n,
+                self.cycles_per_episode["gl"][n],
+                self.cycles_per_episode["sw"][n],
+                f"{self.speedup(n):.2f}x",
+            ])
+        return render_table(
+            headers, rows,
+            title=(f"Collective all-reduce shootout: avg cycles per "
+                   f"episode ({self.iterations} episodes, "
+                   f"{self.value_width}-bit values)"))
+
+
+def _config(num_cores: int, backend: str,
+            value_width: int) -> CMPConfig:
+    cc = CollectiveConfig(enabled=True, backend=backend,
+                          value_width=value_width)
+    return CMPConfig.for_cores(num_cores, collectives=cc)
+
+
+def run_collectives(core_counts=DEFAULT_CORE_COUNTS,
+                    iterations: int = 24,
+                    value_width: int = 8) -> CollectivesResult:
+    """Regenerate the collective-shootout table."""
+    result = CollectivesResult(core_counts=tuple(core_counts),
+                               iterations=iterations,
+                               value_width=value_width)
+    workload = CollectiveAllReduceWorkload(iterations=iterations)
+    points = [(backend, n) for backend in BACKENDS for n in core_counts]
+    specs = [make_spec(workload, "gl", num_cores=n,
+                       config=_config(n, backend, value_width))
+             for backend, n in points]
+    runs = run_many(specs)
+    for (backend, n), run in zip(points, runs):
+        result.cycles_per_episode.setdefault(backend, {})[n] = \
+            run.total_cycles / iterations
+    return result

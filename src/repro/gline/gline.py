@@ -76,18 +76,21 @@ class GLine:
 
     def sample_count(self) -> int:
         """S-CSMA read-out: number of simultaneous assertions this cycle."""
+        # The sense circuit can never report more than the S-CSMA design
+        # limit, no matter how many transmitters are physically attached.
+        ceiling = min(self.num_attached, self.max_transmitters)
         forced = self._forced()
         if forced is not None:
             # A forced-high wire looks like every transmitter asserting at
             # once to the S-CSMA sense circuit; forced-low reads as silence.
-            return self.num_attached if forced else 0
+            return ceiling if forced else 0
         count = len(self._asserting)
         if count > self.max_transmitters:  # pragma: no cover - guarded above
             raise GLineError(
                 f"G-line {self.name}: {count} simultaneous transmitters "
                 f"exceed the S-CSMA limit of {self.max_transmitters}")
         if self.count_delta:
-            count = min(max(count + self.count_delta, 0), self.num_attached)
+            count = min(max(count + self.count_delta, 0), ceiling)
         return count
 
     def sampled_on(self) -> bool:

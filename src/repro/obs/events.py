@@ -43,6 +43,13 @@ GL_PROBE = "gline.recovery.probe"          # idle-cycle wire probe episode
 GL_READMIT = "gline.recovery.readmit"      # probation entry / healthy again
 GL_REDEGRADE = "gline.recovery.redegrade"  # probation tripped; degraded
 
+# G-line collective engine (repro.collectives; sources: network names).
+GL_REDUCE_ARRIVE = "gline.reduce.arrive"      # operand latched (col_reg)
+GL_REDUCE_START = "gline.reduce.start"        # episode opened (kind, width)
+GL_REDUCE_ROUND = "gline.reduce.round"        # one clocked fabric cycle
+GL_REDUCE_RESULT = "gline.reduce.result"      # a core got its result
+GL_REDUCE_FAILOVER = "gline.reduce.failover"  # episode bounced to software
+
 # Data NoC (source: "noc" / "vct").
 NOC_SEND = "noc.send"
 NOC_DELIVER = "noc.deliver"
@@ -60,6 +67,8 @@ ALL_KINDS = frozenset({
     GL_ARRIVE, GL_WIRE, GL_FSM, GL_RELEASE, GL_EPISODE,
     GL_WATCHDOG_RETRY, GL_WATCHDOG_FAILOVER,
     GL_PROBE, GL_READMIT, GL_REDEGRADE,
+    GL_REDUCE_ARRIVE, GL_REDUCE_START, GL_REDUCE_ROUND, GL_REDUCE_RESULT,
+    GL_REDUCE_FAILOVER,
     NOC_SEND, NOC_DELIVER,
     L1_MISS, L1_FILL, L1_EVICT, DIR_MSG,
 })
@@ -69,6 +78,7 @@ FLIGHT_KINDS = frozenset({
     CORE_BARRIER_ENTER, CORE_BARRIER_RESUME, CORE_STRAGGLER, CORE_FAILSTOP,
     GL_ARRIVE, GL_RELEASE, GL_WATCHDOG_RETRY, GL_WATCHDOG_FAILOVER,
     GL_READMIT, GL_REDEGRADE,
+    GL_REDUCE_ARRIVE, GL_REDUCE_RESULT, GL_REDUCE_FAILOVER,
 })
 
 

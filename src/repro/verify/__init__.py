@@ -36,6 +36,11 @@ model and checks refinement cycle-by-cycle.
 persistent result cache like any other experiment.
 """
 
+from .collectives import (COLLECTIVE_PROPERTIES, CollectiveCounterexample,
+                          CollectiveExploreResult, CollectiveModel,
+                          CollectiveReplayResult, P_COLL_TERMINATION,
+                          P_COLL_ONCE, P_COLL_VALUE, explore_collective,
+                          replay_collective)
 from .conformance import (ConcretePath, LiftResult, ReplayResult,
                           concretize, export_counterexample, lift_perfetto,
                           lift_trace, replay_on_simulator)
@@ -70,4 +75,8 @@ __all__ = [
     "merge_shards",
     "render_report", "render_counterexample", "report_dict",
     "expectation_verdict",
+    "CollectiveModel", "CollectiveExploreResult",
+    "CollectiveCounterexample", "CollectiveReplayResult",
+    "COLLECTIVE_PROPERTIES", "P_COLL_VALUE", "P_COLL_ONCE",
+    "P_COLL_TERMINATION", "explore_collective", "replay_collective",
 ]

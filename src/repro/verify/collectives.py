@@ -1,0 +1,490 @@
+"""Explicit-state checking of the G-line collective fabric.
+
+Unlike the barrier checker, which re-derives the controller FSMs as an
+abstract transition system, the collective checker drives the **real**
+:class:`~repro.collectives.fabric.CollectiveFabric` -- the engine-free
+protocol core -- through its ``snapshot``/``restore`` interface.  There
+is no second implementation to diverge: every transition the checker
+explores is computed by the production controllers themselves, and the
+model layer only adds the things the fabric doesn't know about
+(which cores have arrived, what operand each carries) plus the
+property checks.
+
+The state space is every interleaving of per-core arrivals against
+fabric clock ticks (arrivals between the same two ticks share a cycle,
+exactly as col_reg writes landing in the same cycle do).  Three
+properties are checked on every edge:
+
+* **value-correctness** -- every delivered result equals
+  :func:`repro.collectives.ops.reference_reduce` over the operand
+  multiset;
+* **exactly-once** -- each core receives exactly one result per
+  episode, and only after every operand of the episode is latched;
+* **termination** -- once all cores have arrived, the (deterministic)
+  fabric reaches completion; a quiescent-but-incomplete fabric is a
+  hang.
+
+Symmetry reduction: operands travel *with* the cores in the model
+state, so any permutation of same-row slaves (and of whole rows below
+row 0) maps reachable states to reachable states of a relabelled but
+observably identical system.  Canonicalization sorts those bundles,
+which keeps 4x4 meshes tractable.  A planted :data:`~repro.collectives.
+controllers.MUTATIONS` entry breaks the symmetry (it is sited on
+specific controllers), so mutated models disable the reduction.
+
+The conformance bridge mirrors the barrier one: a counterexample is
+already a concrete ``(cycle, core, value)`` schedule, and
+:func:`replay_collective` drives a real engine-backed
+:class:`~repro.collectives.network.CollectiveNetwork` with it
+(``barreg_write_cycles=0`` aligns model steps with engine cycles) to
+confirm the violation in "hardware".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..collectives import ops
+from ..collectives.config import CollectiveConfig
+from ..collectives.fabric import CollectiveFabric
+from ..collectives.network import CollectiveNetwork
+from ..common.errors import ConfigError
+from ..common.params import GLineConfig
+from ..common.stats import StatsRegistry
+from ..sim.engine import Engine
+from .explore import NOT_PROVED, PROVED, VIOLATED
+
+#: Property labels (the collective analogue of repro.verify.model's).
+P_COLL_VALUE = "collective-value"
+P_COLL_ONCE = "collective-exactly-once"
+P_COLL_TERMINATION = "collective-termination"
+
+COLLECTIVE_PROPERTIES = (P_COLL_VALUE, P_COLL_ONCE, P_COLL_TERMINATION)
+
+#: Model actions.
+TICK = -1   # an arrival action is the local index itself
+
+
+@dataclass
+class CollectiveCounterexample:
+    """A violating run, already concrete: ``schedule`` lists
+    ``(cycle, local, value)`` arrivals (cycle = ticks taken before the
+    arrival) and the violation fired at ``at_tick``."""
+
+    prop: str
+    message: str
+    schedule: List[Tuple[int, int, int]]
+    at_tick: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"property": self.prop, "message": self.message,
+                "schedule": [list(s) for s in self.schedule],
+                "at_tick": self.at_tick}
+
+
+@dataclass
+class CollectiveExploreResult:
+    """Outcome of one collective exploration."""
+
+    kind: str
+    rows: int
+    cols: int
+    width: int
+    mutation: Optional[str]
+    states: int = 0
+    transitions: int = 0
+    verdicts: Dict[str, str] = field(default_factory=dict)
+    counterexample: Optional[CollectiveCounterexample] = None
+    capped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(v == PROVED for v in self.verdicts.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "mesh": f"{self.rows}x{self.cols}",
+                "width": self.width, "mutation": self.mutation,
+                "states": self.states, "transitions": self.transitions,
+                "verdicts": dict(self.verdicts), "capped": self.capped,
+                "counterexample": self.counterexample.to_dict()
+                if self.counterexample else None}
+
+
+class _Violation(Exception):
+    def __init__(self, prop: str, message: str):
+        super().__init__(message)
+        self.prop = prop
+        self.message = message
+
+
+def default_values(rows: int, cols: int, width: int) -> List[int]:
+    """Deterministic operands: every core of row *r* carries ``r + 1``
+    (masked), so same-row slaves stay interchangeable for the symmetry
+    reduction while rows remain distinguishable in the result."""
+    m = ops.mask(width)
+    return [(r + 1) & m if (r + 1) & m else 1 & m
+            for r in range(rows) for _ in range(cols)]
+
+
+class CollectiveModel:
+    """Transition system over the real fabric's snapshots.
+
+    A state is ``(fabric_snapshot, cores, )`` where ``cores[i]`` is the
+    ``(value, arrived)`` bundle of local *i*; delivery flags live inside
+    the fabric snapshot itself.
+    """
+
+    def __init__(self, rows: int, cols: int, kind: str, *,
+                 width: int = 1, values: Optional[Sequence[int]] = None,
+                 mutation: Optional[str] = None,
+                 stuck: Optional[Dict[str, int]] = None,
+                 max_transmitters: int = 6):
+        ops.check_kind(kind)
+        if rows > max_transmitters + 1 or cols > max_transmitters + 1:
+            raise ConfigError("model mesh exceeds a single fabric")
+        self.rows = rows
+        self.cols = cols
+        self.kind = kind
+        self.width = width
+        self.mutation = mutation
+        self.stuck = dict(stuck or {})
+        self.n = rows * cols
+        if values is None:
+            values = default_values(rows, cols, width)
+        if len(values) != self.n:
+            raise ConfigError(f"need {self.n} values, got {len(values)}")
+        self.values = [v & ops.mask(width) for v in values]
+        self.reference = ops.reference_reduce(kind, self.values, width)
+        self.fabric = CollectiveFabric(rows, cols, width, max_transmitters,
+                                       name="model", mutation=mutation)
+        for suffix, level in self.stuck.items():
+            hit = [ln for ln in self.fabric.lines
+                   if ln.name.endswith(suffix)]
+            if not hit:
+                raise ConfigError(f"no fabric line matches {suffix!r}")
+            for ln in hit:
+                ln.stuck = level
+        self.fabric.begin(kind)
+        self._initial_fab = self.fabric.snapshot()
+        #: Symmetry is sound only while controllers are interchangeable;
+        #: a mutation is sited on specific ones.
+        self.symmetric = mutation is None
+        # Per-row (tx, rel) stuck indices into fabric.lines, for
+        # permuting stuck levels alongside row bundles.
+        self._row_lines: List[Optional[Tuple[int, int]]] = []
+        for r in range(rows):
+            if cols > 1:
+                tx = self.fabric.rmasters[r].tx
+                rel = self.fabric.rmasters[r].rel
+                idx = tuple(next(i for i, ln in enumerate(self.fabric.lines)
+                                 if ln is wire) for wire in (tx, rel))
+                self._row_lines.append(idx)  # type: ignore[arg-type]
+            else:
+                self._row_lines.append(None)
+        self._col_lines: List[int] = []
+        if rows > 1:
+            for wire in (self.fabric.colmaster.tx,
+                         self.fabric.colmaster.rel):
+                self._col_lines.append(next(
+                    i for i, ln in enumerate(self.fabric.lines)
+                    if ln is wire))
+
+    # ------------------------------------------------------------------ #
+    def initial(self) -> tuple:
+        cores = tuple((self.values[i], False) for i in range(self.n))
+        return (self._initial_fab, cores)
+
+    def actions(self, state: tuple) -> List[int]:
+        fab, cores = state
+        acts = [i for i in range(self.n) if not cores[i][1]]
+        if any(arrived for _, arrived in cores):
+            acts.append(TICK)
+        return acts
+
+    def all_arrived(self, state: tuple) -> bool:
+        return all(arrived for _, arrived in state[1])
+
+    def is_complete(self, state: tuple) -> bool:
+        self.fabric.restore(state[0])
+        return self.fabric.done
+
+    # ------------------------------------------------------------------ #
+    def step(self, state: tuple, action: int) -> tuple:
+        """Apply *action*; raises :class:`_Violation` on a property
+        violation, else returns the canonical successor."""
+        fab, cores = state
+        self.fabric.restore(fab)
+        if action == TICK:
+            deliveries = self.fabric.tick()
+            self._check(deliveries, cores)
+        else:
+            value, arrived = cores[action]
+            if arrived:
+                raise ConfigError(f"local {action} already arrived")
+            self.fabric.arrive_local(action, value)
+            cores = tuple((v, True) if i == action else (v, a)
+                          for i, (v, a) in enumerate(cores))
+        return (self.fabric.snapshot(), cores)
+
+    def _check(self, deliveries: List[Tuple[int, int]],
+               cores: tuple) -> None:
+        pending = [i for i in range(self.n) if not cores[i][1]]
+        for local, value in deliveries:
+            if not cores[local][1]:
+                raise _Violation(
+                    P_COLL_ONCE,
+                    f"local {local} delivered a result without having "
+                    f"arrived")
+            if pending:
+                raise _Violation(
+                    P_COLL_ONCE,
+                    f"local {local} delivered while locals {pending} "
+                    f"have not arrived (premature release)")
+            if value != self.reference:
+                raise _Violation(
+                    P_COLL_VALUE,
+                    f"local {local} delivered {value}, reference "
+                    f"{self.kind} over {self.values} is "
+                    f"{self.reference}")
+
+    # ------------------------------------------------------------------ #
+    # Canonical symmetry reduction
+    # ------------------------------------------------------------------ #
+    def key(self, state: tuple) -> tuple:
+        """Hashable canonical key identifying *state* up to symmetry.
+
+        Same-row slave bundles, and whole row bundles below row 0, are
+        interchangeable when their full (controller state, operand,
+        delivery, wire-fault) tuples match, because the wires count
+        transmitters without caring which one asserted; sorting those
+        bundles makes symmetric states collide in the visited set.  The
+        sort key is ``hash`` -- a hash tie between *unequal* bundles
+        merely yields an unsorted canonical form (a missed merge, never
+        a wrong one), while equal bundles always collide.  States stay
+        un-permuted: counterexample paths keep true core labels.
+        """
+        if not self.symmetric:
+            return state
+        (rm, rs, cm, cs, kind, row_fed, col_done, gready, result,
+         bc, skip, delivered, row_w, bw, stuck) = state[0]
+        cores = state[1]
+
+        def row_bundle(r: int):
+            base = r * self.cols
+            slaves = tuple(sorted(
+                ((rs[r][c - 1], cores[base + c], delivered[base + c])
+                 for c in range(1, self.cols)), key=hash))
+            lines = self._row_lines[r]
+            wires = (stuck[lines[0]], stuck[lines[1]]) if lines else None
+            colslave = cs[r - 1] if r > 0 and self.rows > 1 else None
+            return (rm[r], cores[base], delivered[base], row_fed[r],
+                    colslave, wires, slaves)
+
+        head = row_bundle(0)
+        tail = tuple(sorted((row_bundle(r) for r in range(1, self.rows)),
+                            key=hash))
+        col_wires = tuple(stuck[i] for i in self._col_lines)
+        return (head, tail, cm, kind, col_done, gready, result, bc,
+                skip, row_w, bw, col_wires)
+
+
+# ---------------------------------------------------------------------- #
+# Exploration
+# ---------------------------------------------------------------------- #
+def explore_collective(model: CollectiveModel, *,
+                       max_states: int = 500_000,
+                       max_ticks: int = 0) -> CollectiveExploreResult:
+    """BFS every arrival/tick interleaving of one episode.
+
+    Once every core has arrived the fabric is deterministic, so those
+    states are run straight to completion (the termination check) and
+    never enqueued.
+    """
+    if not max_ticks:
+        max_ticks = 32 * (model.rows + model.cols + model.width + 8)
+    result = CollectiveExploreResult(
+        kind=model.kind, rows=model.rows, cols=model.cols,
+        width=model.width, mutation=model.mutation)
+    init = model.initial()
+    # canonical key -> (parent_key, action); states themselves ride the
+    # queue un-permuted, so counterexamples keep true core labels.
+    parents: Dict[tuple, Optional[Tuple[tuple, int]]] = {
+        model.key(init): None}
+    queue = [init]
+    head = 0
+
+    def path_to(key: tuple) -> List[int]:
+        actions: List[int] = []
+        while True:
+            edge = parents[key]
+            if edge is None:
+                return list(reversed(actions))
+            key, action = edge
+            actions.append(action)
+
+    def schedule_of(actions: List[int]) -> List[Tuple[int, int, int]]:
+        cycle, sched = 0, []
+        for a in actions:
+            if a == TICK:
+                cycle += 1
+            else:
+                sched.append((cycle, a, model.values[a]))
+        return sched
+
+    def fail(prop: str, message: str, actions: List[int]
+             ) -> CollectiveExploreResult:
+        ticks = sum(1 for a in actions if a == TICK)
+        result.counterexample = CollectiveCounterexample(
+            prop=prop, message=message, schedule=schedule_of(actions),
+            at_tick=ticks)
+        for p in COLLECTIVE_PROPERTIES:
+            result.verdicts[p] = VIOLATED if p == prop else \
+                result.verdicts.get(p, NOT_PROVED)
+        return result
+
+    def run_tail(state: tuple, actions: List[int]
+                 ) -> Optional[CollectiveExploreResult]:
+        """Deterministic completion run from an all-arrived state."""
+        for _ in range(max_ticks):
+            if model.is_complete(state):
+                return None
+            try:
+                nxt = model.step(state, TICK)
+            except _Violation as v:
+                return fail(v.prop, v.message, actions + [TICK])
+            actions = actions + [TICK]
+            result.transitions += 1
+            if nxt == state:
+                return fail(
+                    P_COLL_TERMINATION,
+                    "fabric quiescent before completion (hang): "
+                    "undelivered locals remain but no controller "
+                    "will act", actions)
+            state = nxt
+        return fail(P_COLL_TERMINATION,
+                    f"no completion within {max_ticks} ticks", actions)
+
+    while head < len(queue):
+        state = queue[head]
+        head += 1
+        skey = model.key(state)
+        for action in model.actions(state):
+            try:
+                child = model.step(state, action)
+            except _Violation as v:
+                return fail(v.prop, v.message, path_to(skey) + [action])
+            result.transitions += 1
+            ckey = model.key(child)
+            if ckey in parents:
+                continue
+            parents[ckey] = (skey, action)
+            if model.all_arrived(child):
+                bad = run_tail(child, path_to(skey) + [action])
+                if bad is not None:
+                    return bad
+                continue
+            if len(parents) >= max_states:
+                result.capped = True
+                result.states = len(parents)
+                for p in COLLECTIVE_PROPERTIES:
+                    result.verdicts[p] = NOT_PROVED
+                return result
+            queue.append(child)
+
+    result.states = len(parents)
+    for p in COLLECTIVE_PROPERTIES:
+        result.verdicts[p] = PROVED
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Conformance replay on the real simulator
+# ---------------------------------------------------------------------- #
+@dataclass
+class CollectiveReplayResult:
+    """What an engine-backed network did under a concrete schedule."""
+
+    kind: str
+    reference: int
+    deliveries: Dict[int, Tuple[int, int]]   # core -> (cycle, value)
+    double_delivered: List[int]
+    hung: List[int]
+
+    @property
+    def wrong_values(self) -> Dict[int, int]:
+        return {c: v for c, (_t, v) in self.deliveries.items()
+                if v != self.reference}
+
+    @property
+    def confirmed(self) -> bool:
+        """True when the replay reproduces *some* property violation."""
+        return bool(self.wrong_values or self.double_delivered
+                    or self.hung)
+
+    def summary(self) -> str:
+        if not self.confirmed:
+            return (f"replay clean: all cores delivered "
+                    f"{self.reference}")
+        parts = []
+        if self.wrong_values:
+            parts.append(f"wrong values {self.wrong_values} "
+                         f"(reference {self.reference})")
+        if self.double_delivered:
+            parts.append(f"double delivery to {self.double_delivered}")
+        if self.hung:
+            parts.append(f"cores {self.hung} never delivered")
+        return "replay CONFIRMED: " + "; ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "reference": self.reference,
+                "deliveries": {c: list(tv)
+                               for c, tv in self.deliveries.items()},
+                "double_delivered": list(self.double_delivered),
+                "hung": list(self.hung), "confirmed": self.confirmed}
+
+
+def replay_collective(rows: int, cols: int, kind: str,
+                      schedule: Sequence[Tuple[int, int, int]], *,
+                      width: int = 1, mutation: Optional[str] = None,
+                      stuck: Optional[Dict[str, int]] = None,
+                      max_cycles: int = 4096) -> CollectiveReplayResult:
+    """Drive a real :class:`CollectiveNetwork` with a model schedule.
+
+    ``barreg_write_cycles=0`` makes an arrival scheduled at cycle *t*
+    visible to that same cycle's fabric tick, so model tick *i* and
+    engine cycle *i* coincide.  The network is unhardened: the point is
+    to confirm the raw violation, not to watch the watchdog mask it.
+    """
+    engine = Engine()
+    stats = StatsRegistry(rows * cols)
+    gl = GLineConfig(barreg_write_cycles=0)
+    cc = CollectiveConfig(enabled=True, value_width=width)
+    net = CollectiveNetwork(engine, stats, rows, cols, gl, cc,
+                            mutation=mutation)
+    for suffix, level in (stuck or {}).items():
+        for line in net.lines:
+            if line.name.endswith(suffix):
+                line.stuck = level
+
+    deliveries: Dict[int, Tuple[int, int]] = {}
+    double: List[int] = []
+
+    def make_resume(cid: int):
+        def resume(value: object = None) -> None:
+            if cid in deliveries:
+                double.append(cid)
+            deliveries[cid] = (engine.now, int(value))  # type: ignore
+        return resume
+
+    values = [0] * (rows * cols)
+    for cycle, local, value in schedule:
+        values[local] = value
+        engine.schedule_at(cycle, net.arrive, local, kind, value,
+                           make_resume(local))
+    engine.run(until=max_cycles)
+    reference = ops.reference_reduce(kind, values, width)
+    hung = [c for c in range(rows * cols) if c not in deliveries]
+    return CollectiveReplayResult(kind=kind, reference=reference,
+                                  deliveries=deliveries,
+                                  double_delivered=double, hung=hung)

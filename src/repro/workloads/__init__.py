@@ -7,6 +7,7 @@ from .base import (
     skewed_bounds,
     vector_sweep,
 )
+from .collective import CollectiveAllReduceWorkload
 from .em3d import EM3DWorkload
 from .fullscale import fullscale_benchmarks
 from .livermore import Kernel2Workload, Kernel3Workload, Kernel6Workload
@@ -18,6 +19,7 @@ from .unstructured import UnstructuredWorkload
 __all__ = [
     "Workload", "WorkloadInfo", "chunk_bounds", "skewed_bounds",
     "vector_sweep",
+    "CollectiveAllReduceWorkload",
     "EM3DWorkload",
     "fullscale_benchmarks",
     "Kernel2Workload", "Kernel3Workload", "Kernel6Workload",

@@ -1,0 +1,112 @@
+"""All-reduce workload driving the collective subsystem end to end.
+
+Each core contributes a deterministic per-episode operand to a rotating
+sequence of collective kinds (:data:`repro.collectives.ops.KINDS`), folds
+every delivered result into a running checksum, and stores the checksum
+to its own padded line at the end.  :meth:`verify` recomputes the
+expected checksum from :func:`~repro.collectives.ops.reference_reduce`,
+so a run only verifies if *every* episode delivered the bit-exact
+reduction value to *every* core -- over the G-line fabric, the software
+NoC fallback, or a mid-run failover between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..collectives import ops
+from ..common.errors import WorkloadError
+from ..cpu import isa
+from .base import Workload, WorkloadInfo
+
+#: Checksum fold modulus (fits comfortably in a simulated word).
+_CHECK_MOD = 1 << 31
+
+
+class CollectiveAllReduceWorkload(Workload):
+    """Back-to-back all-reduce episodes with verified results.
+
+    The chip must be configured with ``config.collectives.enabled`` --
+    the workload reduces over whatever backend that config selects
+    (``gl`` fabric, hierarchical, time-multiplexed or ``sw``), which is
+    exactly what makes it the shootout's common yardstick.
+    """
+
+    name = "COLL"
+
+    def __init__(self, iterations: int = 32,
+                 kinds: tuple[str, ...] = ops.KINDS,
+                 compute_grain: int = 3):
+        if iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        kinds = tuple(kinds)
+        for kind in kinds:
+            if kind not in ops.KINDS:
+                raise WorkloadError(f"unknown collective kind {kind!r}")
+        if not kinds:
+            raise WorkloadError("kinds must be non-empty")
+        if compute_grain < 0:
+            raise WorkloadError("compute_grain must be >= 0")
+        self.iterations = iterations
+        self.kinds = kinds
+        self.compute_grain = compute_grain
+
+    # ------------------------------------------------------------------ #
+    def _kind(self, ep: int) -> str:
+        return self.kinds[ep % len(self.kinds)]
+
+    @staticmethod
+    def _value(cid: int, ep: int, width: int) -> int:
+        """Deterministic operand: varies per core and episode, exercises
+        several bit patterns across the configured value width."""
+        return (cid * 7 + ep * 3 + 1) % (1 << width)
+
+    def programs(self, chip) -> list[Generator]:
+        cc = chip.config.collectives
+        if not cc.enabled:
+            raise WorkloadError(
+                f"{self.name} needs config.collectives.enabled=True")
+        width = cc.value_width
+        ncores = chip.num_cores
+        self._check_addrs = [chip.allocator.alloc_line(home=c)
+                             for c in range(ncores)]
+        # Reference results per episode (same for every core).
+        refs = []
+        for ep in range(self.iterations):
+            vals = [self._value(c, ep, width) for c in range(ncores)]
+            refs.append(ops.reference_reduce(self._kind(ep), vals, width))
+        expected = 0
+        for ref in refs:
+            expected = (expected * 1009 + int(ref) + 1) % _CHECK_MOD
+        self._expected = expected
+
+        def program(cid: int) -> Generator:
+            acc = 0
+            for ep in range(self.iterations):
+                value = self._value(cid, ep, width)
+                result = yield isa.CollectiveOp(self._kind(ep), value=value)
+                acc = (acc * 1009 + int(result) + 1) % _CHECK_MOD
+                if self.compute_grain:
+                    # Uneven local work staggers the next episode's
+                    # arrivals (the interesting interleavings).
+                    yield isa.Compute(1 + (cid + ep) % self.compute_grain)
+            yield isa.Store(self._check_addrs[cid], acc)
+
+        return [program(c) for c in range(ncores)]
+
+    def verify(self, chip) -> None:
+        for cid, addr in enumerate(self._check_addrs):
+            got = chip.funcmem.load(addr)
+            assert got == self._expected, \
+                (f"collective checksum mismatch on core {cid}: "
+                 f"{got} != {self._expected}")
+
+    def info(self) -> WorkloadInfo:
+        return WorkloadInfo(
+            name=self.name,
+            input_size=(f"{self.iterations} episodes x "
+                        f"{len(self.kinds)} kinds"),
+            num_barriers=0,
+            paper_barriers=0,
+            paper_period=0,
+        )

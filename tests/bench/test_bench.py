@@ -29,7 +29,8 @@ TINY = BenchCase(
 # Registry and case construction
 # ---------------------------------------------------------------------- #
 def test_registry_contents():
-    assert set(CASES) == {"fig5", "fig6_fig7", "stress16x16"}
+    assert set(CASES) == {"fig5", "fig6_fig7", "stress16x16",
+                          "collectives16x16"}
     assert get_case("fig5") is CASES["fig5"]
     with pytest.raises(KeyError):
         get_case("fig9")

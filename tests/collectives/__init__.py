@@ -1,0 +1,1 @@
+"""Unit and integration tests for repro.collectives."""

@@ -1,0 +1,91 @@
+"""Fault hardening: watchdog detection, retry and software failover."""
+
+from repro.collectives import ops
+from repro.collectives.config import CollectiveConfig
+from repro.collectives.hierarchical import HierarchicalCollectiveNetwork
+from repro.collectives.network import CollectiveNetwork
+from repro.common.params import GLineConfig
+from repro.common.stats import StatsRegistry
+from repro.faults import FAILOVER
+from repro.sim.engine import Engine
+
+
+def make_net(rows, cols, width=4, cls=CollectiveNetwork, **cc_kwargs):
+    engine = Engine()
+    stats = StatsRegistry(rows * cols)
+    params = dict(watchdog_budget=64, watchdog_retries=2)
+    params.update(cc_kwargs)
+    cc = CollectiveConfig(enabled=True, value_width=width, **params)
+    net = cls(engine, stats, rows, cols, GLineConfig(), cc)
+    return engine, net
+
+
+def stick(lines, suffix, level):
+    hit = [line for line in lines if line.name.endswith(suffix)]
+    assert hit, suffix
+    for line in hit:
+        line.stuck = level
+
+
+def test_stuck_low_tx_fails_over_and_quarantines():
+    engine, net = make_net(3, 3)
+    stick(net.lines, "txH0", 0)
+    got = {}
+    for cid in range(9):
+        engine.schedule(cid % 3, net.arrive, cid, "sum", cid + 1,
+                        (lambda v=None, c=cid: got.__setitem__(c, v)))
+    engine.run()
+    # A dead counting wire is unhealable: all cores bounce to software.
+    assert got == {c: FAILOVER for c in range(9)}
+    assert net.quarantined
+    assert net.failovers == 1
+    assert net.retries == 2  # both retry budgets burned first
+    assert len(net.failover_reports) == 1
+    assert net.failover_reports[0]  # non-empty diagnostic
+
+
+def test_post_quarantine_arrivals_bounce_immediately():
+    engine, net = make_net(3, 3)
+    stick(net.lines, "txH0", 0)
+    for cid in range(9):
+        engine.schedule(0, net.arrive, cid, "sum", 1, None)
+    engine.run()
+    assert net.quarantined
+    late = {}
+    engine.schedule(0, net.arrive, 4, "max", 2,
+                    lambda v=None: late.__setitem__(4, v))
+    engine.run()
+    assert late == {4: FAILOVER}
+
+
+def test_stuck_high_release_never_delivers_wrong_values():
+    """The guard masks a stuck-high release wire cycle by cycle; any
+    value that does get delivered must still be the reference."""
+    engine, net = make_net(3, 3)
+    stick(net.lines, "relH1", 1)
+    got = {}
+    for cid in range(9):
+        engine.schedule(0, net.arrive, cid, "sum", cid + 1,
+                        (lambda v=None, c=cid: got.__setitem__(c, v)))
+    engine.run()
+    ref = ops.reference_reduce("sum", list(range(1, 10)), 4)
+    assert len(got) == 9
+    assert all(v in (ref, FAILOVER) for v in got.values()), got
+    assert net.detections >= 1
+
+
+def test_hierarchical_failover_is_whole_op_and_idempotent():
+    engine, net = make_net(8, 8, cls=HierarchicalCollectiveNetwork,
+                           watchdog_retries=1)
+    stick(net.clusters[0].lines, "txH0", 0)
+    got = {}
+    for cid in range(64):
+        engine.schedule(cid % 5, net.arrive, cid, "max", cid,
+                        (lambda v=None, c=cid: got.__setitem__(c, v)))
+    engine.run()
+    assert len(got) == 64
+    assert set(got.values()) == {FAILOVER}
+    assert net.quarantined
+    # One whole-op failover, even though the top network bounces each
+    # parked cluster root asynchronously.
+    assert net.failovers == 1

@@ -1,0 +1,99 @@
+"""The collective op vocabulary: reference semantics, stage arithmetic
+and the software fold encoding."""
+
+import random
+
+import pytest
+
+from repro.collectives import ops
+from repro.common.errors import ConfigError
+
+
+def test_reference_semantics():
+    vals = [3, 0, 7, 5]
+    assert ops.reference_reduce("sum", vals, 4) == 15
+    assert ops.reference_reduce("min", vals, 4) == 0
+    assert ops.reference_reduce("max", vals, 4) == 7
+    assert ops.reference_reduce("any", vals, 4) == 1
+    assert ops.reference_reduce("all", vals, 4) == 0
+    assert ops.reference_reduce("vote", vals, 4) == 3
+    assert ops.reference_reduce("bcast", vals, 4) == 3
+
+
+def test_reference_masks_inputs():
+    assert ops.reference_reduce("max", [0x1F, 2], 4) == 0xF
+    assert ops.reference_reduce("sum", [16, 16], 4) == 0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigError):
+        ops.check_kind("xor")
+    with pytest.raises(ConfigError):
+        ops.reference_reduce("xor", [1], 4)
+
+
+def test_empty_reduce_rejected():
+    with pytest.raises(ConfigError):
+        ops.reference_reduce("sum", [], 4)
+
+
+def test_predicates_serialize_one_bit():
+    for kind in ("vote", "any", "all"):
+        assert ops.stage_in_width(kind, 8) == 1
+        assert ops.stage_contrib(kind, 0, 8) == 0
+        assert ops.stage_contrib(kind, 200, 8) == 1
+    assert ops.stage_in_width("sum", 8) == 8
+    assert ops.stage_contrib("min", 200, 8) == 200
+
+
+def test_stage_result_width_growth():
+    # A sum over n w-bit values needs log2(n * (2^w - 1)) bits.
+    assert ops.stage_result_width("sum", 4, 6) == (6 * 15).bit_length()
+    assert ops.stage_result_width("vote", 8, 6) == 3
+    assert ops.stage_result_width("any", 8, 6) == 1
+    assert ops.stage_result_width("max", 5, 6) == 5
+
+
+def test_stage_finalize_thresholds():
+    assert ops.stage_finalize("any", 0, 4) == 0
+    assert ops.stage_finalize("any", 3, 4) == 1
+    assert ops.stage_finalize("all", 3, 4) == 0
+    assert ops.stage_finalize("all", 4, 4) == 1
+    assert ops.stage_finalize("sum", 17, 4) == 17
+
+
+@pytest.mark.parametrize("kind", ops.KINDS)
+@pytest.mark.parametrize("width", [1, 4, 8])
+def test_sw_fold_matches_reference(kind, width):
+    """The software fold (zero-identity encoded) must agree with the
+    direct reference for every kind, any fold order."""
+    rng = random.Random(width * 31 + len(kind))
+    for n in (1, 2, 5, 16):
+        vals = [rng.randrange(1 << width) for _ in range(n)]
+        ref = ops.reference_reduce(kind, vals, width)
+        if kind == "bcast":
+            # The fold is the identity for bcast: the root stores its
+            # value directly and non-roots must not disturb it.
+            acc = vals[0] & ops.mask(width)
+            for i in range(1, n):
+                acc = ops.sw_fold(kind, acc, vals[i], width)
+        else:
+            acc = 0
+            for i in rng.sample(range(n), n):
+                acc = ops.sw_fold(kind, acc, vals[i], width)
+        assert ops.sw_final(kind, acc, width) == ref, (kind, width, vals)
+
+
+def test_result_width_covers_reference():
+    for kind in ops.KINDS:
+        for rows, cols in [(1, 1), (2, 3), (4, 4), (7, 7)]:
+            width = 6
+            rw = ops.result_width(kind, width, rows, cols)
+            vals = [ops.mask(width)] * (rows * cols)
+            assert ops.reference_reduce(kind, vals, width) < (1 << rw)
+
+
+def test_vocabulary_is_closed():
+    assert set(ops.COMBINE_KIND) == set(ops.KINDS)
+    assert set(ops.MECHANISM) == set(ops.KINDS)
+    assert all(ops.COMBINE_KIND[k] in ops.KINDS for k in ops.KINDS)

@@ -1,0 +1,80 @@
+"""The all-reduce workload, its spec-ability and the shootout driver."""
+
+import pytest
+
+from repro.bench.cases import get_case
+from repro.chip.cmp import CMP
+from repro.collectives.config import CollectiveConfig
+from repro.common.errors import WorkloadError
+from repro.common.params import CMPConfig
+from repro.exec.spec import RunSpec
+from repro.experiments.collectives_exp import run_collectives
+from repro.workloads import CollectiveAllReduceWorkload
+
+
+def coll_config(num_cores, backend="gl", **kwargs):
+    cc = CollectiveConfig(enabled=True, backend=backend, **kwargs)
+    return CMPConfig.for_cores(num_cores, collectives=cc)
+
+
+def test_workload_runs_and_verifies():
+    workload = CollectiveAllReduceWorkload(iterations=6)
+    chip = CMP(coll_config(16), barrier="gl")
+    chip.run(workload)
+    workload.verify(chip)
+
+
+def test_workload_verifies_on_software_backend():
+    workload = CollectiveAllReduceWorkload(iterations=4)
+    chip = CMP(coll_config(16, backend="sw"), barrier="gl")
+    chip.run(workload)
+    workload.verify(chip)
+
+
+def test_workload_verifies_through_failover():
+    workload = CollectiveAllReduceWorkload(iterations=4)
+    chip = CMP(coll_config(16, watchdog_budget=64, watchdog_retries=1),
+               barrier="gl")
+    for line in chip.collective_impl.networks[0].lines:
+        if line.name.endswith("txH0"):
+            line.stuck = 0
+    chip.run(workload)
+    workload.verify(chip)  # failover must preserve value-correctness
+
+
+def test_workload_requires_enabled_collectives():
+    chip = CMP(CMPConfig.for_cores(16), barrier="gl")
+    with pytest.raises(WorkloadError):
+        chip.run(CollectiveAllReduceWorkload(iterations=2))
+
+
+def test_workload_rejects_bad_parameters():
+    with pytest.raises(WorkloadError):
+        CollectiveAllReduceWorkload(iterations=0)
+    with pytest.raises(WorkloadError):
+        CollectiveAllReduceWorkload(kinds=("sum", "xor"))
+    with pytest.raises(WorkloadError):
+        CollectiveAllReduceWorkload(kinds=())
+
+
+def test_workload_is_spec_able():
+    workload = CollectiveAllReduceWorkload(iterations=3)
+    spec = RunSpec.make(workload, "gl", num_cores=16,
+                        config=coll_config(16))
+    assert spec.key()  # fingerprintable -> cacheable
+
+
+def test_shootout_gl_beats_software():
+    result = run_collectives(core_counts=(16,), iterations=4)
+    assert result.speedup(16) > 1.0
+    assert "4x4" in result.table()
+
+
+def test_bench_case_builds_specs():
+    case = get_case("collectives16x16")
+    specs = case.build(True)
+    assert len(specs) == 1
+    assert specs[0].config.collectives.enabled
+    assert specs[0].config.num_cores == 256
+    # Quick and full scales must carry different digests.
+    assert specs[0].key() != case.build(False)[0].key()

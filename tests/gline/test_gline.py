@@ -75,3 +75,37 @@ def test_toggle_counter():
     line.assert_signal("b")
     assert line.toggles == 4
     assert line.num_attached == 2
+
+
+def test_sample_count_clamps_to_scsma_limit():
+    """The sense circuit saturates at ``max_transmitters`` even if more
+    transmitters are physically attached (e.g. the limit is derated
+    after wiring): forced-high and count-skew read-outs must clamp to
+    min(num_attached, max_transmitters), not num_attached."""
+    line = GLine("g", max_transmitters=4)
+    for i in range(4):
+        line.attach(f"t{i}")
+    line.max_transmitters = 3  # post-wiring derate
+    line.stuck = 1
+    assert line.sample_count() == 3
+    line.stuck = None
+    for i in range(3):
+        line.assert_signal(f"t{i}")
+    line.count_delta = +5
+    assert line.sample_count() == 3
+    line.count_delta = -7
+    assert line.sample_count() == 0
+
+
+def test_sample_count_skew_clamp_respects_attached_count():
+    # Fewer attached transmitters than the design limit: the attached
+    # population is the ceiling.
+    line = GLine("g", max_transmitters=6)
+    line.attach("a")
+    line.attach("b")
+    line.assert_signal("a")
+    line.count_delta = +9
+    assert line.sample_count() == 2
+    line.count_delta = 0
+    line.stuck = 1
+    assert line.sample_count() == 2
