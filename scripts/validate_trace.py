@@ -73,6 +73,58 @@ def check_vcd(path: Path) -> str:
             f"@{gather_row}->{release_row} OK")
 
 
+def _audit_integrity(doc: dict) -> str:
+    """Audit the GL_INTEGRITY_* recovery ladder, if the trace has one.
+
+    Every ``gline.integrity.fail`` that was not corrected in place
+    (``args.corrected < args.count``, i.e. the vote voter could not
+    outvote the corruption) must be answered on the same network track
+    by a ``retry``, ``escalate`` or ``failover`` event no later than the
+    track's next delivered result -- a detection that the op completed
+    past without recovery would be the silent-corruption path the
+    ladder exists to close.  Returns a summary fragment ('' when the
+    trace carries no integrity events at all).
+    """
+    recovery = {"gline.integrity.retry", "gline.integrity.escalate",
+                "gline.integrity.failover"}
+    watched = recovery | {"gline.integrity.fail", "gline.reduce.result"}
+    tracks: dict[tuple, list[dict]] = {}
+    for e in doc["traceEvents"]:
+        if e.get("ph") == "i" and str(e.get("name", "")) in watched:
+            tracks.setdefault((e.get("pid"), e.get("tid")), []).append(e)
+    fails = healed = recovered = 0
+    for events in tracks.values():
+        events.sort(key=lambda e: e["ts"])
+        for i, e in enumerate(events):
+            if e["name"] != "gline.integrity.fail":
+                continue
+            fails += 1
+            args = e.get("args", {})
+            if args.get("corrected", 0) >= args.get("count", 1):
+                healed += 1
+                continue
+            for later in events[i + 1:]:
+                if later["name"] in recovery:
+                    recovered += 1
+                    break
+                if later["name"] == "gline.reduce.result" \
+                        and later["ts"] > e["ts"]:
+                    raise ValueError(
+                        f"integrity failure at ts={e['ts']} "
+                        f"({args.get('op', '?')}) was neither corrected "
+                        f"nor retried/escalated/failed-over before the "
+                        f"op delivered at ts={later['ts']}")
+            else:
+                raise ValueError(
+                    f"integrity failure at ts={e['ts']} "
+                    f"({args.get('op', '?')}) has no recovery event "
+                    f"after it")
+    if not fails:
+        return ""
+    return (f", {fails} integrity failures "
+            f"({healed} corrected in place, {recovered} recovered)")
+
+
 def check_collective(path: Path) -> str:
     """Audit the GL_REDUCE_* choreography in a Perfetto artifact.
 
@@ -80,7 +132,9 @@ def check_collective(path: Path) -> str:
     before clocking rounds and delivering results, deliver as many
     results as operands arrived (failed-over arrivals are accounted by
     ``gline.reduce.failover`` instead), and stamp every result with the
-    operation kind and the delivered value.
+    operation kind and the delivered value.  If the trace carries
+    ``gline.integrity.*`` events the recovery ladder is audited too
+    (see :func:`_audit_integrity`).
     """
     doc = json.loads(path.read_text())
     validate_perfetto(doc)
@@ -118,6 +172,7 @@ def check_collective(path: Path) -> str:
     return (f"{path}: {len(events)} gline.reduce.* events, "
             f"{len(starts)} episode starts, {len(results)} results"
             + (f", {len(failovers)} failovers" if failovers else "")
+            + _audit_integrity(doc)
             + " OK")
 
 

@@ -65,6 +65,26 @@ def _collectives16x16_specs(quick: bool) -> list[RunSpec]:
     return [RunSpec.make(workload, "gl", num_cores=256, config=cfg)]
 
 
+def _integrity_echo_specs(quick: bool) -> list[RunSpec]:
+    """Echo-mode verification overhead on a clean 8x8 chip.
+
+    Two runs of the same all-reduce schedule, ``integrity="off"`` vs
+    ``"echo"``, no fault injection: the pair pins what per-round echo
+    verification costs when nothing goes wrong (under faults the
+    comparison inverts -- off-mode wedges pay watchdog stalls that echo
+    heals early, so the clean run is the honest overhead measurement)."""
+    workload = CollectiveAllReduceWorkload(iterations=6 if quick else 48)
+    specs = []
+    for mode in ("off", "echo"):
+        cfg = replace(CMPConfig.for_cores(64),
+                      collectives=CollectiveConfig(enabled=True,
+                                                   value_width=8,
+                                                   integrity=mode))
+        specs.append(RunSpec.make(workload, "gl", num_cores=64,
+                                  config=cfg))
+    return specs
+
+
 def _stress16x16_specs(quick: bool) -> list[RunSpec]:
     """A 256-core (16x16 mesh) random op-mix -- the scaling direction
     ROADMAP's 1024-core goal points at, far beyond the paper's 32 cores."""
@@ -92,6 +112,11 @@ CASES: dict[str, BenchCase] = {
         description="256-core bit-serial all-reduce rounds over the "
                     "hierarchical collective fabric",
         build=_collectives16x16_specs),
+    "integrity_echo": BenchCase(
+        name="integrity_echo",
+        description="64-core all-reduce, integrity off vs echo: the "
+                    "clean-run cost of per-round verification",
+        build=_integrity_echo_specs),
 }
 
 

@@ -199,9 +199,10 @@ class CMP:
             self.engine, self.stats, self.config.noc.rows,
             self.config.noc.cols, self.config.gline, cc)
         fallback = None
-        if cc.watchdog_budget > 0:
+        if cc.watchdog_budget > 0 or cc.integrity != "off":
             # Hardened mode: provision the software all-reduce the
-            # watchdog fails quarantined episodes over to.
+            # watchdog -- or the integrity ladder's final rung -- fails
+            # quarantined episodes over to.
             fallback = SoftwareAllReduce(self.allocator,
                                          self.config.num_cores,
                                          num_contexts=len(contexts),

@@ -25,7 +25,8 @@ from .experiments import (contention_ablation, csw_variant_ablation,
                           hierarchical_latency, noc_model_ablation,
                           period_sweep, run_collectives, run_fig5,
                           run_fig6_and_fig7, run_recovery,
-                          run_resilience, run_shootout, run_stages,
+                          run_integrity, run_resilience,
+                          run_shootout, run_stages,
                           run_table1, run_table2)
 from .experiments.energy_exp import run_energy
 from .experiments.runner import run_benchmark
@@ -174,6 +175,21 @@ def build_parser() -> argparse.ArgumentParser:
     pres.add_argument("--duties", type=float, nargs="+", default=None,
                       help="intermittent-burst duty cycles to sweep with "
                            "--recovery (default: 0.25 0.5 0.75 1.0)")
+    # Like resilience, NOT part of "all": a robustness diagnostic.
+    pin = sub.add_parser("integrity", parents=[common],
+                         help="SDC sweep: undetected wrong collective "
+                              "values vs S-CSMA miscount rate, per "
+                              "verification mode")
+    pin.add_argument("--rates", type=float, nargs="+", default=None,
+                     help="miscount rates to sweep "
+                          "(default: 2e-3 1e-2 2e-2)")
+    pin.add_argument("--iterations", type=int, default=20)
+    pin.add_argument("--seed", type=int, default=11,
+                     help="fault-plan seed (sweeps are reproducible "
+                          "per seed)")
+    pin.add_argument("--modes", nargs="+", default=None,
+                     choices=["off", "echo", "residue", "vote"],
+                     help="integrity modes (default: all four)")
     # Observability: one traced run, exported as a viewable artifact.
     # Not under ``common``: its --out names the artifact *file*, not a
     # directory of rendered tables.
@@ -566,6 +582,16 @@ def _dispatch(args) -> int:
                                     seed=args.seed, failover=args.failover,
                                     **kwargs)
             _emit(result.table(), args.out, "resilience")
+    if command == "integrity":
+        kwargs = {}
+        if args.rates is not None:
+            kwargs["rates"] = tuple(args.rates)
+        if args.modes is not None:
+            kwargs["modes"] = tuple(args.modes)
+        result = run_integrity(num_cores=args.cores,
+                               iterations=args.iterations,
+                               seed=args.seed, **kwargs)
+        _emit(result.table(), args.out, "integrity")
     if command == "run":
         from .chip.cmp import CMP
         from .experiments.runner import paper_config

@@ -45,6 +45,13 @@ class CollectiveConfig:
     #: Episode restarts (values are still latched in the col_regs) before
     #: the watchdog gives up and fails the episode over.
     watchdog_retries: int = 2
+    #: Counting-line integrity mode ("off" | "echo" | "residue" |
+    #: "vote"); see :mod:`repro.gline.integrity`.  "off" keeps the
+    #: legacy round protocol bit-identical.
+    integrity: str = "off"
+    #: Per-stage round retries before a detected corruption escalates to
+    #: the whole-operation rung of the recovery ladder.
+    integrity_retry_budget: int = 3
 
     def __post_init__(self) -> None:
         if self.backend not in ("gl", "sw"):
@@ -61,9 +68,24 @@ class CollectiveConfig:
             raise ConfigError("watchdog_budget must be >= 0")
         if self.watchdog_retries < 0:
             raise ConfigError("watchdog_retries must be >= 0")
+        from ..gline.integrity import INTEGRITY_MODES
+        if self.integrity not in INTEGRITY_MODES:
+            raise ConfigError(
+                f"integrity must be one of {INTEGRITY_MODES}, "
+                f"got {self.integrity!r}")
+        if self.integrity_retry_budget < 0:
+            raise ConfigError("integrity_retry_budget must be >= 0")
 
     def to_dict(self) -> dict[str, object]:
-        return asdict(self)
+        # New fields are omitted at their defaults so legacy configs --
+        # and every exec-cache fingerprint derived from them -- stay
+        # byte-identical.
+        data = asdict(self)
+        if data["integrity"] == "off":
+            del data["integrity"]
+        if data["integrity_retry_budget"] == 3:
+            del data["integrity_retry_budget"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "CollectiveConfig":

@@ -40,6 +40,8 @@ model checker.
 from __future__ import annotations
 
 from ..gline.gline import GLine
+from ..gline.integrity import (RESIDUE_BITS, RESIDUE_MOD,
+                               SAMPLES_PER_ROUND, majority, residue_of)
 
 # Slave states.
 S_IDLE = 0        # no operand yet
@@ -66,7 +68,15 @@ MUTATIONS = {
                           "master starts rounds before the row is full",
     "bcast-drop-msb": "broadcasting master never drives the final data "
                       "bit, truncating the result's MSB",
+    "skip-echo-compare": "integrity master skips every verification "
+                         "compare, acking corrupted rounds as clean",
 }
+
+
+def _elim_samples(integ: str) -> int:
+    """Redundant samples per elimination transmit phase.  The residue
+    code has no elimination analogue, so that mode uses the echo pair."""
+    return 3 if integ == "vote" else 2
 
 
 class StageSlave:
@@ -74,7 +84,8 @@ class StageSlave:
 
     __slots__ = ("tx", "rel", "mechanism", "in_width", "strong_bit", "bw",
                  "state", "value", "competing", "pulses", "round",
-                 "reflect", "cur_bit", "bc_idx", "result", "mutation")
+                 "reflect", "cur_bit", "bc_idx", "result", "mutation",
+                 "integ", "confirming", "iphase")
 
     def __init__(self, tx: GLine, rel: GLine, transmitter_id: str,
                  mutation: str | None = None) -> None:
@@ -87,6 +98,7 @@ class StageSlave:
         self.in_width = 1
         self.strong_bit = 0
         self.bw = 1
+        self.integ = "off"
         # Mutable FSM state.
         self.state = S_IDLE
         self.value = 0
@@ -97,14 +109,17 @@ class StageSlave:
         self.cur_bit = 0
         self.bc_idx = 0
         self.result = 0
+        self.confirming = False
+        self.iphase = 0
 
     # ------------------------------------------------------------------ #
     def configure(self, mechanism: str, in_width: int, strong_bit: int,
-                  bw: int) -> None:
+                  bw: int, integ: str = "off") -> None:
         self.mechanism = mechanism
         self.in_width = in_width
         self.strong_bit = strong_bit
         self.bw = bw
+        self.integ = integ
 
     def set_input(self, contrib: int) -> None:
         """Latch this participant's stage-domain contribution."""
@@ -128,8 +143,22 @@ class StageSlave:
         self.cur_bit = 0
         self.bc_idx = 0
         self.result = 0
+        self.confirming = False
+        self.iphase = 0
 
     # ------------------------------------------------------------------ #
+    def _round_bit(self) -> int:
+        """The bit serialized in counting round ``round`` -- a data bit,
+        or a residue digit bit in the appended check rounds."""
+        if self.round < self.in_width:
+            return (self.value >> self.round) & 1
+        return (residue_of(self.value) >> (self.round - self.in_width)) & 1
+
+    def _total_rounds(self) -> int:
+        if self.mechanism == "count" and self.integ == "residue":
+            return self.in_width + RESIDUE_BITS
+        return self.in_width
+
     def assert_phase(self, tid: str) -> None:
         if self.state == S_SIGNAL:
             self.tx.assert_signal(tid)
@@ -139,10 +168,28 @@ class StageSlave:
             self.state = (S_WAIT_BC if self.mechanism == "bcast"
                           else S_WAIT_START)
         elif self.state == S_ROUNDS:
-            if self.mechanism == "count":
+            if self.integ != "off":
+                self._int_assert(tid)
+            elif self.mechanism == "count":
                 if (self.value >> self.round) & 1:
                     self.tx.assert_signal(tid)
             elif not self.reflect and self.competing \
+                    and ((self.value >> self.cur_bit) & 1) == self.strong_bit:
+                self.tx.assert_signal(tid)
+
+    def _int_assert(self, tid: str) -> None:
+        """Round asserts under an integrity mode: redundant samples are
+        produced by re-asserting the same decision; confirm/ACK/valid/
+        reflect ticks are silent on ``tx``."""
+        if self.confirming:
+            if self.iphase == 0:
+                self.tx.assert_signal(tid)
+        elif self.mechanism == "count":
+            if self.iphase < SAMPLES_PER_ROUND[self.integ] \
+                    and self._round_bit():
+                self.tx.assert_signal(tid)
+        else:  # elim
+            if self.iphase < _elim_samples(self.integ) and self.competing \
                     and ((self.value >> self.cur_bit) & 1) == self.strong_bit:
                 self.tx.assert_signal(tid)
 
@@ -153,8 +200,13 @@ class StageSlave:
                 self.round = 0
                 self.reflect = False
                 self.cur_bit = self.in_width - 1
+                if self.integ != "off":
+                    self.confirming = True
+                    self.iphase = 0
         elif self.state == S_ROUNDS:
-            if self.mechanism == "count":
+            if self.integ != "off":
+                self._int_sample()
+            elif self.mechanism == "count":
                 self.round += 1
                 if self.round >= self.in_width:
                     self.state = S_WAIT_BC
@@ -181,6 +233,48 @@ class StageSlave:
             if self.bc_idx >= self.bw:
                 self.state = S_DONE
 
+    def _int_sample(self) -> None:
+        """Round sampling under an integrity mode.  The master's ACK (a
+        release-line pulse on the tick after the redundant samples)
+        advances the round; a silent ACK tick repeats it."""
+        if self.confirming:
+            if self.iphase == 0:
+                self.iphase = 1
+            else:  # ACK tick of the confirm round
+                if self.rel.sampled_on():
+                    self.confirming = False
+                self.iphase = 0
+        elif self.mechanism == "count":
+            if self.integ == "residue":
+                # Residue rounds are unacknowledged single ticks; the
+                # master checks the accumulated residue at the end.
+                self.round += 1
+                if self.round >= self._total_rounds():
+                    self.state = S_WAIT_BC
+            elif self.iphase < SAMPLES_PER_ROUND[self.integ]:
+                self.iphase += 1
+            else:  # ACK tick
+                self.iphase = 0
+                if self.rel.sampled_on():
+                    self.round += 1
+                    if self.round >= self.in_width:
+                        self.state = S_WAIT_BC
+        else:  # elim: transmits, then a valid tick, then the reflect
+            ns = _elim_samples(self.integ)
+            if self.iphase < ns:
+                self.iphase += 1
+            elif self.iphase == ns:  # valid tick (rel on = pair accepted)
+                self.iphase = ns + 1 if self.rel.sampled_on() else 0
+            else:  # reflect tick
+                winner = 1 if self.rel.sampled_on() else 0
+                if self.competing \
+                        and ((self.value >> self.cur_bit) & 1) != winner:
+                    self.competing = False
+                self.cur_bit -= 1
+                self.iphase = 0
+                if self.cur_bit < 0:
+                    self.state = S_WAIT_BC
+
     # ------------------------------------------------------------------ #
     def will_act(self) -> bool:
         """True if this controller changes state next tick unprompted."""
@@ -194,12 +288,14 @@ class StageSlave:
         return (self.state, self.value, self.competing, self.pulses,
                 self.round, self.reflect, self.cur_bit, self.bc_idx,
                 self.result, self.mechanism, self.in_width,
-                self.strong_bit, self.bw)
+                self.strong_bit, self.bw, self.integ, self.confirming,
+                self.iphase)
 
     def restore(self, snap: tuple) -> None:
         (self.state, self.value, self.competing, self.pulses, self.round,
          self.reflect, self.cur_bit, self.bc_idx, self.result,
-         self.mechanism, self.in_width, self.strong_bit, self.bw) = snap
+         self.mechanism, self.in_width, self.strong_bit, self.bw,
+         self.integ, self.confirming, self.iphase) = snap
 
 
 class StageMaster:
@@ -213,7 +309,10 @@ class StageMaster:
                  "in_width", "strong_bit", "bw", "finalize", "state",
                  "own", "own_set", "arrived", "acc", "round", "cur_bit",
                  "own_competing", "pending_reflect", "result", "bc_value",
-                 "bc_idx", "drove_rel", "fault_suspected", "mutation")
+                 "bc_idx", "drove_rel", "fault_suspected", "mutation",
+                 "integ", "int_budget", "confirming", "iphase",
+                 "int_samples", "int_accept", "int_value", "int_retries",
+                 "int_faults", "int_corrected", "int_exhausted", "racc")
 
     def __init__(self, tx: GLine | None, rel: GLine | None,
                  rel_tid: str = "", mutation: str | None = None) -> None:
@@ -231,6 +330,8 @@ class StageMaster:
         self.bw = 1
         #: Applied to the raw accumulator: ("any"|"all"|None, n).
         self.finalize: tuple[str | None, int] = (None, 1)
+        self.integ = "off"
+        self.int_budget = 3
         # Mutable FSM state.
         self.state = M_GATHER
         self.own = 0
@@ -246,17 +347,30 @@ class StageMaster:
         self.bc_idx = 0
         self.drove_rel = False
         self.fault_suspected = False
+        self.confirming = False
+        self.iphase = 0
+        self.int_samples: list[int] = []
+        self.int_accept = False
+        self.int_value = 0
+        self.int_retries = 0
+        self.int_faults = 0
+        self.int_corrected = 0
+        self.int_exhausted = False
+        self.racc = 0
 
     # ------------------------------------------------------------------ #
     def configure(self, mechanism: str, in_width: int, strong_bit: int,
                   bw: int, finalize: tuple[str | None, int],
-                  n_slaves: int) -> None:
+                  n_slaves: int, integ: str = "off",
+                  int_budget: int = 3) -> None:
         self.mechanism = mechanism
         self.in_width = in_width
         self.strong_bit = strong_bit
         self.bw = bw
         self.finalize = finalize
         self.n_slaves = n_slaves
+        self.integ = integ
+        self.int_budget = int_budget
 
     def set_own(self, contrib: int) -> None:
         """Latch the master's co-located operand (register write, not a
@@ -287,6 +401,16 @@ class StageMaster:
         self.bc_idx = 0
         self.drove_rel = False
         self.fault_suspected = False
+        self.confirming = False
+        self.iphase = 0
+        self.int_samples = []
+        self.int_accept = False
+        self.int_value = 0
+        self.int_retries = 0
+        self.int_faults = 0
+        self.int_corrected = 0
+        self.int_exhausted = False
+        self.racc = 0
 
     # ------------------------------------------------------------------ #
     def _maybe_complete_gather(self) -> None:
@@ -328,6 +452,8 @@ class StageMaster:
             # the slaves (they observe this pulse at end of tick).
             self.rel.assert_signal(self.rel_tid)
             self.drove_rel = True
+        elif self.state == M_ROUNDS and self.integ != "off":
+            self._int_assert()
         elif self.state == M_ROUNDS and self.mechanism == "elim" \
                 and self.pending_reflect == 1:
             self.rel.assert_signal(self.rel_tid)
@@ -365,10 +491,18 @@ class StageMaster:
             self.own_competing = True
             self.pending_reflect = -1
             self.state = M_ROUNDS
+            if self.integ != "off":
+                self.confirming = True
+                self.iphase = 0
+                self.int_samples = []
+                self.int_retries = 0
+                self.racc = residue_of(self.acc)
             if self.mechanism == "elim":
                 self.acc = 0
         elif self.state == M_ROUNDS:
-            if self.mechanism == "count":
+            if self.integ != "off":
+                self._int_sample()
+            elif self.mechanism == "count":
                 assert self.tx is not None
                 cnt = self.tx.sample_count()
                 if cnt > self.n_slaves:
@@ -401,6 +535,160 @@ class StageMaster:
                     self._finish(self.acc)
 
     # ------------------------------------------------------------------ #
+    # Integrity-mode round handling (see repro.gline.integrity).  The
+    # protocol shape per counted round: SAMPLES_PER_ROUND redundant data
+    # ticks then one ACK tick (echo/vote); residue data rounds stay
+    # single-tick with RESIDUE_BITS check rounds appended.  Elimination
+    # stages use redundant transmit ticks, a valid tick (ACK), then the
+    # reflect tick.  A failed compare leaves the ACK silent so the whole
+    # stage repeats the round in lockstep, bounded by int_budget.
+
+    def _int_assert(self) -> None:
+        assert self.rel is not None
+        if self.confirming:
+            if self.iphase == 1 and self.int_accept:
+                self.rel.assert_signal(self.rel_tid)
+                self.drove_rel = True
+        elif self.mechanism == "count":
+            if self.integ != "residue" \
+                    and self.iphase == SAMPLES_PER_ROUND[self.integ] \
+                    and self.int_accept:
+                self.rel.assert_signal(self.rel_tid)
+                self.drove_rel = True
+        else:  # elim
+            ns = _elim_samples(self.integ)
+            if self.iphase == ns and self.int_accept:
+                self.rel.assert_signal(self.rel_tid)
+                self.drove_rel = True
+            elif self.iphase == ns + 1 and self.pending_reflect == 1:
+                self.rel.assert_signal(self.rel_tid)
+                self.drove_rel = True
+
+    def _sample_tx(self) -> int:
+        assert self.tx is not None
+        cnt = self.tx.sample_count()
+        if cnt > self.n_slaves:
+            self.fault_suspected = True
+            cnt = self.n_slaves
+        return cnt
+
+    def _int_decide(self, ok: bool, value: int) -> None:
+        """Accept or retry a verified round; an exhausted retry budget
+        accepts the (suspect) value but latches ``int_exhausted`` so the
+        network escalates before the result can be delivered."""
+        if self.mutation == "skip-echo-compare":
+            ok = True
+        if ok:
+            self.int_accept = True
+            self.int_value = value
+            return
+        self.int_faults += 1
+        if self.int_retries < self.int_budget:
+            self.int_retries += 1
+            self.int_accept = False
+        else:
+            self.int_exhausted = True
+            self.int_accept = True
+            self.int_value = value
+
+    def _int_sample(self) -> None:
+        if self.confirming:
+            self._int_sample_confirm()
+        elif self.mechanism == "count":
+            self._int_sample_count()
+        else:
+            self._int_sample_elim()
+
+    def _int_sample_confirm(self) -> None:
+        """The muster round: every slave in the round phase asserts, so
+        the count must equal n_slaves.  Catches gather-phase overshoot
+        (a miscount releasing rounds with a straggler pending) before
+        any data round runs."""
+        if self.iphase == 0:
+            cnt = self._sample_tx()
+            self._int_decide(cnt == self.n_slaves, cnt)
+            self.iphase = 1
+        else:  # ACK tick
+            if self.int_accept:
+                self.confirming = False
+            self.iphase = 0
+
+    def _int_sample_count(self) -> None:
+        if self.integ == "residue":
+            cnt = self._sample_tx()
+            if self.round < self.in_width:
+                self.acc += cnt << self.round
+            else:
+                self.racc += cnt << (self.round - self.in_width)
+            self.round += 1
+            if self.round >= self.in_width + RESIDUE_BITS:
+                ok = (self.acc % RESIDUE_MOD) == (self.racc % RESIDUE_MOD)
+                if self.mutation == "skip-echo-compare":
+                    ok = True
+                if not ok:
+                    self.int_faults += 1
+                    self.int_exhausted = True
+                self._finish(self.acc)
+            return
+        ns = SAMPLES_PER_ROUND[self.integ]
+        if self.iphase < ns:
+            self.int_samples.append(self._sample_tx())
+            self.iphase += 1
+            if self.iphase == ns:
+                self._int_judge_samples()
+        else:  # ACK tick
+            self.int_samples = []
+            self.iphase = 0
+            if self.int_accept:
+                self.acc += self.int_value << self.round
+                self.round += 1
+                if self.round >= self.in_width:
+                    self._finish(self.acc)
+
+    def _int_judge_samples(self) -> None:
+        if self.integ == "vote":
+            maj = majority(self.int_samples)
+            if maj is not None:
+                if any(s != maj for s in self.int_samples):
+                    self.int_corrected += 1
+                self._int_decide(True, maj)
+            else:
+                self._int_decide(False, self.int_samples[0])
+        else:  # echo pair
+            ok = self.int_samples[0] == self.int_samples[1]
+            self._int_decide(ok, self.int_samples[0])
+
+    def _int_sample_elim(self) -> None:
+        ns = _elim_samples(self.integ)
+        if self.iphase < ns:
+            self.int_samples.append(self._sample_tx())
+            self.iphase += 1
+            if self.iphase == ns:
+                self._int_judge_samples()
+        elif self.iphase == ns:  # valid tick
+            self.int_samples = []
+            if not self.int_accept:
+                self.iphase = 0
+                return
+            own_bit = (self.own >> self.cur_bit) & 1
+            holders = self.int_value + (1 if self.own_competing
+                                        and own_bit == self.strong_bit else 0)
+            self.pending_reflect = (self.strong_bit if holders > 0
+                                    else 1 - self.strong_bit)
+            self.iphase = ns + 1
+        else:  # reflect tick
+            winner = self.pending_reflect
+            own_bit = (self.own >> self.cur_bit) & 1
+            if self.own_competing and own_bit != winner:
+                self.own_competing = False
+            self.acc |= winner << self.cur_bit
+            self.pending_reflect = -1
+            self.cur_bit -= 1
+            self.iphase = 0
+            if self.cur_bit < 0:
+                self._finish(self.acc)
+
+    # ------------------------------------------------------------------ #
     def will_act(self) -> bool:
         return self.state in (M_START, M_ROUNDS, M_BC_START, M_BC_DATA)
 
@@ -415,7 +703,11 @@ class StageMaster:
                 self.pending_reflect, self.result, self.bc_value,
                 self.bc_idx, self.drove_rel, self.fault_suspected,
                 self.mechanism, self.in_width, self.strong_bit, self.bw,
-                self.finalize, self.n_slaves)
+                self.finalize, self.n_slaves, self.integ, self.int_budget,
+                self.confirming, self.iphase, tuple(self.int_samples),
+                self.int_accept, self.int_value, self.int_retries,
+                self.int_faults, self.int_corrected, self.int_exhausted,
+                self.racc)
 
     def restore(self, snap: tuple) -> None:
         (self.state, self.own, self.own_set, self.arrived, self.acc,
@@ -423,4 +715,8 @@ class StageMaster:
          self.pending_reflect, self.result, self.bc_value, self.bc_idx,
          self.drove_rel, self.fault_suspected, self.mechanism,
          self.in_width, self.strong_bit, self.bw, self.finalize,
-         self.n_slaves) = snap
+         self.n_slaves, self.integ, self.int_budget, self.confirming,
+         self.iphase, int_samples, self.int_accept, self.int_value,
+         self.int_retries, self.int_faults, self.int_corrected,
+         self.int_exhausted, self.racc) = snap
+        self.int_samples = list(int_samples)

@@ -32,6 +32,7 @@ from typing import Callable
 
 from ..common.errors import ConfigError, GLineError
 from ..gline.gline import GLine
+from ..gline.integrity import INTEGRITY_MODES
 from . import ops
 from .controllers import (
     M_BC_DONE, M_DONE, S_DONE, MUTATIONS, StageMaster, StageSlave,
@@ -44,7 +45,9 @@ class CollectiveFabric:
     def __init__(self, rows: int, cols: int, value_width: int,
                  max_transmitters: int, name: str = "coll",
                  hold_result: bool = False,
-                 mutation: str | None = None) -> None:
+                 mutation: str | None = None,
+                 integrity: str = "off",
+                 integrity_budget: int = 3) -> None:
         if rows < 1 or cols < 1:
             raise ConfigError("collective fabric needs a >=1x1 mesh")
         if cols - 1 > max_transmitters or rows - 1 > max_transmitters:
@@ -54,12 +57,17 @@ class CollectiveFabric:
         if mutation is not None and mutation not in MUTATIONS:
             raise ConfigError(f"unknown mutation {mutation!r}; "
                               f"expected one of {sorted(MUTATIONS)}")
+        if integrity not in INTEGRITY_MODES:
+            raise ConfigError(f"unknown integrity mode {integrity!r}; "
+                              f"expected one of {INTEGRITY_MODES}")
         self.rows = rows
         self.cols = cols
         self.value_width = value_width
         self.name = name
         self.hold_result = hold_result
         self.mutation = mutation
+        self.integrity = integrity
+        self.integrity_budget = integrity_budget
         self.num_cores = rows * cols
 
         # ---- wiring (mirrors the barrier network's budget) ----------- #
@@ -73,7 +81,8 @@ class CollectiveFabric:
         # Mutation placement: one deliberately buggy controller, sited
         # where the bug is expressible on this mesh (verify picks meshes
         # accordingly).
-        m_master = mutation if mutation == "master-skip-own" else None
+        m_master = mutation if mutation in ("master-skip-own",
+                                            "skip-echo-compare") else None
         m_bcast = mutation if mutation == "bcast-drop-msb" else None
         m_slave = mutation if mutation == "slave-double-pulse" else None
 
@@ -141,6 +150,9 @@ class CollectiveFabric:
         self._delivered = [False] * self.num_cores
         self._row_w = 1       # row stage result width
         self._bw = 1          # broadcast framing width
+        # Read-and-clear watermark for collect_integrity() (network-side
+        # bookkeeping only; deliberately not part of snapshot()).
+        self._int_seen = [0, 0, 0]
 
     # ------------------------------------------------------------------ #
     # episode control
@@ -168,20 +180,26 @@ class CollectiveFabric:
             else ops.result_width(kind, w, self.rows, self.cols)
         self._bw = bw
         fin_row = (kind if kind in ("any", "all") else None, self.cols)
+        # Broadcast stages carry no counted rounds (release-line levels
+        # are immune to S-CSMA miscounts), so integrity adds nothing.
+        integ = self.integrity if mech != "bcast" else "off"
         for r in range(self.rows):
             self.rmasters[r].configure(mech, in_w, strong, bw, fin_row,
-                                       self.cols - 1)
+                                       self.cols - 1, integ,
+                                       self.integrity_budget)
             for s in self.rslaves[r]:
-                s.configure(mech, in_w, strong, bw)
+                s.configure(mech, in_w, strong, bw, integ)
         if self.colmaster is not None:
             mech2 = ops.MECHANISM[k2]
             in_w2 = ops.stage_in_width(k2, self._row_w)
             strong2 = 0 if k2 == "min" else 1
             fin_col = (k2 if k2 in ("any", "all") else None, self.rows)
+            integ2 = self.integrity if mech2 != "bcast" else "off"
             self.colmaster.configure(mech2, in_w2, strong2, bw, fin_col,
-                                     self.rows - 1)
+                                     self.rows - 1, integ2,
+                                     self.integrity_budget)
             for s in self.colslaves:
-                s.configure(mech2, in_w2, strong2, bw)
+                s.configure(mech2, in_w2, strong2, bw, integ2)
 
     def arrive_local(self, local: int, value: int) -> None:
         """Present core *local*'s operand to its row stage."""
@@ -237,6 +255,7 @@ class CollectiveFabric:
         if not keep_operands:
             self.kind = None
             self._skip_root = False
+        self._int_seen = [0, 0, 0]
         for gl in self.lines:
             gl.end_cycle()
 
@@ -356,7 +375,11 @@ class CollectiveFabric:
         self._global_ready = True
         self.result = result
         if self.hold_result:
-            if self.on_reduced is not None:
+            # An exhausted integrity budget means the parked partial is
+            # suspect: never report it upward -- the network escalates
+            # this same tick (retry or failover) before the upper level
+            # could combine a corrupt partial.
+            if self.on_reduced is not None and not self.int_exhausted:
                 self.on_reduced(result)
             return
         self._start_broadcast(result)
@@ -391,6 +414,43 @@ class CollectiveFabric:
             found |= self.colmaster.fault_suspected
             self.colmaster.fault_suspected = False
         return found
+
+    # ------------------------------------------------------------------ #
+    # integrity status (see repro.gline.integrity)
+    # ------------------------------------------------------------------ #
+    def _all_masters(self) -> list[StageMaster]:
+        masters = list(self.rmasters)
+        if self.colmaster is not None:
+            masters.append(self.colmaster)
+        return masters
+
+    @property
+    def int_exhausted(self) -> bool:
+        """A stage burned its whole round-retry budget this episode."""
+        return any(m.int_exhausted for m in self._all_masters())
+
+    @property
+    def int_flagged(self) -> bool:
+        """Any corruption detected this episode (retried or not).  The
+        detection-completeness property in the verify layer is exactly
+        'no wrong value is ever delivered while this is False'."""
+        return any(m.int_faults > 0 or m.int_exhausted
+                   for m in self._all_masters())
+
+    def collect_integrity(self) -> tuple[int, int, int, bool]:
+        """Read-and-clear the episode's new integrity activity: returns
+        ``(detections, round_retries, corrections, exhausted)`` deltas
+        since the previous collect (exhaustion is a level, not a delta)."""
+        masters = self._all_masters()
+        faults = sum(m.int_faults for m in masters)
+        retries = sum(m.int_retries for m in masters)
+        corrected = sum(m.int_corrected for m in masters)
+        exhausted = any(m.int_exhausted for m in masters)
+        seen = self._int_seen
+        out = (faults - seen[0], retries - seen[1], corrected - seen[2],
+               exhausted)
+        self._int_seen = [faults, retries, corrected]
+        return out
 
     @property
     def done(self) -> bool:

@@ -19,11 +19,23 @@ flat fabric uses between its row and column stages, one level up:
   (``open_result``) framed at the global width the clusters were told
   at ``begin`` time (``bcast_width_fn``).
 
-Fault containment is whole-operation: if any cluster or the top network
-fails over, every waiting core of the episode is bounced with
-``FAILOVER`` and the library completes the operation as one software
-cohort -- splitting one collective between hardware and software could
-deliver different values to different cores.
+Fault containment is whole-operation by default: if any cluster or the
+top network fails over, every waiting core of the episode is bounced
+with ``FAILOVER`` and the library completes the operation as one
+software cohort -- splitting one collective between hardware and
+software could deliver different values to different cores.
+
+With ``GLineConfig.segment_failover`` the containment is per *segment*,
+mirroring the barrier network's segment machinery: a cluster that fails
+before any of its cores saw a result keeps the rest of the chip on
+hardware.  The failed cluster's cores form a software cohort whose
+operands are combined over the NoC (modelled latency
+``entry_overhead + 2 * (rows + cols)`` per leg, the barrier's segment
+cost); the cohort's combined partial arrives at the top network through
+the cluster's root slot, and the chip-global result is scattered back
+to the cohort.  A cluster that already delivered results (or parked a
+partial the top consumed) still aborts the whole operation -- splitting
+*that* episode could not keep values coherent.
 """
 
 from __future__ import annotations
@@ -80,8 +92,13 @@ class HierarchicalCollectiveNetwork(Component):
                 f"{self.top_width} bits at the top level); reduce "
                 f"CollectiveConfig.value_width")
 
+        self.segment_mode = self.gl_config.segment_failover
         self.clusters: list[CollectiveNetwork] = []
         self._cluster_of: dict[int, CollectiveNetwork] = {}
+        #: Per-cluster software-cohort state (segment_failover mode):
+        #: the pending (value, resume) pairs of the open episode, its
+        #: kind, and the modelled NoC combine/scatter leg latency.
+        self._segments: dict[str, dict] = {}
         root_ids: list[int] = []
         for ri, (r0, rl) in enumerate(row_chunks):
             for ci, (c0, cl) in enumerate(col_chunks):
@@ -95,8 +112,13 @@ class HierarchicalCollectiveNetwork(Component):
                 cl_net.on_reduced = \
                     lambda partial, n=cl_net: self._cluster_reduced(
                         n, partial)
-                cl_net.on_failover = self.failover
+                cl_net.on_failover = \
+                    lambda n=cl_net: self._cluster_failed(n)
                 self.clusters.append(cl_net)
+                self._segments[cl_net.name] = {
+                    "pend": [], "kind": None,
+                    "latency": self.gl_config.entry_overhead
+                    + 2 * (rl + cl)}
                 for cid in ids:
                     self._cluster_of[cid] = cl_net
                 root_ids.append(ids[0])
@@ -110,6 +132,7 @@ class HierarchicalCollectiveNetwork(Component):
 
         self.quarantined = False
         self.failovers = 0
+        self.segment_failovers = 0
         self._failing = False
 
     # ------------------------------------------------------------------ #
@@ -123,7 +146,15 @@ class HierarchicalCollectiveNetwork(Component):
 
     # ------------------------------------------------------------------ #
     def arrive(self, core_id: int, kind: str, value: int, resume) -> None:
-        self._cluster_of[core_id].arrive(core_id, kind, value, resume)
+        cluster = self._cluster_of[core_id]
+        if self.segment_mode and not self.quarantined:
+            if cluster.quarantined and not self.top.quarantined:
+                # The cluster is retired but the chip is healthy: its
+                # cores join the software cohort directly.
+                self._segment_arrive(cluster, kind, value, resume)
+                return
+            resume = self._wrap_segment(cluster, kind, value, resume)
+        cluster.arrive(core_id, kind, value, resume)
 
     def _cluster_reduced(self, cluster: CollectiveNetwork,
                          partial: int) -> None:
@@ -138,7 +169,85 @@ class HierarchicalCollectiveNetwork(Component):
         if outcome == FAILOVER:
             self.failover()
             return
+        if cluster.quarantined:
+            # A whole-op abort raced the hand-off: the cluster already
+            # bounced its cores; nothing left to broadcast into.
+            return
         cluster.open_result(outcome)
+
+    # ------------------------------------------------------------------ #
+    # Per-segment software fallback (segment_failover mode)
+    # ------------------------------------------------------------------ #
+    def _wrap_segment(self, cluster: CollectiveNetwork, kind: str,
+                      value: int, resume):
+        """Intercept a FAILOVER bounce from a still-splittable cluster
+        episode and divert the core into the segment cohort instead of
+        the chip-wide software path."""
+        if resume is None:
+            return None
+
+        def wrapped(outcome=None):
+            if outcome == FAILOVER and self.segment_mode \
+                    and not self.quarantined and not self.top.quarantined \
+                    and cluster.quarantined:
+                self._segment_arrive(cluster, kind, value, resume)
+            else:
+                resume(outcome)
+        return wrapped
+
+    def _cluster_failed(self, cluster: CollectiveNetwork) -> None:
+        """A cluster gave up.  Degrade per-segment when the episode is
+        still splittable (nothing delivered, partial not yet consumed by
+        the top); otherwise abort the whole operation."""
+        if self.segment_mode and not self.quarantined \
+                and not self.top.quarantined \
+                and not cluster.last_partial_delivery \
+                and not cluster.last_parked:
+            self.segment_failovers += 1
+            self.fault_stats.bump("faults.collective.segment_failovers")
+            # The bounced (wrapped) resumes now stream into the cohort.
+            return
+        self.failover()
+
+    def _segment_arrive(self, cluster: CollectiveNetwork, kind: str,
+                        value: int, resume) -> None:
+        seg = self._segments[cluster.name]
+        if seg["kind"] is None:
+            seg["kind"] = kind
+        self.fault_stats.bump("faults.collective.segment_arrivals")
+        seg["pend"].append((value, resume))
+        if len(seg["pend"]) == cluster.num_cores:
+            self.schedule(seg["latency"], self._segment_gathered, cluster)
+
+    def _segment_gathered(self, cluster: CollectiveNetwork) -> None:
+        """The cohort's operands were combined over the NoC; the partial
+        takes the retired cluster's root slot at the top network."""
+        seg = self._segments[cluster.name]
+        if not seg["pend"]:
+            return  # flushed by a whole-op abort in the meantime
+        kind = seg["kind"]
+        assert kind is not None
+        partial = ops.reference_reduce(
+            kind, [v for v, _ in seg["pend"]],
+            self.coll_config.value_width)
+        self.top.arrive(
+            cluster.core_ids[0], ops.COMBINE_KIND[kind], partial,
+            lambda outcome=None, n=cluster: self._segment_resumed(
+                n, outcome))
+
+    def _segment_resumed(self, cluster: CollectiveNetwork,
+                         outcome) -> None:
+        seg = self._segments[cluster.name]
+        pend, seg["pend"] = seg["pend"], []
+        seg["kind"] = None
+        if outcome == FAILOVER:
+            self.failover()
+            release = self.now + 1
+        else:
+            release = self.now + seg["latency"]
+        for _value, resume in pend:
+            if resume is not None:
+                self.engine.schedule_at(release, resume, outcome)
 
     # ------------------------------------------------------------------ #
     def failover(self) -> None:
@@ -153,6 +262,13 @@ class HierarchicalCollectiveNetwork(Component):
             self.top.failover(reason="hierarchical abort")
         for cl_net in self.clusters:
             cl_net.abort_episode()
+        for cl_net in self.clusters:
+            seg = self._segments[cl_net.name]
+            pend, seg["pend"] = seg["pend"], []
+            seg["kind"] = None
+            for _value, resume in pend:
+                if resume is not None:
+                    self.engine.schedule_at(self.now + 1, resume, FAILOVER)
         self._failing = False
 
     # ------------------------------------------------------------------ #
@@ -177,6 +293,36 @@ class HierarchicalCollectiveNetwork(Component):
     @property
     def retries(self) -> int:
         return self.top.retries + sum(c.retries for c in self.clusters)
+
+    @property
+    def int_detections(self) -> int:
+        return self.top.int_detections + sum(c.int_detections
+                                             for c in self.clusters)
+
+    @property
+    def int_round_retries(self) -> int:
+        return self.top.int_round_retries + sum(c.int_round_retries
+                                                for c in self.clusters)
+
+    @property
+    def int_corrections(self) -> int:
+        return self.top.int_corrections + sum(c.int_corrections
+                                              for c in self.clusters)
+
+    @property
+    def int_op_retries(self) -> int:
+        return self.top.int_op_retries + sum(c.int_op_retries
+                                             for c in self.clusters)
+
+    @property
+    def int_failovers(self) -> int:
+        return self.top.int_failovers + sum(c.int_failovers
+                                            for c in self.clusters)
+
+    @property
+    def integrity_log(self) -> list[str]:
+        return list(chain(self.top.integrity_log,
+                          *(c.integrity_log for c in self.clusters)))
 
     @property
     def failover_reports(self) -> list[str]:

@@ -27,6 +27,7 @@ from ..common.params import GLineConfig
 from ..common.stats import StatsRegistry
 from ..faults import FAILOVER
 from ..gline.gline import GLine
+from ..gline.integrity import full_jitter
 from ..gline.network import FAILOVER_REPORT_CAP, TICK_PRIORITY
 from ..obs import events as obs_ev
 from ..sim.component import Component
@@ -67,7 +68,10 @@ class CollectiveNetwork(Component):
         self.fabric = CollectiveFabric(
             rows, cols, self.coll_config.value_width,
             self.gl_config.max_transmitters, name=name,
-            hold_result=hold_result, mutation=mutation)
+            hold_result=hold_result, mutation=mutation,
+            integrity=self.coll_config.integrity,
+            integrity_budget=self.coll_config.integrity_retry_budget)
+        self._int_on = self.coll_config.integrity != "off"
         self.hardened = self.coll_config.watchdog_budget > 0
         self.fabric.guard = self.hardened
         self.fabric.wire_probe = self._wire_probe
@@ -107,6 +111,35 @@ class CollectiveNetwork(Component):
         self.flight = None
         self.failover_reports: deque[str] = deque(maxlen=FAILOVER_REPORT_CAP)
         self.failover_reports_dropped = 0
+
+        # ---- integrity ladder bookkeeping (bounded like the above) --- #
+        self.int_detections = 0
+        self.int_round_retries = 0
+        self.int_corrections = 0
+        self.int_op_retries = 0
+        self.int_failovers = 0
+        self.integrity_log: deque[str] = deque(maxlen=FAILOVER_REPORT_CAP)
+        self.integrity_log_dropped = 0
+        #: Snapshot of the episode shape at the moment of the last
+        #: failover (read by the hierarchical segment machinery, which
+        #: must not split an episode that already delivered results).
+        self.last_partial_delivery = False
+        self.last_parked = False
+        #: Cluster-retry state: a watchdog or integrity retry restarts
+        #: the whole wire protocol, and on a ``hold_result`` network the
+        #: re-run reduction parks *again* -- these track whether the
+        #: partial already went upstream (never re-report it) and
+        #: whether the upper level already handed the global result back
+        #: (redo only the local broadcast leg).
+        self._partial_reported = False
+        self._open_value: int | None = None
+        #: The open episode's completed result, latched at the first
+        #: delivery (all deliveries of an episode broadcast one value).
+        #: A failover taken after partial delivery hands this to the
+        #: still-waiting cores instead of FAILOVER: the software cohort
+        #: can never form once some cores already committed a hardware
+        #: result (the one-cohort guarantee), and the value is known.
+        self._episode_value: int | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -170,7 +203,12 @@ class CollectiveNetwork(Component):
             self.flight.record(core_id, self.now, self.name,
                                obs_ev.GL_REDUCE_ARRIVE, op=kind,
                                arrived=arrived, of=self.num_cores)
-        if self.hardened and arrived == self.num_cores:
+        # Deliveries can precede the last arrival (a faulted bcast gather
+        # can release early arrivals first), so count delivered locals
+        # toward episode-complete: once every core has either arrived or
+        # been released, completion is bounded and the watchdog arms.
+        if self.hardened and arrived + len(self._delivered_locals) \
+                == self.num_cores:
             self._arm_watchdog()
         if not self.active:
             self.active = True
@@ -188,6 +226,11 @@ class CollectiveNetwork(Component):
             self.tracer.emit(self.now, self.name, obs_ev.GL_REDUCE_ROUND,
                              op=self._kind, tick=self.active_cycles)
 
+        # Integrity escalation runs before delivery processing so an
+        # exhausted (suspect) result can never reach a core.
+        if self._int_on and self._integrity_scan():
+            return
+
         if deliveries:
             self._complete(deliveries)
 
@@ -196,7 +239,11 @@ class CollectiveNetwork(Component):
             self._handle_fault()
             return
 
-        if self.fabric.will_act():
+        # Integrity-hardened contexts free-run while an episode is open:
+        # the verification logic is clocked even between arrivals, which
+        # also keeps model-checker replays cycle-aligned.
+        if self.fabric.will_act() or (self._int_on
+                                      and self._kind is not None):
             self.schedule(self.gl_config.line_latency, self._tick,
                           priority=TICK_PRIORITY)
         else:
@@ -216,6 +263,8 @@ class CollectiveNetwork(Component):
 
     def _complete(self, deliveries: list[tuple[int, int]]) -> None:
         release_time = self.now + 1
+        if self._episode_value is None and deliveries:
+            self._episode_value = deliveries[0][1]
         for local, value in deliveries:
             self._delivered_locals.add(local)
             resume = self._resumes.pop(local, None)
@@ -250,6 +299,9 @@ class CollectiveNetwork(Component):
         self._first_arrival = None
         self._last_arrival = None
         self._delivered_locals.clear()
+        self._partial_reported = False
+        self._open_value = None
+        self._episode_value = None
         self.fabric.close_episode()
         if self._pending:
             pending, self._pending = self._pending, []
@@ -260,7 +312,23 @@ class CollectiveNetwork(Component):
     # Hierarchical cluster hooks
     # ------------------------------------------------------------------ #
     def _on_partial(self, result: int) -> None:
-        """The held fabric parked its local partial; report upward."""
+        """The held fabric parked its local partial; report upward
+        exactly once per episode.
+
+        A watchdog or integrity retry restarts the wire protocol with
+        the operands still latched, so the reduction re-runs and parks
+        again.  If the upper level already resumed us with the global
+        result (the retry hit mid-broadcast), the re-parked partial is
+        stale *and* already consumed: redo the local broadcast leg
+        instead.  If it was reported but not yet resumed, stay parked --
+        the upper level holds the partial and will call
+        :meth:`open_result` when its own episode completes."""
+        if self._open_value is not None:
+            self.fabric.open_with(self._open_value)
+            return
+        if self._partial_reported:
+            return
+        self._partial_reported = True
         if self.on_reduced is not None:
             self.on_reduced(result)
 
@@ -268,6 +336,8 @@ class CollectiveNetwork(Component):
         """Hierarchical hand-off: broadcast the chip-global *value*
         locally and resume the cluster root directly (the upper level
         computed its result)."""
+        self._open_value = value
+        self._episode_value = value
         root_resume = self._resumes.pop(0, None)
         self._delivered_locals.add(0)
         if root_resume is not None:
@@ -334,15 +404,117 @@ class CollectiveNetwork(Component):
             self.active = True
             self.schedule(self.gl_config.line_latency, self._tick,
                           priority=TICK_PRIORITY)
-            if self.hardened and len(self._resumes) == self.num_cores:
+            # Re-arm while ANY core is still waiting: a retry taken
+            # mid-broadcast (partial deliveries done) must stay guarded
+            # or a re-wedged episode starves the remaining cores.
+            if self.hardened and self._resumes:
                 self._arm_watchdog()
         else:
             self.failover()
+
+    # ------------------------------------------------------------------ #
+    # Integrity recovery ladder (round retries live in the controllers;
+    # this is the whole-operation rung and the hand-off to failover).
+    # ------------------------------------------------------------------ #
+    def _integrity_scan(self) -> bool:
+        """Collect this tick's integrity activity; True if the episode
+        escalated (the caller's tick must stop)."""
+        d_det, d_retry, d_corr, exhausted = self.fabric.collect_integrity()
+        if d_det:
+            self.int_detections += d_det
+            self.fault_stats.bump("faults.integrity.detections", d_det)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "collectives.integrity.detections").inc(d_det)
+            if self.tracer.enabled:
+                # corrected rides along so trace audits can tell
+                # self-healing detections (vote) from ones that need a
+                # retry/escalation to follow.
+                self.tracer.emit(self.now, self.name,
+                                 obs_ev.GL_INTEGRITY_FAIL,
+                                 op=self._kind, count=d_det,
+                                 corrected=d_corr)
+            self._log_integrity(
+                f"{self.name}: {d_det} corrupted round(s) detected at "
+                f"cycle {self.now} ({self._kind})")
+        if d_retry:
+            self.int_round_retries += d_retry
+            self.fault_stats.bump("faults.integrity.round_retries", d_retry)
+            if self.tracer.enabled:
+                self.tracer.emit(self.now, self.name,
+                                 obs_ev.GL_INTEGRITY_RETRY,
+                                 op=self._kind, count=d_retry)
+        if d_corr:
+            self.int_corrections += d_corr
+            self.fault_stats.bump("faults.integrity.corrections", d_corr)
+        if exhausted and (self._resumes or self._pending):
+            self._integrity_escalate()
+            return True
+        return False
+
+    def _integrity_escalate(self) -> None:
+        """Round retries are spent: retry the whole operation (with
+        deterministic full-jitter backoff), then fail the episode over."""
+        self.fault_stats.bump("faults.integrity.exhausted")
+        if self._episode_retries < self.coll_config.watchdog_retries:
+            self._episode_retries += 1
+            self.retries += 1
+            self.int_op_retries += 1
+            self.fault_stats.bump("faults.integrity.op_retries")
+            delay = self.gl_config.line_latency + full_jitter(
+                self.name, self.collectives_completed,
+                self._episode_retries)
+            if self.tracer.enabled:
+                self.tracer.emit(self.now, self.name,
+                                 obs_ev.GL_INTEGRITY_ESCALATE,
+                                 attempt=self._episode_retries,
+                                 delay=delay, op=self._kind)
+            self._log_integrity(
+                f"{self.name}: integrity budget exhausted at cycle "
+                f"{self.now}; whole-op retry {self._episode_retries} "
+                f"after {delay} cycle backoff")
+            self.fabric.reset_episode(keep_operands=True)
+            self.active = True
+            self.schedule(delay, self._tick, priority=TICK_PRIORITY)
+            if self.hardened and self._resumes:
+                self._arm_watchdog()
+        else:
+            self.int_failovers += 1
+            self.fault_stats.bump("faults.integrity.failovers")
+            if self.tracer.enabled:
+                self.tracer.emit(self.now, self.name,
+                                 obs_ev.GL_INTEGRITY_FAILOVER,
+                                 retries=self._episode_retries,
+                                 op=self._kind)
+            self._log_integrity(
+                f"{self.name}: integrity failover at cycle {self.now} "
+                f"after {self._episode_retries} whole-op retries")
+            self.failover(reason="integrity")
+
+    def _log_failover(self, report: str) -> None:
+        if len(self.failover_reports) == self.failover_reports.maxlen:
+            self.failover_reports_dropped += 1
+            self.fault_stats.bump("faults.collective.reports_dropped")
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "collectives.failover.reports_dropped").inc()
+        self.failover_reports.append(report)
+
+    def _log_integrity(self, message: str) -> None:
+        if len(self.integrity_log) == self.integrity_log.maxlen:
+            self.integrity_log_dropped += 1
+            self.fault_stats.bump("faults.integrity.log_dropped")
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "collectives.integrity.log_dropped").inc()
+        self.integrity_log.append(message)
 
     def failover(self, reason: str = "watchdog") -> None:
         """Quarantine this context and bounce every waiting core with the
         FAILOVER outcome; the library completes the operation over the
         software NoC all-reduce (same-cohort guarantee as the barrier)."""
+        self.last_partial_delivery = bool(self._delivered_locals)
+        self.last_parked = self.parked
         self.quarantined = True
         self.failovers += 1
         self.fault_stats.bump("faults.collective.failovers")
@@ -363,15 +535,23 @@ class CollectiveNetwork(Component):
             tail = self.flight.format_tail(waiting)
             if tail:
                 report += "\n" + tail
-        if len(self.failover_reports) == self.failover_reports.maxlen:
-            self.failover_reports_dropped += 1
-            self.fault_stats.bump("faults.collective.reports_dropped")
-        self.failover_reports.append(report)
+        self._log_failover(report)
         release_time = self.now + 1
+        # Cores already committed a hardware result for this episode?
+        # Then its final value exists (deliveries broadcast one value)
+        # and the software cohort can never reach full strength: finish
+        # the stragglers with that value.  FAILOVER only when the whole
+        # episode moves to software together.
+        outcome = self._episode_value \
+            if self._delivered_locals and self._episode_value is not None \
+            else FAILOVER
         for local in sorted(self._resumes):
             resume = self._resumes[local]
             if resume is not None:
-                self.engine.schedule_at(release_time, resume, FAILOVER)
+                self.engine.schedule_at(release_time, resume, outcome)
+        # Next-episode arrivals always bounce: nothing of *their* episode
+        # ran in hardware, and the quarantined network routes the rest of
+        # their cohort to software on arrival.
         for _core_id, _kind, _value, resume in self._pending:
             if resume is not None:
                 self.engine.schedule_at(release_time, resume, FAILOVER)
@@ -382,6 +562,9 @@ class CollectiveNetwork(Component):
         self._first_arrival = None
         self._last_arrival = None
         self._episode_retries = 0
+        self._partial_reported = False
+        self._open_value = None
+        self._episode_value = None
         self.fabric.close_episode()
         self.active = False
         if self.on_failover is not None:

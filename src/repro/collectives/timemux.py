@@ -87,6 +87,30 @@ class CollectiveSlotContext:
     def failover_reports(self) -> "deque[str]":
         return self.net.failover_reports
 
+    @property
+    def int_detections(self) -> int:
+        return self.net.int_detections
+
+    @property
+    def int_round_retries(self) -> int:
+        return self.net.int_round_retries
+
+    @property
+    def int_corrections(self) -> int:
+        return self.net.int_corrections
+
+    @property
+    def int_op_retries(self) -> int:
+        return self.net.int_op_retries
+
+    @property
+    def int_failovers(self) -> int:
+        return self.net.int_failovers
+
+    @property
+    def integrity_log(self) -> "deque[str]":
+        return self.net.integrity_log
+
     def set_injector(self, injector) -> None:
         self.net.set_injector(injector)
 

@@ -13,6 +13,8 @@ from .ablations import (
 )
 from .collectives_exp import CollectivesResult, run_collectives
 from .energy_exp import EnergyResult, run_energy
+from .integrity import (IntegrityResult, integrity_config,
+                        run_integrity)
 from .fig5 import DEFAULT_CORE_COUNTS, Fig5Result, run_fig5
 from .fig6 import Fig6Result, default_fig6_workloads, run_fig6
 from .fig7 import Fig7Result, run_fig6_and_fig7, run_fig7
@@ -47,4 +49,5 @@ __all__ = [
     "ShootoutResult", "run_shootout",
     "ResilienceResult", "resilience_config", "run_resilience",
     "RecoveryResult", "recovery_config", "run_recovery",
+    "IntegrityResult", "integrity_config", "run_integrity",
 ]

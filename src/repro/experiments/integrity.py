@@ -1,0 +1,145 @@
+"""Integrity sweep: silent data corruption vs the verification modes.
+
+The counting lines are the one place a transient can corrupt a *value*
+rather than merely delay it: an S-CSMA read-out that is off by one turns
+a SUM's per-bit count into the wrong bit, the op completes normally, and
+every core commits a wrong result -- classic silent data corruption
+(SDC).  This experiment measures that failure mode and what each
+verification mode (:mod:`repro.gline.integrity`) does about it.
+
+For each (integrity mode, miscount rate) cell the
+:class:`~repro.workloads.collective.CollectiveSDCWorkload` runs a fixed
+episode schedule on a 4x4 chip with seeded miscount injection, and the
+table reports: injected miscounts, episodes checked, undetected wrong
+values (the SDC count), integrity detections / round retries / op
+retries / failovers, and cycles per episode (the overhead column).
+
+The headline the committed golden pins: at every swept rate, ``off``
+shows nonzero SDC while ``echo`` and ``residue`` show **zero** -- the
+detection-completeness the verify layer proves at k=1 per round, held
+end to end under random injection.  (The proved k=2 defeat exists:
+two same-sign miscounts landing on both samples of one echo round slip
+through.  At the swept rates and seed no such coincidence occurs; the
+model-checker tests in ``tests/verify/test_integrity_model.py`` pin the
+bound itself.)
+
+Determinism: the plan seed derives every fault stream and is part of the
+chip config, hence the exec cache key -- cold and cached reruns of the
+sweep reproduce the table byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..collectives.config import CollectiveConfig
+from ..common.params import CMPConfig
+from ..faults import FaultPlan
+from ..workloads.collective import CollectiveSDCWorkload
+from .runner import make_spec, run_many
+
+DEFAULT_RATES = (0.002, 0.01, 0.02)
+MODES = ("off", "echo", "residue", "vote")
+DEFAULT_SEED = 11
+
+#: Collective watchdog settings for the sweep: generous budget (an
+#: episode needs ~40 cycles clean) so only genuine stalls -- e.g. a
+#: gather under-count freezing the arrival phase -- trip it.
+WATCHDOG_BUDGET = 600
+WATCHDOG_RETRIES = 2
+
+
+def integrity_config(num_cores: int, mode: str, rate: float,
+                     seed: int) -> CMPConfig:
+    """Collective-enabled config with verification *mode* and seeded
+    S-CSMA miscount injection at *rate*."""
+    cc = CollectiveConfig(enabled=True, value_width=8, integrity=mode,
+                          watchdog_budget=WATCHDOG_BUDGET,
+                          watchdog_retries=WATCHDOG_RETRIES)
+    return CMPConfig.for_cores(num_cores, collectives=cc).with_(
+        faults=FaultPlan(seed=seed, scsma_miscount_rate=rate))
+
+
+@dataclass
+class IntegrityResult:
+    rates: tuple[float, ...]
+    modes: tuple[str, ...]
+    num_cores: int
+    iterations: int
+    seed: int
+    #: rows[(mode, rate)] -> row dict (see ``run_integrity`` for keys).
+    rows: dict = field(default_factory=dict)
+
+    def sdc(self, mode: str, rate: float) -> int:
+        """Undetected wrong values delivered in the given cell."""
+        return self.rows[(mode, rate)]["wrong"]
+
+    def overhead(self, mode: str, rate: float = 0.0) -> float:
+        """Cycles/episode of *mode* relative to off at the same rate."""
+        base = self.rows[("off", rate)]["cycles_per_episode"] or 1
+        return self.rows[(mode, rate)]["cycles_per_episode"] / base
+
+    def table(self) -> str:
+        headers = ["Mode", "Miscount rate", "Miscounts", "Episodes",
+                   "SDC", "Detections", "Corrections", "Round retries",
+                   "Op retries", "Failovers", "Cycles/episode"]
+        body = []
+        for mode in self.modes:
+            for rate in self.rates:
+                row = self.rows[(mode, rate)]
+                body.append([mode, f"{rate:g}", row["miscounts"],
+                             row["episodes"], row["wrong"],
+                             row["detections"], row["corrections"],
+                             row["round_retries"], row["op_retries"],
+                             row["failovers"],
+                             f"{row['cycles_per_episode']:.1f}"])
+        text = render_table(
+            headers, body,
+            title=(f"Integrity: undetected wrong collective values (SDC) "
+                   f"vs S-CSMA miscount rate ({self.num_cores} cores, "
+                   f"{self.iterations} episodes, seed {self.seed})"))
+        worst_off = max(self.sdc("off", r) for r in self.rates)
+        worst_ver = max(self.sdc(m, r) for m in self.modes if m != "off"
+                        for r in self.rates)
+        text += (f"\nSDC at off: {worst_off} (worst rate)   "
+                 f"SDC with verification on: {worst_ver}   "
+                 f"verified modes corruption-free: "
+                 f"{'yes' if worst_ver == 0 else 'NO'}")
+        return text
+
+
+def run_integrity(rates=DEFAULT_RATES, num_cores: int = 16,
+                  iterations: int = 20, seed: int = DEFAULT_SEED,
+                  modes=MODES) -> IntegrityResult:
+    """Sweep integrity mode x miscount rate; count SDC per cell."""
+    result = IntegrityResult(rates=tuple(rates), modes=tuple(modes),
+                             num_cores=num_cores, iterations=iterations,
+                             seed=seed)
+    workload = CollectiveSDCWorkload(iterations=iterations)
+    points = [(mode, rate) for mode in modes for rate in rates]
+    specs = [make_spec(workload, "gl", num_cores=num_cores,
+                       config=integrity_config(num_cores, mode, rate,
+                                               seed))
+             for mode, rate in points]
+    runs = run_many(specs)
+    for (mode, rate), run in zip(points, runs):
+        counters = run.stats.counters
+        result.rows[(mode, rate)] = {
+            "mode": mode,
+            "rate": rate,
+            "miscounts": counters.get("faults.gline.miscounts", 0),
+            "episodes": counters.get(
+                "workload.collective.episodes_checked", 0),
+            "wrong": counters.get("workload.collective.wrong_values", 0),
+            "detections": counters.get("faults.integrity.detections", 0),
+            "corrections": counters.get(
+                "faults.integrity.corrections", 0),
+            "round_retries": counters.get(
+                "faults.integrity.round_retries", 0),
+            "op_retries": counters.get("faults.integrity.op_retries", 0),
+            "failovers": counters.get("faults.integrity.failovers", 0)
+            + counters.get("faults.collective.segment_failovers", 0),
+            "cycles_per_episode": run.total_cycles / iterations,
+        }
+    return result

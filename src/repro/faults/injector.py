@@ -98,7 +98,15 @@ class FaultInjector:
                 continue
             if plan.scsma_miscount_rate \
                     and rng.random() < plan.scsma_miscount_rate:
-                line.count_delta = rng.choice((-1, 1))
+                # The unbiased coin is always consumed from the line's
+                # main stream (like the intermittent polarity draw) so
+                # sweeping the bias never shifts which cycles miscount.
+                delta = rng.choice((-1, 1))
+                if plan.scsma_miscount_bias:
+                    brng = self._rng(f"scsmabias:{line.name}")
+                    p_plus = (1.0 + plan.scsma_miscount_bias) / 2.0
+                    delta = 1 if brng.random() < p_plus else -1
+                line.count_delta = delta
                 self.stats.bump("faults.gline.miscounts")
 
     def _intermittent(self, line: GLine, now: int) -> bool:

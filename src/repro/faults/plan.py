@@ -40,6 +40,14 @@ class FaultPlan:
     #: Per-line, per-active-cycle probability that the S-CSMA read-out is
     #: off by one (+1 or -1, clamped to the physical range).
     scsma_miscount_rate: float = 0.0
+    #: Bias of the miscount's sign in [-1, 1]: the delta is +1 with
+    #: probability ``(1 + bias) / 2``.  ``0.0`` is the legacy unbiased
+    #: coin (byte-identical schedules); ``-1.0`` models a read-out that
+    #: only ever under-counts (the failure mode of a weak pull-up),
+    #: ``+1.0`` one that only over-counts (crosstalk).  A nonzero bias
+    #: draws the sign from its own ``scsmabias:<line>`` RNG stream, so
+    #: *which cycles* miscount never shifts as the bias is swept.
+    scsma_miscount_bias: float = 0.0
     #: Per-line, per-active-cycle probability that an *intermittent* fault
     #: burst begins: the line misbehaves (forced level, polarity chosen
     #: 50/50 at onset) for a bounded duration and then heals -- the fault
@@ -83,6 +91,9 @@ class FaultPlan:
             rate = getattr(self, name)
             _require(0.0 <= rate < 1.0,
                      f"{name} must be in [0, 1), got {rate}")
+        _require(-1.0 <= self.scsma_miscount_bias <= 1.0,
+                 f"scsma_miscount_bias must be in [-1, 1], got "
+                 f"{self.scsma_miscount_bias}")
         _require(self.gline_intermittent_min_cycles >= 1,
                  "gline_intermittent_min_cycles must be >= 1")
         _require(self.gline_intermittent_max_cycles
@@ -109,8 +120,15 @@ class FaultPlan:
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        """Flat plain-dict form (cache-key / worker-IPC format)."""
-        return asdict(self)
+        """Flat plain-dict form (cache-key / worker-IPC format).
+
+        ``scsma_miscount_bias`` is omitted at its default so plans
+        predating the field keep byte-identical cache keys.
+        """
+        data = asdict(self)
+        if self.scsma_miscount_bias == 0.0:
+            del data["scsma_miscount_bias"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":

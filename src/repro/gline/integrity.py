@@ -1,0 +1,84 @@
+"""Integrity primitives for the S-CSMA counting lines.
+
+The analog transmitter count the collectives fabric samples each round
+(:meth:`repro.gline.gline.GLine.sample_count`) is exactly the signal the
+fault layer perturbs via ``scsma_miscount_rate``: an in-range miscount
+during a bit-serial SUM/MIN round produces a *wrong value with no hang*,
+invisible to both the watchdog and the recovery FSM.  This module holds
+the shared vocabulary of the end-to-end integrity layer that closes that
+hole -- detection-mode names, the residue code used by the ``"residue"``
+mode, majority voting for the ``"vote"`` mode, and the deterministic
+full-jitter backoff used by the whole-operation retry rung.
+
+Detection modes (``CollectiveConfig.integrity``):
+
+``"off"``
+    Legacy behaviour, bit-identical to the pre-integrity fabric.
+``"echo"``
+    Temporal redundancy: every counted round is sampled twice (the
+    slaves re-assert the same bit) and the master accepts the round with
+    an explicit ACK pulse on the release line only when both samples
+    agree.  A silent ACK tick makes the slaves repeat the round.
+``"residue"``
+    Arithmetic redundancy for the counting mechanism: after the data
+    rounds, :data:`RESIDUE_BITS` extra rounds carry each contributor's
+    residue (:func:`residue_of`); the master checks the accumulated
+    residue against the reconstructed result before finishing the
+    stage.  Elimination stages fall back to the echo scheme (residues
+    do not survive MIN/MAX).
+``"vote"``
+    Triple temporal redundancy: three samples per round with majority
+    acceptance; a clean majority over a discrepant sample is *corrected*
+    in place (no retry), a three-way split retries like echo.
+
+The residue modulus is deliberately ``2**RESIDUE_BITS - 1`` (a Mersenne
+modulus), not ``2**RESIDUE_BITS``: a single miscount in data round *b*
+shifts the accumulator by ``±2**b``, and ``2**b mod 2**k == 0`` for
+``b >= k`` -- a power-of-two modulus is blind to every high-bit error.
+``2**b mod (2**k - 1)`` cycles through ``{1, 2, ..., 2**(k-1)}`` and is
+never 0, so every single-round ±1 miscount perturbs the checked residue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Recognized values of ``CollectiveConfig.integrity``.
+INTEGRITY_MODES = ("off", "echo", "residue", "vote")
+
+#: Number of residue rounds appended by the ``"residue"`` mode.
+RESIDUE_BITS = 4
+
+#: Mersenne residue modulus (see module docstring for why not ``2**k``).
+RESIDUE_MOD = (1 << RESIDUE_BITS) - 1
+
+#: Data samples taken per counted round, by mode.
+SAMPLES_PER_ROUND = {"off": 1, "echo": 2, "residue": 1, "vote": 3}
+
+
+def residue_of(value: int) -> int:
+    """The residue digit a contributor serializes in the check rounds."""
+    return value % RESIDUE_MOD
+
+
+def majority(samples: list[int]) -> int | None:
+    """Majority value of a redundant sample set, or ``None`` on a tie
+    (every sample distinct)."""
+    for s in samples:
+        if samples.count(s) * 2 > len(samples):
+            return s
+    return None
+
+
+def full_jitter(name: str, episode: int, attempt: int,
+                base: int = 2, cap: int = 64) -> int:
+    """Deterministic full-jitter backoff delay (in cycles).
+
+    AWS-style full jitter -- ``uniform(0, min(cap, base * 2**attempt))``
+    -- but drawn from a hash of ``(name, episode, attempt)`` so replays
+    and the exec cache stay deterministic: no wall clock, no global RNG.
+    """
+    window = min(cap, base << min(attempt, 16))
+    digest = hashlib.sha256(
+        f"glint:{name}:{episode}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % max(1, window)

@@ -50,6 +50,12 @@ GL_REDUCE_ROUND = "gline.reduce.round"        # one clocked fabric cycle
 GL_REDUCE_RESULT = "gline.reduce.result"      # a core got its result
 GL_REDUCE_FAILOVER = "gline.reduce.failover"  # episode bounced to software
 
+# Counting-line integrity ladder (repro.gline.integrity wiring).
+GL_INTEGRITY_FAIL = "gline.integrity.fail"          # corrupted round seen
+GL_INTEGRITY_RETRY = "gline.integrity.retry"        # round retried in-wire
+GL_INTEGRITY_ESCALATE = "gline.integrity.escalate"  # whole-op retry rung
+GL_INTEGRITY_FAILOVER = "gline.integrity.failover"  # ladder gave up
+
 # Data NoC (source: "noc" / "vct").
 NOC_SEND = "noc.send"
 NOC_DELIVER = "noc.deliver"
@@ -69,6 +75,8 @@ ALL_KINDS = frozenset({
     GL_PROBE, GL_READMIT, GL_REDEGRADE,
     GL_REDUCE_ARRIVE, GL_REDUCE_START, GL_REDUCE_ROUND, GL_REDUCE_RESULT,
     GL_REDUCE_FAILOVER,
+    GL_INTEGRITY_FAIL, GL_INTEGRITY_RETRY, GL_INTEGRITY_ESCALATE,
+    GL_INTEGRITY_FAILOVER,
     NOC_SEND, NOC_DELIVER,
     L1_MISS, L1_FILL, L1_EVICT, DIR_MSG,
 })

@@ -38,6 +38,21 @@ already a concrete ``(cycle, core, value)`` schedule, and
 :class:`~repro.collectives.network.CollectiveNetwork` with it
 (``barreg_write_cycles=0`` aligns model steps with engine cycles) to
 confirm the violation in "hardware".
+
+**Miscount adversary** (``adversary_budget=k``): the model additionally
+branches, on every tick where some stage master is mid-rounds, into
+"tick with a one-cycle S-CSMA miscount on that master's counting line"
+(delta +-1, budget *k* over the whole episode).  Injections are
+restricted to round-phase ticks so the concrete schedule stays
+cycle-aligned for replay.  Under ``integrity="off"`` the value property
+is checked unconditionally and a single miscount yields a silent
+wrong-value counterexample; under the verified modes the check is
+conditioned on the fabric *not* being integrity-exhausted -- the
+network layer never delivers an exhausted episode (it escalates
+instead) -- so a ``PROVED`` value verdict is exactly the
+detection-completeness statement: *no undetected wrong value exists
+under any arrival interleaving and any placement of up to k
+miscounts*.
 """
 
 from __future__ import annotations
@@ -47,6 +62,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..collectives import ops
 from ..collectives.config import CollectiveConfig
+from ..collectives.controllers import M_ROUNDS
 from ..collectives.fabric import CollectiveFabric
 from ..collectives.network import CollectiveNetwork
 from ..common.errors import ConfigError
@@ -62,25 +78,44 @@ P_COLL_TERMINATION = "collective-termination"
 
 COLLECTIVE_PROPERTIES = (P_COLL_VALUE, P_COLL_ONCE, P_COLL_TERMINATION)
 
-#: Model actions.
-TICK = -1   # an arrival action is the local index itself
+#: Model actions.  An arrival action is the local index itself; ticks
+#: and adversary injections are encoded as negatives: action <= INJ_BASE
+#: is "tick with a miscount on master (INJ_BASE - action) // 2, delta +1
+#: for even offsets and -1 for odd ones".
+TICK = -1
+INJ_BASE = -2
+
+
+def inj_action(master: int, delta: int) -> int:
+    """Encode an adversary injection as a model action."""
+    return INJ_BASE - (master * 2 + (1 if delta < 0 else 0))
+
+
+def inj_decode(action: int) -> Tuple[int, int]:
+    """Decode an injection action into ``(master_index, delta)``."""
+    off = INJ_BASE - action
+    return off // 2, (-1 if off % 2 else 1)
 
 
 @dataclass
 class CollectiveCounterexample:
     """A violating run, already concrete: ``schedule`` lists
     ``(cycle, local, value)`` arrivals (cycle = ticks taken before the
-    arrival) and the violation fired at ``at_tick``."""
+    arrival), ``injections`` lists ``(cycle, master_index, delta)``
+    adversary miscounts (applied to that cycle's tick), and the
+    violation fired at ``at_tick``."""
 
     prop: str
     message: str
     schedule: List[Tuple[int, int, int]]
     at_tick: int
+    injections: List[Tuple[int, int, int]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {"property": self.prop, "message": self.message,
                 "schedule": [list(s) for s in self.schedule],
-                "at_tick": self.at_tick}
+                "at_tick": self.at_tick,
+                "injections": [list(i) for i in self.injections]}
 
 
 @dataclass
@@ -92,6 +127,8 @@ class CollectiveExploreResult:
     cols: int
     width: int
     mutation: Optional[str]
+    integrity: str = "off"
+    adversary_budget: int = 0
     states: int = 0
     transitions: int = 0
     verdicts: Dict[str, str] = field(default_factory=dict)
@@ -105,6 +142,8 @@ class CollectiveExploreResult:
     def to_dict(self) -> Dict[str, object]:
         return {"kind": self.kind, "mesh": f"{self.rows}x{self.cols}",
                 "width": self.width, "mutation": self.mutation,
+                "integrity": self.integrity,
+                "adversary_budget": self.adversary_budget,
                 "states": self.states, "transitions": self.transitions,
                 "verdicts": dict(self.verdicts), "capped": self.capped,
                 "counterexample": self.counterexample.to_dict()
@@ -139,6 +178,8 @@ class CollectiveModel:
                  width: int = 1, values: Optional[Sequence[int]] = None,
                  mutation: Optional[str] = None,
                  stuck: Optional[Dict[str, int]] = None,
+                 integrity: str = "off", integrity_budget: int = 3,
+                 adversary_budget: int = 0,
                  max_transmitters: int = 6):
         ops.check_kind(kind)
         if rows > max_transmitters + 1 or cols > max_transmitters + 1:
@@ -149,6 +190,8 @@ class CollectiveModel:
         self.width = width
         self.mutation = mutation
         self.stuck = dict(stuck or {})
+        self.integrity = integrity
+        self.adversary_budget = adversary_budget
         self.n = rows * cols
         if values is None:
             values = default_values(rows, cols, width)
@@ -157,7 +200,15 @@ class CollectiveModel:
         self.values = [v & ops.mask(width) for v in values]
         self.reference = ops.reference_reduce(kind, self.values, width)
         self.fabric = CollectiveFabric(rows, cols, width, max_transmitters,
-                                       name="model", mutation=mutation)
+                                       name="model", mutation=mutation,
+                                       integrity=integrity,
+                                       integrity_budget=integrity_budget)
+        #: Adversary targets: every stage master with a counting line,
+        #: in fabric order (row masters, then the column master).  The
+        #: same ordering indexes ``CollectiveCounterexample.injections``
+        #: and the replay hook.
+        self.adv_masters = [m for m in self.fabric._all_masters()
+                            if m.tx is not None]
         for suffix, level in self.stuck.items():
             hit = [ln for ln in self.fabric.lines
                    if ln.name.endswith(suffix)]
@@ -193,14 +244,26 @@ class CollectiveModel:
     # ------------------------------------------------------------------ #
     def initial(self) -> tuple:
         cores = tuple((self.values[i], False) for i in range(self.n))
-        return (self._initial_fab, cores)
+        return (self._initial_fab, cores, self.adversary_budget)
 
     def actions(self, state: tuple) -> List[int]:
-        fab, cores = state
+        fab, cores, inj_left = state
         acts = [i for i in range(self.n) if not cores[i][1]]
         if any(arrived for _, arrived in cores):
             acts.append(TICK)
+            if inj_left > 0:
+                for m in self._eligible_masters(fab):
+                    acts.append(inj_action(m, +1))
+                    acts.append(inj_action(m, -1))
         return acts
+
+    def _eligible_masters(self, fab: tuple) -> List[int]:
+        """Adversary targets of this state: masters mid-rounds (the
+        counted phases miscounts can corrupt; arrival counting is out of
+        scope, matching the barrier checker's own miscount scenarios)."""
+        self.fabric.restore(fab)
+        return [i for i, m in enumerate(self.adv_masters)
+                if m.state == M_ROUNDS]
 
     def all_arrived(self, state: tuple) -> bool:
         return all(arrived for _, arrived in state[1])
@@ -213,9 +276,14 @@ class CollectiveModel:
     def step(self, state: tuple, action: int) -> tuple:
         """Apply *action*; raises :class:`_Violation` on a property
         violation, else returns the canonical successor."""
-        fab, cores = state
+        fab, cores, inj_left = state
         self.fabric.restore(fab)
-        if action == TICK:
+        if action == TICK or action <= INJ_BASE:
+            if action <= INJ_BASE:
+                master, delta = inj_decode(action)
+                assert inj_left > 0, "adversary budget exhausted"
+                self.adv_masters[master].tx.count_delta = delta
+                inj_left -= 1
             deliveries = self.fabric.tick()
             self._check(deliveries, cores)
         else:
@@ -225,7 +293,7 @@ class CollectiveModel:
             self.fabric.arrive_local(action, value)
             cores = tuple((v, True) if i == action else (v, a)
                           for i, (v, a) in enumerate(cores))
-        return (self.fabric.snapshot(), cores)
+        return (self.fabric.snapshot(), cores, inj_left)
 
     def _check(self, deliveries: List[Tuple[int, int]],
                cores: tuple) -> None:
@@ -241,12 +309,17 @@ class CollectiveModel:
                     P_COLL_ONCE,
                     f"local {local} delivered while locals {pending} "
                     f"have not arrived (premature release)")
-            if value != self.reference:
+            if value != self.reference and not self.fabric.int_exhausted:
+                # An exhausted episode is *detected*: the network layer
+                # escalates (retry / failover) instead of delivering it,
+                # so only an un-flagged wrong value is silent corruption.
                 raise _Violation(
                     P_COLL_VALUE,
                     f"local {local} delivered {value}, reference "
                     f"{self.kind} over {self.values} is "
-                    f"{self.reference}")
+                    f"{self.reference}"
+                    + (" (undetected: integrity not exhausted)"
+                       if self.integrity != "off" else ""))
 
     # ------------------------------------------------------------------ #
     # Canonical symmetry reduction
@@ -269,6 +342,7 @@ class CollectiveModel:
         (rm, rs, cm, cs, kind, row_fed, col_done, gready, result,
          bc, skip, delivered, row_w, bw, stuck) = state[0]
         cores = state[1]
+        inj_left = state[2]
 
         def row_bundle(r: int):
             base = r * self.cols
@@ -286,7 +360,7 @@ class CollectiveModel:
                             key=hash))
         col_wires = tuple(stuck[i] for i in self._col_lines)
         return (head, tail, cm, kind, col_done, gready, result, bc,
-                skip, row_w, bw, col_wires)
+                skip, row_w, bw, col_wires, inj_left)
 
 
 # ---------------------------------------------------------------------- #
@@ -305,7 +379,9 @@ def explore_collective(model: CollectiveModel, *,
         max_ticks = 32 * (model.rows + model.cols + model.width + 8)
     result = CollectiveExploreResult(
         kind=model.kind, rows=model.rows, cols=model.cols,
-        width=model.width, mutation=model.mutation)
+        width=model.width, mutation=model.mutation,
+        integrity=model.integrity,
+        adversary_budget=model.adversary_budget)
     init = model.initial()
     # canonical key -> (parent_key, action); states themselves ride the
     # queue un-permuted, so counterexamples keep true core labels.
@@ -323,21 +399,26 @@ def explore_collective(model: CollectiveModel, *,
             key, action = edge
             actions.append(action)
 
-    def schedule_of(actions: List[int]) -> List[Tuple[int, int, int]]:
-        cycle, sched = 0, []
+    def schedule_of(actions: List[int]) -> Tuple[
+            List[Tuple[int, int, int]], List[Tuple[int, int, int]]]:
+        cycle, sched, injections = 0, [], []
         for a in actions:
             if a == TICK:
                 cycle += 1
+            elif a <= INJ_BASE:
+                injections.append((cycle,) + inj_decode(a))
+                cycle += 1  # an injection rides a tick
             else:
                 sched.append((cycle, a, model.values[a]))
-        return sched
+        return sched, injections
 
     def fail(prop: str, message: str, actions: List[int]
              ) -> CollectiveExploreResult:
-        ticks = sum(1 for a in actions if a == TICK)
+        ticks = sum(1 for a in actions if a == TICK or a <= INJ_BASE)
+        sched, injections = schedule_of(actions)
         result.counterexample = CollectiveCounterexample(
-            prop=prop, message=message, schedule=schedule_of(actions),
-            at_tick=ticks)
+            prop=prop, message=message, schedule=sched,
+            at_tick=ticks, injections=injections)
         for p in COLLECTIVE_PROPERTIES:
             result.verdicts[p] = VIOLATED if p == prop else \
                 result.verdicts.get(p, NOT_PROVED)
@@ -380,10 +461,18 @@ def explore_collective(model: CollectiveModel, *,
                 continue
             parents[ckey] = (skey, action)
             if model.all_arrived(child):
-                bad = run_tail(child, path_to(skey) + [action])
-                if bad is not None:
-                    return bad
-                continue
+                # The injection-free suffix of this path is checked by a
+                # deterministic tail run; re-run it only where the tail
+                # actually changed (first all-arrived entry, or a fresh
+                # injection) -- a pure-tick child's tail is a suffix of
+                # its parent's, already verified.
+                if child[2] == 0 or not model.all_arrived(state) \
+                        or action <= INJ_BASE:
+                    bad = run_tail(child, path_to(skey) + [action])
+                    if bad is not None:
+                        return bad
+                if child[2] == 0 or model.is_complete(child):
+                    continue  # no adversary branching left to explore
             if len(parents) >= max_states:
                 result.capped = True
                 result.states = len(parents)
@@ -448,24 +537,45 @@ def replay_collective(rows: int, cols: int, kind: str,
                       schedule: Sequence[Tuple[int, int, int]], *,
                       width: int = 1, mutation: Optional[str] = None,
                       stuck: Optional[Dict[str, int]] = None,
+                      integrity: str = "off", integrity_budget: int = 3,
+                      injections: Sequence[Tuple[int, int, int]] = (),
                       max_cycles: int = 4096) -> CollectiveReplayResult:
     """Drive a real :class:`CollectiveNetwork` with a model schedule.
 
     ``barreg_write_cycles=0`` makes an arrival scheduled at cycle *t*
     visible to that same cycle's fabric tick, so model tick *i* and
-    engine cycle *i* coincide.  The network is unhardened: the point is
-    to confirm the raw violation, not to watch the watchdog mask it.
+    engine cycle *i* coincide.  ``injections`` replays the adversary's
+    miscounts: each ``(cycle, master, delta)`` perturbs that master's
+    counting line on the matching fabric tick (ticks counted from the
+    first, exactly the model's cycle numbering).  The network is
+    unhardened: the point is to confirm the raw violation, not to watch
+    the watchdog mask it.
     """
     engine = Engine()
     stats = StatsRegistry(rows * cols)
     gl = GLineConfig(barreg_write_cycles=0)
-    cc = CollectiveConfig(enabled=True, value_width=width)
+    cc = CollectiveConfig(enabled=True, value_width=width,
+                          integrity=integrity,
+                          integrity_retry_budget=integrity_budget)
     net = CollectiveNetwork(engine, stats, rows, cols, gl, cc,
                             mutation=mutation)
     for suffix, level in (stuck or {}).items():
         for line in net.lines:
             if line.name.endswith(suffix):
                 line.stuck = level
+    if injections:
+        targets = [m for m in net.fabric._all_masters()
+                   if m.tx is not None]
+        by_tick: Dict[int, List[Tuple[int, int]]] = {}
+        for cyc, master, delta in injections:
+            by_tick.setdefault(cyc, []).append((master, delta))
+        tick_no = [0]
+
+        def adversary(lines) -> None:
+            for master, delta in by_tick.get(tick_no[0], ()):
+                targets[master].tx.count_delta = delta
+            tick_no[0] += 1
+        net.fabric.perturb_hook = adversary
 
     deliveries: Dict[int, Tuple[int, int]] = {}
     double: List[int] = []
@@ -474,7 +584,13 @@ def replay_collective(rows: int, cols: int, kind: str,
         def resume(value: object = None) -> None:
             if cid in deliveries:
                 double.append(cid)
-            deliveries[cid] = (engine.now, int(value))  # type: ignore
+            # FAILOVER bounces ride through as-is (counted as a wrong
+            # value by the caller's checks, which is what they are from
+            # the schedule's point of view).
+            deliveries[cid] = (
+                engine.now,
+                int(value) if isinstance(value, int) else value,
+            )  # type: ignore[assignment]
         return resume
 
     values = [0] * (rows * cols)

@@ -7,7 +7,8 @@ from .base import (
     skewed_bounds,
     vector_sweep,
 )
-from .collective import CollectiveAllReduceWorkload
+from .collective import (CollectiveAllReduceWorkload,
+                         CollectiveSDCWorkload)
 from .em3d import EM3DWorkload
 from .fullscale import fullscale_benchmarks
 from .livermore import Kernel2Workload, Kernel3Workload, Kernel6Workload
@@ -20,6 +21,7 @@ __all__ = [
     "Workload", "WorkloadInfo", "chunk_bounds", "skewed_bounds",
     "vector_sweep",
     "CollectiveAllReduceWorkload",
+    "CollectiveSDCWorkload",
     "EM3DWorkload",
     "fullscale_benchmarks",
     "Kernel2Workload", "Kernel3Workload", "Kernel6Workload",

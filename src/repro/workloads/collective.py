@@ -110,3 +110,51 @@ class CollectiveAllReduceWorkload(Workload):
             paper_barriers=0,
             paper_period=0,
         )
+
+
+class CollectiveSDCWorkload(CollectiveAllReduceWorkload):
+    """All-reduce episodes that *count* wrong results instead of asserting.
+
+    The silent-data-corruption sweep needs runs that complete under
+    injected miscounts and report how many delivered values were wrong --
+    an assertion would abort the very runs the experiment exists to
+    measure.  Each core compares every delivered result against the
+    precomputed reference and bumps two chip counters:
+
+    * ``workload.collective.episodes_checked`` -- results delivered;
+    * ``workload.collective.wrong_values`` -- results that mismatched
+      (the undetected-wrong-value count, i.e. observed SDC).
+
+    Counters live in the run's :class:`~repro.common.stats.StatsRegistry`,
+    so the workload stays cache-routable through :mod:`repro.exec`.
+    """
+
+    name = "COLL-SDC"
+
+    def programs(self, chip) -> list[Generator]:
+        cc = chip.config.collectives
+        if not cc.enabled:
+            raise WorkloadError(
+                f"{self.name} needs config.collectives.enabled=True")
+        width = cc.value_width
+        ncores = chip.num_cores
+        stats = chip.stats
+        refs = []
+        for ep in range(self.iterations):
+            vals = [self._value(c, ep, width) for c in range(ncores)]
+            refs.append(ops.reference_reduce(self._kind(ep), vals, width))
+
+        def program(cid: int) -> Generator:
+            for ep in range(self.iterations):
+                value = self._value(cid, ep, width)
+                result = yield isa.CollectiveOp(self._kind(ep), value=value)
+                stats.bump("workload.collective.episodes_checked")
+                if result != refs[ep]:
+                    stats.bump("workload.collective.wrong_values")
+                if self.compute_grain:
+                    yield isa.Compute(1 + (cid + ep) % self.compute_grain)
+
+        return [program(c) for c in range(ncores)]
+
+    def verify(self, chip) -> None:
+        """Counting, not asserting: wrong values are the measurement."""

@@ -30,7 +30,7 @@ TINY = BenchCase(
 # ---------------------------------------------------------------------- #
 def test_registry_contents():
     assert set(CASES) == {"fig5", "fig6_fig7", "stress16x16",
-                          "collectives16x16"}
+                          "collectives16x16", "integrity_echo"}
     assert get_case("fig5") is CASES["fig5"]
     with pytest.raises(KeyError):
         get_case("fig9")
@@ -58,6 +58,16 @@ def test_stress_case_is_a_16x16_mesh():
     (spec,) = get_case("stress16x16").build(True)
     assert spec.config.num_cores == 256
     assert (spec.config.noc.rows, spec.config.noc.cols) == (16, 16)
+
+
+def test_integrity_echo_case_pairs_off_against_echo():
+    off, echo = get_case("integrity_echo").build(True)
+    assert off.config.collectives.integrity == "off"
+    assert echo.config.collectives.integrity == "echo"
+    # Same clean workload either side: no fault plan, same chip.
+    for spec in (off, echo):
+        assert spec.config.num_cores == 64
+        assert spec.config.faults.scsma_miscount_rate == 0.0
 
 
 # ---------------------------------------------------------------------- #

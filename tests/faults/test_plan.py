@@ -79,3 +79,61 @@ def test_plan_changes_the_exec_cache_key():
                                                  gline_stuck_rate=0.001)))
     assert base.key() != faulty.key()
     assert faulty.key() != reseeded.key()
+
+
+# ---------------------------------------------------------------------- #
+# Miscount sign bias (scsma_miscount_bias)
+# ---------------------------------------------------------------------- #
+def _miscount_deltas(bias, cycles=4000, rate=0.5, seed=11):
+    from repro.common.stats import StatsRegistry
+    from repro.faults.injector import FaultInjector
+    from repro.gline.gline import GLine
+
+    plan = FaultPlan(seed=seed, scsma_miscount_rate=rate,
+                     scsma_miscount_bias=bias)
+    inj = FaultInjector(plan, StatsRegistry(4))
+    line = GLine("biastest.tx", 6)
+    out = []
+    for _ in range(cycles):
+        inj.perturb_glines([line])
+        out.append(line.count_delta)
+        line.end_cycle()
+    return out
+
+
+def test_bias_validation():
+    FaultPlan(scsma_miscount_bias=-1.0)
+    FaultPlan(scsma_miscount_bias=1.0)
+    with pytest.raises(ConfigError, match="scsma_miscount_bias"):
+        FaultPlan(scsma_miscount_bias=1.5)
+    with pytest.raises(ConfigError, match="scsma_miscount_bias"):
+        FaultPlan(scsma_miscount_bias=-2.0)
+
+
+def test_bias_skews_the_sign_distribution():
+    deltas = [d for d in _miscount_deltas(0.0) if d]
+    plus = sum(1 for d in deltas if d > 0) / len(deltas)
+    assert 0.4 < plus < 0.6
+    assert all(d == -1 for d in _miscount_deltas(-1.0) if d)
+    assert all(d == 1 for d in _miscount_deltas(1.0) if d)
+
+
+def test_bias_does_not_shift_onset_cycles():
+    # Sweeping the bias changes only the sign stream: the set of cycles
+    # on which a miscount fires is pinned by the line's main stream.
+    onsets = [
+        [i for i, d in enumerate(_miscount_deltas(b)) if d]
+        for b in (0.0, -1.0, 0.7)]
+    assert onsets[0] == onsets[1] == onsets[2]
+
+
+def test_bias_zero_is_byte_stable_with_legacy_plans():
+    # Field absent at default: serialized legacy plans and their cache
+    # keys are unchanged.
+    plan = FaultPlan(seed=5, scsma_miscount_rate=0.01)
+    assert "scsma_miscount_bias" not in plan.to_dict()
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    biased = FaultPlan(seed=5, scsma_miscount_rate=0.01,
+                       scsma_miscount_bias=-0.5)
+    assert biased.to_dict()["scsma_miscount_bias"] == -0.5
+    assert FaultPlan.from_dict(biased.to_dict()) == biased
