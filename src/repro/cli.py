@@ -17,6 +17,7 @@ import os
 import sys
 from pathlib import Path
 
+from .dse import DEFAULT_OBJECTIVES as DSE_DEFAULT_OBJECTIVES
 from .exec import (ParallelRunner, ResultCache, RunFailureError,
                    SweepJournal, default_cache_dir, use_executor)
 from .faults import ChaosPlan
@@ -289,6 +290,45 @@ def build_parser() -> argparse.ArgumentParser:
     pbe.add_argument("--tolerance", type=float, default=None,
                      help="allowed normalized-score regression "
                           "(default 0.25)")
+    pdse = sub.add_parser(
+        "dse", parents=[common],
+        help="Pareto design-space exploration over the G-line config "
+             "space (repro.dse; see docs/dse.md)")
+    pdse.add_argument("--space", default="default", metavar="NAME|FILE",
+                      help="preset space name or JSON space file "
+                           "(default: 'default'; presets: see "
+                           "repro.dse.SPACES)")
+    pdse.add_argument("--objectives", nargs="+",
+                      default=list(DSE_DEFAULT_OBJECTIVES),
+                      metavar="NAME",
+                      help="objectives to minimize (default: "
+                           f"{' '.join(DSE_DEFAULT_OBJECTIVES)}; also: "
+                           "failover)")
+    pdse.add_argument("--budget", type=int, default=40, metavar="N",
+                      help="evaluation requests the search may spend "
+                           "(cache hits included; default 40)")
+    pdse.add_argument("--seed", type=int, default=7,
+                      help="search seed (default 7); the whole "
+                           "trajectory is deterministic per seed")
+    pdse.add_argument("--rungs", type=int, nargs="+", default=None,
+                      metavar="ITERS",
+                      help="successive-halving fidelity rungs, workload "
+                           "iterations (default: 3 6 12)")
+    pdse.add_argument("--pools", default=None, metavar="NAME:JOBS,...",
+                      help="named worker pools, e.g. 'fast:8,slow:2' "
+                           "(default: one pool of --jobs workers)")
+    pdse.add_argument("--resume", type=Path, default=None,
+                      metavar="JOURNAL",
+                      help="shorthand for --journal JOURNAL plus a "
+                           "completed-count report; with a warm cache "
+                           "nothing finished is re-simulated")
+    pdse.add_argument("--crossover", action="store_true",
+                      help="run the per-mesh crossover study "
+                           "(8x8/16x16 by default) instead of a single "
+                           "search")
+    pdse.add_argument("--core-counts", type=int, nargs="+", default=None,
+                      metavar="N",
+                      help="mesh sizes for --crossover (default 64 256)")
     pca = sub.add_parser("cache", help="inspect or maintain the result "
                                        "cache")
     pca.add_argument("action", choices=["stats", "clear", "prune"],
@@ -298,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     pca.add_argument("--cache-dir", type=Path, default=None,
                      help="cache directory (default: $REPRO_CACHE_DIR "
                           "or ~/.cache/repro)")
+    pca.add_argument("--dry-run", action="store_true",
+                     help="with prune: report what would be evicted "
+                          "(count/bytes, oldest first) without deleting")
     sub.add_parser("all", parents=[common], help="everything above")
     return parser
 
@@ -311,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_cache(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "dse":
+        return _run_dse(args, raw_argv)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
@@ -411,6 +456,119 @@ def _run_resume(args) -> int:
     return main(recorded)
 
 
+def _parse_pools(arg: str):
+    """``'fast:8,slow:2'`` -> worker pools (ValueError on bad syntax)."""
+    from .dse import WorkerPool
+
+    pools = []
+    for part in arg.split(","):
+        name, sep, jobs = part.partition(":")
+        if not sep:
+            raise ValueError(f"pool {part!r} is not NAME:JOBS")
+        pools.append(WorkerPool(name.strip(), int(jobs)))
+    return pools
+
+
+def _run_dse(args, raw_argv: list[str]) -> int:
+    """``repro dse``: Pareto search (or crossover study) with its own
+    scheduler; handled outside the generic executor path because the
+    search owns dispatch.  Always runs keep-going: a design point that
+    fails at runtime is an infeasible design, not a fatal error."""
+    from .common.errors import ReproError
+    from .dse import (SweepScheduler, front_csv, front_json, run_search,
+                      space_from_arg)
+    from .experiments import run_dse_crossover
+
+    try:
+        space = space_from_arg(args.space)
+        pools = _parse_pools(args.pools) if args.pools else None
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    cache_dir = args.cache_dir or default_cache_dir()
+    if cache_dir.exists() and not cache_dir.is_dir():
+        print(f"error: --cache-dir {cache_dir} exists and is not a "
+              f"directory", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(cache_dir)
+    chaos = ChaosPlan.from_env()
+    if chaos is not None and chaos.enabled:
+        print(f"[repro.exec] chaos enabled: {chaos}", file=sys.stderr)
+    journal_path = args.resume if args.resume is not None \
+        else args.journal
+    if args.resume is not None and args.resume.exists():
+        done = len(SweepJournal.completed_keys(args.resume))
+        print(f"[repro.dse] resuming from {args.resume} "
+              f"({done} run(s) already completed)", file=sys.stderr)
+    journal = SweepJournal(journal_path, argv=raw_argv) \
+        if journal_path is not None else None
+    scheduler = SweepScheduler(
+        pools=pools, jobs=None if pools else jobs, cache=cache,
+        journal=journal, timeout=args.timeout,
+        retries=args.retries if args.retries is not None else 2,
+        keep_going=True, chaos=chaos)
+    rc = 0
+    try:
+        rungs = tuple(args.rungs) if args.rungs else None
+        if args.crossover:
+            kwargs = {"rungs": rungs} if rungs else {}
+            if args.core_counts:
+                kwargs["core_counts"] = tuple(args.core_counts)
+            result = run_dse_crossover(
+                budget=args.budget, seed=args.seed,
+                objectives=tuple(args.objectives),
+                scheduler=scheduler, **kwargs)
+            _emit(result.table(), args.out, "dse_crossover")
+        else:
+            kwargs = {"rungs": rungs} if rungs else {}
+            search = run_search(
+                space, tuple(args.objectives), budget=args.budget,
+                seed=args.seed, scheduler=scheduler, **kwargs)
+            _emit(search.table(), args.out, "dse")
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / "dse_front.json").write_text(
+                    front_json(search), encoding="utf-8")
+                (args.out / "dse_front.csv").write_text(
+                    front_csv(search), encoding="utf-8")
+                print(f"[repro.dse] front exported to "
+                      f"{args.out}/dse_front.{{json,csv}}",
+                      file=sys.stderr)
+    except KeyboardInterrupt:
+        rc = 130
+        if journal is not None:
+            journal.interrupted()
+            print(f"[repro.exec] completed work is cached; continue "
+                  f"with: repro resume {journal_path}", file=sys.stderr)
+        print("[repro.exec] interrupted; workers drained, no zombies "
+              "left", file=sys.stderr)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        rc = 2
+    finally:
+        if journal is not None:
+            journal.close()
+    if scheduler.failures:
+        _report_failures(scheduler.failures)
+        print(f"[repro.dse] {len(scheduler.failures)} point(s) failed "
+              f"at runtime and were treated as infeasible",
+              file=sys.stderr)
+    if cache is not None:
+        print(f"[repro.dse] {scheduler.summary()}", file=sys.stderr)
+    if args.metrics is not None:
+        if args.metrics.suffix == ".csv":
+            scheduler.metrics.to_csv(args.metrics)
+        else:
+            scheduler.metrics.to_json(args.metrics)
+        print(f"[repro.obs] metrics snapshot written to {args.metrics}",
+              file=sys.stderr)
+    return rc
+
+
 def _run_bench(args) -> int:
     """``repro bench``: time cases, snapshot, gate against baselines.
 
@@ -506,6 +664,14 @@ def _run_cache(args) -> int:
             print(f"  {code[:16]}: {count} entries{marker}")
     elif args.action == "clear":
         print(f"removed {cache.clear()} entries from {cache.directory}")
+    elif args.dry_run:
+        candidates = cache.prune_candidates()
+        total = sum(size for _, size, _ in candidates)
+        print(f"would prune {len(candidates)} stale entries "
+              f"({total} bytes) from {cache.directory}")
+        for path, size, _ in candidates:       # oldest first
+            print(f"  {path.relative_to(cache.directory)}  "
+                  f"{size} bytes")
     else:
         print(f"pruned {cache.prune()} stale entries from "
               f"{cache.directory}")

@@ -1,0 +1,97 @@
+"""Dominance and Pareto-front utilities over objective vectors.
+
+All objectives are **minimized**.  A vector ``a`` dominates ``b`` when it
+is no worse in every coordinate and strictly better in at least one --
+the strict product order's covering relation, which makes ``dominates``
+a strict partial order (irreflexive, asymmetric, transitive; pinned by
+Hypothesis in ``tests/dse/test_pareto_props.py``).
+
+Everything here is pure and deterministic: fronts are returned as sorted
+index lists into the caller's sequence, and the *set* of front vectors
+is invariant under input permutation (duplicates of a front vector are
+all kept -- duplicates do not dominate each other).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Vector = Sequence[float]
+
+
+def dominates(a: Vector, b: Vector) -> bool:
+    """True when *a* Pareto-dominates *b* (minimization everywhere).
+
+    Raises :class:`ValueError` on dimension mismatch -- comparing
+    vectors from different objective sets is always a caller bug.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in dimension: {len(a)} vs {len(b)}")
+    better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            better = True
+    return better
+
+
+def pareto_front(vectors: Sequence[Vector]) -> list[int]:
+    """Indices of the non-dominated vectors, in ascending index order.
+
+    The front is *minimal* (no member dominates another) and *complete*
+    (every non-member is dominated by some member); both properties are
+    pinned by the Hypothesis suite.  Equal vectors are all retained.
+    """
+    n = len(vectors)
+    front: list[int] = []
+    for i in range(n):
+        if not any(dominates(vectors[j], vectors[i]) for j in range(n)
+                   if j != i):
+            front.append(i)
+    return front
+
+
+def nondominated_sort(vectors: Sequence[Vector]) -> list[list[int]]:
+    """Partition indices into Pareto ranks (rank 0 = the front).
+
+    Successive fronts are computed by peeling: remove the current front,
+    recompute.  Every index appears in exactly one rank.
+    """
+    remaining = list(range(len(vectors)))
+    ranks: list[list[int]] = []
+    while remaining:
+        sub = [vectors[i] for i in remaining]
+        front_local = set(pareto_front(sub))
+        rank = [remaining[k] for k in range(len(remaining))
+                if k in front_local]
+        ranks.append(rank)
+        remaining = [remaining[k] for k in range(len(remaining))
+                     if k not in front_local]
+    return ranks
+
+
+def crowded_order(vectors: Sequence[Vector]) -> list[int]:
+    """All indices ordered best-first: by Pareto rank, then by a
+    normalized objective sum (smaller = better), then by index.
+
+    This is the deterministic selection order the successive-halving
+    search truncates -- ties never depend on dict/set iteration order.
+    """
+    if not vectors:
+        return []
+    dims = len(vectors[0])
+    lo = [min(v[d] for v in vectors) for d in range(dims)]
+    hi = [max(v[d] for v in vectors) for d in range(dims)]
+    span = [(hi[d] - lo[d]) or 1.0 for d in range(dims)]
+
+    def score(i: int) -> float:
+        return sum((vectors[i][d] - lo[d]) / span[d] for d in range(dims))
+
+    rank_of: dict[int, int] = {}
+    for r, rank in enumerate(nondominated_sort(vectors)):
+        for i in rank:
+            rank_of[i] = r
+    return sorted(range(len(vectors)),
+                  key=lambda i: (rank_of[i], score(i), i))

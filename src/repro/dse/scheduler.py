@@ -1,0 +1,373 @@
+"""Asyncio sweep scheduler: supervised batches over named worker pools.
+
+:class:`~repro.exec.ParallelRunner` drives one process pool from a
+blocking select loop; a DSE search wants something more general -- many
+small batches in flight, sharded over one *or several* bounded pools
+(e.g. a wide pool for cheap low-fidelity rungs next to a narrow pool
+for expensive top-rung runs), consumable from async code.  This module
+is that generalization, built by *reusing* the supervisor layer rather
+than re-deriving it:
+
+* every attempt runs in the supervisor's process entry point
+  (:func:`~repro.exec.supervisor._supervised_worker`), so the failure
+  taxonomy (``timeout``/``crash``/``sim-error``/``quarantined``), the
+  deadline heuristic (:func:`~repro.exec.supervisor.deadline_for`), the
+  chaos hook and the nested-parallelism guard are byte-for-byte the
+  ones ``ParallelRunner`` uses;
+* chaos tokens are stable dispatch ordinals assigned at submission, so
+  a seeded :class:`~repro.faults.chaos.ChaosPlan` strikes the same
+  attempts regardless of completion order;
+* results feed the same content-addressed
+  :class:`~repro.exec.ResultCache` and fsynced
+  :class:`~repro.exec.SweepJournal` -- ``repro resume`` replays DSE
+  runs exactly like sweep runs.
+
+Concurrency model: one coroutine per pending spec, gated by its pool's
+``asyncio.Semaphore``; the blocking wait on the worker process (pipe +
+sentinel + deadline, same reap order as the supervisor) happens on a
+dedicated thread pool sized to the total worker width, so the event
+loop never blocks and retries back off with ``await asyncio.sleep``.
+Every attempt is accounted in ``dse.*`` metric streams with the
+invariant ``dse.attempts == dse.ok + dse.crashes + dse.timeouts +
+dse.sim_errors`` (pinned by tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Protocol, Sequence
+
+from ..exec.supervisor import (BACKOFF_BASE_S, BACKOFF_CAP_S,
+                               CHAOS_DEFAULT_TIMEOUT_S, CRASH,
+                               QUARANTINED, SIM_ERROR, TIMEOUT,
+                               RunFailure, RunFailureError, Supervisor,
+                               _supervised_worker, deadline_for)
+from ..faults.chaos import ChaosPlan
+from ..obs import MetricsRegistry
+
+
+class SweepSpec(Protocol):
+    """What the scheduler needs from a spec: a content key for the
+    cache/journal, a fingerprint for cache entries, and a picklable
+    ``execute``.  ``RunSpec`` and the verify shards both satisfy it."""
+
+    def key(self) -> str: ...
+
+    def fingerprint(self) -> dict[str, Any]: ...
+
+    def execute(self) -> Any: ...
+
+
+@dataclass(frozen=True)
+class WorkerPool:
+    """A named slice of worker capacity (``jobs`` concurrent attempts)."""
+
+    name: str
+    jobs: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("pool name must be nonempty")
+        if self.jobs < 1:
+            raise ValueError(
+                f"pool {self.name!r} needs jobs >= 1, got {self.jobs}")
+
+
+@dataclass
+class _Job:
+    """One pending spec's scheduling state."""
+
+    index: int
+    spec: Any
+    key: str | None
+    token: str                  # stable chaos/dispatch ordinal
+    pool: WorkerPool
+    attempt: int = 0
+
+
+class SweepScheduler:
+    """Schedules supervised spec batches over bounded worker pools.
+
+    The constructor captures policy (pools, cache, journal, deadlines,
+    retries, chaos); :meth:`run` executes one batch synchronously and
+    :meth:`run_async` does the same from async code.  Results come back
+    positionally; failed slots are ``None`` under ``keep_going`` (with
+    the :class:`~repro.exec.supervisor.RunFailure` appended to
+    :attr:`failures`), otherwise the batch is drained and a
+    :class:`~repro.exec.supervisor.RunFailureError` raised.
+    """
+
+    def __init__(self, pools: Sequence[WorkerPool] | None = None, *,
+                 jobs: int | None = None, cache: Any = None,
+                 journal: Any = None, timeout: float | None = None,
+                 retries: int = 2, keep_going: bool = False,
+                 chaos: ChaosPlan | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 backoff_base: float = BACKOFF_BASE_S):
+        if pools is not None and jobs is not None:
+            raise ValueError("pass pools or jobs, not both")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if pools is None:
+            width = jobs if jobs is not None else (os.cpu_count() or 1)
+            pools = (WorkerPool("p0", max(1, width)),)
+        names = [p.name for p in pools]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pool names: {names}")
+        self.pools: tuple[WorkerPool, ...] = tuple(pools)
+        self.cache = cache
+        self.journal = journal
+        self.timeout = timeout
+        self.chaos = chaos if (chaos is not None and chaos.enabled) \
+            else None
+        if self.timeout is None and self.chaos is not None \
+                and self.chaos.hang_rate:
+            self.timeout = CHAOS_DEFAULT_TIMEOUT_S
+        self.retries = retries
+        self.keep_going = keep_going
+        self.backoff_base = backoff_base
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        #: Scheduler-lifetime cache counters (ParallelRunner parity).
+        self.hits = 0
+        self.misses = 0
+        #: Terminal failures across this scheduler's lifetime (only
+        #: populated under ``keep_going``).
+        self.failures: list[RunFailure] = []
+        #: Lifetime dispatch ordinal == chaos token of the n-th pending
+        #: spec ever submitted; stable for a fixed submission order, so
+        #: seeded chaos strikes the same attempts on every machine.
+        self._ordinal = 0
+        self._rng = random.Random(
+            self.chaos.seed if self.chaos is not None else 0)
+        #: Set while tearing down a cancelled batch: blocking attempt
+        #: threads notice within one poll tick, kill their worker and
+        #: return, so interrupts never leak processes or stall exit.
+        self._abort = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> int:
+        return sum(p.jobs for p in self.pools)
+
+    def _count(self, name: str, by: int = 1) -> None:
+        self.metrics.counter(name).inc(by)
+
+    # ------------------------------------------------------------------ #
+    def run(self, specs: Sequence[Any]) -> list[Any]:
+        """Synchronous entry point: execute *specs*, results positional."""
+        try:
+            return asyncio.run(self.run_async(specs))
+        except KeyboardInterrupt:
+            if self.journal is not None:
+                self.journal.interrupted()
+            raise
+
+    async def run_async(self, specs: Sequence[Any]) -> list[Any]:
+        """Async entry point; see :meth:`run`."""
+        results: list[Any] = [None] * len(specs)
+        pending: list[_Job] = []
+        self._count("dse.specs", len(specs))
+        for i, spec in enumerate(specs):
+            key = spec.key() if self.cache is not None else None
+            if key is not None:
+                stored = self.cache.get(key)
+                if stored is not None:
+                    self.hits += 1
+                    self._count("dse.cache.hits")
+                    if self.journal is not None:
+                        self.journal.hit(key)
+                    results[i] = self._decode(spec, stored)
+                    continue
+            self.misses += 1
+            self._count("dse.cache.misses")
+            pending.append(_Job(
+                index=i, spec=spec, key=key, token=str(self._ordinal),
+                pool=self.pools[len(pending) % len(self.pools)]))
+            self._ordinal += 1
+        if not pending:
+            return results
+
+        loop = asyncio.get_running_loop()
+        sems = {p.name: asyncio.Semaphore(p.jobs) for p in self.pools}
+        threads = ThreadPoolExecutor(
+            max_workers=min(self.width, len(pending)),
+            thread_name_prefix="dse-reap")
+        batch_failures: list[RunFailure] = []
+        self._abort.clear()
+        try:
+            await asyncio.gather(*(
+                self._drive(job, sems[job.pool.name], loop, threads,
+                            results, batch_failures)
+                for job in pending))
+        except asyncio.CancelledError:
+            self._abort.set()
+            raise
+        finally:
+            threads.shutdown(wait=True)
+        if batch_failures and not self.keep_going:
+            raise RunFailureError(batch_failures)
+        self.failures.extend(batch_failures)
+        return results
+
+    # ------------------------------------------------------------------ #
+    async def _drive(self, job: _Job, sem: asyncio.Semaphore,
+                     loop: asyncio.AbstractEventLoop,
+                     threads: ThreadPoolExecutor, results: list[Any],
+                     failures: list[RunFailure]) -> None:
+        """Attempt loop for one spec: launch under the pool semaphore,
+        retry crash/timeout with full-jitter backoff, quarantine when
+        the budget is exhausted, fail sim-errors fast."""
+        inflight = self.metrics.gauge("dse.inflight")
+        while True:
+            async with sem:
+                self._count("dse.attempts")
+                self._count(f"dse.pool.{job.pool.name}.launched")
+                inflight.set(inflight.value + 1)
+                try:
+                    kind, payload = await loop.run_in_executor(
+                        threads, self._attempt, job)
+                finally:
+                    inflight.set(inflight.value - 1)
+
+            if kind == "ok":
+                self._count("dse.ok")
+                self._complete(job, payload, results)
+                return
+            self._count({CRASH: "dse.crashes", TIMEOUT: "dse.timeouts",
+                         SIM_ERROR: "dse.sim_errors"}[kind])
+            if self.journal is not None:
+                self.journal.attempt(job.key or job.token, job.attempt,
+                                     kind, detail=payload)
+            if kind != SIM_ERROR and job.attempt < self.retries:
+                delay = self._rng.uniform(
+                    0.0, min(BACKOFF_CAP_S,
+                             self.backoff_base * (2 ** job.attempt)))
+                job.attempt += 1
+                self._count("dse.retries")
+                self.metrics.histogram("dse.retry.delay_ms") \
+                    .record(int(delay * 1000))
+                await asyncio.sleep(delay)
+                continue
+            failures.append(self._fail(job, kind, payload))
+            return
+
+    # ------------------------------------------------------------------ #
+    # Blocking attempt (runs on the reap thread pool)
+    # ------------------------------------------------------------------ #
+    def _attempt(self, job: _Job) -> tuple[str, Any]:
+        """One supervised attempt: launch the worker process and block
+        until a result lands, the process dies, the deadline passes, or
+        the batch is aborted.  Same reap-order discipline as the
+        supervisor: liveness is sampled *before* polling the pipe."""
+        ctx = multiprocessing.get_context()
+        parent, child = ctx.Pipe(duplex=False)
+        chaos = self.chaos.to_dict() if self.chaos is not None else None
+        process = ctx.Process(
+            target=_supervised_worker,
+            args=(child, job.spec, chaos, job.token, job.attempt),
+            daemon=True)
+        process.start()
+        child.close()
+        # The deadline heuristic reads RunSpec.max_events; other
+        # SweepSpec implementations may not have it (no event budget,
+        # no derived deadline -- same as a RunSpec with max_events
+        # None).
+        budget = self.timeout if self.timeout is not None else (
+            deadline_for(job.spec, None)
+            if getattr(job.spec, "max_events", None) is not None
+            else None)
+        started = time.monotonic()
+        deadline = None if budget is None else started + budget
+        while True:
+            now = time.monotonic()
+            waits = [0.1]
+            if deadline is not None:
+                waits.append(deadline - now)
+            _conn_wait([parent, process.sentinel],
+                       max(0.0, min(waits)))
+            if self._abort.is_set():
+                Supervisor._kill(process)
+                parent.close()
+                return (TIMEOUT, "batch aborted")
+            alive = process.is_alive()
+            if parent.poll():
+                try:
+                    kind, payload = parent.recv()
+                except (EOFError, OSError):
+                    return self._crashed(process, parent)
+                process.join()
+                parent.close()
+                return (kind, payload)
+            if not alive:
+                process.join()
+                return self._crashed(process, parent)
+            if deadline is not None and time.monotonic() >= deadline:
+                Supervisor._kill(process)
+                parent.close()
+                elapsed = time.monotonic() - started
+                return (TIMEOUT, f"deadline {elapsed:.1f}s exceeded")
+
+    @staticmethod
+    def _crashed(process: Any, parent: Any) -> tuple[str, str]:
+        parent.close()
+        code = process.exitcode
+        how = f"signal {-code}" if (code is not None and code < 0) \
+            else f"exitcode {code}"
+        return (CRASH, f"worker died ({how})")
+
+    # ------------------------------------------------------------------ #
+    # Completion / failure (event-loop thread only)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _decode(spec: Any, result_dict: dict[str, Any]) -> Any:
+        from ..exec.parallel import _result_decoder
+
+        return _result_decoder(spec)(result_dict)
+
+    def _complete(self, job: _Job, result_dict: dict[str, Any],
+                  results: list[Any]) -> None:
+        if self.cache is not None and job.key is not None:
+            self.cache.put(job.key, job.spec.fingerprint(), result_dict)
+        results[job.index] = self._decode(job.spec, result_dict)
+        if self.journal is not None:
+            self.journal.attempt(job.key or job.token, job.attempt, "ok")
+            self.journal.done(job.key or job.token, job.attempt + 1)
+
+    def _fail(self, job: _Job, kind: str, detail: str) -> RunFailure:
+        attempts = job.attempt + 1
+        if kind == SIM_ERROR:
+            failure = RunFailure(index=job.index, key=job.key,
+                                 kind=SIM_ERROR, attempts=attempts,
+                                 detail=detail)
+        else:
+            self._count("dse.quarantined")
+            failure = RunFailure(
+                index=job.index, key=job.key, kind=QUARANTINED,
+                attempts=attempts,
+                detail=f"last failure: {kind} ({detail})")
+        if self.journal is not None:
+            self.journal.quarantine(job.key or job.token, attempts, kind)
+        return failure
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """One-line cache-hit/miss digest (ParallelRunner's format, so
+        the CLI's warm-rerun greps work unchanged on DSE runs)."""
+        total = self.hits + self.misses
+        failed = f", {len(self.failures)} failed" if self.failures else ""
+        pools = "+".join(f"{p.name}:{p.jobs}" for p in self.pools)
+        if self.cache is None:
+            return f"cache disabled; {total} runs executed{failed}"
+        rate = (self.hits / total * 100) if total else 0.0
+        return (f"{self.hits}/{total} cache hits ({rate:.0f}%), "
+                f"{self.misses} simulated{failed}  "
+                f"[dir={self.cache.directory}, pools={pools}]")

@@ -1,0 +1,418 @@
+"""Typed, serializable description of the sweepable G-line config space.
+
+A :class:`DseSpace` is a named set of :class:`Axis` objects, each a
+(name, candidate values) pair drawn from the registry :data:`AXES` --
+mesh shape, flat-vs-hierarchical topology, watchdog budgets, barrier
+variant, collective backend + integrity mode, slot multiplexing,
+recovery and fault-rate knobs.  A **point** is a plain dict mapping
+every axis name to one of its values; :meth:`DseSpace.build_spec` turns
+a point into the :class:`~repro.exec.RunSpec` that evaluates it (the
+synthetic barrier workload, or the all-reduce workload when the point
+enables collectives), so every evaluation flows through the exec cache
+under the standard content key -- ``CollectiveConfig`` and
+``FaultPlan`` included, because the key covers the full ``CMPConfig``.
+
+Spaces serialize losslessly (``to_dict``/``from_dict``), so the CLI's
+``--space`` accepts either a preset name from :data:`SPACES` or a JSON
+file.  Sampling and mutation are driven by a caller-owned
+``random.Random``, never global state: the search trajectory is a pure
+function of the seed and the (deterministic) simulation results.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from itertools import product
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from ..common.errors import ConfigError, ReproError
+
+AxisValue = bool | int | float | str
+DsePoint = dict[str, AxisValue]
+
+#: Fault-plan seed used by the ``stuck_rate`` axis (part of the cache
+#: key through the plan, so sweeping the rate stays reproducible).
+FAULT_SEED = 1
+
+#: Library-default transmitter bound (the paper's stated S-CSMA limit).
+_DEFAULT_MAX_TX = 6
+
+#: Above this many points a space is sampled by per-axis rejection
+#: instead of full enumeration.
+_ENUMERATE_LIMIT = 65536
+
+
+class SpaceError(ReproError):
+    """The space description (or a point in it) is malformed."""
+
+
+def _parse_mesh(value: AxisValue) -> tuple[int, int]:
+    if not isinstance(value, str):
+        raise SpaceError(f"mesh value must be 'RxC', got {value!r}")
+    rows_s, sep, cols_s = value.lower().partition("x")
+    try:
+        rows, cols = int(rows_s), int(cols_s)
+    except ValueError:
+        raise SpaceError(f"mesh value must be 'RxC', got {value!r}") \
+            from None
+    if not sep or rows < 1 or cols < 1:
+        raise SpaceError(f"mesh value must be 'RxC', got {value!r}")
+    return rows, cols
+
+
+def _is_mesh(value: AxisValue) -> bool:
+    try:
+        _parse_mesh(value)
+    except SpaceError:
+        return False
+    return True
+
+
+def _is_nonneg_int(value: AxisValue) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def _is_pos_int(value: AxisValue) -> bool:
+    return _is_nonneg_int(value) and value >= 1
+
+
+def _is_rate(value: AxisValue) -> bool:
+    return isinstance(value, int | float) \
+        and not isinstance(value, bool) \
+        and 0.0 <= float(value) <= 1.0
+
+
+def _is_choice(*choices: str) -> Callable[[AxisValue], bool]:
+    def check(value: AxisValue) -> bool:
+        return isinstance(value, str) and value in choices
+    return check
+
+
+@dataclass(frozen=True)
+class AxisDef:
+    """Registry entry: what an axis means and which values are legal."""
+
+    name: str
+    description: str
+    check: Callable[[AxisValue], bool]
+
+
+#: Every sweepable axis.  A space may use any subset; axes it omits take
+#: the library defaults of the underlying config dataclasses.
+AXES: dict[str, AxisDef] = {a.name: a for a in (
+    AxisDef("mesh", "mesh shape 'RxC' (sets num_cores = R*C)", _is_mesh),
+    AxisDef("topology",
+            "'fit' raises max_transmitters so the mesh stays a flat "
+            "single-level network (the paper's evaluation rule); 'hier' "
+            "keeps the stated 6-transmitter bound, so larger meshes use "
+            "the hierarchical extension", _is_choice("fit", "hier")),
+    AxisDef("watchdog_budget",
+            "G-line watchdog budget in cycles (0 = unhardened)",
+            _is_nonneg_int),
+    AxisDef("watchdog_retries",
+            "watchdog retries before software failover", _is_nonneg_int),
+    AxisDef("barrier", "barrier implementation under test",
+            _is_choice("gl", "dsw", "csw", "csw-fa")),
+    AxisDef("num_barriers",
+            "independent barrier contexts (space multiplexing)",
+            _is_pos_int),
+    AxisDef("collectives",
+            "'off' = barrier workload; otherwise the all-reduce workload "
+            "on the chosen fabric: 'gl', 'sw', or 'gl-<integrity>' for a "
+            "protected G-line fabric ('gl-echo'/'gl-residue'/'gl-vote')",
+            _is_choice("off", "gl", "sw", "gl-echo", "gl-residue",
+                       "gl-vote")),
+    AxisDef("collective_slots",
+            "collective time-multiplexing slots (CollectiveConfig."
+            "time_slots)", _is_pos_int),
+    AxisDef("value_width", "collective operand width in bits",
+            lambda v: _is_pos_int(v) and isinstance(v, int) and v <= 64),
+    AxisDef("recovery",
+            "'on' enables the self-healing recovery FSM (requires a "
+            "nonzero watchdog_budget in the same point)",
+            _is_choice("off", "on")),
+    AxisDef("failover", "software barrier used after failover",
+            _is_choice("csw", "dsw")),
+    AxisDef("stuck_rate",
+            "per-line per-active-cycle G-line stuck-at fault rate "
+            f"(FaultPlan seed {FAULT_SEED})", _is_rate),
+)}
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweepable dimension: a registry name plus candidate values."""
+
+    name: str
+    values: tuple[AxisValue, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in AXES:
+            raise SpaceError(
+                f"unknown axis {self.name!r}; known: {sorted(AXES)}")
+        if not self.values:
+            raise SpaceError(f"axis {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise SpaceError(f"axis {self.name!r} has duplicate values")
+        bad = [v for v in self.values if not AXES[self.name].check(v)]
+        if bad:
+            raise SpaceError(
+                f"axis {self.name!r} has invalid value(s) {bad!r} "
+                f"({AXES[self.name].description})")
+
+
+@dataclass(frozen=True)
+class DseSpace:
+    """An ordered set of axes, with deterministic sampling/mutation."""
+
+    name: str
+    axes: tuple[Axis, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise SpaceError("a space needs at least one axis")
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise SpaceError(f"duplicate axes in space {self.name!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.values)
+        return n
+
+    def points(self) -> Iterator[DsePoint]:
+        """Every point, in cartesian-product order over the axis order."""
+        for combo in product(*(a.values for a in self.axes)):
+            yield {a.name: v for a, v in zip(self.axes, combo)}
+
+    @staticmethod
+    def point_key(point: Mapping[str, AxisValue]) -> str:
+        """Canonical stable identity of a point (sorted-key JSON)."""
+        return json.dumps(dict(point), sort_keys=True,
+                          separators=(",", ":"))
+
+    # ------------------------------------------------------------------ #
+    def feasible(self, point: Mapping[str, AxisValue]) -> bool:
+        """Whether the point maps to a constructible configuration.
+
+        Axes interact (e.g. ``recovery="on"`` needs a nonzero
+        ``watchdog_budget``); infeasible combinations are filtered here,
+        before any simulation is scheduled.
+        """
+        try:
+            self.build_spec(dict(point), fidelity=1)
+        except (ConfigError, SpaceError):
+            return False
+        return True
+
+    def sample(self, rng: random.Random, k: int) -> list[DsePoint]:
+        """*k* distinct feasible points (fewer if the space is smaller),
+        chosen by *rng* -- deterministic for a given rng state."""
+        if k <= 0:
+            return []
+        if self.size <= _ENUMERATE_LIMIT:
+            pool = [p for p in self.points() if self.feasible(p)]
+            if len(pool) <= k:
+                return pool
+            return rng.sample(pool, k)
+        picked: list[DsePoint] = []
+        seen: set[str] = set()
+        for _ in range(k * 64):
+            point: DsePoint = {a.name: rng.choice(a.values)
+                               for a in self.axes}
+            key = self.point_key(point)
+            if key in seen or not self.feasible(point):
+                continue
+            seen.add(key)
+            picked.append(point)
+            if len(picked) == k:
+                break
+        return picked
+
+    def mutate(self, rng: random.Random,
+               point: Mapping[str, AxisValue]) -> DsePoint | None:
+        """A feasible neighbor of *point* differing in exactly one axis,
+        or ``None`` when no mutable axis yields one."""
+        mutable = [a for a in self.axes if len(a.values) > 1]
+        if not mutable:
+            return None
+        for _ in range(16):
+            axis = mutable[rng.randrange(len(mutable))]
+            others = [v for v in axis.values if v != point[axis.name]]
+            mutated = dict(point)
+            mutated[axis.name] = others[rng.randrange(len(others))]
+            if self.feasible(mutated):
+                return mutated
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Point -> RunSpec
+    # ------------------------------------------------------------------ #
+    def build_spec(self, point: DsePoint, fidelity: int) -> Any:
+        """The :class:`~repro.exec.RunSpec` evaluating *point* at
+        *fidelity* (workload iterations -- the successive-halving rung).
+
+        Raises :class:`SpaceError` for points not matching this space's
+        axes, :class:`~repro.common.errors.ConfigError` for infeasible
+        axis combinations.
+        """
+        from dataclasses import replace
+
+        from ..collectives.config import CollectiveConfig
+        from ..common.params import CMPConfig, NocConfig
+        from ..exec.spec import RunSpec
+        from ..faults.plan import FaultPlan
+        from ..workloads.collective import CollectiveAllReduceWorkload
+        from ..workloads.synthetic import SyntheticBarrierWorkload
+
+        expected = {a.name for a in self.axes}
+        if set(point) != expected:
+            raise SpaceError(
+                f"point axes {sorted(point)} do not match space axes "
+                f"{sorted(expected)}")
+        for axis in self.axes:
+            if point[axis.name] not in axis.values:
+                raise SpaceError(
+                    f"value {point[axis.name]!r} not on axis "
+                    f"{axis.name!r}")
+        if fidelity < 1:
+            raise SpaceError(f"fidelity must be >= 1, got {fidelity}")
+
+        rows, cols = _parse_mesh(point.get("mesh", "4x4"))
+        num_cores = rows * cols
+        cfg = CMPConfig.for_cores(num_cores,
+                                  noc=NocConfig(rows=rows, cols=cols))
+
+        gline = cfg.gline
+        if point.get("topology", "fit") == "fit":
+            need = max(rows, cols) - 1
+            if need > gline.max_transmitters:
+                gline = replace(gline, max_transmitters=need)
+        budget = int(point.get("watchdog_budget", 0))
+        gline = replace(
+            gline,
+            watchdog_budget=budget,
+            watchdog_retries=int(point.get("watchdog_retries",
+                                           gline.watchdog_retries)),
+            num_barriers=int(point.get("num_barriers",
+                                       gline.num_barriers)),
+            failover_barrier=str(point.get("failover",
+                                           gline.failover_barrier)),
+            recovery_enabled=point.get("recovery", "off") == "on",
+        )
+
+        fabric = str(point.get("collectives", "off"))
+        collectives = CollectiveConfig()
+        if fabric != "off":
+            backend, _, integrity = fabric.partition("-")
+            collectives = CollectiveConfig(
+                enabled=True, backend=backend,
+                integrity=integrity or "off",
+                value_width=int(point.get("value_width", 8)),
+                time_slots=int(point.get("collective_slots", 1)),
+                watchdog_budget=budget if backend == "gl" else 0,
+            )
+
+        faults = FaultPlan()
+        stuck = float(point.get("stuck_rate", 0.0))
+        if stuck > 0.0:
+            faults = FaultPlan(seed=FAULT_SEED, gline_stuck_rate=stuck)
+
+        cfg = cfg.with_(gline=gline, collectives=collectives,
+                        faults=faults)
+        if fabric == "off":
+            workload: Any = SyntheticBarrierWorkload(iterations=fidelity)
+        else:
+            workload = CollectiveAllReduceWorkload(iterations=fidelity)
+        return RunSpec(workload=workload,
+                       barrier=str(point.get("barrier", "gl")),
+                       config=cfg)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (the CLI's --space JSON format)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "description": self.description,
+                "axes": [{"name": a.name, "values": list(a.values)}
+                         for a in self.axes]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DseSpace":
+        try:
+            axes = tuple(Axis(name=a["name"],
+                              values=tuple(a["values"]))
+                         for a in data["axes"])
+            return cls(name=str(data["name"]), axes=axes,
+                       description=str(data.get("description", "")))
+        except (KeyError, TypeError) as exc:
+            raise SpaceError(f"malformed space description: {exc}") \
+                from exc
+
+
+# ---------------------------------------------------------------------- #
+# Preset spaces
+# ---------------------------------------------------------------------- #
+def _space(name: str, description: str,
+           axes: list[tuple[str, tuple[AxisValue, ...]]]) -> DseSpace:
+    return DseSpace(name=name, description=description,
+                    axes=tuple(Axis(n, v) for n, v in axes))
+
+
+#: Named presets for ``repro dse --space``.
+SPACES: dict[str, DseSpace] = {s.name: s for s in (
+    _space("smoke",
+           "3 sweepable axes at a fixed 4x4 mesh -- the CI smoke space",
+           [("mesh", ("4x4",)),
+            ("watchdog_budget", (0, 64)),
+            ("barrier", ("gl", "dsw", "csw")),
+            ("collectives", ("off", "gl", "gl-echo"))]),
+    _space("default",
+           "mesh shape x topology x watchdog budget x barrier variant "
+           "x collective/integrity mode (16-core meshes)",
+           [("mesh", ("4x4", "2x8")),
+            ("topology", ("fit", "hier")),
+            ("watchdog_budget", (0, 64)),
+            ("barrier", ("gl", "dsw", "csw")),
+            ("collectives", ("off", "gl", "gl-echo", "sw"))]),
+    _space("resilience",
+           "hardening/recovery knobs under seeded stuck-at faults "
+           "(pair with the 'failover' objective)",
+           [("mesh", ("4x4",)),
+            ("watchdog_budget", (32, 64)),
+            ("stuck_rate", (0.0, 0.002)),
+            ("recovery", ("off", "on")),
+            ("failover", ("csw", "dsw"))]),
+    _space("crossover",
+           "the 8x8/16x16 crossover study: barrier variant x collective "
+           "backend x topology x watchdog",
+           [("mesh", ("8x8", "16x16")),
+            ("topology", ("fit", "hier")),
+            ("watchdog_budget", (0, 64)),
+            ("barrier", ("gl", "dsw", "csw")),
+            ("collectives", ("off", "gl", "sw"))]),
+)}
+
+
+def space_from_arg(arg: str) -> DseSpace:
+    """Resolve ``--space``: a preset name, or a path to a JSON file."""
+    if arg in SPACES:
+        return SPACES[arg]
+    path = Path(arg)
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SpaceError(f"cannot read space file {path}: {exc}") \
+                from exc
+        return DseSpace.from_dict(data)
+    raise SpaceError(
+        f"unknown space {arg!r}: not a preset ({sorted(SPACES)}) and "
+        f"not a file")

@@ -128,22 +128,41 @@ class ResultCache:
         return {"entries": total, "bytes": nbytes, "corrupt": corrupt,
                 "by_code": dict(sorted(by_code.items()))}
 
-    def prune(self, current_code: str | None = None) -> int:
-        """Delete entries whose code fingerprint is not *current_code*
-        (default: this tree's), plus corrupt ones; returns the number
-        removed.  Pruned entries were unreachable anyway -- the key
-        embeds the fingerprint -- so this only reclaims disk."""
+    def prune_candidates(self, current_code: str | None = None):
+        """``(path, bytes, mtime)`` of every entry :meth:`prune` would
+        evict -- stale code fingerprints and corrupt files -- oldest
+        first (mtime, then path, so the order is total even when a
+        filesystem's timestamps tie).  This is the eviction order:
+        ``prune --dry-run`` reports it and ``prune`` deletes in it."""
         if current_code is None:
             from .version import code_fingerprint
             current_code = code_fingerprint()
-        removed = 0
+        candidates = []
         for path, entry in self.entries():
             code = None if entry is None \
                 else (entry.get("fingerprint") or {}).get("code")
             if code != current_code:
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue            # raced away; nothing to evict
+                candidates.append((path, stat.st_size, stat.st_mtime))
+        candidates.sort(key=lambda item: (item[2], str(item[0])))
+        return candidates
+
+    def prune(self, current_code: str | None = None, *,
+              dry_run: bool = False) -> int:
+        """Delete entries whose code fingerprint is not *current_code*
+        (default: this tree's), plus corrupt ones; returns the number
+        removed (or, under *dry_run*, the number that would be -- with
+        no filesystem writes).  Pruned entries were unreachable anyway
+        -- the key embeds the fingerprint -- so this only reclaims
+        disk."""
+        candidates = self.prune_candidates(current_code)
+        if not dry_run:
+            for path, _, _ in candidates:
                 path.unlink(missing_ok=True)
-                removed += 1
-        return removed
+        return len(candidates)
 
     # ------------------------------------------------------------------ #
     def __contains__(self, key: str) -> bool:

@@ -12,6 +12,8 @@ from .ablations import (
     period_sweep,
 )
 from .collectives_exp import CollectivesResult, run_collectives
+from .dse_exp import (DseCrossoverResult, crossover_space,
+                      run_dse_crossover)
 from .energy_exp import EnergyResult, run_energy
 from .integrity import (IntegrityResult, integrity_config,
                         run_integrity)
@@ -42,6 +44,7 @@ __all__ = [
     "matches_paper", "run_table1",
     "Table2Result", "default_table2_workloads", "run_table2",
     "CollectivesResult", "run_collectives",
+    "DseCrossoverResult", "crossover_space", "run_dse_crossover",
     "EnergyResult", "run_energy",
     "StagesResult", "decompose", "run_stages",
     "gl_is_platform_insensitive", "l2_latency_sweep",

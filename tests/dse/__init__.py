@@ -1,0 +1,1 @@
+"""Tests for the repro.dse design-space-exploration subsystem."""

@@ -1,0 +1,60 @@
+"""Unit tests for the dominance / Pareto-front utilities."""
+
+import pytest
+
+from repro.dse import (crowded_order, dominates, nondominated_sort,
+                       pareto_front)
+
+
+def test_dominates_requires_strict_improvement():
+    assert dominates((1.0, 2.0), (2.0, 2.0))
+    assert dominates((1.0, 1.0), (2.0, 2.0))
+    assert not dominates((1.0, 2.0), (1.0, 2.0))      # equal
+    assert not dominates((1.0, 3.0), (2.0, 2.0))      # trade-off
+    assert not dominates((2.0, 2.0), (1.0, 2.0))
+
+
+def test_dominates_rejects_dimension_mismatch():
+    with pytest.raises(ValueError):
+        dominates((1.0,), (1.0, 2.0))
+
+
+def test_pareto_front_simple():
+    vectors = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0),
+               (3.0, 3.0), (5.0, 5.0)]
+    assert pareto_front(vectors) == [0, 1, 2]
+
+
+def test_pareto_front_keeps_duplicate_optima():
+    vectors = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+    assert pareto_front(vectors) == [0, 1]
+
+
+def test_pareto_front_empty():
+    assert pareto_front([]) == []
+
+
+def test_nondominated_sort_partitions_all_indices():
+    vectors = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0),
+               (3.0, 3.0), (5.0, 5.0)]
+    ranks = nondominated_sort(vectors)
+    assert ranks[0] == [0, 1, 2]
+    assert sorted(i for rank in ranks for i in rank) == \
+        list(range(len(vectors)))
+    assert ranks[-1] == [4]
+
+
+def test_crowded_order_ranks_front_first_then_by_score():
+    vectors = [(5.0, 5.0), (1.0, 4.0), (2.0, 2.0), (4.0, 1.0)]
+    order = crowded_order(vectors)
+    # The three front members precede the dominated point, and the
+    # balanced point (2,2) has the smallest normalized sum.
+    assert order[-1] == 0
+    assert order[0] == 2
+    assert sorted(order) == [0, 1, 2, 3]
+
+
+def test_crowded_order_is_deterministic_on_ties():
+    vectors = [(1.0, 1.0)] * 4
+    assert crowded_order(vectors) == [0, 1, 2, 3]
+    assert crowded_order([]) == []

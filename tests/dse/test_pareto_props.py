@@ -1,0 +1,73 @@
+"""Hypothesis properties of the Pareto utilities (an ISSUE 10
+satellite): dominance is a strict partial order, the front is minimal
+and complete, and front computation is permutation-invariant."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import dominates, nondominated_sort, pareto_front
+
+DIM = 3
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+vector = st.tuples(*([finite] * DIM))
+vectors = st.lists(vector, min_size=1, max_size=24)
+
+
+@given(vector)
+def test_dominance_is_irreflexive(v):
+    assert not dominates(v, v)
+
+
+@given(vector, vector)
+def test_dominance_is_asymmetric(a, b):
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(vector, vector, vector)
+def test_dominance_is_transitive(a, b, c):
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+@settings(max_examples=200)
+@given(vectors)
+def test_front_is_minimal_and_complete(vs):
+    front = pareto_front(vs)
+    members = set(front)
+    assert front, "a nonempty input always has a nonempty front"
+    # Minimal: no front member dominates another front member.
+    for i in front:
+        for j in front:
+            assert not dominates(vs[i], vs[j])
+    # Complete: every non-member is dominated by some front member.
+    for i in range(len(vs)):
+        if i not in members:
+            assert any(dominates(vs[j], vs[i]) for j in front)
+
+
+@settings(max_examples=200)
+@given(vectors, st.randoms(use_true_random=False))
+def test_front_is_permutation_invariant(vs, rng):
+    perm = list(range(len(vs)))
+    rng.shuffle(perm)
+    shuffled = [vs[i] for i in perm]
+    original = sorted(tuple(vs[i]) for i in pareto_front(vs))
+    permuted = sorted(tuple(shuffled[i])
+                      for i in pareto_front(shuffled))
+    assert original == permuted
+
+
+@settings(max_examples=100)
+@given(vectors)
+def test_nondominated_sort_partitions_and_orders(vs):
+    ranks = nondominated_sort(vs)
+    flat = sorted(i for rank in ranks for i in rank)
+    assert flat == list(range(len(vs)))
+    assert ranks[0] == pareto_front(vs)
+    # No member of an earlier rank is dominated by a later-rank vector.
+    for r, rank in enumerate(ranks):
+        for later in ranks[r + 1:]:
+            for i in rank:
+                assert not any(dominates(vs[j], vs[i]) for j in later)

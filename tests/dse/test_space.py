@@ -1,0 +1,188 @@
+"""DseSpace: axis validation, sampling, mutation, spec building and
+serialization -- including the ISSUE 10 satellite that CollectiveConfig
+flows through the axes into the exec cache key."""
+
+import json
+import random
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dse import AXES, SPACES, Axis, DseSpace, SpaceError, \
+    space_from_arg
+
+
+def test_presets_are_well_formed():
+    for name, space in SPACES.items():
+        assert space.name == name
+        assert space.size >= 2
+        points = list(space.points())
+        assert len(points) == space.size
+
+
+def test_default_preset_spans_required_axes():
+    # The acceptance criteria name a >= 4-axis space covering mesh,
+    # watchdog budget, barrier variant and collectives/integrity mode.
+    names = {a.name for a in SPACES["default"].axes}
+    assert {"mesh", "watchdog_budget", "barrier",
+            "collectives"} <= names
+    assert len(names) >= 4
+
+
+def test_axis_validation():
+    with pytest.raises(SpaceError):
+        Axis("no-such-axis", (1,))
+    with pytest.raises(SpaceError):
+        Axis("barrier", ())
+    with pytest.raises(SpaceError):
+        Axis("barrier", ("gl", "gl"))
+    with pytest.raises(SpaceError):
+        Axis("barrier", ("token-ring",))
+    with pytest.raises(SpaceError):
+        Axis("mesh", ("4by4",))
+    with pytest.raises(SpaceError):
+        Axis("watchdog_budget", (-1,))
+
+
+def test_space_rejects_duplicate_axes():
+    with pytest.raises(SpaceError):
+        DseSpace("dup", (Axis("barrier", ("gl",)),
+                         Axis("barrier", ("csw",))))
+
+
+def test_sample_is_deterministic_distinct_and_feasible():
+    space = SPACES["default"]
+    a = space.sample(random.Random(5), 6)
+    b = space.sample(random.Random(5), 6)
+    assert a == b
+    keys = {space.point_key(p) for p in a}
+    assert len(keys) == len(a) == 6
+    assert all(space.feasible(p) for p in a)
+
+
+def test_sample_exhausts_small_spaces():
+    space = DseSpace("tiny", (Axis("barrier", ("gl", "dsw")),))
+    points = space.sample(random.Random(0), 10)
+    assert len(points) == 2
+
+
+def test_mutate_changes_exactly_one_axis():
+    space = SPACES["default"]
+    rng = random.Random(9)
+    point = space.sample(rng, 1)[0]
+    mutated = space.mutate(rng, point)
+    assert mutated is not None
+    diff = [k for k in point if point[k] != mutated[k]]
+    assert len(diff) == 1
+    assert space.feasible(mutated)
+
+
+def test_recovery_requires_watchdog_point_is_infeasible():
+    space = DseSpace("r", (Axis("watchdog_budget", (0, 64)),
+                           Axis("recovery", ("on",))))
+    assert not space.feasible({"watchdog_budget": 0, "recovery": "on"})
+    assert space.feasible({"watchdog_budget": 64, "recovery": "on"})
+    # sample() never returns the infeasible combination.
+    points = space.sample(random.Random(0), 4)
+    assert points == [{"watchdog_budget": 64, "recovery": "on"}]
+
+
+def test_build_spec_wires_the_axes_through():
+    space = SPACES["default"]
+    point = {"mesh": "2x8", "topology": "fit", "watchdog_budget": 64,
+             "barrier": "dsw", "collectives": "gl-echo"}
+    spec = space.build_spec(point, fidelity=3)
+    cfg = spec.config
+    assert (cfg.noc.rows, cfg.noc.cols) == (2, 8)
+    assert cfg.num_cores == 16
+    assert cfg.gline.max_transmitters == 7        # fit: max(2,8)-1
+    assert cfg.gline.watchdog_budget == 64
+    assert spec.barrier == "dsw"
+    assert cfg.collectives.enabled
+    assert cfg.collectives.backend == "gl"
+    assert cfg.collectives.integrity == "echo"
+    assert spec.workload.iterations == 3
+
+
+def test_topology_axis_differentiates_wide_meshes():
+    space = SPACES["default"]
+    base = {"mesh": "2x8", "watchdog_budget": 0, "barrier": "gl",
+            "collectives": "off"}
+    fit = space.build_spec({**base, "topology": "fit"}, 1)
+    hier = space.build_spec({**base, "topology": "hier"}, 1)
+    assert fit.config.gline.max_transmitters == 7
+    assert hier.config.gline.max_transmitters == 6
+    assert fit.key() != hier.key()
+
+
+def test_collectives_axis_reaches_the_exec_cache_key():
+    """The PR 8 leftover: CollectiveConfig (backend + integrity mode)
+    must serialize through the DSE axes into the cache key."""
+    space = SPACES["smoke"]
+    base = {"mesh": "4x4", "watchdog_budget": 0, "barrier": "gl"}
+    keys = {}
+    for fabric in ("off", "gl", "gl-echo"):
+        spec = space.build_spec({**base, "collectives": fabric}, 2)
+        keys[fabric] = spec.key()
+        fp = spec.fingerprint()
+        assert fp["config"]["collectives"]["enabled"] == \
+            (fabric != "off")
+    assert len(set(keys.values())) == 3
+    echo = space.build_spec({**base, "collectives": "gl-echo"}, 2)
+    assert echo.config.collectives.integrity == "echo"
+    # Round trip through the serialized fingerprint preserves the mode.
+    from repro.common.params import CMPConfig
+    rebuilt = CMPConfig.from_dict(echo.fingerprint()["config"])
+    assert rebuilt.collectives == echo.config.collectives
+
+
+def test_stuck_rate_axis_builds_a_fault_plan():
+    space = SPACES["resilience"]
+    point = {"mesh": "4x4", "watchdog_budget": 64, "stuck_rate": 0.002,
+             "recovery": "off", "failover": "csw"}
+    spec = space.build_spec(point, 1)
+    assert spec.config.faults.gline_stuck_rate == 0.002
+    clean = space.build_spec({**point, "stuck_rate": 0.0}, 1)
+    assert clean.config.faults.gline_stuck_rate == 0.0
+    assert spec.key() != clean.key()
+
+
+def test_build_spec_rejects_mismatched_points():
+    space = SPACES["smoke"]
+    with pytest.raises(SpaceError):
+        space.build_spec({"mesh": "4x4"}, 1)
+    with pytest.raises(SpaceError):
+        point = {"mesh": "4x4", "watchdog_budget": 5,  # not on axis
+                 "barrier": "gl", "collectives": "off"}
+        space.build_spec(point, 1)
+    with pytest.raises(SpaceError):
+        point = {"mesh": "4x4", "watchdog_budget": 0,
+                 "barrier": "gl", "collectives": "off"}
+        space.build_spec(point, 0)
+
+
+def test_space_serialization_round_trip(tmp_path):
+    space = SPACES["default"]
+    rebuilt = DseSpace.from_dict(space.to_dict())
+    assert rebuilt == space
+    path = tmp_path / "space.json"
+    path.write_text(json.dumps(space.to_dict()))
+    assert space_from_arg(str(path)) == space
+
+
+def test_space_from_arg_resolves_presets_and_errors():
+    assert space_from_arg("smoke") is SPACES["smoke"]
+    with pytest.raises(SpaceError):
+        space_from_arg("no-such-space")
+
+
+def test_point_key_is_order_insensitive():
+    a = {"barrier": "gl", "mesh": "4x4"}
+    b = {"mesh": "4x4", "barrier": "gl"}
+    assert DseSpace.point_key(a) == DseSpace.point_key(b)
+
+
+def test_axes_registry_descriptions():
+    for name, axis_def in AXES.items():
+        assert axis_def.name == name
+        assert axis_def.description

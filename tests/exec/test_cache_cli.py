@@ -16,9 +16,8 @@ def _seed_entry(directory):
     return spec.key()
 
 
-def _plant_stale_entry(directory, code="0" * 64):
+def _plant_stale_entry(directory, code="0" * 64, key="cd" + "5" * 62):
     """A well-formed entry from a different code version."""
-    key = "cd" + "5" * 62
     path = directory / key[:2] / f"{key}.json"
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps({"key": key,
@@ -58,6 +57,59 @@ def test_cache_prune_keeps_only_current_code(tmp_path, capsys):
     cache = ResultCache(tmp_path)
     assert len(cache) == 1
     assert key in cache
+
+
+def test_cache_prune_dry_run_reports_without_deleting(tmp_path, capsys):
+    key = _seed_entry(tmp_path)
+    stale = _plant_stale_entry(tmp_path)
+    _plant_corrupt_entry(tmp_path)
+    rc = main(["cache", "prune", "--dry-run",
+               "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "would prune 2 stale entries" in out
+    assert "bytes" in out
+    assert f"{stale[:2]}/{stale}.json" in out
+    # Nothing was deleted: all three entries survive, prune still works.
+    assert len(ResultCache(tmp_path)) == 3
+    rc = main(["cache", "prune", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    assert "pruned 2 stale entries" in capsys.readouterr().out
+    assert key in ResultCache(tmp_path)
+
+
+def test_cache_prune_dry_run_lists_oldest_first(tmp_path, capsys):
+    """The eviction order is pinned: oldest mtime first."""
+    import os
+
+    newer = _plant_stale_entry(tmp_path, key="ab" + "1" * 62)
+    older = _plant_stale_entry(tmp_path, key="ff" + "2" * 62)
+    newer_path = tmp_path / newer[:2] / f"{newer}.json"
+    older_path = tmp_path / older[:2] / f"{older}.json"
+    os.utime(older_path, (1_000_000, 1_000_000))
+    os.utime(newer_path, (2_000_000, 2_000_000))
+    rc = main(["cache", "prune", "--dry-run",
+               "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    # "ff..." is older, so it is listed before "ab..." despite sorting
+    # later lexically.
+    assert out.index(older) < out.index(newer)
+    candidates = ResultCache(tmp_path).prune_candidates()
+    assert [p for p, _, _ in candidates] == [older_path, newer_path]
+
+
+def test_prune_candidates_breaks_mtime_ties_by_path(tmp_path):
+    import os
+
+    a = _plant_stale_entry(tmp_path, key="ab" + "1" * 62)
+    b = _plant_stale_entry(tmp_path, key="ff" + "2" * 62)
+    for key in (a, b):
+        os.utime(tmp_path / key[:2] / f"{key}.json",
+                 (1_000_000, 1_000_000))
+    candidates = ResultCache(tmp_path).prune_candidates()
+    assert [p.name for p, _, _ in candidates] == \
+        [f"{a}.json", f"{b}.json"]
 
 
 def test_cache_clear_removes_everything(tmp_path, capsys):
